@@ -1,0 +1,245 @@
+// Command stapbench regenerates every table and figure of the paper's
+// evaluation section on the simulated machines:
+//
+//	stapbench -all                 # everything
+//	stapbench -table 1             # Table 1 (embedded I/O)
+//	stapbench -table 4             # Table 4 (latency improvement)
+//	stapbench -figure 8            # Figure 8 (with/without combining)
+//	stapbench -all -csv out/       # additionally write CSV files
+//	stapbench -cpis 120 -summary   # longer runs, summary tables only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"stapio/internal/experiments"
+	"stapio/internal/pipesim"
+	"stapio/internal/report"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "render one table (1-4; 5 = optimizer extension)")
+		figure   = flag.Int("figure", 0, "render one figure (5-8)")
+		all      = flag.Bool("all", false, "render every table and figure")
+		summary  = flag.Bool("summary", false, "print compact summary tables instead of per-task rows")
+		cpis     = flag.Int("cpis", 60, "CPIs per simulation run")
+		warmup   = flag.Int("warmup", 12, "warmup CPIs excluded from statistics")
+		csvDir   = flag.String("csv", "", "also write tables as CSV into this directory")
+		timeline = flag.Bool("timeline", false, "render an execution timeline (Gantt) instead of tables")
+		setupIdx = flag.Int("setup", 0, "timeline: setup index (0 PFS-16, 1 PFS-64, 2 PIOFS)")
+		caseIdx  = flag.Int("case", 2, "timeline: node case index (0=50, 1=100, 2=200 nodes)")
+		design   = flag.String("design", "embedded", "timeline/graph: embedded | separate | combined")
+		graph    = flag.Bool("graph", false, "print the pipeline task graph (the paper's figures 2-4) and exit")
+	)
+	flag.Parse()
+	if *graph {
+		d, err := parseDesign(*design)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := experiments.Build(d, 1)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(p.Describe())
+		return
+	}
+	if *timeline {
+		renderTimeline(*setupIdx, *caseIdx, *design)
+		return
+	}
+	if !*all && *table == 0 && *figure == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := pipesim.Options{CPIs: *cpis, Warmup: *warmup, PrefetchDepth: 1, BufferDepth: 2}
+
+	run := func(d experiments.Design) *experiments.Grid {
+		g, err := experiments.RunGrid(d, opts)
+		if err != nil {
+			fatal(err)
+		}
+		return g
+	}
+
+	var emb, sep, comb *experiments.Grid
+	need := func(d experiments.Design) *experiments.Grid {
+		switch d {
+		case experiments.Embedded:
+			if emb == nil {
+				emb = run(d)
+			}
+			return emb
+		case experiments.Separate:
+			if sep == nil {
+				sep = run(d)
+			}
+			return sep
+		default:
+			if comb == nil {
+				comb = run(d)
+			}
+			return comb
+		}
+	}
+
+	emit := func(t *report.Table) {
+		t.Render(os.Stdout)
+		fmt.Println()
+		if *csvDir != "" {
+			writeCSV(*csvDir, t)
+		}
+	}
+	taskOrSummary := func(g *experiments.Grid, title string) *report.Table {
+		if *summary {
+			return experiments.SummaryTable(g, title)
+		}
+		return experiments.TaskTable(g, title)
+	}
+
+	doTable := func(n int) {
+		switch n {
+		case 1:
+			emit(taskOrSummary(need(experiments.Embedded),
+				"Table 1: performance with the I/O embedded in the Doppler filter processing task"))
+		case 2:
+			emit(taskOrSummary(need(experiments.Separate),
+				"Table 2: performance with the I/O implemented as a separate task"))
+		case 3:
+			emit(taskOrSummary(need(experiments.Combined),
+				"Table 3: performance with pulse compression and CFAR tasks combined"))
+		case 4:
+			t, err := experiments.ImprovementTable(need(experiments.Embedded), need(experiments.Combined))
+			if err != nil {
+				fatal(err)
+			}
+			emit(t)
+		case 5:
+			oc, err := experiments.RunOptimized(need(experiments.Embedded), opts)
+			if err != nil {
+				fatal(err)
+			}
+			emit(oc.Table())
+		default:
+			fatal(fmt.Errorf("no table %d (the paper has tables 1-4; 5 is this library's extension)", n))
+		}
+	}
+	doFigure := func(n int) {
+		var thr, lat *report.BarChart
+		switch n {
+		case 5:
+			thr, lat = experiments.Figure(need(experiments.Embedded), "Figure 5 (embedded I/O)")
+		case 6:
+			thr, lat = experiments.Figure(need(experiments.Separate), "Figure 6 (separate I/O task)")
+		case 7:
+			thr, lat = experiments.Figure(need(experiments.Combined), "Figure 7 (PC+CFAR combined)")
+		case 8:
+			thr, lat = experiments.Figure8(need(experiments.Embedded), need(experiments.Combined))
+		default:
+			fatal(fmt.Errorf("no figure %d (the paper's result figures are 5-8)", n))
+		}
+		thr.Render(os.Stdout)
+		fmt.Println()
+		lat.Render(os.Stdout)
+		fmt.Println()
+	}
+
+	switch {
+	case *all:
+		for n := 1; n <= 4; n++ {
+			doTable(n)
+		}
+		for n := 5; n <= 8; n++ {
+			doFigure(n)
+		}
+	case *table != 0:
+		doTable(*table)
+	case *figure != 0:
+		doFigure(*figure)
+	}
+}
+
+// renderTimeline traces one configuration and prints its steady-state
+// schedule as an ASCII Gantt chart.
+func renderTimeline(setupIdx, caseIdx int, designName string) {
+	setups := experiments.Setups()
+	cases := experiments.Cases()
+	if setupIdx < 0 || setupIdx >= len(setups) || caseIdx < 0 || caseIdx >= len(cases) {
+		fatal(fmt.Errorf("setup %d / case %d out of range", setupIdx, caseIdx))
+	}
+	d, err := parseDesign(designName)
+	if err != nil {
+		fatal(err)
+	}
+	s := setups[setupIdx]
+	c := cases[caseIdx]
+	p, err := experiments.Build(d, c.Scale)
+	if err != nil {
+		fatal(err)
+	}
+	opts := pipesim.Options{CPIs: 24, Warmup: 8, PrefetchDepth: 1, BufferDepth: 2, Trace: true}
+	res, err := pipesim.Run(p, s.Prof, s.FS, opts)
+	if err != nil {
+		fatal(err)
+	}
+	// Window: a few steady-state periods in the middle of the run.
+	period := 1 / res.Throughput
+	from := res.Horizon - 6*period
+	if from < 0 {
+		from = 0
+	}
+	title := fmt.Sprintf("Execution timeline — %s, %s, %s (r=read-wait == recv # compute > send w=write-wait . idle)",
+		d, s.Label, c.Label)
+	g := experiments.TimelineChart(res, title, from, res.Horizon)
+	g.Width = 110
+	g.Render(os.Stdout)
+	fmt.Printf("\nthroughput %.2f CPIs/s, latency %.3f s, busiest stripe server %.0f%% utilised\n",
+		res.Throughput, res.Latency, res.FSBusiestUtilization*100)
+}
+
+func parseDesign(name string) (experiments.Design, error) {
+	switch name {
+	case "embedded":
+		return experiments.Embedded, nil
+	case "separate":
+		return experiments.Separate, nil
+	case "combined":
+		return experiments.Combined, nil
+	default:
+		return 0, fmt.Errorf("unknown design %q", name)
+	}
+}
+
+func writeCSV(dir string, t *report.Table) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	name := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, strings.SplitN(t.Title, ":", 2)[0])
+	path := filepath.Join(dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stapbench:", err)
+	os.Exit(1)
+}

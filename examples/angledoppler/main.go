@@ -1,0 +1,85 @@
+// Angle-Doppler diagnostics: build a scene with a clutter ridge, a jammer,
+// and a target; render the classic angle-Doppler power map (ridge =
+// diagonal, jammer = vertical stripe, target = point) and show the
+// adaptive weights' interference suppression.
+//
+//	go run ./examples/angledoppler
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"stapio/internal/cube"
+	"stapio/internal/radar"
+	"stapio/internal/report"
+	"stapio/internal/stap"
+)
+
+func main() {
+	dims := cube.Dims{Channels: 8, Pulses: 33, Ranges: 128}
+	s := &radar.Scenario{
+		Dims:       dims,
+		PulseLen:   16,
+		Bandwidth:  0.8,
+		NoisePower: 1,
+		Targets:    []radar.Target{{Angle: -0.5, Doppler: 0.35, Range: 64, SNR: 25}},
+		Clutter:    radar.Clutter{Patches: 24, CNR: 35, Beta: 1},
+		Jammers:    []radar.Jammer{{Angle: 0.7, JNR: 30}},
+		Seed:       11,
+	}
+	cb, err := s.Generate(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := stap.DefaultParams(dims)
+	p.PulseLen = s.PulseLen
+	p.Bandwidth = s.Bandwidth
+	p.TrainEasy = 48
+	p.TrainHard = 64
+	dc, err := stap.DopplerFilter(&p, cb, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m, err := stap.ComputeAngleDopplerMap(&p, dc, 64, 33)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hm := &report.Heatmap{
+		Title:    "Angle-Doppler map at range gate 64 (rows: sin angle -1..+1, cols: Doppler bins)",
+		ColLabel: "Doppler bins 0..N (wrapping at N/2 to negative Doppler)",
+		FloorDB:  35,
+		Values:   m.Power,
+	}
+	for _, u := range m.Angles {
+		hm.RowLabels = append(hm.RowLabels, fmt.Sprintf("%+.2f", u))
+	}
+	hm.Render(os.Stdout)
+	angle, bin, _ := m.Peak()
+	fmt.Printf("\nmap peak (the clutter ridge) at angle %+.2f, Doppler bin %d;\n", angle, bin)
+	fmt.Printf("the diagonal is the clutter ridge, the vertical stripe at +0.70 the jammer,\n")
+	fmt.Printf("and the isolated bright point the target at angle %.2f / bin %d.\n\n",
+		s.Targets[0].Angle, p.BinForDoppler(s.Targets[0].Doppler))
+
+	// Adaptive suppression per bin set.
+	for _, set := range []struct {
+		name string
+		bins []int
+		hard bool
+	}{
+		{"easy (outside clutter notch)", p.EasyBins(), false},
+		{"hard (inside clutter notch)", p.HardBins(), true},
+	} {
+		ws, err := stap.ComputeWeights(&p, dc, set.bins, set.hard)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gain, err := stap.SINRImprovement(&p, dc, ws, set.bins)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("adaptive interference suppression, %s bins: %.1f dB\n", set.name, gain)
+	}
+}

@@ -1,0 +1,56 @@
+// I/O strategies: reproduce the paper's central comparison on the
+// simulated machines — embedding the parallel read in the Doppler task
+// versus adding a separate I/O task — across the three parallel file
+// systems and three node-assignment cases.
+//
+//	go run ./examples/iostrategies
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"stapio/internal/experiments"
+	"stapio/internal/pipesim"
+	"stapio/internal/report"
+)
+
+func main() {
+	opts := pipesim.DefaultOptions()
+	emb, err := experiments.RunGrid(experiments.Embedded, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sep, err := experiments.RunGrid(experiments.Separate, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := &report.Table{
+		Title: "Embedded I/O vs separate I/O task (simulated)",
+		Columns: []string{"file system", "case",
+			"thr emb", "thr sep", "lat emb (s)", "lat sep (s)", "read wait emb (s)"},
+	}
+	for si, row := range emb.Cells {
+		for ci, e := range row {
+			s := sep.Cells[si][ci]
+			t.AddRow(
+				e.Setup.Label, e.Case.Label,
+				fmt.Sprintf("%.2f", e.Measured.Throughput),
+				fmt.Sprintf("%.2f", s.Measured.Throughput),
+				fmt.Sprintf("%.3f", e.Measured.Latency),
+				fmt.Sprintf("%.3f", s.Measured.Latency),
+				fmt.Sprintf("%.3f", e.Measured.Tasks[0].ReadWait),
+			)
+		}
+	}
+	t.Render(os.Stdout)
+
+	fmt.Println()
+	fmt.Println("Observations (the paper's findings):")
+	fmt.Println("  * throughput is roughly equal between designs — the bottleneck task is unchanged;")
+	fmt.Println("  * the separate-task latency is strictly worse — one more pipeline term (eq. 4);")
+	fmt.Println("  * with stripe factor 16 the Doppler read-wait phase blows up at 200 nodes:")
+	fmt.Println("    the parallel file system has become the pipeline bottleneck, relieved at 64.")
+}

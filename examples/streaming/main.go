@@ -1,0 +1,75 @@
+// Streaming: run the pipeline the way a deployed system would — unbounded,
+// consuming detection reports as CFAR emits them, until shut down. The
+// radar here is the synthetic scenario generator; swap in a FileSource
+// over a striped store for disk-staged data.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"stapio/internal/core"
+	"stapio/internal/cube"
+	"stapio/internal/pipexec"
+	"stapio/internal/radar"
+	"stapio/internal/stap"
+)
+
+func main() {
+	scenario := &radar.Scenario{
+		Dims:       cube.Dims{Channels: 6, Pulses: 33, Ranges: 128},
+		PulseLen:   16,
+		Bandwidth:  0.8,
+		NoisePower: 1,
+		Targets:    []radar.Target{{Angle: 0, Doppler: 0.25, Range: 30, SNR: 10}},
+		Motion:     &radar.Motion{GatesPerCPI: 4}, // the target closes range
+		Clutter:    radar.Clutter{Patches: 10, CNR: 25, Beta: 1},
+		Seed:       64,
+	}
+	params := stap.DefaultParams(scenario.Dims)
+	params.PulseLen = scenario.PulseLen
+	params.Bandwidth = scenario.Bandwidth
+	params.CFAR.ThresholdDB = 15
+	params.Forgetting = 0.5 // smooth the training across CPIs
+
+	cfg := pipexec.Config{
+		Params: params,
+		Workers: core.STAPNodes{
+			Doppler: 2, EasyWeight: 1, HardWeight: 2,
+			EasyBF: 2, HardBF: 2, PulseComp: 2, CFAR: 1,
+		},
+	}
+	h, err := pipexec.Stream(context.Background(), cfg, pipexec.ScenarioSource(scenario))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("streaming; the target walks 4 gates per CPI:")
+	const watch = 6
+	seen := 0
+	for res := range h.Results {
+		dets := stap.ClusterDetections(res.Detections, 4)
+		best := -1
+		for _, d := range dets {
+			if d.Beam == 1 && d.Bin >= 7 && d.Bin <= 9 {
+				best = d.Range
+				break
+			}
+		}
+		truth := scenario.TargetGate(0, res.Seq)
+		fmt.Printf("  CPI %d: truth gate %3d, detected gate %3d (latency %v)\n",
+			res.Seq, truth, best, res.Latency.Round(1e5))
+		seen++
+		if seen == watch {
+			break
+		}
+	}
+	sum, err := h.Stop()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stopped after %d CPIs, %.0f CPIs/s wall clock\n", seen, sum.Throughput)
+}

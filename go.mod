@@ -1,0 +1,3 @@
+module stapio
+
+go 1.22

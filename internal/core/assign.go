@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+
+	"stapio/internal/machine"
+	"stapio/internal/pfs"
+)
+
+// Node-assignment optimisation. The paper fixes its per-task node counts
+// by hand; this solves the underlying design problem: given a total node
+// budget, assign nodes to tasks to maximise throughput (minimise the
+// maximum task service time), optionally breaking ties in favour of
+// latency. The marginal-allocation greedy is optimal here because every
+// task's service time is non-increasing in its own node count and
+// independent of the other tasks' counts.
+
+// Assignment maps task index to node count.
+type Assignment []int
+
+// Total returns the number of nodes used.
+func (a Assignment) Total() int {
+	var n int
+	for _, v := range a {
+		n += v
+	}
+	return n
+}
+
+// Apply returns a copy of the pipeline with the assignment installed.
+func (p *Pipeline) Apply(a Assignment) (*Pipeline, error) {
+	if len(a) != len(p.Tasks) {
+		return nil, fmt.Errorf("core: assignment covers %d tasks, pipeline has %d", len(a), len(p.Tasks))
+	}
+	out := p.Clone()
+	for i, n := range a {
+		if n < 1 {
+			return nil, fmt.Errorf("core: task %d assigned %d nodes", i, n)
+		}
+		out.Tasks[i].Nodes = n
+	}
+	return out, nil
+}
+
+// serviceTimeWith computes task i's analytic service time if it ran on n
+// nodes (holding every other task's assignment fixed — service times are
+// separable except for communication pairings, which we evaluate against
+// the current counterpart counts).
+func serviceTimeWith(p *Pipeline, prof machine.Profile, fsCfg pfs.Config, i, n int) float64 {
+	t := p.Tasks[i]
+	tt := prof.ComputeTime(t.Flops, n) + prof.Overhead(n, t.KernelCount())
+	for _, d := range t.Deps {
+		tt += prof.CommTime(d.Bytes, p.Tasks[d.From].Nodes, n)
+	}
+	for _, c := range p.Consumers(i) {
+		tt += prof.CommTime(c.Dep.Bytes, n, p.Tasks[c.To].Nodes)
+	}
+	var io float64
+	if t.ReadBytes > 0 {
+		io += fsCfg.EstimateReadTime(0, int64(t.ReadBytes))
+	}
+	if t.WriteBytes > 0 {
+		io += fsCfg.EstimateReadTime(0, int64(t.WriteBytes))
+	}
+	if io > 0 {
+		if fsCfg.Async {
+			return maxf(io, tt)
+		}
+		return io + tt
+	}
+	return tt
+}
+
+// OptimizeAssignment distributes total nodes over the pipeline's tasks to
+// minimise the bottleneck service time: starting from one node each, it
+// repeatedly grants the next node to the task with the largest current
+// service time (skipping tasks whose service no longer improves, e.g.
+// I/O-bound ones). It returns the assignment and the predicted analysis.
+func OptimizeAssignment(p *Pipeline, prof machine.Profile, fsCfg pfs.Config, total int) (Assignment, *Analysis, error) {
+	n := len(p.Tasks)
+	if total < n {
+		return nil, nil, fmt.Errorf("core: %d nodes cannot cover %d tasks", total, n)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, nil, err
+	}
+	a := make(Assignment, n)
+	for i := range a {
+		a[i] = 1
+	}
+	work := p.Clone()
+	install := func() {
+		for i, v := range a {
+			work.Tasks[i].Nodes = v
+		}
+	}
+	install()
+	svc := make([]float64, n)
+	refresh := func() {
+		for i := range svc {
+			svc[i] = serviceTimeWith(work, prof, fsCfg, i, a[i])
+		}
+	}
+	refresh()
+	for used := n; used < total; used++ {
+		// Pick the current bottleneck that can still improve.
+		best, bestGain := -1, 0.0
+		for i := range svc {
+			gain := svc[i] - serviceTimeWith(work, prof, fsCfg, i, a[i]+1)
+			if gain <= 0 {
+				continue
+			}
+			// Prefer relieving the largest service time; among tasks
+			// within epsilon of the bottleneck, prefer the larger gain.
+			if best == -1 || svc[i] > svc[best]+1e-12 ||
+				(svc[i] > svc[best]-1e-12 && gain > bestGain) {
+				best, bestGain = i, gain
+			}
+		}
+		if best == -1 {
+			// Throughput cannot improve further. Spend what remains on
+			// latency: give nodes to whichever task yields the largest
+			// analytic latency reduction, while never increasing the
+			// period.
+			rest := total - used
+			a = refineLatency(work, prof, fsCfg, a, rest)
+			break
+		}
+		a[best]++
+		install()
+		refresh()
+	}
+	final, err := p.Apply(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	an, err := Analyze(final, prof, fsCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, an, nil
+}
+
+// latencyGainFloor is the smallest relative latency improvement worth one
+// more node; below it refineLatency stops rather than burn budget on
+// vanishing returns.
+const latencyGainFloor = 1e-3
+
+// refineLatency greedily assigns up to spare extra nodes to minimise the
+// analytic latency without hurting throughput. It stops as soon as no
+// single-node grant improves latency by at least latencyGainFloor
+// (relative).
+func refineLatency(p *Pipeline, prof machine.Profile, fsCfg pfs.Config, a Assignment, spare int) Assignment {
+	cur := append(Assignment(nil), a...)
+	apply := func(asg Assignment) *Analysis {
+		pp, err := p.Apply(asg)
+		if err != nil {
+			return nil
+		}
+		an, err := Analyze(pp, prof, fsCfg)
+		if err != nil {
+			return nil
+		}
+		return an
+	}
+	base := apply(cur)
+	if base == nil {
+		return cur
+	}
+	for ; spare > 0; spare-- {
+		best := -1
+		bestLat := base.Latency * (1 - latencyGainFloor)
+		for i := range cur {
+			cur[i]++
+			if an := apply(cur); an != nil &&
+				an.Latency < bestLat &&
+				an.Throughput >= base.Throughput*(1-1e-12) {
+				best = i
+				bestLat = an.Latency
+			}
+			cur[i]--
+		}
+		if best == -1 {
+			break
+		}
+		cur[best]++
+		base = apply(cur)
+		if base == nil {
+			break
+		}
+	}
+	return cur
+}
+
+// ProportionalAssignment divides total nodes proportionally to task
+// workloads (at least one each) — the naive baseline the optimiser is
+// compared against.
+func ProportionalAssignment(p *Pipeline, total int) (Assignment, error) {
+	n := len(p.Tasks)
+	if total < n {
+		return nil, fmt.Errorf("core: %d nodes cannot cover %d tasks", total, n)
+	}
+	var sum float64
+	for _, t := range p.Tasks {
+		sum += t.Flops
+	}
+	a := make(Assignment, n)
+	used := 0
+	for i, t := range p.Tasks {
+		share := 1
+		if sum > 0 {
+			share = int(t.Flops / sum * float64(total))
+		}
+		if share < 1 {
+			share = 1
+		}
+		a[i] = share
+		used += share
+	}
+	// Trim or pad to hit the budget exactly, adjusting the largest/
+	// smallest holders.
+	for used > total {
+		big := 0
+		for i := range a {
+			if a[i] > a[big] {
+				big = i
+			}
+		}
+		if a[big] == 1 {
+			return nil, fmt.Errorf("core: cannot fit %d tasks in %d nodes", n, total)
+		}
+		a[big]--
+		used--
+	}
+	for used < total {
+		// Give spare nodes to the heaviest per-node workload.
+		best, bestLoad := 0, -1.0
+		for i, t := range p.Tasks {
+			load := t.Flops / float64(a[i])
+			if load > bestLoad {
+				best, bestLoad = i, load
+			}
+		}
+		a[best]++
+		used++
+	}
+	return a, nil
+}

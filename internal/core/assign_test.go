@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stapio/internal/machine"
+	"stapio/internal/pfs"
+)
+
+func TestOptimizeAssignmentBeatsProportional(t *testing.T) {
+	prof := machine.Paragon()
+	fsCfg := pfs.ParagonPFS(64)
+	p, err := BuildEmbedded(paperWorkloads(), case1Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 50
+	opt, optAn, err := OptimizeAssignment(p, prof, fsCfg, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Total() > budget {
+		t.Fatalf("optimizer used %d nodes, budget %d", opt.Total(), budget)
+	}
+	prop, err := ProportionalAssignment(p, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	propPipe, err := p.Apply(prop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	propAn, err := Analyze(propPipe, prof, fsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optAn.Throughput < propAn.Throughput*0.999 {
+		t.Errorf("optimizer %.3f CPIs/s below proportional %.3f", optAn.Throughput, propAn.Throughput)
+	}
+	// And it beats the paper-style hand assignment too, or at least ties.
+	handAn, err := Analyze(p, prof, fsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optAn.Throughput < handAn.Throughput*0.999 {
+		t.Errorf("optimizer %.3f CPIs/s below hand assignment %.3f", optAn.Throughput, handAn.Throughput)
+	}
+	t.Logf("hand %.3f, proportional %.3f, optimized %.3f CPIs/s (assignment %v)",
+		handAn.Throughput, propAn.Throughput, optAn.Throughput, opt)
+}
+
+func TestOptimizeAssignmentStopsWhenIOBound(t *testing.T) {
+	// On a tiny stripe factor the Doppler task becomes read-bound: at some
+	// point extra nodes buy nothing and the optimizer must stop early
+	// rather than burn the budget.
+	prof := machine.Paragon()
+	fsCfg := pfs.ParagonPFS(2)
+	p, err := BuildEmbedded(paperWorkloads(), case1Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, an, err := OptimizeAssignment(p, prof, fsCfg, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() >= 5000 {
+		t.Errorf("optimizer burned the whole huge budget (%d nodes) despite the I/O wall", a.Total())
+	}
+	// Throughput is pinned at the read time.
+	readBound := 1 / fsCfg.EstimateReadTime(0, int64(p.Tasks[0].ReadBytes))
+	if an.Throughput > readBound*1.01 {
+		t.Errorf("throughput %.3f exceeds the read bound %.3f", an.Throughput, readBound)
+	}
+}
+
+func TestOptimizerSpendsLeftoverNodesOnLatency(t *testing.T) {
+	// When throughput hits an I/O wall, the optimizer should still use
+	// some of the remaining budget to reduce latency — and never trade
+	// throughput away for it.
+	prof := machine.Paragon()
+	fsCfg := pfs.ParagonPFS(4) // read-bound quickly
+	p, err := BuildEmbedded(paperWorkloads(), case1Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	aSmall, anSmall, err := OptimizeAssignment(p, prof, fsCfg, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aBig, anBig, err := OptimizeAssignment(p, prof, fsCfg, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anBig.Throughput < anSmall.Throughput*(1-1e-9) {
+		t.Errorf("bigger budget lowered throughput: %.3f -> %.3f", anSmall.Throughput, anBig.Throughput)
+	}
+	if anBig.Latency >= anSmall.Latency {
+		t.Errorf("leftover nodes did not improve latency: %.3f -> %.3f", anSmall.Latency, anBig.Latency)
+	}
+	if aBig.Total() <= aSmall.Total() {
+		t.Errorf("bigger budget used no more nodes: %d vs %d", aBig.Total(), aSmall.Total())
+	}
+}
+
+func TestOptimizeAssignmentProperty(t *testing.T) {
+	// For random linear pipelines, the optimizer's bottleneck service is
+	// never worse than a proportional split of the same budget.
+	prof := machine.Paragon()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nTasks := rng.Intn(5) + 2
+		tasks := make([]Task, nTasks)
+		for i := range tasks {
+			tasks[i] = Task{
+				Name:  string(rune('a' + i)),
+				Nodes: 1,
+				Flops: float64(rng.Intn(900)+100) * 1e6,
+			}
+			if i > 0 {
+				tasks[i].Deps = []Dep{{From: i - 1, Bytes: float64(rng.Intn(1 << 20))}}
+			}
+		}
+		p := &Pipeline{Name: "rand", Tasks: tasks}
+		budget := nTasks + rng.Intn(60)
+		opt, optAn, err := OptimizeAssignment(p, prof, pfs.Config{}, budget)
+		if err != nil {
+			return false
+		}
+		if opt.Total() > budget {
+			return false
+		}
+		prop, err := ProportionalAssignment(p, budget)
+		if err != nil {
+			return false
+		}
+		pp, err := p.Apply(prop)
+		if err != nil {
+			return false
+		}
+		propAn, err := Analyze(pp, prof, pfs.Config{})
+		if err != nil {
+			return false
+		}
+		return optAn.Throughput >= propAn.Throughput*0.999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignmentErrors(t *testing.T) {
+	prof := machine.Paragon()
+	p, err := BuildEmbedded(paperWorkloads(), case1Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OptimizeAssignment(p, prof, pfs.ParagonPFS(16), 3); err == nil {
+		t.Error("budget below task count should error")
+	}
+	if _, err := ProportionalAssignment(p, 3); err == nil {
+		t.Error("proportional with tiny budget should error")
+	}
+	if _, err := p.Apply(Assignment{1, 2}); err == nil {
+		t.Error("short assignment should error")
+	}
+	if _, err := p.Apply(make(Assignment, len(p.Tasks))); err == nil {
+		t.Error("zero assignment should error")
+	}
+	bad := &Pipeline{Name: "bad"}
+	if _, _, err := OptimizeAssignment(bad, prof, pfs.Config{}, 10); err == nil {
+		t.Error("invalid pipeline should error")
+	}
+}
+
+func TestProportionalAssignmentCoversBudget(t *testing.T) {
+	p, err := BuildEmbedded(paperWorkloads(), case1Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int{7, 20, 50, 200} {
+		a, err := ProportionalAssignment(p, budget)
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if a.Total() != budget {
+			t.Errorf("budget %d: assignment uses %d", budget, a.Total())
+		}
+		for i, n := range a {
+			if n < 1 {
+				t.Errorf("budget %d: task %d got %d nodes", budget, i, n)
+			}
+		}
+	}
+}

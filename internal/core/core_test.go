@@ -1,0 +1,501 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"stapio/internal/cube"
+	"stapio/internal/machine"
+	"stapio/internal/pfs"
+	"stapio/internal/stap"
+)
+
+func paperWorkloads() stap.Workloads {
+	p := stap.DefaultParams(cube.Dims{Channels: 16, Pulses: 128, Ranges: 1024})
+	return stap.ComputeWorkloads(&p)
+}
+
+func case1Nodes() STAPNodes {
+	return STAPNodes{Doppler: 16, EasyWeight: 2, HardWeight: 3, EasyBF: 8, HardBF: 4, PulseComp: 14, CFAR: 3, IO: 8}
+}
+
+func TestSTAPNodesArithmetic(t *testing.T) {
+	n := case1Nodes()
+	if n.Compute() != 50 {
+		t.Errorf("case-1 compute nodes = %d, want 50 (the paper's first case)", n.Compute())
+	}
+	d := n.Scale(2)
+	if d.Compute() != 100 || d.IO != 16 {
+		t.Errorf("Scale(2): compute %d IO %d", d.Compute(), d.IO)
+	}
+}
+
+func TestBuildEmbeddedStructure(t *testing.T) {
+	p, err := BuildEmbedded(paperWorkloads(), case1Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tasks) != 7 {
+		t.Fatalf("embedded pipeline has %d tasks, want 7", len(p.Tasks))
+	}
+	if p.Tasks[0].Name != NameDoppler || p.Tasks[0].ReadBytes == 0 {
+		t.Error("task 0 must be the reading Doppler task")
+	}
+	if p.TotalNodes() != 50 {
+		t.Errorf("total nodes %d, want 50", p.TotalNodes())
+	}
+	// Temporal edges: exactly the two weight->BF edges with lag 1.
+	lag1 := 0
+	for _, task := range p.Tasks {
+		for _, d := range task.Deps {
+			if d.Lag == 1 {
+				lag1++
+			}
+			if d.Lag > 1 {
+				t.Errorf("unexpected lag %d", d.Lag)
+			}
+		}
+	}
+	if lag1 != 2 {
+		t.Errorf("%d temporal edges, want 2", lag1)
+	}
+}
+
+func TestBuildSeparateStructure(t *testing.T) {
+	p, err := BuildSeparate(paperWorkloads(), case1Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tasks) != 8 {
+		t.Fatalf("separate pipeline has %d tasks, want 8", len(p.Tasks))
+	}
+	if p.Tasks[0].Name != NameRead || p.Tasks[0].ReadBytes == 0 {
+		t.Error("task 0 must be the parallel read task")
+	}
+	if p.Tasks[1].ReadBytes != 0 {
+		t.Error("Doppler must not read in the separate design")
+	}
+	if p.TotalNodes() != 58 {
+		t.Errorf("total nodes %d, want 58", p.TotalNodes())
+	}
+	// No IO nodes -> error.
+	n := case1Nodes()
+	n.IO = 0
+	if _, err := BuildSeparate(paperWorkloads(), n); err == nil {
+		t.Error("expected error without IO nodes")
+	}
+}
+
+func TestValidateCatchesBadGraphs(t *testing.T) {
+	good := Pipeline{Name: "g", Tasks: []Task{
+		{Name: "a", Nodes: 1, Flops: 1},
+		{Name: "b", Nodes: 1, Flops: 1, Deps: []Dep{{From: 0}}},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good pipeline rejected: %v", err)
+	}
+	bad := []Pipeline{
+		{Name: "empty"},
+		{Name: "nodes", Tasks: []Task{{Name: "a", Nodes: 0}}},
+		{Name: "negflops", Tasks: []Task{{Name: "a", Nodes: 1, Flops: -1}}},
+		{Name: "self", Tasks: []Task{{Name: "a", Nodes: 1, Deps: []Dep{{From: 0}}}}},
+		{Name: "forward", Tasks: []Task{
+			{Name: "a", Nodes: 1},
+			{Name: "b", Nodes: 1, Deps: []Dep{{From: 2}}},
+			{Name: "c", Nodes: 1},
+		}},
+		{Name: "missing", Tasks: []Task{{Name: "a", Nodes: 1, Deps: []Dep{{From: 5}}}}},
+		{Name: "neglag", Tasks: []Task{
+			{Name: "a", Nodes: 1},
+			{Name: "b", Nodes: 1, Deps: []Dep{{From: 0, Lag: -1}}},
+		}},
+		{Name: "headdep", Tasks: []Task{
+			{Name: "a", Nodes: 1, Deps: nil},
+		}},
+	}
+	// patch: last case should be a head with deps; rebuild it properly
+	bad[len(bad)-1] = Pipeline{Name: "headdep", Tasks: []Task{
+		{Name: "a", Nodes: 1},
+		{Name: "b", Nodes: 1, Deps: []Dep{{From: 0}}},
+	}}
+	bad[len(bad)-1].Tasks[0].Deps = []Dep{{From: 0}}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", p.Name)
+		}
+	}
+}
+
+func TestConsumersAndClone(t *testing.T) {
+	p, err := BuildEmbedded(paperWorkloads(), case1Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := p.Consumers(0)
+	if len(cons) != 4 {
+		t.Errorf("Doppler has %d consumers, want 4 (two weight, two BF)", len(cons))
+	}
+	cl := p.Clone()
+	cl.Tasks[0].Nodes = 999
+	cl.Tasks[1].Deps[0].Bytes = 7
+	if p.Tasks[0].Nodes == 999 || p.Tasks[1].Deps[0].Bytes == 7 {
+		t.Error("Clone is not deep")
+	}
+	if p.TaskIndex(NameCFAR) != 6 || p.TaskIndex("nope") != -1 {
+		t.Error("TaskIndex misbehaves")
+	}
+}
+
+func TestAnalyzeEquationsHold(t *testing.T) {
+	prof := machine.Paragon()
+	fsCfg := pfs.ParagonPFS(64)
+	p, err := BuildEmbedded(paperWorkloads(), case1Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(p, prof, fsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eq. (1): throughput is 1/max T_i.
+	var maxT float64
+	for _, tt := range a.Timings {
+		if tt.Service > maxT {
+			maxT = tt.Service
+		}
+	}
+	if math.Abs(a.Throughput*maxT-1) > 1e-12 {
+		t.Errorf("throughput %v != 1/maxT %v", a.Throughput, 1/maxT)
+	}
+	if a.Timings[a.Bottleneck].Service != maxT {
+		t.Error("Bottleneck index wrong")
+	}
+	// Eq. (2): latency = T_0 + max(T_3, T_4) + T_5 + T_6 (weight tasks
+	// excluded by the temporal dependency).
+	tt := a.Timings
+	want := tt[0].Service + math.Max(tt[3].Service, tt[4].Service) + tt[5].Service + tt[6].Service
+	if math.Abs(a.Latency-want) > 1e-9 {
+		t.Errorf("latency %v, want paper eq. (2) value %v", a.Latency, want)
+	}
+	// The weight tasks must genuinely not matter: inflating their nodes
+	// can only change their own service, never latency.
+	p2 := p.Clone()
+	p2.Tasks[1].Flops *= 3
+	p2.Tasks[2].Flops *= 3
+	a2, err := Analyze(p2, prof, fsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (Only valid while the weight tasks stay under the period.)
+	if a2.Timings[1].Service < a2.Timings[a2.Bottleneck].Service {
+		if math.Abs(a2.Latency-a.Latency) > 1e-9 {
+			t.Errorf("latency changed with weight-task workload: %v -> %v", a.Latency, a2.Latency)
+		}
+	}
+}
+
+func TestAnalyzeSeparateAddsLatencyTerm(t *testing.T) {
+	// Paper eq. (4): the separate-I/O pipeline's latency has one more term
+	// (T_read); throughput is roughly unchanged when the bottleneck task
+	// is elsewhere.
+	prof := machine.Paragon()
+	fsCfg := pfs.ParagonPFS(64)
+	w := paperWorkloads()
+	n := case1Nodes()
+	emb, err := BuildEmbedded(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep, err := BuildSeparate(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ae, err := Analyze(emb, prof, fsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := Analyze(sep, prof, fsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.Latency <= ae.Latency {
+		t.Errorf("separate latency %v should exceed embedded %v", as.Latency, ae.Latency)
+	}
+	relDiff := math.Abs(as.Throughput-ae.Throughput) / ae.Throughput
+	if relDiff > 0.05 {
+		t.Errorf("throughputs should be within 5%%: %v vs %v", as.Throughput, ae.Throughput)
+	}
+	// Eq. (4): latency = T_0 + T_1 + max(T_4, T_5) + T_6 + T_7 in the
+	// 8-task numbering.
+	tt := as.Timings
+	want := tt[0].Service + tt[1].Service + math.Max(tt[4].Service, tt[5].Service) + tt[6].Service + tt[7].Service
+	if math.Abs(as.Latency-want) > 1e-9 {
+		t.Errorf("separate latency %v, want eq. (4) value %v", as.Latency, want)
+	}
+}
+
+func TestAnalyzeSyncVsAsyncIO(t *testing.T) {
+	// Async file systems overlap the read with compute; sync ones add it.
+	prof := machine.Paragon()
+	p, err := BuildEmbedded(paperWorkloads(), case1Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	async := pfs.ParagonPFS(64)
+	sync := async
+	sync.Async = false
+	sync.Name = "PFS-64-sync"
+	aa, err := Analyze(p, prof, async)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := Analyze(p, prof, sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0a, t0s := aa.Timings[0], as.Timings[0]
+	if math.Abs(t0a.Service-math.Max(t0a.Read, t0a.Rest())) > 1e-12 {
+		t.Error("async service should be max(read, rest)")
+	}
+	if math.Abs(t0s.Service-(t0s.Read+t0s.Rest())) > 1e-12 {
+		t.Error("sync service should be read + rest")
+	}
+	if as.Throughput >= aa.Throughput {
+		t.Error("sync I/O should not beat async I/O")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	prof := machine.Paragon()
+	bad := Pipeline{Name: "bad"}
+	if _, err := Analyze(&bad, prof, pfs.Config{}); err == nil {
+		t.Error("expected error for invalid pipeline")
+	}
+	p, err := BuildEmbedded(paperWorkloads(), case1Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(p, prof, pfs.Config{}); err == nil {
+		t.Error("expected error for missing FS config on reading pipeline")
+	}
+	if _, err := Analyze(p, machine.Profile{Name: "zero"}, pfs.ParagonPFS(16)); err == nil {
+		t.Error("expected error for invalid machine profile")
+	}
+	// A pipeline with zero work on a zero-overhead machine has no finite
+	// throughput and must be rejected.
+	zero := Pipeline{Name: "zero", Tasks: []Task{{Name: "a", Nodes: 1}}}
+	noOvh := machine.Profile{Name: "ideal", NodeMFlops: 1, NodeBandwidth: 1}
+	if _, err := Analyze(&zero, noOvh, pfs.Config{}); err == nil {
+		t.Error("expected error for zero-work pipeline")
+	}
+}
+
+func TestMergeStructure(t *testing.T) {
+	p, err := BuildEmbedded(paperWorkloads(), case1Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := CombinePCCFAR(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tasks) != 6 {
+		t.Fatalf("combined pipeline has %d tasks, want 6", len(m.Tasks))
+	}
+	mt := m.Tasks[5]
+	if mt.Nodes != p.Tasks[5].Nodes+p.Tasks[6].Nodes {
+		t.Errorf("merged nodes %d, want %d", mt.Nodes, p.Tasks[5].Nodes+p.Tasks[6].Nodes)
+	}
+	if math.Abs(mt.Flops-(p.Tasks[5].Flops+p.Tasks[6].Flops)) > 1 {
+		t.Errorf("merged flops %g, want sum", mt.Flops)
+	}
+	if m.TotalNodes() != p.TotalNodes() {
+		t.Errorf("total nodes changed: %d -> %d", p.TotalNodes(), m.TotalNodes())
+	}
+	// The merged task keeps the BF deps, loses the internal PC->CFAR edge.
+	if len(mt.Deps) != 2 {
+		t.Errorf("merged deps = %d, want 2 (from both BF tasks)", len(mt.Deps))
+	}
+}
+
+func TestMergeReadIntoDopplerGivesEmbedded(t *testing.T) {
+	// The paper observes the embedded design "can be viewed as combining
+	// the first two tasks" of the separate design. Check the equivalence.
+	w := paperWorkloads()
+	n := case1Nodes()
+	sep, err := BuildSeparate(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := sep.Merge(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := BuildEmbedded(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Tasks) != len(emb.Tasks) {
+		t.Fatalf("task counts differ: %d vs %d", len(merged.Tasks), len(emb.Tasks))
+	}
+	// Same reads and flops at the head (up to the forwarding copy work).
+	if merged.Tasks[0].ReadBytes != emb.Tasks[0].ReadBytes {
+		t.Error("merged head read bytes differ from embedded")
+	}
+	if math.Abs(merged.Tasks[0].Flops-emb.Tasks[0].Flops) > 1 {
+		t.Errorf("merged head flops %g vs embedded %g", merged.Tasks[0].Flops, emb.Tasks[0].Flops)
+	}
+	// Identical downstream structure.
+	for i := 1; i < len(emb.Tasks); i++ {
+		a, b := merged.Tasks[i], emb.Tasks[i]
+		if a.Name != b.Name && a.Name != NameRead+"+"+NameDoppler {
+			t.Errorf("task %d name %q vs %q", i, a.Name, b.Name)
+		}
+		if a.Nodes != b.Nodes || len(a.Deps) != len(b.Deps) {
+			t.Errorf("task %d structure differs", i)
+		}
+		for k := range a.Deps {
+			if a.Deps[k].From != b.Deps[k].From || a.Deps[k].Lag != b.Deps[k].Lag {
+				t.Errorf("task %d dep %d differs: %+v vs %+v", i, k, a.Deps[k], b.Deps[k])
+			}
+		}
+	}
+	// Except the merged head has extra nodes (the IO nodes joined it).
+	if merged.Tasks[0].Nodes != n.IO+n.Doppler {
+		t.Errorf("merged head nodes %d, want %d", merged.Tasks[0].Nodes, n.IO+n.Doppler)
+	}
+}
+
+func TestMergeRejections(t *testing.T) {
+	p, err := BuildEmbedded(paperWorkloads(), case1Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Merge(5, 5); err == nil {
+		t.Error("i==j should fail")
+	}
+	if _, err := p.Merge(6, 5); err == nil {
+		t.Error("i>j should fail")
+	}
+	if _, err := p.Merge(0, 6); err == nil {
+		t.Error("non-adjacent (CFAR does not consume Doppler) should fail")
+	}
+	// Temporal edge: easy weight -> easy BF is lag 1.
+	if _, err := p.Merge(1, 3); err == nil {
+		t.Error("merging across temporal dependency should fail")
+	}
+	// Doppler -> easy BF is spatial but easy BF also depends on task 1
+	// (between 0 and 3): intermediate dependency must be rejected.
+	if _, err := p.Merge(0, 3); err == nil {
+		t.Error("merge with intermediate dependent should fail")
+	}
+	// Doppler -> easy weight: task 2 (hard weight, between i and j after
+	// merge ordering) does not block 0+1 merge... but tasks between 0 and
+	// 1 do not exist, so this merge is allowed.
+	if _, err := p.Merge(0, 1); err != nil {
+		t.Errorf("merge(0,1) should succeed: %v", err)
+	}
+}
+
+func TestMergeImprovesLatencyKeepsThroughput(t *testing.T) {
+	// Paper Section 6: combining PC+CFAR improves latency in every
+	// configuration and never decreases throughput.
+	w := paperWorkloads()
+	prof := machine.Paragon()
+	fsCfg := pfs.ParagonPFS(64)
+	for _, scale := range []int{1, 2, 4} {
+		n := case1Nodes().Scale(scale)
+		p, err := BuildEmbedded(w, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := CombinePCCFAR(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Analyze(p, prof, fsCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		am, err := Analyze(m, prof, fsCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if am.Latency >= a.Latency {
+			t.Errorf("scale %d: merged latency %v >= %v", scale, am.Latency, a.Latency)
+		}
+		if am.Throughput < a.Throughput*(1-1e-9) {
+			t.Errorf("scale %d: merged throughput %v < %v", scale, am.Throughput, a.Throughput)
+		}
+		pred := PredictMerge(p, 5, 6, a, am)
+		if pred.MergedService >= pred.SeparateSum {
+			t.Errorf("scale %d: eq. (11) violated: %v >= %v", scale, pred.MergedService, pred.SeparateSum)
+		}
+		if pred.LatencyGain <= 0 {
+			t.Errorf("scale %d: no latency gain", scale)
+		}
+	}
+}
+
+func TestMergeImprovementDecreasesWithNodes(t *testing.T) {
+	// Paper Table 4: the percentage improvement decreases as nodes grow.
+	w := paperWorkloads()
+	prof := machine.Paragon()
+	fsCfg := pfs.ParagonPFS(64)
+	var prev float64 = math.Inf(1)
+	for _, scale := range []int{1, 2, 4} {
+		n := case1Nodes().Scale(scale)
+		p, _ := BuildEmbedded(w, n)
+		m, _ := CombinePCCFAR(p)
+		a, err := Analyze(p, prof, fsCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		am, err := Analyze(m, prof, fsCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imp := (a.Latency - am.Latency) / a.Latency
+		if imp >= prev {
+			t.Errorf("scale %d: improvement %.4f did not decrease (prev %.4f)", scale, imp, prev)
+		}
+		prev = imp
+	}
+}
+
+func TestMergeComputeInequalityProperty(t *testing.T) {
+	// Eq. (9) at the pipeline level: for random linear pipelines, merging
+	// two spatially adjacent tasks never increases the analytic
+	// throughput-determining service time beyond the pair's sum.
+	prof := machine.Paragon()
+	f := func(w1raw, w2raw uint32, p1raw, p2raw uint8) bool {
+		w1 := float64(w1raw%1e9) + 1e6
+		w2 := float64(w2raw%1e9) + 1e6
+		p1 := int(p1raw%16) + 1
+		p2 := int(p2raw%16) + 1
+		p := Pipeline{Name: "prop", Tasks: []Task{
+			{Name: "a", Nodes: 4, Flops: 1e8},
+			{Name: "b", Nodes: p1, Flops: w1, Deps: []Dep{{From: 0, Bytes: 1e6}}},
+			{Name: "c", Nodes: p2, Flops: w2, Deps: []Dep{{From: 1, Bytes: 1e6}}},
+		}}
+		m, err := p.Merge(1, 2)
+		if err != nil {
+			return false
+		}
+		a, err := Analyze(&p, prof, pfs.Config{})
+		if err != nil {
+			return false
+		}
+		am, err := Analyze(m, prof, pfs.Config{})
+		if err != nil {
+			return false
+		}
+		// Merged service below the pair's sum, and latency never worse.
+		return am.Timings[1].Service <= a.Timings[1].Service+a.Timings[2].Service+1e-12 &&
+			am.Latency <= a.Latency+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

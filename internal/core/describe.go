@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Describe renders the pipeline structure as text — the programmatic form
+// of the paper's Figures 2-4: every task with its node count and I/O
+// attachments, and every edge with its kind (spatial or temporal) and
+// per-CPI volume.
+func (p *Pipeline) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d tasks, %d nodes\n", p.Name, len(p.Tasks), p.TotalNodes())
+	for i, t := range p.Tasks {
+		fmt.Fprintf(&b, "  [%d] %-18s P=%-4d W=%s", i, t.Name, t.Nodes, flops(t.Flops))
+		if t.ReadBytes > 0 {
+			fmt.Fprintf(&b, "  reads %s/CPI", bytes(t.ReadBytes))
+		}
+		if t.WriteBytes > 0 {
+			fmt.Fprintf(&b, "  writes %s/CPI", bytes(t.WriteBytes))
+		}
+		if k := t.KernelCount(); k > 1 {
+			fmt.Fprintf(&b, "  (%d kernels)", k)
+		}
+		b.WriteByte('\n')
+		for _, d := range t.Deps {
+			arrow := "<--"
+			kind := "spatial"
+			if !d.Spatial() {
+				arrow = "<~~"
+				kind = fmt.Sprintf("temporal lag %d", d.Lag)
+			}
+			fmt.Fprintf(&b, "        %s %s  (%s, %s/CPI)\n",
+				arrow, p.Tasks[d.From].Name, kind, bytes(d.Bytes))
+		}
+	}
+	return b.String()
+}
+
+// flops formats a floating-point operation count.
+func flops(f float64) string {
+	switch {
+	case f >= 1e9:
+		return fmt.Sprintf("%.1fG", f/1e9)
+	case f >= 1e6:
+		return fmt.Sprintf("%.1fM", f/1e6)
+	case f >= 1e3:
+		return fmt.Sprintf("%.1fk", f/1e3)
+	default:
+		return fmt.Sprintf("%.0f", f)
+	}
+}
+
+// bytes formats a byte volume.
+func bytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", v)
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDescribe(t *testing.T) {
+	p, err := BuildSeparate(paperWorkloads(), case1Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := AttachReportOutput(p, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.Describe()
+	for _, want := range []string{
+		"STAP/separate-IO", "8 tasks", "58 nodes",
+		"parallel read", "reads 16.0MiB/CPI", "writes 4.0KiB/CPI",
+		"<~~", "temporal lag 1", "<--", "spatial",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Describe missing %q:\n%s", want, s)
+		}
+	}
+	m, err := CombinePCCFAR(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m.Describe(), "(2 kernels)") {
+		t.Error("merged task should show kernel count")
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	cases := map[float64]string{5e9: "5.0G", 2e6: "2.0M", 3e3: "3.0k", 12: "12"}
+	for in, want := range cases {
+		if got := flops(in); got != want {
+			t.Errorf("flops(%g) = %q, want %q", in, got, want)
+		}
+	}
+	bcases := map[float64]string{3 << 30: "3.0GiB", 16 << 20: "16.0MiB", 64 << 10: "64.0KiB", 100: "100B"}
+	for in, want := range bcases {
+		if got := bytes(in); got != want {
+			t.Errorf("bytes(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import "fmt"
+
+// Merge combines tasks i and j (i < j) into a single task running on the
+// union of their nodes — the paper's task-combination transform (Section
+// 6). The rules follow the paper:
+//
+//   - Only tasks connected by spatial dependencies may be combined (tasks
+//     with temporal dependencies do not contribute to latency, so merging
+//     them cannot help and is rejected).
+//   - Every task strictly between i and j in the topological order must be
+//     independent of both (no path through the merged pair), otherwise the
+//     merged graph would not be topologically consistent.
+//   - The merged task's workload is W_i + W_j on P_i + P_j nodes; the
+//     internal i->j edge disappears (its communication cost is eliminated,
+//     the paper's C_{5+6} < C_5 argument); all other edges are re-attached
+//     to the merged task.
+//
+// Merge returns a new pipeline; the receiver is unchanged.
+func (p *Pipeline) Merge(i, j int) (*Pipeline, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if i < 0 || j >= len(p.Tasks) || i >= j {
+		return nil, fmt.Errorf("core: Merge(%d, %d) out of range or misordered", i, j)
+	}
+	// j must consume i spatially (directly); collect the internal edges.
+	internal := false
+	for _, d := range p.Tasks[j].Deps {
+		if d.From == i {
+			if !d.Spatial() {
+				return nil, fmt.Errorf("core: cannot merge %q and %q across a temporal dependency",
+					p.Tasks[i].Name, p.Tasks[j].Name)
+			}
+			internal = true
+		}
+	}
+	if !internal {
+		return nil, fmt.Errorf("core: %q does not directly consume %q", p.Tasks[j].Name, p.Tasks[i].Name)
+	}
+	// No task strictly between i and j may depend on i, and j may not
+	// depend on any task strictly between them (that would create a path
+	// i -> mid -> j that the merged node would collapse into a cycle-like
+	// self-ordering problem).
+	for mid := i + 1; mid < j; mid++ {
+		for _, d := range p.Tasks[mid].Deps {
+			if d.From == i {
+				return nil, fmt.Errorf("core: task %q between the pair depends on %q",
+					p.Tasks[mid].Name, p.Tasks[i].Name)
+			}
+		}
+	}
+	for _, d := range p.Tasks[j].Deps {
+		if d.From > i && d.From < j {
+			return nil, fmt.Errorf("core: %q depends on intermediate task %q",
+				p.Tasks[j].Name, p.Tasks[d.From].Name)
+		}
+	}
+
+	remap := func(old int) int {
+		switch {
+		case old == j:
+			return i
+		case old > j:
+			return old - 1
+		default:
+			return old
+		}
+	}
+
+	out := &Pipeline{Name: p.Name, Tasks: make([]Task, 0, len(p.Tasks)-1)}
+	for k, t := range p.Tasks {
+		if k == j {
+			continue
+		}
+		nt := Task{
+			Name:       t.Name,
+			Nodes:      t.Nodes,
+			Flops:      t.Flops,
+			ReadBytes:  t.ReadBytes,
+			WriteBytes: t.WriteBytes,
+			Kernels:    t.KernelCount(),
+		}
+		if k == i {
+			tj := p.Tasks[j]
+			nt.Name = t.Name + "+" + tj.Name
+			nt.Nodes += tj.Nodes
+			nt.Flops += tj.Flops
+			nt.ReadBytes += tj.ReadBytes
+			nt.WriteBytes += tj.WriteBytes
+			nt.Kernels += tj.KernelCount()
+			// Deps: i's own plus j's external ones.
+			for _, d := range t.Deps {
+				d.From = remap(d.From)
+				nt.Deps = append(nt.Deps, d)
+			}
+			for _, d := range tj.Deps {
+				if d.From == i {
+					continue // internal edge eliminated
+				}
+				d.From = remap(d.From)
+				nt.Deps = append(nt.Deps, d)
+			}
+		} else {
+			for _, d := range t.Deps {
+				d.From = remap(d.From)
+				nt.Deps = append(nt.Deps, d)
+			}
+		}
+		out.Tasks = append(out.Tasks, nt)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("core: merged pipeline invalid: %w", err)
+	}
+	return out, nil
+}
+
+// MergePrediction applies the paper's Section 6 algebra to predict the
+// merged task's time from the unmerged analysis: eq. (7),
+// T_{i+j} = (W_i+W_j)/(P_i+P_j) + C_{i+j} + V_{i+j}, and the attendant
+// inequalities T_{i+j} < T_i + T_j (eq. (11)) and throughput' >=
+// throughput (eq. (14)).
+type MergePrediction struct {
+	// MergedService is the predicted service time of the combined task.
+	MergedService float64
+	// SeparateSum is T_i + T_j before merging.
+	SeparateSum float64
+	// LatencyGain is the predicted latency improvement (positive when the
+	// merge helps).
+	LatencyGain float64
+}
+
+// PredictMerge analyses the pipeline before and after merging (i, j) and
+// returns the paper's comparison quantities.
+func PredictMerge(p *Pipeline, i, j int, a *Analysis, merged *Analysis) MergePrediction {
+	return MergePrediction{
+		MergedService: merged.Timings[i].Service,
+		SeparateSum:   a.Timings[i].Service + a.Timings[j].Service,
+		LatencyGain:   a.Latency - merged.Latency,
+	}
+}

@@ -1,0 +1,171 @@
+// Package core implements the paper's parallel pipeline model: a directed
+// acyclic graph of tasks, each parallelised over a set of compute nodes,
+// connected by spatial (same-CPI) and temporal (lagged-CPI) data
+// dependencies. It provides
+//
+//   - the pipeline description and its validation,
+//   - the analytic performance equations (paper eqs. (1)-(4)):
+//     throughput = 1 / max_i T_i and the steady-state latency recurrence
+//     whose specialisation to the STAP graph is
+//     latency = T_0 + max(T_3, T_4) + T_5 + T_6,
+//   - the task-combination rewrite (Section 6) and its timing algebra
+//     (eqs. (5)-(15)),
+//   - the two I/O attachments: embedded (the first compute task reads from
+//     the parallel file system) and separate (a dedicated I/O task heads
+//     the pipeline).
+//
+// The model is executed two ways: internal/pipesim runs it on a
+// discrete-event simulation of the machine, network, and parallel file
+// system; internal/pipexec runs it for real with goroutine worker pools.
+package core
+
+import (
+	"fmt"
+)
+
+// Dep is a data dependency of one task on another.
+type Dep struct {
+	// From is the producer task's index in Pipeline.Tasks.
+	From int
+	// Lag is the CPI distance: 0 means instance k consumes the producer's
+	// output for CPI k (spatial dependency, drawn with solid arrows in the
+	// paper); l >= 1 means instance k consumes the output for CPI k-l
+	// (temporal dependency, dashed arrows). Temporal dependencies do not
+	// contribute to latency.
+	Lag int
+	// Bytes is the per-CPI data volume transferred over this edge.
+	Bytes float64
+}
+
+// Task is one stage of the pipeline.
+type Task struct {
+	// Name identifies the task in reports ("doppler", "easy weight", ...).
+	Name string
+	// Nodes is P_i, the number of compute nodes assigned to the task.
+	Nodes int
+	// Flops is W_i, the task's per-CPI computational workload.
+	Flops float64
+	// Deps are the task's input edges. Producers must precede the task in
+	// Pipeline.Tasks (indices are topologically ordered).
+	Deps []Dep
+	// ReadBytes, when positive, is the per-CPI volume this task reads
+	// from the parallel file system (the I/O attachment).
+	ReadBytes float64
+	// WriteBytes, when positive, is the per-CPI volume this task writes
+	// to the parallel file system (e.g. the CFAR task persisting its
+	// detection reports — the output-side I/O strategy studied in the
+	// authors' companion work). Writes share the stripe servers with
+	// reads.
+	WriteBytes float64
+	// Kernels is the number of processing kernels the task runs (>= 1; a
+	// zero value is treated as 1). Task combination sums the constituents'
+	// kernel counts: merging eliminates inter-task communication but not
+	// the kernels themselves, so their fixed per-kernel overhead remains.
+	Kernels int
+}
+
+// KernelCount returns Kernels, treating the zero value as 1.
+func (t Task) KernelCount() int {
+	if t.Kernels < 1 {
+		return 1
+	}
+	return t.Kernels
+}
+
+// Spatial reports whether d is a same-CPI dependency.
+func (d Dep) Spatial() bool { return d.Lag == 0 }
+
+// Pipeline is the task graph. Tasks[0] is the head (the task whose service
+// start begins the latency clock); the last task is the terminal whose
+// completion ends it.
+type Pipeline struct {
+	Name  string
+	Tasks []Task
+}
+
+// Validate checks structural invariants: at least one task, positive node
+// counts, non-negative workloads, topologically ordered edges with
+// non-negative lags, and exactly one head (task 0 has no spatial deps).
+func (p *Pipeline) Validate() error {
+	if len(p.Tasks) == 0 {
+		return fmt.Errorf("core: pipeline %q has no tasks", p.Name)
+	}
+	for i, t := range p.Tasks {
+		if t.Nodes < 1 {
+			return fmt.Errorf("core: task %d (%s) has %d nodes", i, t.Name, t.Nodes)
+		}
+		if t.Flops < 0 || t.ReadBytes < 0 || t.WriteBytes < 0 {
+			return fmt.Errorf("core: task %d (%s) has negative workload", i, t.Name)
+		}
+		for _, d := range t.Deps {
+			if d.From < 0 || d.From >= len(p.Tasks) {
+				return fmt.Errorf("core: task %d (%s) depends on missing task %d", i, t.Name, d.From)
+			}
+			if d.From >= i {
+				return fmt.Errorf("core: task %d (%s) depends on %d: indices must be topologically ordered",
+					i, t.Name, d.From)
+			}
+			if d.Lag < 0 {
+				return fmt.Errorf("core: task %d (%s) has negative lag %d", i, t.Name, d.Lag)
+			}
+			if d.Bytes < 0 {
+				return fmt.Errorf("core: task %d (%s) has negative edge volume", i, t.Name)
+			}
+		}
+	}
+	if len(p.Tasks[0].Deps) != 0 {
+		return fmt.Errorf("core: head task %q must have no dependencies", p.Tasks[0].Name)
+	}
+	return nil
+}
+
+// TotalNodes returns the number of compute nodes allocated to the whole
+// pipeline.
+func (p *Pipeline) TotalNodes() int {
+	var n int
+	for _, t := range p.Tasks {
+		n += t.Nodes
+	}
+	return n
+}
+
+// TaskIndex returns the index of the named task, or -1.
+func (p *Pipeline) TaskIndex(name string) int {
+	for i, t := range p.Tasks {
+		if t.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Consumers returns, for each task, the list of (consumer, dep) pairs fed
+// by it.
+func (p *Pipeline) Consumers(task int) []ConsumerEdge {
+	var out []ConsumerEdge
+	for j, t := range p.Tasks {
+		for _, d := range t.Deps {
+			if d.From == task {
+				out = append(out, ConsumerEdge{To: j, Dep: d})
+			}
+		}
+	}
+	return out
+}
+
+// ConsumerEdge pairs a consumer task index with the dependency it holds on
+// the producer.
+type ConsumerEdge struct {
+	To  int
+	Dep Dep
+}
+
+// Clone returns a deep copy of the pipeline.
+func (p *Pipeline) Clone() *Pipeline {
+	out := &Pipeline{Name: p.Name, Tasks: make([]Task, len(p.Tasks))}
+	for i, t := range p.Tasks {
+		t.Deps = append([]Dep(nil), t.Deps...)
+		out.Tasks[i] = t
+	}
+	return out
+}

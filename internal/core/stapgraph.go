@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+
+	"stapio/internal/stap"
+)
+
+// Task names of the STAP pipeline, used by reports and tests.
+const (
+	NameRead       = "parallel read"
+	NameDoppler    = "Doppler filter"
+	NameEasyWeight = "easy weight"
+	NameHardWeight = "hard weight"
+	NameEasyBF     = "easy BF"
+	NameHardBF     = "hard BF"
+	NamePulseComp  = "pulse compr"
+	NameCFAR       = "CFAR"
+)
+
+// STAPNodes is a node assignment for the STAP pipeline's tasks. IO is only
+// used by the separate-I/O design.
+type STAPNodes struct {
+	Doppler, EasyWeight, HardWeight, EasyBF, HardBF, PulseComp, CFAR int
+	IO                                                               int
+}
+
+// Compute returns the number of nodes assigned to the seven compute tasks
+// (excluding the separate I/O task).
+func (n STAPNodes) Compute() int {
+	return n.Doppler + n.EasyWeight + n.HardWeight + n.EasyBF + n.HardBF + n.PulseComp + n.CFAR
+}
+
+// Scale multiplies every assignment by f (the paper's "each case doubles
+// the number of nodes of another").
+func (n STAPNodes) Scale(f int) STAPNodes {
+	return STAPNodes{
+		Doppler:    n.Doppler * f,
+		EasyWeight: n.EasyWeight * f,
+		HardWeight: n.HardWeight * f,
+		EasyBF:     n.EasyBF * f,
+		HardBF:     n.HardBF * f,
+		PulseComp:  n.PulseComp * f,
+		CFAR:       n.CFAR * f,
+		IO:         n.IO * f,
+	}
+}
+
+// readFlopsPerByte models the light per-byte work (buffer handling,
+// scatter) performed by a task that reads and forwards the data cube.
+const readFlopsPerByte = 0.5
+
+// BuildEmbedded constructs the paper's first I/O design: the Doppler
+// filter task itself reads each CPI file from the parallel file system
+// ("I/O embedded in the first task", Figure 3). The pipeline has the seven
+// STAP tasks.
+func BuildEmbedded(w stap.Workloads, n STAPNodes) (*Pipeline, error) {
+	p := buildCompute(w, n, 0)
+	p.Name = "STAP/embedded-IO"
+	p.Tasks[0].ReadBytes = w.CubeBytes + 32
+	p.Tasks[0].Flops += readFlopsPerByte * w.CubeBytes
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// BuildSeparate constructs the paper's second I/O design: a dedicated
+// parallel-read task heads the pipeline and forwards each cube to the
+// Doppler task (Figure 4). The pipeline has eight tasks.
+func BuildSeparate(w stap.Workloads, n STAPNodes) (*Pipeline, error) {
+	if n.IO < 1 {
+		return nil, fmt.Errorf("core: separate I/O design needs IO nodes, have %d", n.IO)
+	}
+	p := buildCompute(w, n, 1)
+	p.Name = "STAP/separate-IO"
+	read := Task{
+		Name:      NameRead,
+		Nodes:     n.IO,
+		Flops:     readFlopsPerByte * w.CubeBytes,
+		ReadBytes: w.CubeBytes + 32,
+	}
+	p.Tasks[0] = read
+	p.Tasks[1].Deps = append(p.Tasks[1].Deps, Dep{From: 0, Lag: 0, Bytes: w.CubeBytes})
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// buildCompute lays out the seven STAP tasks starting at index base
+// (0 for embedded, 1 to leave room for a read task).
+func buildCompute(w stap.Workloads, n STAPNodes, base int) *Pipeline {
+	t := make([]Task, base+7)
+	d := base // Doppler index
+	t[d+0] = Task{Name: NameDoppler, Nodes: n.Doppler, Flops: w.Flops[0]}
+	t[d+1] = Task{Name: NameEasyWeight, Nodes: n.EasyWeight, Flops: w.Flops[1],
+		Deps: []Dep{{From: d, Lag: 0, Bytes: w.DopplerToWeight[0]}}}
+	t[d+2] = Task{Name: NameHardWeight, Nodes: n.HardWeight, Flops: w.Flops[2],
+		Deps: []Dep{{From: d, Lag: 0, Bytes: w.DopplerToWeight[1]}}}
+	t[d+3] = Task{Name: NameEasyBF, Nodes: n.EasyBF, Flops: w.Flops[3],
+		Deps: []Dep{
+			{From: d, Lag: 0, Bytes: w.DopplerToBF[0]},
+			{From: d + 1, Lag: 1, Bytes: w.WeightToBF[0]},
+		}}
+	t[d+4] = Task{Name: NameHardBF, Nodes: n.HardBF, Flops: w.Flops[4],
+		Deps: []Dep{
+			{From: d, Lag: 0, Bytes: w.DopplerToBF[1]},
+			{From: d + 2, Lag: 1, Bytes: w.WeightToBF[1]},
+		}}
+	t[d+5] = Task{Name: NamePulseComp, Nodes: n.PulseComp, Flops: w.Flops[5],
+		Deps: []Dep{
+			{From: d + 3, Lag: 0, Bytes: w.BFToPC[0]},
+			{From: d + 4, Lag: 0, Bytes: w.BFToPC[1]},
+		}}
+	t[d+6] = Task{Name: NameCFAR, Nodes: n.CFAR, Flops: w.Flops[6],
+		Deps: []Dep{{From: d + 5, Lag: 0, Bytes: w.PCToCFAR}}}
+	return &Pipeline{Tasks: t}
+}
+
+// AttachReportOutput makes the pipeline's terminal task persist its
+// detection reports to the parallel file system — the output-side I/O
+// strategy of the authors' companion study ("I/O Implementation and
+// Evaluation of Parallel Pipelined STAP on High Performance Computers").
+// bytes is the per-CPI report volume; it returns a modified clone.
+func AttachReportOutput(p *Pipeline, bytes float64) (*Pipeline, error) {
+	if bytes < 0 {
+		return nil, fmt.Errorf("core: negative report volume %v", bytes)
+	}
+	out := p.Clone()
+	out.Tasks[len(out.Tasks)-1].WriteBytes += bytes
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CombinePCCFAR merges the pulse compression and CFAR tasks — the paper's
+// Section 6 experiment. It works on both I/O designs.
+func CombinePCCFAR(p *Pipeline) (*Pipeline, error) {
+	i := p.TaskIndex(NamePulseComp)
+	j := p.TaskIndex(NameCFAR)
+	if i < 0 || j < 0 {
+		return nil, fmt.Errorf("core: pipeline %q lacks pulse compression or CFAR", p.Name)
+	}
+	m, err := p.Merge(i, j)
+	if err != nil {
+		return nil, err
+	}
+	m.Name = p.Name + "/combined"
+	return m, nil
+}

@@ -1,0 +1,134 @@
+package cube
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// File format
+//
+// A cube file is the unit the radar writes and the STAP pipeline reads.
+// It begins with a fixed 32-byte header followed by the flat complex64
+// sample array in little-endian (real, imag) float32 pairs:
+//
+//	offset  size  field
+//	0       4     magic "SCPI"
+//	4       4     format version (uint32, currently 1)
+//	8       4     channels (uint32)
+//	12      4     pulses   (uint32)
+//	16      4     ranges   (uint32)
+//	20      8     CPI sequence number (uint64)
+//	28      4     reserved (zero)
+//	32      ...   samples
+//
+// The header size is deliberately smaller than one stripe unit so a file of
+// N stripe units occupies N units plus a header tail; the dataset writer
+// pads the header region to keep samples stripe-aligned when requested.
+
+// Magic identifies a cube file.
+const Magic = "SCPI"
+
+// HeaderSize is the size in bytes of the fixed cube file header.
+const HeaderSize = 32
+
+// FormatVersion is the current cube file format version.
+const FormatVersion = 1
+
+// Header describes the metadata stored at the front of a cube file.
+type Header struct {
+	Dims
+	Seq uint64 // CPI sequence number
+}
+
+// FileBytes returns the total encoded size of a cube with dimensions d:
+// header plus payload.
+func FileBytes(d Dims) int64 { return HeaderSize + d.Bytes() }
+
+// EncodeHeader writes the 32-byte header for h into buf, which must be at
+// least HeaderSize bytes long.
+func EncodeHeader(h Header, buf []byte) {
+	copy(buf[0:4], Magic)
+	binary.LittleEndian.PutUint32(buf[4:8], FormatVersion)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(h.Channels))
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(h.Pulses))
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(h.Ranges))
+	binary.LittleEndian.PutUint64(buf[20:28], h.Seq)
+	binary.LittleEndian.PutUint32(buf[28:32], 0)
+}
+
+// DecodeHeader parses a 32-byte header.
+func DecodeHeader(buf []byte) (Header, error) {
+	var h Header
+	if len(buf) < HeaderSize {
+		return h, fmt.Errorf("cube: header too short: %d bytes", len(buf))
+	}
+	if string(buf[0:4]) != Magic {
+		return h, fmt.Errorf("cube: bad magic %q", buf[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:8]); v != FormatVersion {
+		return h, fmt.Errorf("cube: unsupported format version %d", v)
+	}
+	h.Channels = int(binary.LittleEndian.Uint32(buf[8:12]))
+	h.Pulses = int(binary.LittleEndian.Uint32(buf[12:16]))
+	h.Ranges = int(binary.LittleEndian.Uint32(buf[16:20]))
+	h.Seq = binary.LittleEndian.Uint64(buf[20:28])
+	if !h.Valid() {
+		return h, fmt.Errorf("cube: invalid dimensions in header: %v", h.Dims)
+	}
+	return h, nil
+}
+
+// EncodeSamples serialises the samples of cb into buf, which must be at
+// least cb.Bytes() long.
+func EncodeSamples(cb *Cube, buf []byte) {
+	for i, v := range cb.Data {
+		binary.LittleEndian.PutUint32(buf[i*8:], math.Float32bits(real(v)))
+		binary.LittleEndian.PutUint32(buf[i*8+4:], math.Float32bits(imag(v)))
+	}
+}
+
+// DecodeSamples parses len(cb.Data) samples from buf into cb.
+func DecodeSamples(cb *Cube, buf []byte) error {
+	need := int(cb.Bytes())
+	if len(buf) < need {
+		return fmt.Errorf("cube: payload too short: have %d want %d", len(buf), need)
+	}
+	for i := range cb.Data {
+		re := math.Float32frombits(binary.LittleEndian.Uint32(buf[i*8:]))
+		im := math.Float32frombits(binary.LittleEndian.Uint32(buf[i*8+4:]))
+		cb.Data[i] = complex(re, im)
+	}
+	return nil
+}
+
+// Write serialises cb with sequence number seq to w.
+func Write(w io.Writer, cb *Cube, seq uint64) error {
+	buf := make([]byte, FileBytes(cb.Dims))
+	EncodeHeader(Header{Dims: cb.Dims, Seq: seq}, buf)
+	EncodeSamples(cb, buf[HeaderSize:])
+	_, err := w.Write(buf)
+	return err
+}
+
+// Read parses a full cube file from r.
+func Read(r io.Reader) (*Cube, Header, error) {
+	hbuf := make([]byte, HeaderSize)
+	if _, err := io.ReadFull(r, hbuf); err != nil {
+		return nil, Header{}, fmt.Errorf("cube: reading header: %w", err)
+	}
+	h, err := DecodeHeader(hbuf)
+	if err != nil {
+		return nil, Header{}, err
+	}
+	cb := New(h.Dims)
+	pbuf := make([]byte, h.Bytes())
+	if _, err := io.ReadFull(r, pbuf); err != nil {
+		return nil, Header{}, fmt.Errorf("cube: reading payload: %w", err)
+	}
+	if err := DecodeSamples(cb, pbuf); err != nil {
+		return nil, Header{}, err
+	}
+	return cb, h, nil
+}

@@ -1,0 +1,171 @@
+// Package cube provides the 3-dimensional complex data cube that a phased
+// array radar produces for each coherent processing interval (CPI), together
+// with layout, partitioning, and binary codec helpers.
+//
+// A cube is indexed by (channel, pulse, range): Channels antenna channels,
+// Pulses pulse repetition intervals, and Ranges range gates. Samples are
+// complex64 (8 bytes) and are stored in a single flat slice in
+// channel-major, pulse-middle, range-minor order, i.e. the sample for
+// (c, p, r) lives at offset ((c*Pulses)+p)*Ranges + r. That order matches
+// the on-disk file format used by the round-robin radar datasets: a file is
+// the flat sample array preceded by a small fixed header.
+package cube
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Dims describes the geometry of a data cube.
+type Dims struct {
+	Channels int // antenna channels (spatial dimension)
+	Pulses   int // pulses per CPI (temporal dimension)
+	Ranges   int // range gates (fast-time dimension)
+}
+
+// Valid reports whether all three dimensions are positive.
+func (d Dims) Valid() bool {
+	return d.Channels > 0 && d.Pulses > 0 && d.Ranges > 0
+}
+
+// Samples returns the total number of complex samples in a cube with these
+// dimensions.
+func (d Dims) Samples() int { return d.Channels * d.Pulses * d.Ranges }
+
+// Bytes returns the payload size in bytes of a cube with these dimensions
+// (8 bytes per complex64 sample), excluding any file header.
+func (d Dims) Bytes() int64 { return int64(d.Samples()) * 8 }
+
+// String implements fmt.Stringer.
+func (d Dims) String() string {
+	return fmt.Sprintf("%dch x %dpulse x %drange", d.Channels, d.Pulses, d.Ranges)
+}
+
+// Cube is one CPI of radar data.
+type Cube struct {
+	Dims
+	// Data holds the samples in channel-major, range-minor order; its
+	// length is always Dims.Samples().
+	Data []complex64
+}
+
+// New allocates a zero-filled cube with the given dimensions.
+// It panics if the dimensions are not valid.
+func New(d Dims) *Cube {
+	if !d.Valid() {
+		panic(fmt.Sprintf("cube: invalid dims %+v", d))
+	}
+	return &Cube{Dims: d, Data: make([]complex64, d.Samples())}
+}
+
+// Index returns the flat offset of sample (c, p, r).
+func (d Dims) Index(c, p, r int) int {
+	return (c*d.Pulses+p)*d.Ranges + r
+}
+
+// Coords is the inverse of Index: it maps a flat offset back to (c, p, r).
+func (d Dims) Coords(i int) (c, p, r int) {
+	r = i % d.Ranges
+	i /= d.Ranges
+	p = i % d.Pulses
+	c = i / d.Pulses
+	return
+}
+
+// At returns the sample at (c, p, r).
+func (cb *Cube) At(c, p, r int) complex64 { return cb.Data[cb.Index(c, p, r)] }
+
+// Set stores v at (c, p, r).
+func (cb *Cube) Set(c, p, r int, v complex64) { cb.Data[cb.Index(c, p, r)] = v }
+
+// PulseRow returns the contiguous range-gate row for (channel c, pulse p).
+// The returned slice aliases the cube's storage.
+func (cb *Cube) PulseRow(c, p int) []complex64 {
+	off := cb.Index(c, p, 0)
+	return cb.Data[off : off+cb.Ranges]
+}
+
+// PulseColumn copies the slow-time series for (channel c, range gate r)
+// into dst, which must have length >= Pulses, and returns dst[:Pulses].
+// If dst is nil a new slice is allocated.
+func (cb *Cube) PulseColumn(c, r int, dst []complex64) []complex64 {
+	if dst == nil {
+		dst = make([]complex64, cb.Pulses)
+	}
+	dst = dst[:cb.Pulses]
+	for p := 0; p < cb.Pulses; p++ {
+		dst[p] = cb.Data[cb.Index(c, p, r)]
+	}
+	return dst
+}
+
+// Clone returns a deep copy of the cube.
+func (cb *Cube) Clone() *Cube {
+	out := New(cb.Dims)
+	copy(out.Data, cb.Data)
+	return out
+}
+
+// Fill sets every sample to v.
+func (cb *Cube) Fill(v complex64) {
+	for i := range cb.Data {
+		cb.Data[i] = v
+	}
+}
+
+// AddTo adds other into cb element-wise. The dimensions must match.
+func (cb *Cube) AddTo(other *Cube) error {
+	if cb.Dims != other.Dims {
+		return fmt.Errorf("cube: dimension mismatch %v vs %v", cb.Dims, other.Dims)
+	}
+	for i, v := range other.Data {
+		cb.Data[i] += v
+	}
+	return nil
+}
+
+// Scale multiplies every sample by s.
+func (cb *Cube) Scale(s complex64) {
+	for i := range cb.Data {
+		cb.Data[i] *= s
+	}
+}
+
+// Power returns the total power (sum of |x|^2) over all samples, computed
+// in float64 for accuracy.
+func (cb *Cube) Power() float64 {
+	var sum float64
+	for _, v := range cb.Data {
+		re, im := float64(real(v)), float64(imag(v))
+		sum += re*re + im*im
+	}
+	return sum
+}
+
+// MaxAbs returns the largest sample magnitude in the cube.
+func (cb *Cube) MaxAbs() float64 {
+	var m float64
+	for _, v := range cb.Data {
+		a := cmplx.Abs(complex128(v))
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Equal reports whether two cubes have identical dimensions and samples
+// within absolute tolerance tol per component.
+func Equal(a, b *Cube, tol float64) bool {
+	if a.Dims != b.Dims {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(float64(real(a.Data[i])-real(b.Data[i]))) > tol ||
+			math.Abs(float64(imag(a.Data[i])-imag(b.Data[i]))) > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,28 @@
+package cube_test
+
+import (
+	"fmt"
+
+	"stapio/internal/cube"
+)
+
+// Splitting a task's workload evenly among compute nodes is the basic
+// parallelisation step of every pipeline task.
+func ExampleSplit() {
+	for _, b := range cube.Split(10, 3) {
+		fmt.Println(b)
+	}
+	// Output:
+	// [0,4)
+	// [4,7)
+	// [7,10)
+}
+
+// The paper's CPI data cube: 16 channels x 128 pulses x 1024 range gates
+// of complex64 samples is exactly a 16 MiB file payload.
+func ExampleDims_Bytes() {
+	d := cube.Dims{Channels: 16, Pulses: 128, Ranges: 1024}
+	fmt.Println(d, "=", d.Bytes()>>20, "MiB")
+	// Output:
+	// 16ch x 128pulse x 1024range = 16 MiB
+}

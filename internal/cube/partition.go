@@ -1,0 +1,100 @@
+package cube
+
+import "fmt"
+
+// Partitioning helpers. Every task of the parallel pipeline evenly divides
+// its workload among its compute nodes; the unit of division differs per
+// task (range gates for Doppler filtering, Doppler bins for weight
+// computation and beamforming, beam/Doppler pairs for pulse compression and
+// CFAR). Block is the common currency: a half-open interval of work items.
+
+// Block is a half-open interval [Lo, Hi) of work-item indices.
+type Block struct {
+	Lo, Hi int
+}
+
+// Len returns the number of items in the block.
+func (b Block) Len() int { return b.Hi - b.Lo }
+
+// Contains reports whether i falls inside the block.
+func (b Block) Contains(i int) bool { return i >= b.Lo && i < b.Hi }
+
+// String implements fmt.Stringer.
+func (b Block) String() string { return fmt.Sprintf("[%d,%d)", b.Lo, b.Hi) }
+
+// Split divides n work items as evenly as possible among parts workers and
+// returns one block per worker. The first n%parts workers receive one extra
+// item. Blocks are contiguous, disjoint, and cover [0, n). Split panics if
+// parts <= 0 or n < 0.
+func Split(n, parts int) []Block {
+	if parts <= 0 {
+		panic(fmt.Sprintf("cube: Split parts must be positive, got %d", parts))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("cube: Split n must be non-negative, got %d", n))
+	}
+	blocks := make([]Block, parts)
+	base := n / parts
+	extra := n % parts
+	lo := 0
+	for i := range blocks {
+		size := base
+		if i < extra {
+			size++
+		}
+		blocks[i] = Block{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return blocks
+}
+
+// SplitBlock is like Split but subdivides an existing block.
+func SplitBlock(b Block, parts int) []Block {
+	sub := Split(b.Len(), parts)
+	for i := range sub {
+		sub[i].Lo += b.Lo
+		sub[i].Hi += b.Lo
+	}
+	return sub
+}
+
+// Owner returns the index of the worker that owns item i under Split(n,
+// parts). It panics if i is out of [0, n).
+func Owner(n, parts, i int) int {
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("cube: Owner item %d out of range [0,%d)", i, n))
+	}
+	base := n / parts
+	extra := n % parts
+	// The first `extra` workers own base+1 items each.
+	wide := extra * (base + 1)
+	if i < wide {
+		return i / (base + 1)
+	}
+	if base == 0 {
+		// All items are owned by the first `extra` workers; unreachable
+		// because i < n = wide in that case.
+		panic("cube: Owner internal inconsistency")
+	}
+	return extra + (i-wide)/base
+}
+
+// ByteRange maps a block of range-gate-major samples for a set of channels
+// into the byte interval of the cube file payload it occupies. It is used
+// by the I/O nodes: node k of the first task reads the byte range of the
+// file holding its exclusive portion of the cube. The interval is relative
+// to the start of the payload (add HeaderSize for the file offset).
+//
+// The flat layout is channel-major, so an I/O partition over flat sample
+// indices is contiguous on disk. Partition the full sample count and
+// convert:
+func ByteRange(d Dims, b Block) (off, length int64) {
+	return int64(b.Lo) * 8, int64(b.Len()) * 8
+}
+
+// IOPartition partitions a cube file's payload among p reader nodes and
+// returns, per node, the byte offset (relative to payload start) and
+// length it must read. Partitions are 8-byte aligned (whole samples).
+func IOPartition(d Dims, p int) []Block {
+	return Split(d.Samples(), p)
+}

@@ -1,0 +1,176 @@
+// Package experiments defines the paper's evaluation grid — three parallel
+// file system configurations times three node-assignment cases times the
+// I/O designs — and regenerates every table and figure of the evaluation
+// section:
+//
+//	Table 1 / Figure 5 — I/O embedded in the Doppler filter task
+//	Table 2 / Figure 6 — a separate parallel-read task
+//	Table 3 / Figure 7 — pulse compression + CFAR combined
+//	Table 4           — percentage latency improvement from combining
+//	Figure 8          — 7-task vs 6-task comparison across the grid
+//
+// The numeric parameters (cube geometry, stripe factors, node counts) are
+// the reconstructions documented in DESIGN.md; all qualitative claims of
+// the paper are asserted over these grids in shape_test.go.
+package experiments
+
+import (
+	"fmt"
+
+	"stapio/internal/core"
+	"stapio/internal/cube"
+	"stapio/internal/machine"
+	"stapio/internal/pfs"
+	"stapio/internal/pipesim"
+	"stapio/internal/stap"
+)
+
+// Setup is one machine + file system column of the paper's tables.
+type Setup struct {
+	// Label identifies the column, e.g. "Paragon PFS stripe=16".
+	Label string
+	Prof  machine.Profile
+	FS    pfs.Config
+}
+
+// Setups returns the paper's three evaluation columns.
+func Setups() []Setup {
+	return []Setup{
+		{Label: "Paragon PFS stripe=16", Prof: machine.Paragon(), FS: pfs.ParagonPFS(16)},
+		{Label: "Paragon PFS stripe=64", Prof: machine.Paragon(), FS: pfs.ParagonPFS(64)},
+		{Label: "SP PIOFS stripe=80", Prof: machine.SP(), FS: pfs.PIOFS()},
+	}
+}
+
+// Case is one node-assignment row group ("each doubles the number of nodes
+// of another").
+type Case struct {
+	Label string
+	Scale int
+}
+
+// Cases returns the paper's three cases: 50, 100, and 200 compute nodes.
+func Cases() []Case {
+	return []Case{
+		{Label: "case 1: 50 compute nodes", Scale: 1},
+		{Label: "case 2: 100 compute nodes", Scale: 2},
+		{Label: "case 3: 200 compute nodes", Scale: 4},
+	}
+}
+
+// PaperParams returns the reconstructed STAP processing parameters: a
+// 16 x 128 x 1024 cube, 16 MiB per CPI file.
+func PaperParams() stap.Params {
+	return stap.DefaultParams(cube.Dims{Channels: 16, Pulses: 128, Ranges: 1024})
+}
+
+// BaseNodes returns the case-1 node assignment (50 compute nodes + 8 I/O
+// nodes for the separate design), proportioned to the task workloads so
+// the Doppler filter task determines the throughput — consistent with the
+// paper's observation that the bottleneck task is neither pulse
+// compression nor CFAR and is the task whose receive phase exposes the
+// I/O bottleneck.
+func BaseNodes() core.STAPNodes {
+	return core.STAPNodes{
+		Doppler: 16, EasyWeight: 2, HardWeight: 3,
+		EasyBF: 8, HardBF: 4, PulseComp: 14, CFAR: 3,
+		IO: 8,
+	}
+}
+
+// Design selects the pipeline variant.
+type Design int
+
+const (
+	// Embedded is the paper's first I/O design (Table 1).
+	Embedded Design = iota
+	// Separate is the second design with a dedicated read task (Table 2).
+	Separate
+	// Combined is the embedded design with pulse compression and CFAR
+	// merged (Table 3).
+	Combined
+)
+
+// String implements fmt.Stringer.
+func (d Design) String() string {
+	switch d {
+	case Embedded:
+		return "embedded I/O"
+	case Separate:
+		return "separate I/O task"
+	case Combined:
+		return "PC+CFAR combined"
+	default:
+		return fmt.Sprintf("Design(%d)", int(d))
+	}
+}
+
+// Build constructs the pipeline for a design at a node scale.
+func Build(d Design, scale int) (*core.Pipeline, error) {
+	p := PaperParams()
+	w := stap.ComputeWorkloads(&p)
+	n := BaseNodes().Scale(scale)
+	switch d {
+	case Embedded:
+		return core.BuildEmbedded(w, n)
+	case Separate:
+		return core.BuildSeparate(w, n)
+	case Combined:
+		emb, err := core.BuildEmbedded(w, n)
+		if err != nil {
+			return nil, err
+		}
+		return core.CombinePCCFAR(emb)
+	default:
+		return nil, fmt.Errorf("experiments: unknown design %d", int(d))
+	}
+}
+
+// Cell is one (setup, case) measurement.
+type Cell struct {
+	Setup    Setup
+	Case     Case
+	Pipeline *core.Pipeline
+	// Measured is the discrete-event simulation result (two-phase
+	// protocol: free-run throughput, radar-paced latency).
+	Measured *pipesim.Result
+	// Analytic is the closed-form model prediction for cross-checking.
+	Analytic *core.Analysis
+}
+
+// Grid is the full 3x3 measurement grid for one design.
+type Grid struct {
+	Design Design
+	Cells  [][]Cell // [setup][case]
+}
+
+// RunGrid measures a design across all setups and cases.
+func RunGrid(d Design, opts pipesim.Options) (*Grid, error) {
+	g := &Grid{Design: d}
+	for _, s := range Setups() {
+		var row []Cell
+		for _, c := range Cases() {
+			p, err := Build(d, c.Scale)
+			if err != nil {
+				return nil, err
+			}
+			res, err := pipesim.Measure(p, s.Prof, s.FS, opts)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s / %s / %s: %w", d, s.Label, c.Label, err)
+			}
+			an, err := core.Analyze(p, s.Prof, s.FS)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, Cell{Setup: s, Case: c, Pipeline: p, Measured: res, Analytic: an})
+		}
+		g.Cells = append(g.Cells, row)
+	}
+	return g, nil
+}
+
+// QuickOptions returns simulation options sized for tests: fewer CPIs than
+// DefaultOptions but still past the pipeline fill.
+func QuickOptions() pipesim.Options {
+	return pipesim.Options{CPIs: 30, Warmup: 8, PrefetchDepth: 1, BufferDepth: 2}
+}

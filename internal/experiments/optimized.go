@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"stapio/internal/core"
+	"stapio/internal/pipesim"
+	"stapio/internal/report"
+)
+
+// OptimizedComparison is the library's extension experiment ("Table 5"):
+// re-run the embedded-I/O grid with node assignments produced by the
+// marginal-allocation optimiser instead of the paper-style hand
+// assignment, holding each case's total node budget fixed.
+type OptimizedComparison struct {
+	Hand      *Grid
+	Optimized *Grid
+}
+
+// RunOptimized builds and measures optimizer-assigned pipelines for every
+// (setup, case) cell of the embedded design.
+func RunOptimized(hand *Grid, opts pipesim.Options) (*OptimizedComparison, error) {
+	if hand.Design != Embedded {
+		return nil, fmt.Errorf("experiments: optimized comparison expects the embedded grid")
+	}
+	out := &OptimizedComparison{Hand: hand, Optimized: &Grid{Design: Embedded}}
+	for _, row := range hand.Cells {
+		var orow []Cell
+		for _, cell := range row {
+			budget := cell.Pipeline.TotalNodes()
+			asg, _, err := core.OptimizeAssignment(cell.Pipeline, cell.Setup.Prof, cell.Setup.FS, budget)
+			if err != nil {
+				return nil, err
+			}
+			p, err := cell.Pipeline.Apply(asg)
+			if err != nil {
+				return nil, err
+			}
+			p.Name = cell.Pipeline.Name + "/optimized"
+			res, err := pipesim.Measure(p, cell.Setup.Prof, cell.Setup.FS, opts)
+			if err != nil {
+				return nil, err
+			}
+			an, err := core.Analyze(p, cell.Setup.Prof, cell.Setup.FS)
+			if err != nil {
+				return nil, err
+			}
+			orow = append(orow, Cell{
+				Setup: cell.Setup, Case: cell.Case,
+				Pipeline: p, Measured: res, Analytic: an,
+			})
+		}
+		out.Optimized.Cells = append(out.Optimized.Cells, orow)
+	}
+	return out, nil
+}
+
+// Table renders the hand-vs-optimized comparison.
+func (oc *OptimizedComparison) Table() *report.Table {
+	t := &report.Table{
+		Title: "Table 5 (extension): paper-style hand assignment vs marginal-allocation optimizer, embedded I/O",
+		Columns: []string{"file system", "case", "nodes",
+			"thr hand", "thr opt", "gain", "lat hand (s)", "lat opt (s)"},
+	}
+	for si, row := range oc.Hand.Cells {
+		for ci, h := range row {
+			o := oc.Optimized.Cells[si][ci]
+			gain := (o.Measured.Throughput/h.Measured.Throughput - 1) * 100
+			t.AddRow(h.Setup.Label, h.Case.Label,
+				fmt.Sprintf("%d", h.Pipeline.TotalNodes()),
+				fmt.Sprintf("%.2f", h.Measured.Throughput),
+				fmt.Sprintf("%.2f", o.Measured.Throughput),
+				fmt.Sprintf("%+.0f%%", gain),
+				fmt.Sprintf("%.3f", h.Measured.Latency),
+				fmt.Sprintf("%.3f", o.Measured.Latency),
+			)
+		}
+	}
+	return t
+}

@@ -1,0 +1,395 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"stapio/internal/pipesim"
+	"stapio/internal/report"
+)
+
+// grids are expensive enough to share across assertions.
+var (
+	gridEmbedded *Grid
+	gridSeparate *Grid
+	gridCombined *Grid
+)
+
+func grids(t *testing.T) (*Grid, *Grid, *Grid) {
+	t.Helper()
+	if gridEmbedded == nil {
+		var err error
+		opts := QuickOptions()
+		if gridEmbedded, err = RunGrid(Embedded, opts); err != nil {
+			t.Fatal(err)
+		}
+		if gridSeparate, err = RunGrid(Separate, opts); err != nil {
+			t.Fatal(err)
+		}
+		if gridCombined, err = RunGrid(Combined, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return gridEmbedded, gridSeparate, gridCombined
+}
+
+// setup indices into the grid rows.
+const (
+	iPFS16 = 0
+	iPFS64 = 1
+	iPIOFS = 2
+)
+
+func TestGridGeometry(t *testing.T) {
+	emb, sep, comb := grids(t)
+	for _, g := range []*Grid{emb, sep, comb} {
+		if len(g.Cells) != 3 {
+			t.Fatalf("%s: %d setups, want 3", g.Design, len(g.Cells))
+		}
+		for _, row := range g.Cells {
+			if len(row) != 3 {
+				t.Fatalf("%s: %d cases, want 3", g.Design, len(row))
+			}
+		}
+	}
+	if n := emb.Cells[iPFS16][0].Pipeline.TotalNodes(); n != 50 {
+		t.Errorf("embedded case 1 total nodes = %d, want 50", n)
+	}
+	if n := sep.Cells[iPFS16][0].Pipeline.TotalNodes(); n != 58 {
+		t.Errorf("separate case 1 total nodes = %d, want 58", n)
+	}
+	if n := comb.Cells[iPFS16][2].Pipeline.TotalNodes(); n != 200 {
+		t.Errorf("combined case 3 total nodes = %d, want 200", n)
+	}
+}
+
+// Shape 1 (DESIGN.md): PFS-64 scales ~linearly in throughput and latency.
+func TestShapePFS64Scales(t *testing.T) {
+	emb, _, _ := grids(t)
+	row := emb.Cells[iPFS64]
+	if r := row[1].Measured.Throughput / row[0].Measured.Throughput; r < 1.8 {
+		t.Errorf("case1->2 throughput ratio %.2f, want >= 1.8", r)
+	}
+	if r := row[2].Measured.Throughput / row[1].Measured.Throughput; r < 1.7 {
+		t.Errorf("case2->3 throughput ratio %.2f, want >= 1.7", r)
+	}
+	if r := row[0].Measured.Latency / row[2].Measured.Latency; r < 2.5 {
+		t.Errorf("latency case1/case3 ratio %.2f, want >= 2.5", r)
+	}
+}
+
+// Shape 2: PFS-16 bottlenecks at 200 nodes; relieved by PFS-64.
+func TestShapeIOBottleneck(t *testing.T) {
+	emb, _, _ := grids(t)
+	r16, r64 := emb.Cells[iPFS16], emb.Cells[iPFS64]
+	for c := 0; c < 2; c++ {
+		rel := math.Abs(r16[c].Measured.Throughput-r64[c].Measured.Throughput) / r64[c].Measured.Throughput
+		if rel > 0.05 {
+			t.Errorf("case %d: stripe factors should match before the bottleneck (%.1f%% apart)", c+1, rel*100)
+		}
+	}
+	if r16[2].Measured.Throughput > 0.8*r64[2].Measured.Throughput {
+		t.Errorf("case 3: PFS-16 %.2f vs PFS-64 %.2f — bottleneck missing",
+			r16[2].Measured.Throughput, r64[2].Measured.Throughput)
+	}
+	// The Doppler task's read-wait phase reveals the bottleneck.
+	if r16[2].Measured.Tasks[0].ReadWait < 10*r64[2].Measured.Tasks[0].ReadWait {
+		t.Error("case 3 PFS-16 should expose a large read-wait phase")
+	}
+}
+
+// Shape 3: latency only mildly affected by the bottleneck.
+func TestShapeLatencyMildlyAffected(t *testing.T) {
+	emb, _, _ := grids(t)
+	l16 := emb.Cells[iPFS16][2].Measured.Latency
+	l64 := emb.Cells[iPFS64][2].Measured.Latency
+	if l16 <= l64 {
+		t.Errorf("PFS-16 latency %.3f should slightly exceed PFS-64 %.3f", l16, l64)
+	}
+	if l16 > 1.6*l64 {
+		t.Errorf("latency inflated %.2fx — should be mild", l16/l64)
+	}
+}
+
+// Shape 4: PIOFS (no async I/O) scales worse than Paragon PFS-64 despite
+// faster CPUs.
+func TestShapePIOFSPoorScaling(t *testing.T) {
+	emb, _, _ := grids(t)
+	piofs := emb.Cells[iPIOFS]
+	pfs64 := emb.Cells[iPFS64]
+	scaleSP := piofs[2].Measured.Throughput / piofs[0].Measured.Throughput
+	scalePG := pfs64[2].Measured.Throughput / pfs64[0].Measured.Throughput
+	if scaleSP >= scalePG {
+		t.Errorf("SP scaling %.2fx should trail Paragon %.2fx", scaleSP, scalePG)
+	}
+	if scaleSP > 2.5 {
+		t.Errorf("SP throughput scaling %.2fx too good for synchronous I/O", scaleSP)
+	}
+}
+
+// Shape 5: separate I/O task — throughput about the same (on the async
+// machine), latency strictly worse everywhere.
+func TestShapeSeparateIO(t *testing.T) {
+	emb, sep, _ := grids(t)
+	for _, si := range []int{iPFS16, iPFS64} {
+		for ci := range emb.Cells[si] {
+			e, s := emb.Cells[si][ci].Measured, sep.Cells[si][ci].Measured
+			if rel := math.Abs(e.Throughput-s.Throughput) / e.Throughput; rel > 0.07 {
+				t.Errorf("setup %d case %d: throughput differs %.1f%%", si, ci, rel*100)
+			}
+		}
+	}
+	for si := range emb.Cells {
+		for ci := range emb.Cells[si] {
+			e, s := emb.Cells[si][ci].Measured, sep.Cells[si][ci].Measured
+			if s.Latency <= e.Latency {
+				t.Errorf("setup %d case %d: separate latency %.3f not worse than embedded %.3f",
+					si, ci, s.Latency, e.Latency)
+			}
+		}
+	}
+}
+
+// Documented deviation (EXPERIMENTS.md): on the synchronous PIOFS, the
+// separate-task design restores the pipelining that embedded sync reads
+// forfeit, so its throughput may exceed embedded at the larger cases. Pin
+// the behaviour so a model change that silently flips it is caught.
+func TestShapePIOFSSeparateDeviation(t *testing.T) {
+	emb, sep, _ := grids(t)
+	for ci := 1; ci < 3; ci++ {
+		e := emb.Cells[iPIOFS][ci].Measured.Throughput
+		s := sep.Cells[iPIOFS][ci].Measured.Throughput
+		if s < e*0.95 {
+			t.Errorf("case %d: PIOFS separate %.2f unexpectedly below embedded %.2f", ci+1, s, e)
+		}
+	}
+}
+
+// Shape 6: task combination improves latency in every cell, keeps
+// throughput, and the improvement percentage decreases with node count.
+func TestShapeTaskCombination(t *testing.T) {
+	emb, _, comb := grids(t)
+	for si := range emb.Cells {
+		prev := math.Inf(1)
+		for ci := range emb.Cells[si] {
+			e, c := emb.Cells[si][ci].Measured, comb.Cells[si][ci].Measured
+			if c.Latency >= e.Latency {
+				t.Errorf("setup %d case %d: combining did not improve latency", si, ci)
+			}
+			if c.Throughput < 0.99*e.Throughput {
+				t.Errorf("setup %d case %d: combining hurt throughput", si, ci)
+			}
+			imp := (e.Latency - c.Latency) / e.Latency
+			if imp >= prev {
+				t.Errorf("setup %d: improvement did not decrease at case %d (%.1f%% after %.1f%%)",
+					si, ci, imp*100, prev*100)
+			}
+			prev = imp
+			// The paper's Table 4 band: improvements of roughly 4-12%.
+			if imp < 0.02 || imp > 0.20 {
+				t.Errorf("setup %d case %d: improvement %.1f%% outside the plausible band", si, ci, imp*100)
+			}
+		}
+	}
+}
+
+// Shape 7: the DES agrees with the analytic equations when the file system
+// is not the bottleneck.
+func TestShapeAnalyticAgreement(t *testing.T) {
+	emb, sep, comb := grids(t)
+	for _, g := range []*Grid{emb, sep, comb} {
+		for _, si := range []int{iPFS64} {
+			for ci := range g.Cells[si] {
+				cell := g.Cells[si][ci]
+				m, a := cell.Measured, cell.Analytic
+				if rel := math.Abs(m.Throughput-a.Throughput) / a.Throughput; rel > 0.05 {
+					t.Errorf("%s setup %d case %d: throughput DES %.2f vs analytic %.2f",
+						g.Design, si, ci, m.Throughput, a.Throughput)
+				}
+				if rel := math.Abs(m.Latency-a.Latency) / a.Latency; rel > 0.10 {
+					t.Errorf("%s setup %d case %d: latency DES %.3f vs analytic %.3f",
+						g.Design, si, ci, m.Latency, a.Latency)
+				}
+			}
+		}
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	emb, sep, comb := grids(t)
+	var buf bytes.Buffer
+	t1 := TaskTable(emb, "Table 1")
+	t1.Render(&buf)
+	if !strings.Contains(buf.String(), "Doppler filter") {
+		t.Error("Table 1 missing Doppler row")
+	}
+	// 3 setups x 3 cases x (7 tasks + 2 summary rows).
+	if got, want := len(t1.Rows), 3*3*9; got != want {
+		t.Errorf("Table 1 rows = %d, want %d", got, want)
+	}
+	t2 := TaskTable(sep, "Table 2")
+	if got, want := len(t2.Rows), 3*3*10; got != want {
+		t.Errorf("Table 2 rows = %d, want %d", got, want)
+	}
+	t3 := TaskTable(comb, "Table 3")
+	if got, want := len(t3.Rows), 3*3*8; got != want {
+		t.Errorf("Table 3 rows = %d, want %d", got, want)
+	}
+	if !strings.Contains(tableString(t3), "pulse compr+CFAR") {
+		t.Error("Table 3 missing combined task row")
+	}
+	t4, err := ImprovementTable(emb, comb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t4.Rows) != 3 {
+		t.Errorf("Table 4 rows = %d, want 3", len(t4.Rows))
+	}
+	if !strings.Contains(tableString(t4), "%") {
+		t.Error("Table 4 missing percentages")
+	}
+	sum := SummaryTable(emb, "summary")
+	if len(sum.Rows) != 9 {
+		t.Errorf("summary rows = %d, want 9", len(sum.Rows))
+	}
+}
+
+func tableString(t *report.Table) string {
+	var buf bytes.Buffer
+	t.Render(&buf)
+	return buf.String()
+}
+
+func TestFiguresRender(t *testing.T) {
+	emb, _, comb := grids(t)
+	thr, lat := Figure(emb, "Figure 5")
+	var buf bytes.Buffer
+	thr.Render(&buf)
+	lat.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Figure 5", "CPIs/s", "case 3", "Paragon PFS stripe=64"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure missing %q", want)
+		}
+	}
+	f8t, f8l := Figure8(emb, comb)
+	buf.Reset()
+	f8t.Render(&buf)
+	f8l.Render(&buf)
+	if !strings.Contains(buf.String(), "7 tasks") || !strings.Contains(buf.String(), "6 tasks") {
+		t.Error("Figure 8 missing task-count bars")
+	}
+}
+
+// TestTableValuesMatchCells verifies the rendered tables carry exactly the
+// measured values (no formatting drift between cells and rows).
+func TestTableValuesMatchCells(t *testing.T) {
+	emb, _, _ := grids(t)
+	sum := SummaryTable(emb, "s")
+	idx := 0
+	for _, row := range emb.Cells {
+		for _, cell := range row {
+			r := sum.Rows[idx]
+			if r[0] != cell.Setup.Label || r[1] != cell.Case.Label {
+				t.Fatalf("row %d labels %v mismatch cell %s/%s", idx, r[:2], cell.Setup.Label, cell.Case.Label)
+			}
+			if want := fmt.Sprintf("%.2f", cell.Measured.Throughput); r[3] != want {
+				t.Errorf("row %d throughput %q, want %q", idx, r[3], want)
+			}
+			if want := fmt.Sprintf("%.3f", cell.Measured.Latency); r[4] != want {
+				t.Errorf("row %d latency %q, want %q", idx, r[4], want)
+			}
+			idx++
+		}
+	}
+}
+
+// TestOptimizedComparison runs the extension experiment: optimizer
+// assignments never lose to the hand assignment at the same budget.
+func TestOptimizedComparison(t *testing.T) {
+	emb, _, _ := grids(t)
+	oc, err := RunOptimized(emb, QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, row := range oc.Hand.Cells {
+		for ci, h := range row {
+			o := oc.Optimized.Cells[si][ci]
+			if o.Pipeline.TotalNodes() > h.Pipeline.TotalNodes() {
+				t.Errorf("cell %d/%d: optimizer used more nodes (%d > %d)",
+					si, ci, o.Pipeline.TotalNodes(), h.Pipeline.TotalNodes())
+			}
+			if o.Measured.Throughput < h.Measured.Throughput*0.98 {
+				t.Errorf("cell %d/%d: optimized throughput %.2f below hand %.2f",
+					si, ci, o.Measured.Throughput, h.Measured.Throughput)
+			}
+		}
+	}
+	tbl := oc.Table()
+	if len(tbl.Rows) != 9 {
+		t.Errorf("Table 5 rows = %d, want 9", len(tbl.Rows))
+	}
+	if !strings.Contains(tableString(tbl), "optimizer") {
+		t.Error("Table 5 title missing")
+	}
+	// Wrong-grid input is rejected.
+	_, sep, _ := grids(t)
+	if _, err := RunOptimized(sep, QuickOptions()); err == nil {
+		t.Error("expected rejection of non-embedded grid")
+	}
+}
+
+func TestTimelineChartAndCSV(t *testing.T) {
+	p, err := Build(Embedded, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Setups()[1]
+	opts := QuickOptions()
+	opts.Trace = true
+	res, err := pipesim.Run(p, s.Prof, s.FS, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := TimelineChart(res, "t", 0, 0)
+	var buf bytes.Buffer
+	g.Render(&buf)
+	if !strings.Contains(buf.String(), "Doppler filter") {
+		t.Error("chart missing Doppler lane")
+	}
+	buf.Reset()
+	if err := WriteTimelineCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if lines[0] != "task,cpi,phase,start,end" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if len(lines) != len(res.Timeline)+1 {
+		t.Errorf("CSV rows = %d, want %d", len(lines)-1, len(res.Timeline))
+	}
+	if !strings.Contains(buf.String(), "compute") {
+		t.Error("CSV missing compute phases")
+	}
+}
+
+func TestBuildDesigns(t *testing.T) {
+	for _, d := range []Design{Embedded, Separate, Combined} {
+		p, err := Build(d, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", d, err)
+		}
+	}
+	if _, err := Build(Design(99), 1); err == nil {
+		t.Error("expected error for unknown design")
+	}
+	if Design(99).String() == "" {
+		t.Error("Design.String should never be empty")
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"stapio/internal/report"
+)
+
+// fmtS formats seconds with millisecond resolution.
+func fmtS(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// TaskTable renders one grid as the paper's Table 1/2/3 layout: for each
+// file system column and each node case, the per-task node counts and
+// phase times, then the throughput and latency summary rows.
+func TaskTable(g *Grid, title string) *report.Table {
+	t := &report.Table{
+		Title:   title,
+		Columns: []string{"file system", "case", "task", "nodes", "read wait (s)", "recv (s)", "compute (s)", "send (s)", "total (s)"},
+	}
+	for _, row := range g.Cells {
+		for _, cell := range row {
+			for _, ts := range cell.Measured.Tasks {
+				t.AddRow(
+					cell.Setup.Label, cell.Case.Label, ts.Name,
+					fmt.Sprintf("%d", ts.Nodes),
+					fmtS(ts.ReadWait), fmtS(ts.Recv), fmtS(ts.Compute), fmtS(ts.Send),
+					fmtS(ts.Service),
+				)
+			}
+			t.AddRow(cell.Setup.Label, cell.Case.Label, "throughput (CPIs/s)", "",
+				"", "", "", "", fmt.Sprintf("%.2f", cell.Measured.Throughput))
+			t.AddRow(cell.Setup.Label, cell.Case.Label, "latency (s)", "",
+				"", "", "", "", fmtS(cell.Measured.Latency))
+		}
+	}
+	return t
+}
+
+// SummaryTable renders just throughput and latency per (setup, case).
+func SummaryTable(g *Grid, title string) *report.Table {
+	t := &report.Table{
+		Title:   title,
+		Columns: []string{"file system", "case", "nodes", "throughput (CPIs/s)", "latency (s)"},
+	}
+	for _, row := range g.Cells {
+		for _, cell := range row {
+			t.AddRow(cell.Setup.Label, cell.Case.Label,
+				fmt.Sprintf("%d", cell.Pipeline.TotalNodes()),
+				fmt.Sprintf("%.2f", cell.Measured.Throughput),
+				fmtS(cell.Measured.Latency))
+		}
+	}
+	return t
+}
+
+// ImprovementTable computes the paper's Table 4: the percentage latency
+// improvement of the combined design over the embedded design, per file
+// system and case.
+func ImprovementTable(embedded, combined *Grid) (*report.Table, error) {
+	if len(embedded.Cells) != len(combined.Cells) {
+		return nil, fmt.Errorf("experiments: grid shapes differ")
+	}
+	t := &report.Table{
+		Title:   "Table 4: percentage of latency improvement when pulse compression and CFAR are combined",
+		Columns: []string{"file system", "case 1 (50)", "case 2 (100)", "case 3 (200)"},
+	}
+	for i, row := range embedded.Cells {
+		cells := []string{row[0].Setup.Label}
+		for j, e := range row {
+			c := combined.Cells[i][j]
+			imp := 100 * (e.Measured.Latency - c.Measured.Latency) / e.Measured.Latency
+			cells = append(cells, fmt.Sprintf("%.1f%%", imp))
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+// Figure renders the paper's bar-chart figures for one grid: a throughput
+// chart and a latency chart (Figures 5, 6, 7).
+func Figure(g *Grid, title string) (throughput, latency *report.BarChart) {
+	throughput = &report.BarChart{Title: title + " — throughput", Unit: "CPIs/s"}
+	latency = &report.BarChart{Title: title + " — latency", Unit: "s"}
+	for ci := range Cases() {
+		tg := report.BarGroup{Label: Cases()[ci].Label}
+		lg := report.BarGroup{Label: Cases()[ci].Label}
+		for si := range g.Cells {
+			cell := g.Cells[si][ci]
+			tg.Bars = append(tg.Bars, report.Bar{Label: cell.Setup.Label, Value: cell.Measured.Throughput})
+			lg.Bars = append(lg.Bars, report.Bar{Label: cell.Setup.Label, Value: cell.Measured.Latency})
+		}
+		throughput.Group = append(throughput.Group, tg)
+		latency.Group = append(latency.Group, lg)
+	}
+	return throughput, latency
+}
+
+// Figure8 renders the with/without-combining comparison across the grid.
+func Figure8(embedded, combined *Grid) (throughput, latency *report.BarChart) {
+	throughput = &report.BarChart{Title: "Figure 8 — throughput, 7 tasks vs 6 tasks (combined)", Unit: "CPIs/s"}
+	latency = &report.BarChart{Title: "Figure 8 — latency, 7 tasks vs 6 tasks (combined)", Unit: "s"}
+	for si, row := range embedded.Cells {
+		for ci, e := range row {
+			c := combined.Cells[si][ci]
+			label := fmt.Sprintf("%s, %s", e.Setup.Label, e.Case.Label)
+			throughput.Group = append(throughput.Group, report.BarGroup{
+				Label: label,
+				Bars: []report.Bar{
+					{Label: "7 tasks", Value: e.Measured.Throughput},
+					{Label: "6 tasks", Value: c.Measured.Throughput},
+				},
+			})
+			latency.Group = append(latency.Group, report.BarGroup{
+				Label: label,
+				Bars: []report.Bar{
+					{Label: "7 tasks", Value: e.Measured.Latency},
+					{Label: "6 tasks", Value: c.Measured.Latency},
+				},
+			})
+		}
+	}
+	return throughput, latency
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"stapio/internal/pipesim"
+	"stapio/internal/report"
+)
+
+// PhaseMarks maps each traced phase to its Gantt character.
+var PhaseMarks = map[pipesim.Phase]byte{
+	pipesim.PhaseReadWait:  'r',
+	pipesim.PhaseRecv:      '=',
+	pipesim.PhaseCompute:   '#',
+	pipesim.PhaseSend:      '>',
+	pipesim.PhaseWriteWait: 'w',
+}
+
+// WriteTimelineCSV emits the traced spans as CSV (task, cpi, phase,
+// start, end) for external plotting tools.
+func WriteTimelineCSV(w io.Writer, res *pipesim.Result) error {
+	if _, err := fmt.Fprintln(w, "task,cpi,phase,start,end"); err != nil {
+		return err
+	}
+	for _, s := range res.Timeline {
+		if _, err := fmt.Fprintf(w, "%q,%d,%s,%.9f,%.9f\n",
+			s.Task, s.CPI, s.Phase, s.Start, s.End); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TimelineChart converts a traced simulation result into an ASCII Gantt
+// chart over [from, to] (full extent when both are zero). Legend:
+// r = waiting on the parallel read, = receive, # compute, > send,
+// w = waiting on the report write, . idle.
+func TimelineChart(res *pipesim.Result, title string, from, to float64) *report.Gantt {
+	g := &report.Gantt{Title: title, From: from, To: to}
+	for _, s := range res.Timeline {
+		mark, ok := PhaseMarks[s.Phase]
+		if !ok {
+			mark = '?'
+		}
+		g.Spans = append(g.Spans, report.GanttSpan{
+			Lane:  s.Task,
+			Mark:  mark,
+			Start: s.Start,
+			End:   s.End,
+		})
+	}
+	return g
+}

@@ -1,0 +1,204 @@
+// Package linalg implements the dense complex linear algebra needed by the
+// STAP weight-computation tasks: matrix/vector products, Hermitian
+// outer-product accumulation (sample covariance), Cholesky and Householder
+// QR factorizations, and triangular solves. Everything is complex128 and
+// row-major.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Matrix is a dense row-major complex matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []complex128 // len Rows*Cols, element (i,j) at i*Cols+j
+}
+
+// NewMatrix allocates a zero r x c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("linalg: NewMatrix(%d, %d)", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]complex128, r*c)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set stores v at (i, j).
+func (m *Matrix) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []complex128 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// MulVec computes y = m * x. len(x) must equal m.Cols; if y is nil a new
+// slice is allocated, otherwise len(y) must equal m.Rows.
+func (m *Matrix) MulVec(x, y []complex128) []complex128 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec len(x)=%d, Cols=%d", len(x), m.Cols))
+	}
+	if y == nil {
+		y = make([]complex128, m.Rows)
+	}
+	if len(y) != m.Rows {
+		panic(fmt.Sprintf("linalg: MulVec len(y)=%d, Rows=%d", len(y), m.Rows))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var sum complex128
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		y[i] = sum
+	}
+	return y
+}
+
+// Mul computes and returns a*b.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// ConjTranspose returns the Hermitian transpose m^H.
+func (m *Matrix) ConjTranspose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, cmplx.Conj(m.At(i, j)))
+		}
+	}
+	return out
+}
+
+// AddScaledIdentity adds s to every diagonal element of the square matrix m
+// (diagonal loading of a sample covariance estimate).
+func (m *Matrix) AddScaledIdentity(s complex128) {
+	if m.Rows != m.Cols {
+		panic("linalg: AddScaledIdentity on non-square matrix")
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] += s
+	}
+}
+
+// AccumulateOuter adds x * x^H (scaled by w) into the square matrix m:
+// m += w * x x^H. This is the inner loop of sample covariance estimation.
+func (m *Matrix) AccumulateOuter(x []complex128, w float64) {
+	if m.Rows != m.Cols || len(x) != m.Rows {
+		panic(fmt.Sprintf("linalg: AccumulateOuter dims %dx%d, len(x)=%d", m.Rows, m.Cols, len(x)))
+	}
+	for i := range x {
+		xi := x[i] * complex(w, 0)
+		row := m.Row(i)
+		for j := range x {
+			row[j] += xi * cmplx.Conj(x[j])
+		}
+	}
+}
+
+// SampleCovariance estimates R = (1/K) * sum_k x_k x_k^H from K training
+// snapshots (each of dimension n) and applies diagonal loading delta*I.
+// snapshots must be non-empty and all of equal length.
+func SampleCovariance(snapshots [][]complex128, delta float64) *Matrix {
+	if len(snapshots) == 0 {
+		panic("linalg: SampleCovariance with no snapshots")
+	}
+	n := len(snapshots[0])
+	r := NewMatrix(n, n)
+	w := 1 / float64(len(snapshots))
+	for _, x := range snapshots {
+		if len(x) != n {
+			panic("linalg: SampleCovariance snapshot length mismatch")
+		}
+		r.AccumulateOuter(x, w)
+	}
+	r.AddScaledIdentity(complex(delta, 0))
+	return r
+}
+
+// Dot returns the Hermitian inner product x^H y.
+func Dot(x, y []complex128) complex128 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: Dot len %d vs %d", len(x), len(y)))
+	}
+	var sum complex128
+	for i := range x {
+		sum += cmplx.Conj(x[i]) * y[i]
+	}
+	return sum
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []complex128) float64 {
+	var s float64
+	for _, v := range x {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns the largest element-wise magnitude difference between
+// a and b, which must have identical shape.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("linalg: MaxAbsDiff shape mismatch")
+	}
+	var m float64
+	for i := range a.Data {
+		if d := cmplx.Abs(a.Data[i] - b.Data[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// IsHermitian reports whether m equals its conjugate transpose within tol.
+func (m *Matrix) IsHermitian(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i; j < m.Cols; j++ {
+			if cmplx.Abs(m.At(i, j)-cmplx.Conj(m.At(j, i))) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,136 @@
+// Package machine models the parallel computers of the paper — the Intel
+// Paragon at Caltech and the IBM SP at Argonne — as parameterised profiles:
+// per-node compute rate, message-passing latency and bandwidth, and a
+// parallelisation-overhead model. The discrete-event pipeline simulator
+// converts task workloads (FLOPs, bytes) into execution times through a
+// profile, following the paper's decomposition
+//
+//	T_i = W_i / P_i + C_i + V_i
+//
+// (equation (6)): the evenly partitioned compute time, the communication
+// time, and the residual parallelisation overhead.
+//
+// The absolute constants are calibrated so the simulated pipeline lands in
+// the same operating regime as the paper's tables (throughputs of a few
+// CPIs per second at 50-200 nodes on 16 MB CPIs); they are not measurements
+// of the historical hardware.
+package machine
+
+import (
+	"fmt"
+)
+
+// Profile describes one machine.
+type Profile struct {
+	// Name identifies the machine in reports ("Paragon", "SP").
+	Name string
+	// NodeMFlops is the sustained per-node floating-point rate in MFLOP/s.
+	NodeMFlops float64
+	// MsgLatency is the per-message software + wire latency in seconds.
+	MsgLatency float64
+	// NodeBandwidth is the per-node sustained network bandwidth in
+	// bytes/second.
+	NodeBandwidth float64
+	// KernelOverhead is the fixed per-CPI cost of running one processing
+	// kernel (buffer management, loop setup, pipeline synchronisation).
+	// A task combining k kernels pays k times this cost — combining tasks
+	// does not eliminate the kernels, matching the paper's assumption
+	// that V is tied to the subroutines being parallelised.
+	KernelOverhead float64
+	// NodeOverhead is the per-node, per-CPI coordination cost
+	// (scatter/gather bookkeeping grows with the node count), so
+	// V_i = KernelOverhead*kernels + NodeOverhead*P_i. It cancels exactly
+	// under task combination (P_5 + P_6 nodes keep their cost), which is
+	// why the paper can treat V as negligible in the merge algebra.
+	NodeOverhead float64
+}
+
+// Validate checks the profile constants.
+func (p Profile) Validate() error {
+	if p.NodeMFlops <= 0 || p.NodeBandwidth <= 0 {
+		return fmt.Errorf("machine: profile %q has non-positive rates", p.Name)
+	}
+	if p.MsgLatency < 0 || p.KernelOverhead < 0 || p.NodeOverhead < 0 {
+		return fmt.Errorf("machine: profile %q has negative latency/overhead", p.Name)
+	}
+	return nil
+}
+
+// ComputeTime returns W/P: the time for nodes to execute flops of evenly
+// partitioned work.
+func (p Profile) ComputeTime(flops float64, nodes int) float64 {
+	if nodes < 1 {
+		panic(fmt.Sprintf("machine: ComputeTime with %d nodes", nodes))
+	}
+	return flops / (p.NodeMFlops * 1e6 * float64(nodes))
+}
+
+// CommTime returns the time for sendNodes to transfer bytes to recvNodes:
+// each sender addresses ceil(recvNodes/sendNodes) receivers (at least one
+// message), all senders streaming in parallel at NodeBandwidth. This is the
+// C_i term for one pipeline edge.
+func (p Profile) CommTime(bytes float64, sendNodes, recvNodes int) float64 {
+	if sendNodes < 1 || recvNodes < 1 {
+		panic(fmt.Sprintf("machine: CommTime with %d->%d nodes", sendNodes, recvNodes))
+	}
+	msgs := (recvNodes + sendNodes - 1) / sendNodes
+	if msgs < 1 {
+		msgs = 1
+	}
+	return p.MsgLatency*float64(msgs) + bytes/(float64(sendNodes)*p.NodeBandwidth)
+}
+
+// Overhead returns V_i = KernelOverhead*kernels + NodeOverhead*nodes, the
+// residual parallelisation overhead of a task of `kernels` processing
+// kernels on `nodes` nodes. The per-node component reproduces the paper's
+// observation that "scalability of the parallelization tends to decrease
+// when more processors are used": as node counts double, the shrinking
+// compute term leaves these fixed costs a growing share of every task.
+func (p Profile) Overhead(nodes, kernels int) float64 {
+	if nodes < 1 || kernels < 1 {
+		panic(fmt.Sprintf("machine: Overhead with %d nodes, %d kernels", nodes, kernels))
+	}
+	return p.KernelOverhead*float64(kernels) + p.NodeOverhead*float64(nodes)
+}
+
+// Paragon returns the Intel Paragon-like profile: slow i860 nodes on a
+// fast mesh interconnect.
+func Paragon() Profile {
+	return Profile{
+		Name:           "Paragon",
+		NodeMFlops:     33,
+		MsgLatency:     60e-6,
+		NodeBandwidth:  70e6,
+		KernelOverhead: 10e-3,
+		NodeOverhead:   30e-6,
+	}
+}
+
+// SP returns the IBM SP-like profile: much faster P2SC nodes on a
+// lower-bandwidth switch ("even though the SP has faster CPUs").
+func SP() Profile {
+	return Profile{
+		Name:           "SP",
+		NodeMFlops:     132,
+		MsgLatency:     40e-6,
+		NodeBandwidth:  34e6,
+		KernelOverhead: 4e-3,
+		NodeOverhead:   20e-6,
+	}
+}
+
+// Modern returns a present-day commodity cluster profile (multi-GFLOP/s
+// cores, 10 GbE-class networking, microsecond software overheads) — a
+// "what would this workload look like today" point of comparison: the
+// compute that saturated 200 Paragon nodes fits in a handful of cores,
+// and the parallel file system becomes the entire story.
+func Modern() Profile {
+	return Profile{
+		Name:           "Modern",
+		NodeMFlops:     5000,
+		MsgLatency:     10e-6,
+		NodeBandwidth:  1.1e9,
+		KernelOverhead: 200e-6,
+		NodeOverhead:   5e-6,
+	}
+}

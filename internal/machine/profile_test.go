@@ -1,0 +1,163 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProfilesValid(t *testing.T) {
+	for _, p := range []Profile{Paragon(), SP(), Modern()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	bad := Profile{Name: "x", NodeMFlops: 0, NodeBandwidth: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for zero MFlops")
+	}
+	bad2 := Profile{Name: "x", NodeMFlops: 1, NodeBandwidth: 1, MsgLatency: -1}
+	if err := bad2.Validate(); err == nil {
+		t.Error("expected error for negative latency")
+	}
+}
+
+func TestSPFasterCPUSlowerNetwork(t *testing.T) {
+	// The paper's premise: SP CPUs are faster, its file/network path is
+	// the limiter.
+	if SP().NodeMFlops <= Paragon().NodeMFlops {
+		t.Error("SP nodes must be faster than Paragon nodes")
+	}
+	if SP().NodeBandwidth >= Paragon().NodeBandwidth {
+		t.Error("SP per-node bandwidth must be below Paragon mesh bandwidth")
+	}
+}
+
+func TestModernProfileIsIOBound(t *testing.T) {
+	// On the modern profile, the paper's whole per-CPI compute (~0.4
+	// GFLOP) takes only a few milliseconds on a handful of nodes — less
+	// than a single 16 MiB read from the 1990s-parameterised PFS, so the
+	// file system dominates by construction.
+	m := Modern()
+	computeAll := m.ComputeTime(4e8, 8)
+	if computeAll > 0.011 {
+		t.Errorf("modern compute time %.4fs implausibly slow", computeAll)
+	}
+	if m.NodeMFlops < 20*SP().NodeMFlops {
+		t.Error("modern nodes should dwarf the SP's")
+	}
+}
+
+func TestComputeTimeScaling(t *testing.T) {
+	p := Paragon()
+	t1 := p.ComputeTime(1e9, 10)
+	t2 := p.ComputeTime(1e9, 20)
+	if math.Abs(t1/t2-2) > 1e-12 {
+		t.Errorf("doubling nodes should halve compute time: %v vs %v", t1, t2)
+	}
+	// NodeMFlops * 1e6 flops on 1 node = 1 s.
+	if got := p.ComputeTime(p.NodeMFlops*1e6, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ComputeTime = %v, want 1", got)
+	}
+}
+
+func TestCommTime(t *testing.T) {
+	p := Profile{Name: "t", NodeMFlops: 1, MsgLatency: 1e-3, NodeBandwidth: 1e6}
+	// 1 MB from 1 node to 1 node: 1 msg latency + 1 s transfer.
+	got := p.CommTime(1e6, 1, 1)
+	if math.Abs(got-1.001) > 1e-9 {
+		t.Errorf("CommTime = %v, want 1.001", got)
+	}
+	// 4 senders to 8 receivers: 2 messages each, parallel transfer.
+	got = p.CommTime(4e6, 4, 8)
+	want := 2e-3 + 1.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("CommTime = %v, want %v", got, want)
+	}
+	// More senders never slow the transfer down.
+	if p.CommTime(1e6, 8, 8) > p.CommTime(1e6, 4, 8)+1e-12 {
+		t.Error("more senders should not increase comm time")
+	}
+}
+
+func TestOverheadMonotone(t *testing.T) {
+	p := Paragon()
+	prev := -1.0
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		v := p.Overhead(n, 1)
+		if v < prev {
+			t.Errorf("Overhead not monotone at %d nodes", n)
+		}
+		prev = v
+	}
+	// Per-kernel component: a 2-kernel task costs one extra KernelOverhead.
+	if got, want := p.Overhead(4, 2)-p.Overhead(4, 1), p.KernelOverhead; math.Abs(got-want) > 1e-12 {
+		t.Errorf("kernel overhead increment = %v, want %v", got, want)
+	}
+	// Merge-neutrality: V(P5+P6, k5+k6) == V(P5,k5) + V(P6,k6): combining
+	// tasks neither creates nor destroys overhead, the paper's assumption.
+	got := p.Overhead(12, 1) + p.Overhead(8, 1)
+	if math.Abs(p.Overhead(20, 2)-got) > 1e-12 {
+		t.Errorf("overhead not merge-neutral: %v vs %v", p.Overhead(20, 2), got)
+	}
+}
+
+func TestMergeComputeInequalityProperty(t *testing.T) {
+	// Paper eq. (9): (W5+W6)/(P5+P6) - W5/P5 - W6/P6 < 0 for any positive
+	// workloads and node counts — the compute side of task combination
+	// never loses.
+	p := Paragon()
+	f := func(w5raw, w6raw uint32, p5raw, p6raw uint8) bool {
+		w5 := float64(w5raw%1e6) + 1
+		w6 := float64(w6raw%1e6) + 1
+		p5 := int(p5raw%32) + 1
+		p6 := int(p6raw%32) + 1
+		sep := p.ComputeTime(w5, p5) + p.ComputeTime(w6, p6)
+		merged := p.ComputeTime(w5+w6, p5+p6)
+		return merged <= sep+1e-18
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeFasterAtRealisticScale(t *testing.T) {
+	// With paper-scale workloads (hundreds of MFLOPs per CPI) the merged
+	// task beats the two separate stages even including the V(P) overhead
+	// term — the paper's eq. (11). At trivial workloads the overhead can
+	// dominate and the inequality need not hold, which is why this is not
+	// a property over arbitrary inputs.
+	for _, prof := range []Profile{Paragon(), SP()} {
+		for _, cfg := range []struct {
+			w5, w6 float64
+			p5, p6 int
+		}{
+			{3e8, 1e8, 8, 4},
+			{5e8, 5e8, 16, 16},
+			{1e9, 2e8, 24, 8},
+		} {
+			sep := prof.ComputeTime(cfg.w5, cfg.p5) + prof.Overhead(cfg.p5, 1) +
+				prof.ComputeTime(cfg.w6, cfg.p6) + prof.Overhead(cfg.p6, 1)
+			merged := prof.ComputeTime(cfg.w5+cfg.w6, cfg.p5+cfg.p6) + prof.Overhead(cfg.p5+cfg.p6, 2)
+			if merged >= sep {
+				t.Errorf("%s %+v: merged %g >= separate %g", prof.Name, cfg, merged, sep)
+			}
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	p := Paragon()
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("ComputeTime", func() { p.ComputeTime(1, 0) })
+	mustPanic("CommTime", func() { p.CommTime(1, 0, 1) })
+	mustPanic("Overhead nodes", func() { p.Overhead(0, 1) })
+	mustPanic("Overhead kernels", func() { p.Overhead(1, 0) })
+}

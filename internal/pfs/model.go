@@ -1,0 +1,104 @@
+package pfs
+
+import (
+	"fmt"
+
+	"stapio/internal/sim"
+)
+
+// Model is the discrete-event simulation of a parallel file system: one
+// FIFO server per stripe directory. Concurrent reads from different
+// pipeline stages queue at the shared servers, which is exactly how the
+// paper's I/O bottleneck arises — the read of the next CPI competes for
+// the same stripe directories while earlier reads are still draining.
+type Model struct {
+	Cfg          Config
+	eng          *sim.Engine
+	servers      []*sim.Server
+	reads        int64
+	bytes        int64
+	writes       int64
+	bytesWritten int64
+}
+
+// NewModel builds the server array on the engine.
+func NewModel(eng *sim.Engine, cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{Cfg: cfg, eng: eng}
+	m.servers = make([]*sim.Server, cfg.StripeDirs)
+	for i := range m.servers {
+		m.servers[i] = sim.NewServer(eng, fmt.Sprintf("%s/dir%d", cfg.Name, i), 1)
+	}
+	return m, nil
+}
+
+// Read simulates a parallel read of [off, off+length): the byte interval is
+// decomposed into stripe-unit requests, each queued at its stripe server;
+// done fires when the last request completes. The caller models the
+// client-side semantics (async overlap vs synchronous blocking).
+func (m *Model) Read(off, length int64, done func()) {
+	first, count := m.Cfg.unitSpan(off, length)
+	m.reads++
+	m.bytes += length
+	if count == 0 {
+		// Empty read completes after one server latency.
+		m.eng.Schedule(m.Cfg.ServerLatency, done)
+		return
+	}
+	batch := sim.NewBatch(count, done)
+	for u := first; u < first+count; u++ {
+		lo := max64(off, int64(u)*m.Cfg.StripeUnit)
+		hi := min64(off+length, int64(u+1)*m.Cfg.StripeUnit)
+		srv := m.servers[m.Cfg.ServerFor(u)]
+		srv.Submit(m.Cfg.UnitServiceTime(hi-lo), batch.Done)
+	}
+}
+
+// Write simulates a parallel write of [off, off+length): stripe-unit
+// requests queue at the same servers as reads, so a radar writing its
+// staging files steals service capacity from the pipeline's reads —
+// the contention the paper's round-robin staggering is designed to
+// minimise. done fires when the last unit is on disk.
+func (m *Model) Write(off, length int64, done func()) {
+	first, count := m.Cfg.unitSpan(off, length)
+	m.writes++
+	m.bytesWritten += length
+	if count == 0 {
+		m.eng.Schedule(m.Cfg.ServerLatency, done)
+		return
+	}
+	batch := sim.NewBatch(count, done)
+	for u := first; u < first+count; u++ {
+		lo := max64(off, int64(u)*m.Cfg.StripeUnit)
+		hi := min64(off+length, int64(u+1)*m.Cfg.StripeUnit)
+		srv := m.servers[m.Cfg.ServerFor(u)]
+		srv.Submit(m.Cfg.UnitServiceTime(hi-lo), batch.Done)
+	}
+}
+
+// Reads returns the number of Read calls issued.
+func (m *Model) Reads() int64 { return m.reads }
+
+// Writes returns the number of Write calls issued.
+func (m *Model) Writes() int64 { return m.writes }
+
+// BytesRead returns the total bytes requested.
+func (m *Model) BytesRead() int64 { return m.bytes }
+
+// BytesWritten returns the total bytes written.
+func (m *Model) BytesWritten() int64 { return m.bytesWritten }
+
+// BusiestUtilization returns the highest per-server utilization over the
+// horizon; a value near 1.0 identifies the file system as the pipeline
+// bottleneck.
+func (m *Model) BusiestUtilization(horizon float64) float64 {
+	var worst float64
+	for _, s := range m.servers {
+		if u := s.Utilization(horizon); u > worst {
+			worst = u
+		}
+	}
+	return worst
+}

@@ -1,0 +1,247 @@
+package pfs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// RealFS stripes files across local directories, mirroring the layout of
+// the modelled parallel file system: unit u of a file lives in stripe
+// directory u mod StripeDirs, at unit index u div StripeDirs within that
+// directory's sub-file. Reads fan out one goroutine per touched stripe
+// directory, and an asynchronous API (Start/Wait) mirrors the Paragon NX
+// iread()/iowait() pair so the pipeline's first task can overlap I/O with
+// computation.
+type RealFS struct {
+	root  string
+	dirs  int
+	unit  int64
+	async bool
+}
+
+// CreateReal initialises (or reuses) a striped store rooted at root with
+// the given stripe geometry. Stripe directories are created eagerly.
+func CreateReal(root string, stripeDirs int, stripeUnit int64, async bool) (*RealFS, error) {
+	if stripeDirs < 1 || stripeUnit < 1 {
+		return nil, fmt.Errorf("pfs: invalid stripe geometry dirs=%d unit=%d", stripeDirs, stripeUnit)
+	}
+	fs := &RealFS{root: root, dirs: stripeDirs, unit: stripeUnit, async: async}
+	for i := 0; i < stripeDirs; i++ {
+		if err := os.MkdirAll(fs.dirPath(i), 0o755); err != nil {
+			return nil, fmt.Errorf("pfs: creating stripe dir: %w", err)
+		}
+	}
+	return fs, nil
+}
+
+// StripeDirs returns the stripe factor.
+func (fs *RealFS) StripeDirs() int { return fs.dirs }
+
+// StripeUnit returns the stripe unit in bytes.
+func (fs *RealFS) StripeUnit() int64 { return fs.unit }
+
+// Async reports whether asynchronous reads are enabled (false emulates
+// PIOFS semantics: Start degenerates to a completed synchronous read).
+func (fs *RealFS) Async() bool { return fs.async }
+
+func (fs *RealFS) dirPath(i int) string {
+	return filepath.Join(fs.root, fmt.Sprintf("sd%03d", i))
+}
+
+func (fs *RealFS) subPath(dir int, name string) string {
+	return filepath.Join(fs.dirPath(dir), name)
+}
+
+// WriteFile stripes data across the directories, replacing any previous
+// contents of the named file. It satisfies radar.FileStore.
+func (fs *RealFS) WriteFile(name string, data []byte) error {
+	nUnits := int((int64(len(data)) + fs.unit - 1) / fs.unit)
+	touched := fs.dirs
+	if nUnits < touched {
+		touched = nUnits
+	}
+	// Assemble each directory's sub-file, then write them concurrently —
+	// one writer goroutine per stripe directory, as the striped server
+	// farm would.
+	var wg sync.WaitGroup
+	errs := make([]error, fs.dirs)
+	for d := 0; d < fs.dirs; d++ {
+		var sub []byte
+		for u := d; u < nUnits; u += fs.dirs {
+			lo := int64(u) * fs.unit
+			hi := lo + fs.unit
+			if hi > int64(len(data)) {
+				hi = int64(len(data))
+			}
+			sub = append(sub, data[lo:hi]...)
+		}
+		if len(sub) == 0 && d >= touched {
+			// Remove stale sub-file from a previous, larger version.
+			if err := os.Remove(fs.subPath(d, name)); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("pfs: removing stale stripe: %w", err)
+			}
+			continue
+		}
+		wg.Add(1)
+		go func(d int, sub []byte) {
+			defer wg.Done()
+			errs[d] = os.WriteFile(fs.subPath(d, name), sub, 0o644)
+		}(d, sub)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("pfs: writing stripe: %w", err)
+		}
+	}
+	return nil
+}
+
+// FileSize returns the total logical size of the named striped file.
+func (fs *RealFS) FileSize(name string) (int64, error) {
+	var total int64
+	found := false
+	for d := 0; d < fs.dirs; d++ {
+		st, err := os.Stat(fs.subPath(d, name))
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return 0, err
+		}
+		found = true
+		total += st.Size()
+	}
+	if !found {
+		return 0, fmt.Errorf("pfs: file %q not found", name)
+	}
+	return total, nil
+}
+
+// segment is one contiguous run of bytes within a single stripe sub-file.
+type segment struct {
+	dir    int
+	subOff int64 // offset within the sub-file
+	bufOff int64 // offset within the caller's buffer
+	length int64
+}
+
+// segments decomposes a logical read [off, off+length) into per-directory
+// sub-file runs.
+func (fs *RealFS) segments(off, length int64) []segment {
+	var segs []segment
+	pos := off
+	end := off + length
+	for pos < end {
+		u := pos / fs.unit
+		unitEnd := (u + 1) * fs.unit
+		hi := end
+		if unitEnd < hi {
+			hi = unitEnd
+		}
+		dir := int(u) % fs.dirs
+		idxInDir := u / int64(fs.dirs)
+		segs = append(segs, segment{
+			dir:    dir,
+			subOff: idxInDir*fs.unit + (pos - u*fs.unit),
+			bufOff: pos - off,
+			length: hi - pos,
+		})
+		pos = hi
+	}
+	return segs
+}
+
+// ReadAt reads length bytes at logical offset off of the named file into
+// buf (len(buf) >= length), fanning out one goroutine per stripe directory
+// touched. It blocks until the read completes.
+func (fs *RealFS) ReadAt(name string, off int64, buf []byte) error {
+	segs := fs.segments(off, int64(len(buf)))
+	// Group segments by directory so each directory is served by exactly
+	// one goroutine reading its sub-file sequentially.
+	byDir := make(map[int][]segment)
+	for _, s := range segs {
+		byDir[s.dir] = append(byDir[s.dir], s)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(byDir))
+	for d, group := range byDir {
+		wg.Add(1)
+		go func(d int, group []segment) {
+			defer wg.Done()
+			f, err := os.Open(fs.subPath(d, name))
+			if err != nil {
+				errCh <- fmt.Errorf("pfs: open stripe %d of %q: %w", d, name, err)
+				return
+			}
+			defer f.Close()
+			for _, s := range group {
+				if _, err := f.ReadAt(buf[s.bufOff:s.bufOff+s.length], s.subOff); err != nil {
+					errCh <- fmt.Errorf("pfs: read stripe %d of %q: %w", d, name, err)
+					return
+				}
+			}
+		}(d, group)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pending is an in-flight asynchronous read, the analogue of the NX
+// iread() handle.
+type Pending struct {
+	done chan struct{}
+	err  error
+}
+
+// Wait blocks until the read completes and returns its error — the
+// analogue of iowait().
+func (p *Pending) Wait() error {
+	<-p.done
+	return p.err
+}
+
+// Start begins an asynchronous read and returns immediately. When the file
+// system was created without async support (PIOFS semantics), Start
+// performs the read synchronously before returning, so Wait never
+// overlaps anything — matching the paper's observation that PIOFS reads
+// cannot be hidden behind computation.
+func (fs *RealFS) Start(name string, off int64, buf []byte) *Pending {
+	p := &Pending{done: make(chan struct{})}
+	if !fs.async {
+		p.err = fs.ReadAt(name, off, buf)
+		close(p.done)
+		return p
+	}
+	go func() {
+		p.err = fs.ReadAt(name, off, buf)
+		close(p.done)
+	}()
+	return p
+}
+
+// StartWrite begins an asynchronous whole-file write — how the radar
+// refills a staging file while the pipeline computes. The data slice must
+// not be modified until Wait returns. On a sync-only store the write
+// happens before StartWrite returns.
+func (fs *RealFS) StartWrite(name string, data []byte) *Pending {
+	p := &Pending{done: make(chan struct{})}
+	if !fs.async {
+		p.err = fs.WriteFile(name, data)
+		close(p.done)
+		return p
+	}
+	go func() {
+		p.err = fs.WriteFile(name, data)
+		close(p.done)
+	}()
+	return p
+}

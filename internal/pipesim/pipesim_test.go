@@ -1,0 +1,416 @@
+package pipesim
+
+import (
+	"math"
+	"testing"
+
+	"stapio/internal/core"
+	"stapio/internal/cube"
+	"stapio/internal/machine"
+	"stapio/internal/pfs"
+	"stapio/internal/stap"
+)
+
+func paperWorkloads() stap.Workloads {
+	p := stap.DefaultParams(cube.Dims{Channels: 16, Pulses: 128, Ranges: 1024})
+	return stap.ComputeWorkloads(&p)
+}
+
+func case1Nodes() core.STAPNodes {
+	return core.STAPNodes{Doppler: 16, EasyWeight: 2, HardWeight: 3, EasyBF: 8, HardBF: 4, PulseComp: 14, CFAR: 3, IO: 8}
+}
+
+func runEmbedded(t *testing.T, fsCfg pfs.Config, prof machine.Profile, scale int, opts Options) *Result {
+	t.Helper()
+	p, err := core.BuildEmbedded(paperWorkloads(), case1Nodes().Scale(scale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, prof, fsCfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunMatchesAnalyticModel(t *testing.T) {
+	// The DES and the closed-form equations must agree in steady state
+	// when the file system is not the bottleneck.
+	prof := machine.Paragon()
+	fsCfg := pfs.ParagonPFS(64)
+	p, err := core.BuildEmbedded(paperWorkloads(), case1Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(p, prof, fsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, prof, fsCfg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.Throughput-a.Throughput) / a.Throughput; rel > 0.03 {
+		t.Errorf("throughput: DES %.3f vs analytic %.3f (%.1f%% apart)",
+			res.Throughput, a.Throughput, rel*100)
+	}
+	if rel := math.Abs(res.Latency-a.Latency) / a.Latency; rel > 0.05 {
+		t.Errorf("latency: DES %.3f vs analytic %.3f (%.1f%% apart)",
+			res.Latency, a.Latency, rel*100)
+	}
+	// Per-task service times match the analytic T_i for non-starved tasks.
+	for i, ts := range res.Tasks {
+		if ts.Served == 0 {
+			t.Errorf("task %s served no measured CPIs", ts.Name)
+			continue
+		}
+		// Measured service includes input starvation only via InputWait,
+		// which is excluded from Service... Service >= analytic phases.
+		want := a.Timings[i].Rest()
+		got := ts.Recv + ts.Compute + ts.Send
+		if math.Abs(got-want) > 0.02*want+1e-6 {
+			t.Errorf("task %s phases %.4f vs analytic rest %.4f", ts.Name, got, want)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	prof := machine.Paragon()
+	fsCfg := pfs.ParagonPFS(16)
+	a := runEmbedded(t, fsCfg, prof, 1, DefaultOptions())
+	b := runEmbedded(t, fsCfg, prof, 1, DefaultOptions())
+	if a.Throughput != b.Throughput || a.Latency != b.Latency || a.Events != b.Events {
+		t.Error("simulation is not deterministic")
+	}
+}
+
+func TestIOBottleneckEmergesAtScale(t *testing.T) {
+	// The paper's central observation (Table 1): with stripe factor 16 the
+	// pipeline scales to 100 nodes but the read becomes the bottleneck at
+	// 200; stripe factor 64 relieves it.
+	prof := machine.Paragon()
+	opts := DefaultOptions()
+	var thr16, thr64 [3]float64
+	for i, scale := range []int{1, 2, 4} {
+		thr16[i] = runEmbedded(t, pfs.ParagonPFS(16), prof, scale, opts).Throughput
+		thr64[i] = runEmbedded(t, pfs.ParagonPFS(64), prof, scale, opts).Throughput
+	}
+	// Cases 1 and 2: both file systems roughly equal.
+	for i := 0; i < 2; i++ {
+		if rel := math.Abs(thr16[i]-thr64[i]) / thr64[i]; rel > 0.05 {
+			t.Errorf("case %d: PFS-16 %.2f vs PFS-64 %.2f should match", i+1, thr16[i], thr64[i])
+		}
+	}
+	// Case 3: PFS-16 visibly degraded.
+	if thr16[2] > 0.8*thr64[2] {
+		t.Errorf("case 3: expected I/O bottleneck on PFS-16: %.2f vs %.2f", thr16[2], thr64[2])
+	}
+	// PFS-64 scales ~linearly (ratios > 1.8 per doubling).
+	if thr64[1]/thr64[0] < 1.8 || thr64[2]/thr64[1] < 1.7 {
+		t.Errorf("PFS-64 throughput not scaling: %v", thr64)
+	}
+	// The bottleneck shows up as read wait in the Doppler task's stats.
+	res16 := runEmbedded(t, pfs.ParagonPFS(16), prof, 4, opts)
+	res64 := runEmbedded(t, pfs.ParagonPFS(64), prof, 4, opts)
+	if res16.Tasks[0].ReadWait <= res64.Tasks[0].ReadWait {
+		t.Error("PFS-16 at 200 nodes should show a larger receive/read-wait phase")
+	}
+	if res16.FSBusiestUtilization < 0.9 {
+		t.Errorf("bottlenecked FS utilization %.2f, want near 1", res16.FSBusiestUtilization)
+	}
+}
+
+func TestLatencyBarelyAffectedByBottleneck(t *testing.T) {
+	// Paper: "the latency is not significantly affected by the bottleneck
+	// problem" — it grows by the exposed read, not by the queueing.
+	prof := machine.Paragon()
+	opts := DefaultOptions()
+	lat16 := runEmbedded(t, pfs.ParagonPFS(16), prof, 4, opts).Latency
+	lat64 := runEmbedded(t, pfs.ParagonPFS(64), prof, 4, opts).Latency
+	if lat16 <= lat64 {
+		t.Errorf("PFS-16 latency %.3f should exceed PFS-64 %.3f slightly", lat16, lat64)
+	}
+	if lat16 > 1.6*lat64 {
+		t.Errorf("latency blowup %.2fx too large — latency should be only mildly affected", lat16/lat64)
+	}
+}
+
+func TestSeparateIOTaskThroughputSameLatencyWorse(t *testing.T) {
+	// Paper Section 5.2: the separate-I/O design has ~the same throughput
+	// (the bottleneck task is unchanged) but strictly worse latency (one
+	// more pipeline term).
+	prof := machine.Paragon()
+	fsCfg := pfs.ParagonPFS(64)
+	w := paperWorkloads()
+	opts := DefaultOptions()
+	for _, scale := range []int{1, 2} {
+		n := case1Nodes().Scale(scale)
+		emb, err := core.BuildEmbedded(w, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sep, err := core.BuildSeparate(w, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := Measure(emb, prof, fsCfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := Measure(sep, prof, fsCfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(re.Throughput-rs.Throughput) / re.Throughput; rel > 0.07 {
+			t.Errorf("scale %d: throughputs %.2f vs %.2f differ by %.1f%%",
+				scale, re.Throughput, rs.Throughput, rel*100)
+		}
+		if rs.Latency <= re.Latency {
+			t.Errorf("scale %d: separate latency %.3f not worse than embedded %.3f",
+				scale, rs.Latency, re.Latency)
+		}
+	}
+}
+
+func TestTaskCombiningImprovesLatencyNotThroughput(t *testing.T) {
+	// Paper Section 6 measured: combining PC+CFAR improves latency in
+	// every case without hurting throughput, and the improvement
+	// percentage decreases with node count.
+	prof := machine.Paragon()
+	fsCfg := pfs.ParagonPFS(64)
+	w := paperWorkloads()
+	opts := DefaultOptions()
+	prevImp := math.Inf(1)
+	for _, scale := range []int{1, 2, 4} {
+		n := case1Nodes().Scale(scale)
+		p, err := core.BuildEmbedded(w, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := core.CombinePCCFAR(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := Run(p, prof, fsCfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm, err := Run(m, prof, fsCfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rm.Latency >= rp.Latency {
+			t.Errorf("scale %d: merged latency %.3f >= %.3f", scale, rm.Latency, rp.Latency)
+		}
+		if rm.Throughput < rp.Throughput*0.99 {
+			t.Errorf("scale %d: merged throughput %.2f dropped from %.2f",
+				scale, rm.Throughput, rp.Throughput)
+		}
+		imp := (rp.Latency - rm.Latency) / rp.Latency
+		if imp >= prevImp {
+			t.Errorf("scale %d: improvement %.1f%% did not decrease (prev %.1f%%)",
+				scale, imp*100, prevImp*100)
+		}
+		prevImp = imp
+	}
+}
+
+func TestSyncIOHurtsThroughput(t *testing.T) {
+	// PIOFS has no asynchronous reads; the same machine with an async
+	// version of the same file system must beat it.
+	prof := machine.SP()
+	sync := pfs.PIOFS()
+	async := sync
+	async.Async = true
+	async.Name = "PIOFS-async(hypothetical)"
+	opts := DefaultOptions()
+	rSync := runEmbedded(t, sync, prof, 2, opts)
+	rAsync := runEmbedded(t, async, prof, 2, opts)
+	if rSync.Throughput >= rAsync.Throughput {
+		t.Errorf("sync I/O throughput %.2f should trail async %.2f",
+			rSync.Throughput, rAsync.Throughput)
+	}
+}
+
+func TestPrefetchDepthZeroReadOverlap(t *testing.T) {
+	// Deeper prefetch can only help (or tie); depth is an ablation knob.
+	prof := machine.Paragon()
+	fsCfg := pfs.ParagonPFS(16)
+	o1 := DefaultOptions()
+	o1.PrefetchDepth = 1
+	o3 := DefaultOptions()
+	o3.PrefetchDepth = 3
+	r1 := runEmbedded(t, fsCfg, prof, 4, o1)
+	r3 := runEmbedded(t, fsCfg, prof, 4, o3)
+	if r3.Throughput < r1.Throughput*0.999 {
+		t.Errorf("deeper prefetch hurt throughput: %.3f vs %.3f", r3.Throughput, r1.Throughput)
+	}
+}
+
+func TestRunOptionValidation(t *testing.T) {
+	prof := machine.Paragon()
+	p, err := core.BuildEmbedded(paperWorkloads(), case1Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(p, prof, pfs.ParagonPFS(16), Options{CPIs: 1, Warmup: 0}); err == nil {
+		t.Error("expected error for too few CPIs")
+	}
+	if _, err := Run(p, prof, pfs.ParagonPFS(16), Options{CPIs: 10, Warmup: 10}); err == nil {
+		t.Error("expected error for warmup >= CPIs")
+	}
+	if _, err := Run(p, prof, pfs.Config{}, DefaultOptions()); err == nil {
+		t.Error("expected error for invalid FS config on reading pipeline")
+	}
+	bad := &core.Pipeline{Name: "bad"}
+	if _, err := Run(bad, prof, pfs.Config{}, DefaultOptions()); err == nil {
+		t.Error("expected error for invalid pipeline")
+	}
+	if _, err := Run(p, machine.Profile{Name: "x"}, pfs.ParagonPFS(16), DefaultOptions()); err == nil {
+		t.Error("expected error for invalid profile")
+	}
+}
+
+func TestNoFSPipelineRuns(t *testing.T) {
+	// A pipeline without any I/O attachment runs without a file system.
+	p := &core.Pipeline{Name: "pure", Tasks: []core.Task{
+		{Name: "a", Nodes: 2, Flops: 1e8},
+		{Name: "b", Nodes: 2, Flops: 1e8, Deps: []core.Dep{{From: 0, Bytes: 1e6}}},
+	}}
+	res, err := Run(p, machine.Paragon(), pfs.Config{}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 || res.Latency <= 0 {
+		t.Error("expected positive results")
+	}
+	if res.FSBusiestUtilization != 0 {
+		t.Error("no FS should report zero utilization")
+	}
+}
+
+func TestMeasureMatchesAnalyticSeparateLatency(t *testing.T) {
+	// Under radar-paced arrivals the separate-I/O latency must match the
+	// paper's eq. (4) prediction — no queueing in front of the bottleneck.
+	prof := machine.Paragon()
+	fsCfg := pfs.ParagonPFS(64)
+	sep, err := core.BuildSeparate(paperWorkloads(), case1Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(sep, prof, fsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Measure(sep, prof, fsCfg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.Latency-a.Latency) / a.Latency; rel > 0.10 {
+		t.Errorf("measured latency %.3f vs analytic %.3f (%.1f%% apart)",
+			res.Latency, a.Latency, rel*100)
+	}
+}
+
+func TestBackpressureBoundsFreeRunLatency(t *testing.T) {
+	// Free-running, the fast read head may run at most BufferDepth CPIs
+	// ahead of each successor; the measured latency must stay within a
+	// small multiple of the paced latency instead of growing with the
+	// run length.
+	prof := machine.Paragon()
+	fsCfg := pfs.ParagonPFS(64)
+	sep, err := core.BuildSeparate(paperWorkloads(), case1Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := DefaultOptions()
+	long := DefaultOptions()
+	long.CPIs = 120
+	rShort, err := Run(sep, prof, fsCfg, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rLong, err := Run(sep, prof, fsCfg, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(rLong.Latency-rShort.Latency) / rShort.Latency; rel > 0.10 {
+		t.Errorf("free-run latency grows with run length: %.3f -> %.3f", rShort.Latency, rLong.Latency)
+	}
+}
+
+func TestArrivalPacingSetsThroughput(t *testing.T) {
+	// With arrivals slower than capacity, throughput equals the arrival
+	// rate.
+	prof := machine.Paragon()
+	fsCfg := pfs.ParagonPFS(64)
+	p, err := core.BuildEmbedded(paperWorkloads(), case1Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.ArrivalInterval = 1.0 // far slower than the ~0.37 s period
+	res, err := Run(p, prof, fsCfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Throughput-1.0) > 0.01 {
+		t.Errorf("paced throughput %.3f, want ~1.0", res.Throughput)
+	}
+}
+
+func TestMeasureRejectsPresetArrival(t *testing.T) {
+	prof := machine.Paragon()
+	p, err := core.BuildEmbedded(paperWorkloads(), case1Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.ArrivalInterval = 0.5
+	if _, err := Measure(p, prof, pfs.ParagonPFS(64), opts); err == nil {
+		t.Error("Measure should reject a preset arrival interval")
+	}
+	opts.ArrivalInterval = -1
+	if _, err := Run(p, prof, pfs.ParagonPFS(64), opts); err == nil {
+		t.Error("Run should reject a negative arrival interval")
+	}
+}
+
+func TestTemporalDependencyOffCriticalPath(t *testing.T) {
+	// Slowing the weight tasks (lag-1 producers) within the period must
+	// not change latency — the paper's temporal-dependency argument.
+	prof := machine.Paragon()
+	fsCfg := pfs.ParagonPFS(64)
+	w := paperWorkloads()
+	n := case1Nodes()
+	base, err := core.BuildEmbedded(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := base.Clone()
+	slow.Tasks[1].Flops *= 1.5
+	slow.Tasks[2].Flops *= 1.5
+	opts := DefaultOptions()
+	rBase, err := Run(base, prof, fsCfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSlow, err := Run(slow, prof, fsCfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(rSlow.Latency-rBase.Latency) / rBase.Latency; rel > 0.02 {
+		t.Errorf("weight-task slowdown changed latency by %.1f%%", rel*100)
+	}
+}
+
+func TestLatencyP95(t *testing.T) {
+	prof := machine.Paragon()
+	res := runEmbedded(t, pfs.ParagonPFS(64), prof, 1, DefaultOptions())
+	if res.LatencyP95 < res.Latency {
+		t.Errorf("P95 %.4f below mean %.4f", res.LatencyP95, res.Latency)
+	}
+	if res.LatencyP95 > 2*res.Latency {
+		t.Errorf("P95 %.4f implausibly above mean %.4f in a deterministic pipeline", res.LatencyP95, res.Latency)
+	}
+}

@@ -1,0 +1,162 @@
+package pipesim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stapio/internal/core"
+	"stapio/internal/machine"
+	"stapio/internal/pfs"
+)
+
+// randomPipeline builds a random DAG pipeline: a chain with occasional
+// skip edges and lag-1 side taps, random workloads and node counts.
+func randomPipeline(rng *rand.Rand) *core.Pipeline {
+	n := rng.Intn(6) + 2
+	tasks := make([]core.Task, n)
+	for i := range tasks {
+		tasks[i] = core.Task{
+			Name:  string(rune('A' + i)),
+			Nodes: rng.Intn(8) + 1,
+			Flops: float64(rng.Intn(400)+50) * 1e6,
+		}
+		if i > 0 {
+			tasks[i].Deps = append(tasks[i].Deps, core.Dep{
+				From:  i - 1,
+				Bytes: float64(rng.Intn(4 << 20)),
+			})
+			// Occasional skip edge from an earlier task.
+			if i >= 2 && rng.Intn(3) == 0 {
+				tasks[i].Deps = append(tasks[i].Deps, core.Dep{
+					From:  rng.Intn(i - 1),
+					Bytes: float64(rng.Intn(1 << 20)),
+				})
+			}
+			// Occasional temporal edge.
+			if i >= 2 && rng.Intn(4) == 0 {
+				tasks[i].Deps = append(tasks[i].Deps, core.Dep{
+					From:  rng.Intn(i),
+					Lag:   1,
+					Bytes: float64(rng.Intn(1 << 18)),
+				})
+			}
+		}
+	}
+	return &core.Pipeline{Name: "random", Tasks: tasks}
+}
+
+// TestRandomPipelinesDESMatchesAnalytic cross-validates the discrete-event
+// simulator against the closed-form equations on random task graphs, not
+// just the STAP graph — throughput within 3%, latency within 10%.
+func TestRandomPipelinesDESMatchesAnalytic(t *testing.T) {
+	prof := machine.Paragon()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPipeline(rng)
+		if err := p.Validate(); err != nil {
+			t.Logf("seed %d: invalid pipeline: %v", seed, err)
+			return false
+		}
+		a, err := core.Analyze(p, prof, pfs.Config{})
+		if err != nil {
+			t.Logf("seed %d: analyze: %v", seed, err)
+			return false
+		}
+		// The analytic equations assume sufficient inter-stage buffering;
+		// with skip edges spanning several stages the default double
+		// buffering genuinely throttles the pipeline (a real effect the
+		// equations do not model), so give the DES ample buffers here.
+		opts := DefaultOptions()
+		opts.BufferDepth = len(p.Tasks) + 2
+		res, err := Measure(p, prof, pfs.Config{}, opts)
+		if err != nil {
+			t.Logf("seed %d: measure: %v", seed, err)
+			return false
+		}
+		if rel := math.Abs(res.Throughput-a.Throughput) / a.Throughput; rel > 0.03 {
+			t.Logf("seed %d: throughput DES %.4f vs analytic %.4f (%.1f%%)",
+				seed, res.Throughput, a.Throughput, rel*100)
+			return false
+		}
+		if rel := math.Abs(res.Latency-a.Latency) / a.Latency; rel > 0.10 {
+			t.Logf("seed %d: latency DES %.4f vs analytic %.4f (%.1f%%)",
+				seed, res.Latency, a.Latency, rel*100)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomPipelinesMergeNeverHurts checks the task-combination theorems
+// on random graphs: wherever a merge is legal, it never reduces analytic
+// throughput and never increases analytic latency.
+func TestRandomPipelinesMergeNeverHurts(t *testing.T) {
+	prof := machine.Paragon()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPipeline(rng)
+		a, err := core.Analyze(p, prof, pfs.Config{})
+		if err != nil {
+			return false
+		}
+		merges := 0
+		for i := 0; i < len(p.Tasks)-1; i++ {
+			for j := i + 1; j < len(p.Tasks); j++ {
+				m, err := p.Merge(i, j)
+				if err != nil {
+					continue // illegal merge (no edge, temporal, etc.)
+				}
+				merges++
+				am, err := core.Analyze(m, prof, pfs.Config{})
+				if err != nil {
+					t.Logf("seed %d: merged analyze: %v", seed, err)
+					return false
+				}
+				// 1% slack: merging enlarges the combined task's node
+				// count, so upstream producers address more receivers
+				// (one extra message latency each) — a second-order cost
+				// the paper's algebra neglects.
+				if am.Throughput < a.Throughput*0.99 {
+					t.Logf("seed %d: merge(%d,%d) lowered throughput %.4f -> %.4f",
+						seed, i, j, a.Throughput, am.Throughput)
+					return false
+				}
+				if am.Latency > a.Latency*1.01 {
+					t.Logf("seed %d: merge(%d,%d) raised latency %.4f -> %.4f",
+						seed, i, j, a.Latency, am.Latency)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomPipelinesDeterministic re-runs each random pipeline and
+// demands bit-identical results.
+func TestRandomPipelinesDeterministic(t *testing.T) {
+	prof := machine.Paragon()
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPipeline(rng)
+		r1, err := Run(p, prof, pfs.Config{}, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Run(p, prof, pfs.Config{}, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Throughput != r2.Throughput || r1.Latency != r2.Latency || r1.Events != r2.Events {
+			t.Fatalf("seed %d: nondeterministic simulation", seed)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package pipesim
+
+import (
+	"sort"
+	"testing"
+
+	"stapio/internal/core"
+	"stapio/internal/machine"
+	"stapio/internal/pfs"
+)
+
+func TestTraceTimeline(t *testing.T) {
+	prof := machine.Paragon()
+	p, err := core.BuildEmbedded(paperWorkloads(), case1Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.CPIs = 10
+	opts.Warmup = 2
+	opts.Trace = true
+	res, err := Run(p, prof, pfs.ParagonPFS(16), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) == 0 {
+		t.Fatal("tracing produced no spans")
+	}
+	// Every span is well-formed and inside the horizon.
+	perLane := map[string][]Span{}
+	for _, s := range res.Timeline {
+		if s.End <= s.Start {
+			t.Fatalf("span %+v has non-positive duration", s)
+		}
+		if s.Start < 0 || s.End > res.Horizon+1e-9 {
+			t.Fatalf("span %+v outside horizon %v", s, res.Horizon)
+		}
+		perLane[s.Task] = append(perLane[s.Task], s)
+	}
+	// All seven tasks appear.
+	if len(perLane) != len(p.Tasks) {
+		t.Errorf("timeline covers %d tasks, want %d", len(perLane), len(p.Tasks))
+	}
+	// Within each lane, spans do not overlap (a task serves one CPI at a
+	// time and phases are sequential).
+	for lane, spans := range perLane {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+		for i := 1; i < len(spans); i++ {
+			if spans[i].Start < spans[i-1].End-1e-9 {
+				t.Fatalf("lane %s: overlapping spans %+v and %+v", lane, spans[i-1], spans[i])
+			}
+		}
+	}
+	// Phase ordering within one (task, CPI): recv <= compute <= send.
+	var recv, comp, send *Span
+	for i, s := range res.Timeline {
+		if s.Task == core.NameCFAR && s.CPI == 5 {
+			switch s.Phase {
+			case PhaseRecv:
+				recv = &res.Timeline[i]
+			case PhaseCompute:
+				comp = &res.Timeline[i]
+			case PhaseSend:
+				send = &res.Timeline[i]
+			}
+		}
+	}
+	if recv == nil || comp == nil {
+		t.Fatal("missing recv/compute spans for CFAR CPI 5")
+	}
+	if send != nil {
+		t.Error("CFAR has no consumers; send span should be zero-length and dropped")
+	}
+	if comp.Start < recv.End-1e-12 {
+		t.Errorf("compute starts %.6f before recv ends %.6f", comp.Start, recv.End)
+	}
+	// Tracing off by default: no spans.
+	opts.Trace = false
+	res2, err := Run(p, prof, pfs.ParagonPFS(16), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Timeline) != 0 {
+		t.Error("timeline should be empty without Trace")
+	}
+}
+
+func TestTraceShowsBottleneckReadWait(t *testing.T) {
+	// At the bottlenecked configuration the Doppler lane must contain
+	// read-wait spans.
+	prof := machine.Paragon()
+	p, err := core.BuildEmbedded(paperWorkloads(), case1Nodes().Scale(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.CPIs = 20
+	opts.Warmup = 4
+	opts.Trace = true
+	res, err := Run(p, prof, pfs.ParagonPFS(16), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var readWait float64
+	for _, s := range res.Timeline {
+		if s.Task == core.NameDoppler && s.Phase == PhaseReadWait {
+			readWait += s.End - s.Start
+		}
+	}
+	if readWait <= 0 {
+		t.Error("bottlenecked run shows no read-wait spans")
+	}
+}

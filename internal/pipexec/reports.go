@@ -1,0 +1,117 @@
+package pipexec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"stapio/internal/radar"
+	"stapio/internal/stap"
+)
+
+// Detection report persistence — the output half of the I/O strategies:
+// the CFAR task writes each CPI's detection reports into the (striped)
+// file store, mirroring the companion study's report-output experiments.
+
+// reportMagic identifies a report file.
+const reportMagic = "SRPT"
+
+// reportVersion is the current report file format version.
+const reportVersion = 1
+
+// reportHeaderSize = magic(4) + version(4) + seq(8) + count(4).
+const reportHeaderSize = 20
+
+// reportRecordSize = beam(4) + bin(4) + range(4) + power(8) + threshold(8).
+const reportRecordSize = 28
+
+// EncodeReports serialises one CPI's detections.
+func EncodeReports(seq uint64, dets []stap.Detection) []byte {
+	buf := make([]byte, reportHeaderSize+len(dets)*reportRecordSize)
+	copy(buf[0:4], reportMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], reportVersion)
+	binary.LittleEndian.PutUint64(buf[8:16], seq)
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(len(dets)))
+	off := reportHeaderSize
+	for _, d := range dets {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(d.Beam))
+		binary.LittleEndian.PutUint32(buf[off+4:], uint32(d.Bin))
+		binary.LittleEndian.PutUint32(buf[off+8:], uint32(d.Range))
+		binary.LittleEndian.PutUint64(buf[off+12:], math.Float64bits(d.Power))
+		binary.LittleEndian.PutUint64(buf[off+20:], math.Float64bits(d.Threshold))
+		off += reportRecordSize
+	}
+	return buf
+}
+
+// DecodeReports parses a report file.
+func DecodeReports(buf []byte) (seq uint64, dets []stap.Detection, err error) {
+	if len(buf) < reportHeaderSize {
+		return 0, nil, fmt.Errorf("pipexec: report file too short: %d bytes", len(buf))
+	}
+	if string(buf[0:4]) != reportMagic {
+		return 0, nil, fmt.Errorf("pipexec: bad report magic %q", buf[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:8]); v != reportVersion {
+		return 0, nil, fmt.Errorf("pipexec: unsupported report version %d", v)
+	}
+	seq = binary.LittleEndian.Uint64(buf[8:16])
+	count := int(binary.LittleEndian.Uint32(buf[16:20]))
+	if want := reportHeaderSize + count*reportRecordSize; len(buf) < want {
+		return 0, nil, fmt.Errorf("pipexec: report file truncated: %d bytes, want %d", len(buf), want)
+	}
+	dets = make([]stap.Detection, count)
+	off := reportHeaderSize
+	for i := range dets {
+		dets[i] = stap.Detection{
+			Seq:       seq,
+			Beam:      int(binary.LittleEndian.Uint32(buf[off:])),
+			Bin:       int(binary.LittleEndian.Uint32(buf[off+4:])),
+			Range:     int(binary.LittleEndian.Uint32(buf[off+8:])),
+			Power:     math.Float64frombits(binary.LittleEndian.Uint64(buf[off+12:])),
+			Threshold: math.Float64frombits(binary.LittleEndian.Uint64(buf[off+20:])),
+		}
+		off += reportRecordSize
+	}
+	return seq, dets, nil
+}
+
+// ReportSink receives each CPI's detection reports as they complete. A
+// sink must be safe for concurrent use (the combined PC+CFAR and plain
+// CFAR stages call it from their stage goroutine, but tests may share a
+// sink across runs).
+type ReportSink interface {
+	WriteReports(seq uint64, dets []stap.Detection) error
+}
+
+// ReportFileName is the staging-file name for CPI seq's reports.
+func ReportFileName(seq uint64) string { return fmt.Sprintf("reports_%06d.dat", seq) }
+
+// FileReportSink persists reports into a file store (typically the striped
+// pfs.RealFS, so report writes exercise the same stripe directories as the
+// cube reads).
+type FileReportSink struct {
+	Store radar.FileStore
+	mu    sync.Mutex
+	count int
+}
+
+// WriteReports implements ReportSink.
+func (s *FileReportSink) WriteReports(seq uint64, dets []stap.Detection) error {
+	buf := EncodeReports(seq, dets)
+	if err := s.Store.WriteFile(ReportFileName(seq), buf); err != nil {
+		return fmt.Errorf("pipexec: writing reports for CPI %d: %w", seq, err)
+	}
+	s.mu.Lock()
+	s.count++
+	s.mu.Unlock()
+	return nil
+}
+
+// Written returns the number of report files written.
+func (s *FileReportSink) Written() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}

@@ -1,0 +1,166 @@
+package pipexec
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stapio/internal/pfs"
+	"stapio/internal/radar"
+	"stapio/internal/stap"
+)
+
+func TestReportCodecRoundTrip(t *testing.T) {
+	dets := []stap.Detection{
+		{Seq: 9, Beam: 1, Bin: 20, Range: 300, Power: 123.5, Threshold: 40.25},
+		{Seq: 9, Beam: 2, Bin: 5, Range: 10, Power: 1e-3, Threshold: 1e-4},
+	}
+	buf := EncodeReports(9, dets)
+	seq, got, err := DecodeReports(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 9 {
+		t.Errorf("seq = %d, want 9", seq)
+	}
+	if len(got) != len(dets) {
+		t.Fatalf("decoded %d, want %d", len(got), len(dets))
+	}
+	for i := range dets {
+		if got[i] != dets[i] {
+			t.Errorf("det %d: %+v != %+v", i, got[i], dets[i])
+		}
+	}
+	// Empty report files are valid.
+	seq, got, err = DecodeReports(EncodeReports(4, nil))
+	if err != nil || seq != 4 || len(got) != 0 {
+		t.Errorf("empty roundtrip: seq=%d dets=%d err=%v", seq, len(got), err)
+	}
+}
+
+func TestReportCodecProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw) % 50
+		dets := make([]stap.Detection, n)
+		for i := range dets {
+			dets[i] = stap.Detection{
+				Seq:       uint64(seed),
+				Beam:      rng.Intn(8),
+				Bin:       rng.Intn(256),
+				Range:     rng.Intn(4096),
+				Power:     rng.ExpFloat64() * 100,
+				Threshold: rng.ExpFloat64() * 10,
+			}
+		}
+		seq, got, err := DecodeReports(EncodeReports(uint64(seed), dets))
+		if err != nil || seq != uint64(seed) || len(got) != n {
+			return false
+		}
+		for i := range dets {
+			if got[i] != dets[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReportCodecErrors(t *testing.T) {
+	if _, _, err := DecodeReports(nil); err == nil {
+		t.Error("nil buffer should error")
+	}
+	buf := EncodeReports(1, nil)
+	buf[0] = 'X'
+	if _, _, err := DecodeReports(buf); err == nil {
+		t.Error("bad magic should error")
+	}
+	buf = EncodeReports(1, nil)
+	buf[4] = 99
+	if _, _, err := DecodeReports(buf); err == nil {
+		t.Error("bad version should error")
+	}
+	buf = EncodeReports(1, []stap.Detection{{Beam: 1}})
+	if _, _, err := DecodeReports(buf[:len(buf)-4]); err == nil {
+		t.Error("truncated records should error")
+	}
+}
+
+func TestFileReportSinkEndToEnd(t *testing.T) {
+	// Run the pipeline with a striped report sink; read the files back
+	// and compare against the in-memory results.
+	s := radar.SmallTestScenario()
+	fs, err := pfs.CreateReal(t.TempDir(), 4, 256, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &FileReportSink{Store: fs}
+	cfg := testConfig()
+	cfg.Reports = sink
+	const n = 4
+	res, err := Run(context.Background(), cfg, ScenarioSource(s), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Written() != n {
+		t.Fatalf("sink wrote %d files, want %d", sink.Written(), n)
+	}
+	for _, c := range res.CPIs {
+		name := ReportFileName(c.Seq)
+		size, err := fs.FileSize(name)
+		if err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+		buf := make([]byte, size)
+		if err := fs.ReadAt(name, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+		seq, dets, err := DecodeReports(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != c.Seq {
+			t.Errorf("file %s holds seq %d", name, seq)
+		}
+		if !sameDetections(dets, c.Detections) {
+			t.Errorf("CPI %d: persisted reports differ from in-memory results", c.Seq)
+		}
+	}
+}
+
+type failingSink struct{ err error }
+
+func (s failingSink) WriteReports(uint64, []stap.Detection) error { return s.err }
+
+func TestReportSinkErrorPropagates(t *testing.T) {
+	cfg := testConfig()
+	boom := errors.New("report disk full")
+	cfg.Reports = failingSink{err: boom}
+	_, err := Run(context.Background(), cfg, ScenarioSource(radar.SmallTestScenario()), 3)
+	if !errors.Is(err, boom) {
+		t.Errorf("expected sink error, got %v", err)
+	}
+}
+
+func TestReportSinkWithCombinedStage(t *testing.T) {
+	s := radar.SmallTestScenario()
+	fs, err := pfs.CreateReal(t.TempDir(), 2, 256, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &FileReportSink{Store: fs}
+	cfg := testConfig()
+	cfg.Reports = sink
+	cfg.CombinePCCFAR = true
+	if _, err := Run(context.Background(), cfg, ScenarioSource(s), 3); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Written() != 3 {
+		t.Errorf("combined stage wrote %d report files, want 3", sink.Written())
+	}
+}

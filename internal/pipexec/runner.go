@@ -1,0 +1,603 @@
+package pipexec
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"stapio/internal/core"
+	"stapio/internal/cube"
+	"stapio/internal/linalg"
+	"stapio/internal/stap"
+)
+
+// Config describes a real pipeline execution.
+type Config struct {
+	// Params are the STAP processing parameters.
+	Params stap.Params
+	// Workers assigns goroutine counts to the tasks (the analogue of the
+	// paper's node assignments; IO is unused — striped reads parallelise
+	// internally across stripe directories).
+	Workers core.STAPNodes
+	// SeparateIO inserts a dedicated read stage in front of the Doppler
+	// stage (the paper's second I/O design). When false the Doppler stage
+	// consumes the source directly (embedded I/O).
+	SeparateIO bool
+	// CombinePCCFAR merges pulse compression and CFAR into a single stage
+	// (the paper's Section 6 task combination).
+	CombinePCCFAR bool
+	// Buffer is the inter-stage channel depth (flow control); values < 1
+	// become 1.
+	Buffer int
+	// Reports, when non-nil, receives every CPI's detection reports from
+	// the CFAR stage (the output-side I/O strategy).
+	Reports ReportSink
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	w := c.Workers
+	for _, n := range []int{w.Doppler, w.EasyWeight, w.HardWeight, w.EasyBF, w.HardBF, w.PulseComp, w.CFAR} {
+		if n < 1 {
+			return fmt.Errorf("pipexec: every task needs at least one worker, got %+v", w)
+		}
+	}
+	return nil
+}
+
+// CPIResult is the pipeline output for one CPI.
+type CPIResult struct {
+	Seq        uint64
+	Detections []stap.Detection
+	// Latency is the wall-clock time from the head stage starting this
+	// CPI to CFAR completing it.
+	Latency time.Duration
+	// Done is when CFAR completed this CPI.
+	Done time.Time
+}
+
+// StageStat is the wall-clock busy time of one pipeline stage — the real
+// executor's analogue of the paper's per-task timing rows.
+type StageStat struct {
+	Name string
+	// CPIs is the number of CPIs the stage processed.
+	CPIs int
+	// Busy is the total time spent processing (excluding channel waits).
+	Busy time.Duration
+}
+
+// MeanBusy returns the average processing time per CPI.
+func (s StageStat) MeanBusy() time.Duration {
+	if s.CPIs == 0 {
+		return 0
+	}
+	return s.Busy / time.Duration(s.CPIs)
+}
+
+// Result summarises a run.
+type Result struct {
+	CPIs []CPIResult
+	// Elapsed is the total wall-clock duration of the run.
+	Elapsed time.Duration
+	// Throughput is CPIs per second of wall-clock time over the whole
+	// run (including pipeline fill, so slightly pessimistic).
+	Throughput float64
+	// Stages holds per-stage busy-time statistics in pipeline order.
+	Stages []StageStat
+}
+
+// SteadyThroughput returns the CPI completion rate between the first and
+// last CFAR completions — excluding the pipeline-fill transient that
+// Throughput includes. It needs at least two CPIs.
+func (r *Result) SteadyThroughput() float64 {
+	if len(r.CPIs) < 2 {
+		return r.Throughput
+	}
+	span := r.CPIs[len(r.CPIs)-1].Done.Sub(r.CPIs[0].Done).Seconds()
+	if span <= 0 {
+		return r.Throughput
+	}
+	return float64(len(r.CPIs)-1) / span
+}
+
+// MeanLatency returns the average per-CPI latency.
+func (r *Result) MeanLatency() time.Duration {
+	if len(r.CPIs) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, c := range r.CPIs {
+		sum += c.Latency
+	}
+	return sum / time.Duration(len(r.CPIs))
+}
+
+// message types between stages
+
+type cubeMsg struct {
+	seq   uint64
+	cb    *cube.Cube
+	start time.Time // latency clock start (head stage service start)
+}
+
+type dopplerMsg struct {
+	seq   uint64
+	dc    *stap.DopplerCube
+	bc    *stap.BeamCube // shared output buffer both BF stages fill
+	start time.Time
+}
+
+type beamMsg struct {
+	seq   uint64
+	bc    *stap.BeamCube
+	start time.Time
+}
+
+// Run pushes n CPIs from src through the pipeline and collects the
+// detection reports.
+func Run(ctx context.Context, cfg Config, src AsyncSource, n int) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("pipexec: need at least one CPI, got %d", n)
+	}
+	buf := cfg.Buffer
+	if buf < 1 {
+		buf = 1
+	}
+	r := &runner{cfg: cfg, n: n, src: src}
+	r.p = &cfg.Params
+	r.easyBins = r.p.EasyBins()
+	r.hardBins = r.p.HardBins()
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	r.ctx, r.cancel = ctx, cancel
+
+	start := time.Now()
+	wg := r.launch(buf)
+	wg.Wait()
+	if r.err != nil {
+		return nil, r.err
+	}
+	res := &Result{CPIs: r.results, Elapsed: time.Since(start)}
+	if res.Elapsed > 0 {
+		res.Throughput = float64(n) / res.Elapsed.Seconds()
+	}
+	sort.Slice(res.CPIs, func(i, j int) bool { return res.CPIs[i].Seq < res.CPIs[j].Seq })
+	for _, c := range r.clocks {
+		res.Stages = append(res.Stages, StageStat{Name: c.name, CPIs: c.cpis, Busy: c.busy})
+	}
+	return res, nil
+}
+
+// launch creates the inter-stage channels and starts every stage
+// goroutine; the returned WaitGroup completes when all stages have exited.
+// Shared by Run (fixed CPI count) and Stream (unbounded).
+func (r *runner) launch(buf int) *sync.WaitGroup {
+	cfg := r.cfg
+	cubeCh := make(chan cubeMsg, buf)
+	weIn := make(chan dopplerMsg, buf)
+	whIn := make(chan dopplerMsg, buf)
+	bfeIn := make(chan dopplerMsg, buf)
+	bfhIn := make(chan dopplerMsg, buf)
+	weOut := make(chan *stap.WeightSet, buf+1)
+	whOut := make(chan *stap.WeightSet, buf+1)
+	pcIn := make(chan beamMsg, 2*buf)
+	cfarIn := make(chan beamMsg, buf)
+
+	wg := &sync.WaitGroup{}
+	spawn := func(fn func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := fn(); err != nil {
+				r.fail(err)
+			}
+		}()
+	}
+
+	// Clocks are created up front (the stage goroutines own them; the
+	// slice itself is only read after the WaitGroup completes).
+	clock := func(name string) *stageClock {
+		c := &stageClock{name: name}
+		r.clocks = append(r.clocks, c)
+		return c
+	}
+	ckRead := clock("read")
+	ckDop := clock("doppler")
+	ckWE := clock("easy weight")
+	ckWH := clock("hard weight")
+	ckBFE := clock("easy BF")
+	ckBFH := clock("hard BF")
+	spawn(func() error { return r.readStage(ckRead, cubeCh) })
+	spawn(func() error { return r.dopplerStage(ckDop, cubeCh, weIn, whIn, bfeIn, bfhIn) })
+	spawn(func() error { return r.weightStage(ckWE, weIn, weOut, r.easyBins, false, cfg.Workers.EasyWeight) })
+	spawn(func() error { return r.weightStage(ckWH, whIn, whOut, r.hardBins, true, cfg.Workers.HardWeight) })
+	spawn(func() error { return r.bfStage(ckBFE, bfeIn, weOut, pcIn, r.easyBins, cfg.Workers.EasyBF) })
+	spawn(func() error { return r.bfStage(ckBFH, bfhIn, whOut, pcIn, r.hardBins, cfg.Workers.HardBF) })
+	if cfg.CombinePCCFAR {
+		ckPC := clock("pulse compr+CFAR")
+		spawn(func() error { return r.pcStage(ckPC, pcIn, nil) })
+	} else {
+		ckPC := clock("pulse compr")
+		ckCF := clock("CFAR")
+		spawn(func() error { return r.pcStage(ckPC, pcIn, cfarIn) })
+		spawn(func() error { return r.cfarStage(ckCF, cfarIn, cfg.Workers.CFAR) })
+	}
+	return wg
+}
+
+// stageClock accumulates a stage's busy time; owned by one goroutine and
+// read only after the run completes.
+type stageClock struct {
+	name string
+	busy time.Duration
+	cpis int
+}
+
+// add records one CPI's processing time.
+func (c *stageClock) add(d time.Duration) {
+	c.busy += d
+	c.cpis++
+}
+
+type runner struct {
+	cfg      Config
+	p        *stap.Params
+	n        int
+	src      AsyncSource
+	easyBins []int
+	hardBins []int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	err     error
+	results []CPIResult
+	clocks  []*stageClock
+
+	// streamOut, when non-nil, receives each CPI result instead of the
+	// results slice accumulating (unbounded memory would defeat streaming).
+	streamOut chan<- CPIResult
+}
+
+// fail records the first error and cancels the run.
+func (r *runner) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+	r.cancel()
+}
+
+func (r *runner) record(res CPIResult) {
+	if r.streamOut != nil {
+		select {
+		case r.streamOut <- res:
+		case <-r.ctx.Done():
+		}
+		return
+	}
+	r.mu.Lock()
+	r.results = append(r.results, res)
+	r.mu.Unlock()
+}
+
+// send delivers v or aborts when the run is cancelled.
+func send[T any](r *runner, ch chan<- T, v T) bool {
+	select {
+	case ch <- v:
+		return true
+	case <-r.ctx.Done():
+		return false
+	}
+}
+
+// recv receives the next value; ok is false on close or cancellation.
+func recv[T any](r *runner, ch <-chan T) (T, bool) {
+	var zero T
+	select {
+	case v, ok := <-ch:
+		return v, ok
+	case <-r.ctx.Done():
+		return zero, false
+	}
+}
+
+// parallel partitions n work items across w goroutines and runs fn on each
+// block, returning the first error.
+func parallel(w, n int, fn func(blk cube.Block) error) error {
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		return fn(cube.Block{Lo: 0, Hi: n})
+	}
+	blocks := cube.Split(n, w)
+	errs := make([]error, w)
+	var wg sync.WaitGroup
+	for i, blk := range blocks {
+		wg.Add(1)
+		go func(i int, blk cube.Block) {
+			defer wg.Done()
+			errs[i] = fn(blk)
+		}(i, blk)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readStage fetches cubes with one-deep prefetch. In the embedded design
+// it still runs as a goroutine, but its channel hand-off is the "read
+// phase" of the Doppler task: the latency clock starts when the Doppler
+// stage receives the cube. In the separate design the clock starts when
+// the read stage begins waiting for the data.
+func (r *runner) readStage(clk *stageClock, out chan<- cubeMsg) error {
+	defer close(out)
+	pending := r.src.Begin(0)
+	for k := 0; k < r.n; k++ {
+		startWait := time.Now()
+		var next PendingCube
+		if k+1 < r.n {
+			next = r.src.Begin(uint64(k + 1))
+		}
+		cb, err := pending.Wait()
+		if err != nil {
+			return fmt.Errorf("pipexec: reading CPI %d: %w", k, err)
+		}
+		clk.add(time.Since(startWait))
+		pending = next
+		msg := cubeMsg{seq: uint64(k), cb: cb}
+		if r.cfg.SeparateIO {
+			msg.start = startWait
+		}
+		if !send(r, out, msg) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// dopplerStage runs Doppler filter processing, partitioned by range gates.
+func (r *runner) dopplerStage(clk *stageClock, in <-chan cubeMsg, weOut, whOut, bfeOut, bfhOut chan<- dopplerMsg) error {
+	defer close(weOut)
+	defer close(whOut)
+	defer close(bfeOut)
+	defer close(bfhOut)
+	for {
+		msg, ok := recv(r, in)
+		if !ok {
+			return nil
+		}
+		if msg.start.IsZero() {
+			msg.start = time.Now() // embedded design: latency starts here
+		}
+		t0 := time.Now()
+		dc := stap.NewDopplerCube(r.p)
+		dc.Seq = msg.seq
+		err := parallel(r.cfg.Workers.Doppler, r.p.Dims.Ranges, func(blk cube.Block) error {
+			return stap.DopplerFilterRanges(r.p, msg.cb, blk, dc)
+		})
+		if err != nil {
+			return fmt.Errorf("pipexec: doppler CPI %d: %w", msg.seq, err)
+		}
+		clk.add(time.Since(t0))
+		bc := stap.NewBeamCube(r.p)
+		bc.Seq = msg.seq
+		out := dopplerMsg{seq: msg.seq, dc: dc, bc: bc, start: msg.start}
+		for _, ch := range []chan<- dopplerMsg{weOut, whOut, bfeOut, bfhOut} {
+			if !send(r, ch, out) {
+				return nil
+			}
+		}
+	}
+}
+
+// weightStage computes adaptive weights for its bin set, partitioned by
+// Doppler bins, and feeds them forward for the next CPI's beamforming.
+// When Params.Forgetting is set, the stage smooths the covariance
+// estimates across CPIs exactly as the sequential reference chain does.
+func (r *runner) weightStage(clk *stageClock, in <-chan dopplerMsg, out chan<- *stap.WeightSet, bins []int, hard bool, workers int) error {
+	defer close(out)
+	smoother := stap.CovarianceSmoother{Lambda: r.p.Forgetting}
+	for {
+		msg, ok := recv(r, in)
+		if !ok {
+			return nil
+		}
+		t0 := time.Now()
+		est := make([]*linalg.Matrix, len(bins))
+		err := parallel(workers, len(bins), func(blk cube.Block) error {
+			part, err := stap.EstimateCovariances(r.p, msg.dc, bins[blk.Lo:blk.Hi], hard)
+			if err != nil {
+				return err
+			}
+			copy(est[blk.Lo:blk.Hi], part)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("pipexec: %s weights CPI %d: %w", setName(hard), msg.seq, err)
+		}
+		covs := smoother.Update(est)
+		ws := &stap.WeightSet{Bins: bins, W: make([][][]complex128, len(bins)), Seq: msg.seq}
+		err = parallel(workers, len(bins), func(blk cube.Block) error {
+			part, err := stap.SolveWeights(r.p, covs[blk.Lo:blk.Hi], bins[blk.Lo:blk.Hi], msg.seq)
+			if err != nil {
+				return err
+			}
+			copy(ws.W[blk.Lo:blk.Hi], part.W)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("pipexec: %s weights CPI %d: %w", setName(hard), msg.seq, err)
+		}
+		clk.add(time.Since(t0))
+		if !send(r, out, ws) {
+			return nil
+		}
+	}
+}
+
+func setName(hard bool) string {
+	if hard {
+		return "hard"
+	}
+	return "easy"
+}
+
+// bfStage beamforms its bin set using weights from the previous CPI (the
+// temporal dependency), partitioned by Doppler bins.
+func (r *runner) bfStage(clk *stageClock, in <-chan dopplerMsg, weights <-chan *stap.WeightSet, out chan<- beamMsg, bins []int, workers int) error {
+	cur := stap.InitialWeights(r.p, bins)
+	for {
+		msg, ok := recv(r, in)
+		if !ok {
+			return nil
+		}
+		if msg.seq > 0 {
+			ws, ok := recv(r, weights)
+			if !ok {
+				return nil
+			}
+			if ws.Seq != msg.seq-1 {
+				return fmt.Errorf("pipexec: beamforming CPI %d got weights for CPI %d", msg.seq, ws.Seq)
+			}
+			cur = ws
+		}
+		t0 := time.Now()
+		err := parallel(workers, len(bins), func(blk cube.Block) error {
+			return stap.Beamform(r.p, msg.dc, cur, bins[blk.Lo:blk.Hi], msg.bc)
+		})
+		if err != nil {
+			return fmt.Errorf("pipexec: beamform CPI %d: %w", msg.seq, err)
+		}
+		clk.add(time.Since(t0))
+		if !send(r, out, beamMsg{seq: msg.seq, bc: msg.bc, start: msg.start}) {
+			return nil
+		}
+	}
+}
+
+// pcStage waits for both beamforming halves of a CPI, pulse-compresses all
+// profiles (partitioned by (beam, bin) pairs), and either forwards to the
+// CFAR stage or — in the combined design — runs CFAR itself.
+func (r *runner) pcStage(clk *stageClock, in <-chan beamMsg, out chan<- beamMsg) error {
+	if out != nil {
+		defer close(out)
+	}
+	comp := stap.NewCompressor(r.p)
+	halves := make(map[uint64]int)
+	buffered := make(map[uint64]beamMsg)
+	workers := r.cfg.Workers.PulseComp
+	if r.cfg.CombinePCCFAR {
+		workers += r.cfg.Workers.CFAR
+	}
+	// The input has two producers (the BF stages), so termination is by
+	// CPI count rather than channel close.
+	for done := 0; done < r.n; {
+		msg, ok := recv(r, in)
+		if !ok {
+			return nil
+		}
+		halves[msg.seq]++
+		buffered[msg.seq] = msg
+		if halves[msg.seq] < 2 {
+			continue
+		}
+		delete(halves, msg.seq)
+		m := buffered[msg.seq]
+		delete(buffered, msg.seq)
+		t0 := time.Now()
+		pairs := stap.AllBeamBins(m.bc.Beams, m.bc.Bins)
+		err := parallel(workers, len(pairs), func(blk cube.Block) error {
+			return stap.Compress(r.p, m.bc, comp.Clone(), pairs[blk.Lo:blk.Hi])
+		})
+		if err != nil {
+			return fmt.Errorf("pipexec: pulse compression CPI %d: %w", m.seq, err)
+		}
+		done++
+		if r.cfg.CombinePCCFAR {
+			if err := r.runCFAR(m, workers); err != nil {
+				return err
+			}
+			clk.add(time.Since(t0))
+			continue
+		}
+		clk.add(time.Since(t0))
+		if !send(r, out, m) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// cfarStage runs CFAR detection, partitioned by (beam, bin) pairs.
+func (r *runner) cfarStage(clk *stageClock, in <-chan beamMsg, workers int) error {
+	for {
+		msg, ok := recv(r, in)
+		if !ok {
+			return nil
+		}
+		t0 := time.Now()
+		if err := r.runCFAR(msg, workers); err != nil {
+			return err
+		}
+		clk.add(time.Since(t0))
+	}
+}
+
+func (r *runner) runCFAR(msg beamMsg, workers int) error {
+	pairs := stap.AllBeamBins(msg.bc.Beams, msg.bc.Bins)
+	partial := make([][]stap.Detection, workers)
+	blocks := cube.Split(len(pairs), workers)
+	err := parallel(workers, workers, func(wblk cube.Block) error {
+		for w := wblk.Lo; w < wblk.Hi; w++ {
+			blk := blocks[w]
+			dets, err := stap.CFARWith(r.p, r.p.CFAR.Kind, msg.bc, pairs[blk.Lo:blk.Hi])
+			if err != nil {
+				return err
+			}
+			partial[w] = dets
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("pipexec: CFAR CPI %d: %w", msg.seq, err)
+	}
+	var all []stap.Detection
+	for _, d := range partial {
+		all = append(all, d...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Beam != b.Beam {
+			return a.Beam < b.Beam
+		}
+		if a.Bin != b.Bin {
+			return a.Bin < b.Bin
+		}
+		return a.Range < b.Range
+	})
+	if r.cfg.Reports != nil {
+		if err := r.cfg.Reports.WriteReports(msg.seq, all); err != nil {
+			return err
+		}
+	}
+	now := time.Now()
+	r.record(CPIResult{Seq: msg.seq, Detections: all, Latency: now.Sub(msg.start), Done: now})
+	return nil
+}

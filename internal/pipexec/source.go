@@ -1,0 +1,129 @@
+// Package pipexec executes the STAP pipeline for real: each task is a
+// stage with a pool of worker goroutines partitioning its workload (range
+// gates for Doppler filtering, Doppler bins for weight computation and
+// beamforming, (beam, bin) profiles for pulse compression and CFAR),
+// stages are connected by channels, and the temporal dependency is a
+// weight feedback channel — beamforming of CPI k uses weights trained on
+// CPI k-1, exactly as in the paper's system.
+//
+// Input arrives through an AsyncSource, either the striped parallel file
+// system backend (pfs.RealFS, with iread/iowait-style prefetch) or an
+// in-memory generator. Both I/O designs are supported: embedded (the
+// Doppler stage consumes reads directly) and a separate read stage.
+package pipexec
+
+import (
+	"fmt"
+
+	"stapio/internal/cube"
+	"stapio/internal/pfs"
+	"stapio/internal/radar"
+)
+
+// AsyncSource supplies CPI cubes with an asynchronous begin/wait protocol
+// mirroring the NX iread()/iowait() pair.
+type AsyncSource interface {
+	// Begin starts fetching the cube for CPI seq and returns a handle.
+	Begin(seq uint64) PendingCube
+}
+
+// PendingCube is an in-flight cube fetch.
+type PendingCube interface {
+	// Wait blocks until the cube is available.
+	Wait() (*cube.Cube, error)
+}
+
+// FileSource reads CPI cubes from the round-robin staging files of a
+// striped file store, the paper's configuration.
+type FileSource struct {
+	FS    *pfs.RealFS
+	Dims  cube.Dims
+	Files int
+}
+
+// NewFileSource validates the geometry against the first staging file.
+func NewFileSource(fs *pfs.RealFS, dims cube.Dims, files int) (*FileSource, error) {
+	if files < 1 {
+		return nil, fmt.Errorf("pipexec: file count %d < 1", files)
+	}
+	size, err := fs.FileSize(radar.FileName(0))
+	if err != nil {
+		return nil, fmt.Errorf("pipexec: probing dataset: %w", err)
+	}
+	if want := cube.FileBytes(dims); size != want {
+		return nil, fmt.Errorf("pipexec: staging file is %d bytes, want %d for %v", size, want, dims)
+	}
+	return &FileSource{FS: fs, Dims: dims, Files: files}, nil
+}
+
+type filePending struct {
+	src *FileSource
+	seq uint64
+	p   *pfs.Pending
+	buf []byte
+}
+
+// Begin implements AsyncSource: it issues a striped read of the whole
+// staging file for the CPI.
+func (s *FileSource) Begin(seq uint64) PendingCube {
+	buf := make([]byte, cube.FileBytes(s.Dims))
+	name := radar.FileName(radar.FileFor(seq, s.Files))
+	return &filePending{src: s, seq: seq, p: s.FS.Start(name, 0, buf), buf: buf}
+}
+
+// Wait implements PendingCube: it blocks on the striped read, then decodes
+// the cube.
+func (p *filePending) Wait() (*cube.Cube, error) {
+	if err := p.p.Wait(); err != nil {
+		return nil, err
+	}
+	h, err := cube.DecodeHeader(p.buf)
+	if err != nil {
+		return nil, err
+	}
+	if h.Dims != p.src.Dims {
+		return nil, fmt.Errorf("pipexec: file holds %v, expected %v", h.Dims, p.src.Dims)
+	}
+	cb := cube.New(h.Dims)
+	if err := cube.DecodeSamples(cb, p.buf[cube.HeaderSize:]); err != nil {
+		return nil, err
+	}
+	return cb, nil
+}
+
+// MemSource serves cubes from a generator function; used by tests and the
+// in-memory examples. The generator must be safe for concurrent calls.
+type MemSource struct {
+	Generate func(seq uint64) (*cube.Cube, error)
+}
+
+type memPending struct {
+	cb  *cube.Cube
+	err error
+}
+
+// Begin implements AsyncSource, generating eagerly in a goroutine.
+func (s *MemSource) Begin(seq uint64) PendingCube {
+	p := &memPending{}
+	done := make(chan struct{})
+	go func() {
+		p.cb, p.err = s.Generate(seq)
+		close(done)
+	}()
+	return &waitPending{p: p, done: done}
+}
+
+type waitPending struct {
+	p    *memPending
+	done chan struct{}
+}
+
+func (w *waitPending) Wait() (*cube.Cube, error) {
+	<-w.done
+	return w.p.cb, w.p.err
+}
+
+// ScenarioSource builds a MemSource over a radar scenario.
+func ScenarioSource(s *radar.Scenario) *MemSource {
+	return &MemSource{Generate: func(seq uint64) (*cube.Cube, error) { return s.Generate(seq) }}
+}

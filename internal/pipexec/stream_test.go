@@ -1,0 +1,120 @@
+package pipexec
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"stapio/internal/radar"
+)
+
+func TestStreamDeliversSequentialResults(t *testing.T) {
+	s := radar.SmallTestScenario()
+	cfg := testConfig()
+	h, err := Stream(context.Background(), cfg, ScenarioSource(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = 7
+	var got []CPIResult
+	for res := range h.Results {
+		got = append(got, res)
+		if len(got) == want {
+			break
+		}
+	}
+	res, err := h.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != want {
+		t.Fatalf("consumed %d results, want %d", len(got), want)
+	}
+	for i, c := range got {
+		if c.Seq != uint64(i) {
+			t.Errorf("result %d has seq %d — stream must be in order", i, c.Seq)
+		}
+		if c.Latency <= 0 {
+			t.Errorf("result %d has non-positive latency", i)
+		}
+	}
+	// Stream detections match a bounded Run over the same source.
+	ref, err := Run(context.Background(), cfg, ScenarioSource(s), want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !sameDetections(got[i].Detections, ref.CPIs[i].Detections) {
+			t.Errorf("CPI %d: stream and Run disagree", i)
+		}
+	}
+	if res.Throughput <= 0 {
+		t.Error("summary throughput should be positive")
+	}
+	if len(res.Stages) == 0 {
+		t.Error("summary missing stage stats")
+	}
+	// Stop is idempotent.
+	if _, err := h.Stop(); err != nil {
+		t.Errorf("second Stop errored: %v", err)
+	}
+}
+
+func TestStreamStopWithoutConsuming(t *testing.T) {
+	s := radar.SmallTestScenario()
+	cfg := testConfig()
+	h, err := Stream(context.Background(), cfg, ScenarioSource(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the pipeline a moment to fill its buffers, then stop without
+	// ever reading Results — Stop must not deadlock.
+	time.Sleep(20 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		if _, err := h.Stop(); err != nil {
+			t.Errorf("Stop: %v", err)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stop deadlocked")
+	}
+}
+
+func TestStreamParentContextCancel(t *testing.T) {
+	s := radar.SmallTestScenario()
+	cfg := testConfig()
+	ctx, cancel := context.WithCancel(context.Background())
+	h, err := Stream(ctx, cfg, ScenarioSource(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-h.Results // at least one CPI flows
+	cancel()
+	// The results channel must close shortly after cancellation.
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case _, ok := <-h.Results:
+			if !ok {
+				if _, err := h.Stop(); err != nil {
+					t.Errorf("Stop after cancel: %v", err)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("results channel did not close after context cancel")
+		}
+	}
+}
+
+func TestStreamRejectsBadConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers.Doppler = 0
+	if _, err := Stream(context.Background(), cfg, ScenarioSource(radar.SmallTestScenario())); err == nil {
+		t.Error("expected config validation error")
+	}
+}

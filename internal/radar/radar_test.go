@@ -1,0 +1,245 @@
+package radar
+
+import (
+	"bytes"
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"stapio/internal/cube"
+	"stapio/internal/signal"
+)
+
+func TestValidate(t *testing.T) {
+	ok := SmallTestScenario()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("SmallTestScenario invalid: %v", err)
+	}
+	bad := []func(*Scenario){
+		func(s *Scenario) { s.Dims.Channels = 0 },
+		func(s *Scenario) { s.PulseLen = 0 },
+		func(s *Scenario) { s.PulseLen = s.Dims.Ranges + 1 },
+		func(s *Scenario) { s.Bandwidth = 0 },
+		func(s *Scenario) { s.Bandwidth = 1.5 },
+		func(s *Scenario) { s.NoisePower = -1 },
+		func(s *Scenario) { s.Targets[0].Range = -1 },
+		func(s *Scenario) { s.Targets[0].Range = s.Dims.Ranges },
+		func(s *Scenario) { s.Targets[0].Angle = 2 },
+		func(s *Scenario) { s.Targets[0].Doppler = 0.5 },
+		func(s *Scenario) { s.Clutter.Patches = -1 },
+	}
+	for i, mutate := range bad {
+		s := SmallTestScenario()
+		mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := SmallTestScenario()
+	a, err := s.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cube.Equal(a, b, 0) {
+		t.Error("same seed+seq should generate identical cubes")
+	}
+	c, err := s.Generate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cube.Equal(a, c, 0) {
+		t.Error("different seq should generate different cubes")
+	}
+}
+
+func TestGenerateNoisePower(t *testing.T) {
+	s := SmallTestScenario()
+	s.Targets = nil
+	s.NoisePower = 2.5
+	cb, err := s.Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := cb.Power() / float64(cb.Samples())
+	if math.Abs(avg-2.5) > 0.25 {
+		t.Errorf("average noise power %g, want ~2.5", avg)
+	}
+}
+
+func TestGenerateTargetEnergyLocalised(t *testing.T) {
+	s := SmallTestScenario()
+	s.NoisePower = 0 // target only
+	s.Targets = s.Targets[:1]
+	tg := s.Targets[0]
+	cb, err := s.Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All energy must lie in gates [Range, Range+PulseLen).
+	for c := 0; c < cb.Channels; c++ {
+		for p := 0; p < cb.Pulses; p++ {
+			row := cb.PulseRow(c, p)
+			for r, v := range row {
+				in := r >= tg.Range && r < tg.Range+s.PulseLen
+				if !in && v != 0 {
+					t.Fatalf("energy at gate %d outside echo window", r)
+				}
+				if in && v == 0 {
+					t.Fatalf("missing echo energy at (c=%d,p=%d,r=%d)", c, p, r)
+				}
+			}
+		}
+	}
+	// Per-sample power inside the echo must match SNR dB over NoisePower=1
+	// reference: here NoisePower=0 so amplitude uses 0 -> zero. Instead
+	// re-check with NoisePower=1.
+	s.NoisePower = 1
+	s.Targets[0].SNR = 20 // amplitude 10
+	cb, err = s.Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := cb.At(0, 0, tg.Range) // channel 0, pulse 0: steering phases = 1, chirp[0] = 1
+	// Sample = noise + 10*chirp[0]; magnitude should be near 10.
+	if a := cmplx.Abs(complex128(v)); a < 5 || a > 15 {
+		t.Errorf("target sample magnitude %g, want ~10", a)
+	}
+}
+
+func TestGenerateDopplerSignature(t *testing.T) {
+	// With a single zero-angle target and no noise, the pulse dimension at
+	// the target's first gate is a pure tone at the target Doppler.
+	s := SmallTestScenario()
+	s.NoisePower = 0
+	s.Targets = []Target{{Angle: 0, Doppler: 0.25, Range: 10, SNR: 0}}
+	cb, err := s.Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := cb.PulseColumn(0, 10, nil)
+	x := make([]complex128, len(col))
+	for i, v := range col {
+		x[i] = complex128(v)
+	}
+	signal.FFT(x)
+	// Doppler 0.25 cycles/PRI over 16 pulses = bin 4.
+	peak, peakIdx := 0.0, -1
+	for i, v := range x {
+		if a := cmplx.Abs(v); a > peak {
+			peak, peakIdx = a, i
+		}
+	}
+	if peakIdx != 4 {
+		t.Errorf("Doppler peak at bin %d, want 4", peakIdx)
+	}
+}
+
+func TestClutterRidgePower(t *testing.T) {
+	s := SmallTestScenario()
+	s.Targets = nil
+	s.NoisePower = 1
+	s.Clutter = Clutter{Patches: 8, CNR: 20, Beta: 1}
+	cb, err := s.Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := cb.Power() / float64(cb.Samples())
+	// Total power ~ noise (1) + clutter (100).
+	if avg < 30 || avg > 300 {
+		t.Errorf("average power with 20dB CNR clutter = %g, want ~101", avg)
+	}
+}
+
+func TestPhaseNoisePreservesPower(t *testing.T) {
+	s := SmallTestScenario()
+	cb, err := s.Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := cb.Power()
+	PhaseNoise(cb, 0.2, 7)
+	after := cb.Power()
+	if math.Abs(before-after) > 1e-3*before {
+		t.Errorf("phase noise changed power: %g -> %g", before, after)
+	}
+}
+
+func TestFileForAndName(t *testing.T) {
+	if FileName(2) != "cpi_2.dat" {
+		t.Errorf("FileName(2) = %q", FileName(2))
+	}
+	for seq := uint64(0); seq < 12; seq++ {
+		if got, want := FileFor(seq, 4), int(seq%4); got != want {
+			t.Errorf("FileFor(%d,4) = %d, want %d", seq, got, want)
+		}
+	}
+}
+
+func TestWriteDatasetRoundRobin(t *testing.T) {
+	s := SmallTestScenario()
+	fs := NewMemStore()
+	kept, err := WriteDataset(fs, s, 6, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 6 {
+		t.Fatalf("kept %d cubes, want 6", len(kept))
+	}
+	if len(fs.Files) != 4 {
+		t.Fatalf("wrote %d files, want 4", len(fs.Files))
+	}
+	// File 1 must hold the latest CPI with seq%4==1, i.e. seq 5.
+	data := fs.Files[FileName(1)]
+	cb, h, err := cube.Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Seq != 5 {
+		t.Errorf("file 1 holds seq %d, want 5", h.Seq)
+	}
+	if !cube.Equal(cb, kept[5], 0) {
+		t.Error("file contents differ from generated cube")
+	}
+	// File 2 and 3 hold seqs 2 and 3.
+	for _, fi := range []int{2, 3} {
+		_, h, err := cube.Read(bytes.NewReader(fs.Files[FileName(fi)]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(h.Seq) != fi {
+			t.Errorf("file %d holds seq %d, want %d", fi, h.Seq, fi)
+		}
+	}
+}
+
+func TestWriteDatasetErrors(t *testing.T) {
+	s := SmallTestScenario()
+	fs := NewMemStore()
+	if _, err := WriteDataset(fs, s, 2, 0, false); err == nil {
+		t.Error("fileCount=0 should error")
+	}
+	if _, err := WriteDataset(fs, s, -1, 4, false); err == nil {
+		t.Error("count<0 should error")
+	}
+	s.Bandwidth = 0
+	if _, err := WriteDataset(fs, s, 1, 4, false); err == nil {
+		t.Error("invalid scenario should error")
+	}
+}
+
+func TestPaperScenarioGeometry(t *testing.T) {
+	s := PaperScenario()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Dims.Bytes(), int64(16<<20); got != want {
+		t.Errorf("paper cube payload %d bytes, want 16 MiB", got)
+	}
+}

@@ -1,0 +1,141 @@
+package radar
+
+import (
+	"math"
+	"testing"
+
+	"stapio/internal/linalg"
+	"stapio/internal/signal"
+)
+
+func TestJammerValidation(t *testing.T) {
+	s := SmallTestScenario()
+	s.Jammers = []Jammer{{Angle: 2, JNR: 10}}
+	if err := s.Validate(); err == nil {
+		t.Error("expected jammer angle validation error")
+	}
+}
+
+func TestJammerPowerAndSpatialCoherence(t *testing.T) {
+	s := SmallTestScenario()
+	s.Targets = nil
+	s.NoisePower = 1
+	s.Jammers = []Jammer{{Angle: 0.6, JNR: 20}}
+	cb, err := s.Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total power ~ noise (1) + jammer (100) per sample per channel...
+	// jammer power per channel is |spatial|^2 * sigma^2 = JNR.
+	avg := cb.Power() / float64(cb.Samples())
+	if avg < 30 || avg > 300 {
+		t.Errorf("average power with 20 dB JNR = %g, want ~101", avg)
+	}
+	// Spatial coherence: the channel covariance at one (pulse, range)
+	// sequence should be dominated by the jammer's steering vector —
+	// beamforming toward the jammer collects ~C times the per-channel
+	// jammer power, while an orthogonal direction collects ~noise.
+	c := s.Dims.Channels
+	sv := signal.SteeringVector(c, 0.6)
+	for i := range sv {
+		sv[i] /= complex(float64(c), 0)
+	}
+	var toward, away float64
+	avSV := signal.SteeringVector(c, -0.6)
+	for i := range avSV {
+		avSV[i] /= complex(float64(c), 0)
+	}
+	snap := make([]complex128, c)
+	n := 0
+	for p := 0; p < s.Dims.Pulses; p++ {
+		for r := 0; r < s.Dims.Ranges; r += 4 {
+			for ch := 0; ch < c; ch++ {
+				snap[ch] = complex128(cb.At(ch, p, r))
+			}
+			y := linalg.Dot(sv, snap)
+			toward += real(y)*real(y) + imag(y)*imag(y)
+			y = linalg.Dot(avSV, snap)
+			away += real(y)*real(y) + imag(y)*imag(y)
+			n++
+		}
+	}
+	ratio := 10 * math.Log10(toward/away)
+	if ratio < 10 {
+		t.Errorf("beam toward jammer only %.1f dB above away-beam, want >= 10", ratio)
+	}
+}
+
+func TestTargetMotionRangeWalk(t *testing.T) {
+	s := SmallTestScenario()
+	s.NoisePower = 0
+	s.Targets = s.Targets[:1]
+	s.Targets[0].Range = 20
+	s.Motion = &Motion{GatesPerCPI: 2.5}
+	if got := s.TargetGate(0, 0); got != 20 {
+		t.Errorf("gate(0) = %d, want 20", got)
+	}
+	if got := s.TargetGate(0, 2); got != 25 {
+		t.Errorf("gate(2) = %d, want 25", got)
+	}
+	// Energy follows the walk.
+	cb, err := s.Generate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.At(0, 0, 25) == 0 {
+		t.Error("no energy at walked gate")
+	}
+	if cb.At(0, 0, 20) != 0 {
+		t.Error("energy remained at original gate")
+	}
+	// Walking outside the range window must error, not wrap.
+	s.Motion.GatesPerCPI = 40
+	if _, err := s.Generate(2); err == nil {
+		t.Error("expected range-walk overflow error")
+	}
+	// Negative walk below zero likewise.
+	s.Motion.GatesPerCPI = -15
+	if _, err := s.Generate(2); err == nil {
+		t.Error("expected negative range-walk error")
+	}
+}
+
+func TestMotionlessTargetGate(t *testing.T) {
+	s := SmallTestScenario()
+	if s.TargetGate(1, 99) != s.Targets[1].Range {
+		t.Error("without Motion the gate must not move")
+	}
+}
+
+func TestJammerFillsAllDopplerBins(t *testing.T) {
+	// Unlike clutter, jamming is white in Doppler: after an FFT across
+	// pulses the jammer power should spread over all bins rather than
+	// concentrate.
+	s := SmallTestScenario()
+	s.Targets = nil
+	s.NoisePower = 0.0001
+	s.Jammers = []Jammer{{Angle: 0.3, JNR: 30}}
+	cb, err := s.Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := cb.PulseColumn(0, 8, nil)
+	x := make([]complex128, len(col))
+	for i, v := range col {
+		x[i] = complex128(v)
+	}
+	signal.FFT(x)
+	var maxP, sumP float64
+	for _, v := range x {
+		p := real(v)*real(v) + imag(v)*imag(v)
+		sumP += p
+		if p > maxP {
+			maxP = p
+		}
+	}
+	// A coherent tone would put ~all energy in one bin (max/sum ~ 1); a
+	// white process spreads it (max/sum ~ few / N).
+	if maxP/sumP > 0.5 {
+		t.Errorf("jammer energy concentration %.2f — looks coherent in Doppler", maxP/sumP)
+	}
+}

@@ -1,0 +1,138 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// GanttSpan is one interval of a timeline lane.
+type GanttSpan struct {
+	Lane  string // e.g. the task name
+	Mark  byte   // character painted for this span's phase
+	Start float64
+	End   float64
+}
+
+// Gantt renders a set of spans as an ASCII timeline: one lane per task,
+// time flowing left to right, each column showing the phase occupying
+// that time bucket. It is the visual form of the pipeline's steady-state
+// schedule — the I/O bottleneck appears as long runs of the read-wait
+// mark in the first lane.
+type Gantt struct {
+	Title string
+	// Width is the number of time buckets (default 100).
+	Width int
+	// From/To bound the rendered window; when both are zero the full span
+	// extent is used.
+	From, To float64
+	Spans    []GanttSpan
+}
+
+// Render draws the chart. Lanes appear in order of first span.
+func (g *Gantt) Render(w io.Writer) {
+	width := g.Width
+	if width <= 0 {
+		width = 100
+	}
+	if g.Title != "" {
+		fmt.Fprintf(w, "%s\n", g.Title)
+	}
+	if len(g.Spans) == 0 {
+		fmt.Fprintf(w, "  (no spans)\n")
+		return
+	}
+	from, to := g.From, g.To
+	if from == 0 && to == 0 {
+		from, to = g.Spans[0].Start, g.Spans[0].End
+		for _, s := range g.Spans {
+			if s.Start < from {
+				from = s.Start
+			}
+			if s.End > to {
+				to = s.End
+			}
+		}
+	}
+	if to <= from {
+		fmt.Fprintf(w, "  (empty window)\n")
+		return
+	}
+	// Stable lane order: first appearance.
+	var lanes []string
+	seen := map[string]int{}
+	for _, s := range g.Spans {
+		if _, ok := seen[s.Lane]; !ok {
+			seen[s.Lane] = len(lanes)
+			lanes = append(lanes, s.Lane)
+		}
+	}
+	rows := make([][]byte, len(lanes))
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	scale := float64(width) / (to - from)
+	// Paint later spans over earlier ones deterministically: sort by
+	// (lane, start).
+	spans := append([]GanttSpan(nil), g.Spans...)
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Lane != spans[j].Lane {
+			return seen[spans[i].Lane] < seen[spans[j].Lane]
+		}
+		return spans[i].Start < spans[j].Start
+	})
+	for _, s := range spans {
+		if s.End <= from || s.Start >= to {
+			continue
+		}
+		lo := int((maxFloat(s.Start, from) - from) * scale)
+		hi := int((minFloat(s.End, to) - from) * scale)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		row := rows[seen[s.Lane]]
+		for c := lo; c < hi; c++ {
+			row[c] = s.Mark
+		}
+	}
+	laneW := 0
+	for _, l := range lanes {
+		if len(l) > laneW {
+			laneW = len(l)
+		}
+	}
+	fmt.Fprintf(w, "  %s |%s|\n", pad("t (s)", laneW),
+		timeAxis(from, to, width))
+	for i, l := range lanes {
+		fmt.Fprintf(w, "  %s |%s|\n", pad(l, laneW), rows[i])
+	}
+}
+
+// timeAxis builds a width-character ruler labelled with the window bounds.
+func timeAxis(from, to float64, width int) string {
+	left := fmt.Sprintf("%.3f", from)
+	right := fmt.Sprintf("%.3f", to)
+	if len(left)+len(right)+2 >= width {
+		return strings.Repeat("-", width)
+	}
+	mid := strings.Repeat("-", width-len(left)-len(right))
+	return left + mid + right
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minFloat(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,90 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGanttRender(t *testing.T) {
+	g := &Gantt{
+		Title: "pipeline schedule",
+		Width: 40,
+		Spans: []GanttSpan{
+			{Lane: "doppler", Mark: '#', Start: 0, End: 1},
+			{Lane: "doppler", Mark: '>', Start: 1, End: 1.2},
+			{Lane: "cfar", Mark: '#', Start: 1.2, End: 2},
+		},
+	}
+	var buf bytes.Buffer
+	g.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"pipeline schedule", "doppler", "cfar", "#", ">", "0.000", "2.000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gantt missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, axis, two lanes
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), out)
+	}
+	// Doppler computes the first half of the window.
+	dopplerRow := lines[2]
+	body := dopplerRow[strings.Index(dopplerRow, "|")+1 : strings.LastIndex(dopplerRow, "|")]
+	if body[0] != '#' {
+		t.Errorf("doppler lane should start with compute: %q", body)
+	}
+	if body[len(body)-1] != '.' {
+		t.Errorf("doppler lane should end idle: %q", body)
+	}
+	// CFAR idle at start.
+	cfarRow := lines[3]
+	cbody := cfarRow[strings.Index(cfarRow, "|")+1 : strings.LastIndex(cfarRow, "|")]
+	if cbody[0] != '.' {
+		t.Errorf("cfar lane should start idle: %q", cbody)
+	}
+}
+
+func TestGanttWindow(t *testing.T) {
+	g := &Gantt{
+		Width: 10,
+		From:  5, To: 6,
+		Spans: []GanttSpan{
+			{Lane: "a", Mark: 'x', Start: 0, End: 100}, // clipped to window
+			{Lane: "b", Mark: 'y', Start: 0, End: 1},   // entirely outside
+		},
+	}
+	var buf bytes.Buffer
+	g.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "xxxxxxxxxx") {
+		t.Errorf("span should fill the clipped window:\n%s", out)
+	}
+	if strings.Contains(out, "y") {
+		t.Errorf("out-of-window span should not paint:\n%s", out)
+	}
+}
+
+func TestGanttEdgeCases(t *testing.T) {
+	var buf bytes.Buffer
+	(&Gantt{Title: "empty"}).Render(&buf)
+	if !strings.Contains(buf.String(), "no spans") {
+		t.Error("empty gantt should say so")
+	}
+	buf.Reset()
+	g := &Gantt{From: 2, To: 1, Spans: []GanttSpan{{Lane: "a", Mark: 'x', Start: 0, End: 1}}}
+	g.Render(&buf)
+	if !strings.Contains(buf.String(), "empty window") {
+		t.Error("inverted window should be reported")
+	}
+	// Very short span still paints one column.
+	buf.Reset()
+	g2 := &Gantt{Width: 10, Spans: []GanttSpan{
+		{Lane: "a", Mark: 'x', Start: 0, End: 10},
+		{Lane: "b", Mark: 'z', Start: 0, End: 0.0001},
+	}}
+	g2.Render(&buf)
+	if !strings.Contains(buf.String(), "z") {
+		t.Errorf("tiny span should paint one column:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,91 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// heatRamp maps normalised intensity to a character, dark to bright.
+const heatRamp = " .:-=+*#%@"
+
+// Heatmap renders a 2-D intensity grid (rows x cols) as ASCII art with a
+// logarithmic (dB) intensity scale — the text rendering of the classic
+// angle-Doppler map.
+type Heatmap struct {
+	Title string
+	// RowLabels annotates rows (same length as Values); optional.
+	RowLabels []string
+	// ColLabel describes the column axis.
+	ColLabel string
+	// Values holds the intensities; rows may not be ragged.
+	Values [][]float64
+	// FloorDB is the dynamic range below the peak mapped to the darkest
+	// character (default 40 dB).
+	FloorDB float64
+}
+
+// Render draws the map.
+func (h *Heatmap) Render(w io.Writer) {
+	if h.Title != "" {
+		fmt.Fprintf(w, "%s\n", h.Title)
+	}
+	if len(h.Values) == 0 || len(h.Values[0]) == 0 {
+		fmt.Fprintf(w, "  (no data)\n")
+		return
+	}
+	floor := h.FloorDB
+	if floor <= 0 {
+		floor = 40
+	}
+	var peak float64
+	cols := len(h.Values[0])
+	for _, row := range h.Values {
+		if len(row) != cols {
+			fmt.Fprintf(w, "  (ragged rows)\n")
+			return
+		}
+		for _, v := range row {
+			if v > peak {
+				peak = v
+			}
+		}
+	}
+	if peak <= 0 {
+		fmt.Fprintf(w, "  (all zero)\n")
+		return
+	}
+	labelW := 0
+	for _, l := range h.RowLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for i, row := range h.Values {
+		label := ""
+		if i < len(h.RowLabels) {
+			label = h.RowLabels[i]
+		}
+		line := make([]byte, cols)
+		for j, v := range row {
+			db := -floor
+			if v > 0 {
+				db = 10 * math.Log10(v/peak)
+			}
+			// Map [-floor, 0] dB to ramp indices.
+			t := (db + floor) / floor
+			if t < 0 {
+				t = 0
+			}
+			idx := int(t * float64(len(heatRamp)-1))
+			if idx >= len(heatRamp) {
+				idx = len(heatRamp) - 1
+			}
+			line[j] = heatRamp[idx]
+		}
+		fmt.Fprintf(w, "  %s |%s|\n", pad(label, labelW), line)
+	}
+	if h.ColLabel != "" {
+		fmt.Fprintf(w, "  %s  %s\n", pad("", labelW), h.ColLabel)
+	}
+}

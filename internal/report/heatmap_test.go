@@ -1,0 +1,60 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHeatmapRender(t *testing.T) {
+	h := &Heatmap{
+		Title:     "map",
+		RowLabels: []string{"-1.0", "+1.0"},
+		ColLabel:  "doppler",
+		Values: [][]float64{
+			{1, 0.1, 0.001},
+			{0, 0.5, 1},
+		},
+	}
+	var buf bytes.Buffer
+	h.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"map", "-1.0", "+1.0", "doppler", "@"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("heatmap missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + 2 rows + axis label
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), out)
+	}
+	// Peak cell renders the brightest character; zero cell the darkest.
+	row0 := lines[1]
+	body := row0[strings.Index(row0, "|")+1 : strings.LastIndex(row0, "|")]
+	if body[0] != '@' {
+		t.Errorf("peak cell = %q, want '@' (%q)", body[0], body)
+	}
+	row1 := lines[2]
+	body1 := row1[strings.Index(row1, "|")+1 : strings.LastIndex(row1, "|")]
+	if body1[0] != ' ' {
+		t.Errorf("zero cell = %q, want ' '", body1[0])
+	}
+}
+
+func TestHeatmapEdgeCases(t *testing.T) {
+	var buf bytes.Buffer
+	(&Heatmap{}).Render(&buf)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty heatmap should say so")
+	}
+	buf.Reset()
+	(&Heatmap{Values: [][]float64{{0, 0}}}).Render(&buf)
+	if !strings.Contains(buf.String(), "all zero") {
+		t.Error("all-zero heatmap should say so")
+	}
+	buf.Reset()
+	(&Heatmap{Values: [][]float64{{1, 2}, {3}}}).Render(&buf)
+	if !strings.Contains(buf.String(), "ragged") {
+		t.Error("ragged heatmap should be rejected")
+	}
+}

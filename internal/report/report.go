@@ -1,0 +1,149 @@
+// Package report renders experiment results as fixed-width text tables,
+// ASCII bar charts (the paper's figures), and CSV.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of string cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = pad(cell, widths[i])
+			} else {
+				parts[i] = cell
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// WriteCSV emits the table as comma-separated values with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	rows := append([][]string{t.Columns}, t.Rows...)
+	for _, row := range rows {
+		quoted := make([]string, len(row))
+		for i, cell := range row {
+			quoted[i] = csvQuote(cell)
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", strings.Join(quoted, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvQuote(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Bar is one bar of a chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarGroup is a labelled cluster of bars (e.g. one node-count case).
+type BarGroup struct {
+	Label string
+	Bars  []Bar
+}
+
+// BarChart is a grouped horizontal ASCII bar chart, the text rendering of
+// the paper's figures.
+type BarChart struct {
+	Title string
+	Unit  string
+	Width int // bar area width in characters (default 44)
+	Group []BarGroup
+}
+
+// Render draws the chart. Bars are scaled to the maximum value.
+func (c *BarChart) Render(w io.Writer) {
+	width := c.Width
+	if width <= 0 {
+		width = 44
+	}
+	var maxVal float64
+	labelW := 0
+	for _, g := range c.Group {
+		for _, b := range g.Bars {
+			if b.Value > maxVal {
+				maxVal = b.Value
+			}
+			if len(b.Label) > labelW {
+				labelW = len(b.Label)
+			}
+		}
+	}
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	if maxVal <= 0 {
+		fmt.Fprintf(w, "  (no data)\n")
+		return
+	}
+	for _, g := range c.Group {
+		fmt.Fprintf(w, "  %s\n", g.Label)
+		for _, b := range g.Bars {
+			n := int(b.Value/maxVal*float64(width) + 0.5)
+			if n < 1 && b.Value > 0 {
+				n = 1
+			}
+			fmt.Fprintf(w, "    %s |%s %.3g %s\n",
+				pad(b.Label, labelW), strings.Repeat("#", n), b.Value, c.Unit)
+		}
+	}
+}

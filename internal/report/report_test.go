@@ -1,0 +1,84 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "T", Columns: []string{"task", "nodes", "time"}}
+	tb.AddRow("Doppler filter", "16", "0.368")
+	tb.AddRow("CFAR", "3") // short row padded
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"T\n", "task", "Doppler filter", "16", "0.368", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Columns align: "nodes" column starts at the same offset in all rows.
+	idxHeader := strings.Index(lines[1], "nodes")
+	idxRow := strings.Index(lines[3], "16")
+	if idxHeader != idxRow {
+		t.Errorf("column misaligned: header at %d, row at %d", idxHeader, idxRow)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Columns: []string{"a", "b"}}
+	tb.AddRow(`x,y`, `say "hi"`)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestBarChartRender(t *testing.T) {
+	c := &BarChart{
+		Title: "Throughput",
+		Unit:  "CPIs/s",
+		Width: 20,
+		Group: []BarGroup{
+			{Label: "case 1", Bars: []Bar{{"PFS-16", 2.7}, {"PFS-64", 2.7}}},
+			{Label: "case 3", Bars: []Bar{{"PFS-16", 5.5}, {"PFS-64", 9.9}}},
+		},
+	}
+	var buf bytes.Buffer
+	c.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Throughput", "case 1", "case 3", "PFS-16", "CPIs/s", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Largest value gets the full width.
+	if !strings.Contains(out, strings.Repeat("#", 20)) {
+		t.Errorf("max bar should span the full width:\n%s", out)
+	}
+	// A tiny but positive value still paints one mark.
+	c2 := &BarChart{Width: 10, Group: []BarGroup{{Label: "g", Bars: []Bar{{"big", 100}, {"tiny", 0.01}}}}}
+	buf.Reset()
+	c2.Render(&buf)
+	if !strings.Contains(buf.String(), "tiny |#") {
+		t.Errorf("tiny bar missing mark:\n%s", buf.String())
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	c := &BarChart{Title: "empty"}
+	var buf bytes.Buffer
+	c.Render(&buf)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Errorf("empty chart should say so:\n%s", buf.String())
+	}
+}

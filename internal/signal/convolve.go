@@ -1,0 +1,100 @@
+package signal
+
+import "fmt"
+
+// ConvolveDirect computes the full linear convolution of x and h directly in
+// O(len(x)*len(h)). It is the reference implementation used by tests and is
+// competitive for very short kernels.
+func ConvolveDirect(x, h []complex128) []complex128 {
+	if len(x) == 0 || len(h) == 0 {
+		return nil
+	}
+	out := make([]complex128, len(x)+len(h)-1)
+	for i, xv := range x {
+		for j, hv := range h {
+			out[i+j] += xv * hv
+		}
+	}
+	return out
+}
+
+// FastConvolver performs repeated linear convolutions of length-n signals
+// with a fixed kernel h using the FFT overlap-free (single-block) method:
+// both operands are zero-padded to a power of two >= n+len(h)-1, the kernel
+// spectrum is precomputed, and each Convolve costs two FFTs.
+//
+// This is the shape of pulse compression in the STAP pipeline: one fixed
+// replica correlated against every (beam, Doppler) range profile.
+type FastConvolver struct {
+	n      int // signal length
+	hLen   int
+	m      int // padded FFT length
+	hfft   []complex128
+	buf    []complex128
+	outLen int
+}
+
+// NewFastConvolver builds a convolver for signals of length n with kernel h.
+func NewFastConvolver(n int, h []complex128) *FastConvolver {
+	if n <= 0 || len(h) == 0 {
+		panic(fmt.Sprintf("signal: NewFastConvolver n=%d len(h)=%d", n, len(h)))
+	}
+	outLen := n + len(h) - 1
+	m := NextPow2(outLen)
+	hf := make([]complex128, m)
+	copy(hf, h)
+	FFT(hf)
+	return &FastConvolver{
+		n:      n,
+		hLen:   len(h),
+		m:      m,
+		hfft:   hf,
+		buf:    make([]complex128, m),
+		outLen: outLen,
+	}
+}
+
+// OutLen returns the full convolution output length n+len(h)-1.
+func (fc *FastConvolver) OutLen() int { return fc.outLen }
+
+// Convolve computes the full linear convolution of x (len n) with the
+// kernel into out (len >= OutLen()) and returns out[:OutLen()]. If out is
+// nil a new slice is allocated. Convolve is not safe for concurrent use of
+// a single FastConvolver; clone one per goroutine with Clone.
+func (fc *FastConvolver) Convolve(x []complex128, out []complex128) []complex128 {
+	if len(x) != fc.n {
+		panic(fmt.Sprintf("signal: FastConvolver built for n=%d, got %d", fc.n, len(x)))
+	}
+	if out == nil {
+		out = make([]complex128, fc.outLen)
+	}
+	b := fc.buf
+	copy(b, x)
+	for i := fc.n; i < fc.m; i++ {
+		b[i] = 0
+	}
+	FFT(b)
+	for i := range b {
+		b[i] *= fc.hfft[i]
+	}
+	IFFT(b)
+	copy(out[:fc.outLen], b[:fc.outLen])
+	return out[:fc.outLen]
+}
+
+// MatchedOutput trims a full convolution with a matched filter of length L
+// to the "valid + aligned" region used by pulse compression: the peak for a
+// scatterer at range gate r appears at output index r+L-1 of the full
+// convolution, so the compressed profile of length n is full[L-1 : L-1+n].
+func (fc *FastConvolver) MatchedOutput(full []complex128) []complex128 {
+	return full[fc.hLen-1 : fc.hLen-1+fc.n]
+}
+
+// Clone returns an independent convolver sharing the (immutable)
+// precomputed kernel spectrum but with its own scratch buffer, suitable for
+// use by another goroutine.
+func (fc *FastConvolver) Clone() *FastConvolver {
+	cp := *fc
+	cp.buf = make([]complex128, fc.m)
+	return &cp
+}

@@ -1,0 +1,151 @@
+package signal
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvolveDirectKnown(t *testing.T) {
+	x := []complex128{1, 2, 3}
+	h := []complex128{1, 1}
+	got := ConvolveDirect(x, h)
+	want := []complex128{1, 3, 5, 3}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if cmplx.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("out[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if ConvolveDirect(nil, h) != nil || ConvolveDirect(x, nil) != nil {
+		t.Error("empty operand should produce nil")
+	}
+}
+
+func TestFastConvolverMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct{ n, l int }{{8, 3}, {100, 17}, {64, 64}, {1, 1}, {33, 5}} {
+		x := randVec(rng, tc.n)
+		h := randVec(rng, tc.l)
+		fc := NewFastConvolver(tc.n, h)
+		got := fc.Convolve(x, nil)
+		want := ConvolveDirect(x, h)
+		if len(got) != len(want) || fc.OutLen() != len(want) {
+			t.Fatalf("n=%d l=%d: len %d, want %d", tc.n, tc.l, len(got), len(want))
+		}
+		if d := maxDiff(got, want); d > 1e-8*float64(tc.n+tc.l) {
+			t.Errorf("n=%d l=%d: fast vs direct diff %g", tc.n, tc.l, d)
+		}
+	}
+}
+
+func TestFastConvolverReuseAndClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	h := randVec(rng, 9)
+	fc := NewFastConvolver(32, h)
+	x1 := randVec(rng, 32)
+	x2 := randVec(rng, 32)
+	out := make([]complex128, fc.OutLen())
+	got1 := fc.Convolve(x1, out)
+	want1 := ConvolveDirect(x1, h)
+	if d := maxDiff(got1, want1); d > 1e-8 {
+		t.Errorf("first convolve diff %g", d)
+	}
+	cl := fc.Clone()
+	got2 := cl.Convolve(x2, nil)
+	want2 := ConvolveDirect(x2, h)
+	if d := maxDiff(got2, want2); d > 1e-8 {
+		t.Errorf("clone convolve diff %g", d)
+	}
+	// Reusing the original after cloning must still work (scratch is not shared).
+	got1b := fc.Convolve(x1, nil)
+	if d := maxDiff(got1b, want1); d > 1e-8 {
+		t.Errorf("re-used convolver diff %g", d)
+	}
+}
+
+func TestFastConvolverPanics(t *testing.T) {
+	fc := NewFastConvolver(8, []complex128{1})
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("wrong input length", func() { fc.Convolve(make([]complex128, 4), nil) })
+	mustPanic("bad n", func() { NewFastConvolver(0, []complex128{1}) })
+	mustPanic("empty kernel", func() { NewFastConvolver(4, nil) })
+}
+
+func TestConvolutionTheoremProperty(t *testing.T) {
+	// conv(x, h) computed fast equals direct for random shapes.
+	f := func(seed int64, nRaw, lRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%60 + 1
+		l := int(lRaw)%20 + 1
+		x := randVec(rng, n)
+		h := randVec(rng, l)
+		fc := NewFastConvolver(n, h)
+		return maxDiff(fc.Convolve(x, nil), ConvolveDirect(x, h)) < 1e-7*float64(n+l)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchedFilterCompressesChirp(t *testing.T) {
+	// Pulse compression of a chirp must concentrate energy at the target
+	// gate with gain ~ sqrt(pulse length) relative to the uncompressed echo.
+	const nRange = 256
+	const pulseLen = 64
+	chirp := LFMChirp(pulseLen, 0.8)
+	mf := MatchedFilter(chirp)
+
+	// Scene: a single unit scatterer at gate g0 produces a chirp echo
+	// starting at g0.
+	const g0 = 100
+	scene := make([]complex128, nRange)
+	for i, c := range chirp {
+		scene[g0+i] = c
+	}
+	fc := NewFastConvolver(nRange, mf)
+	full := fc.Convolve(scene, nil)
+	prof := fc.MatchedOutput(full)
+	if len(prof) != nRange {
+		t.Fatalf("MatchedOutput length %d, want %d", len(prof), nRange)
+	}
+	// Peak must land exactly at g0.
+	peakIdx, peakVal := -1, 0.0
+	for i, v := range prof {
+		if a := cmplx.Abs(v); a > peakVal {
+			peakVal, peakIdx = a, i
+		}
+	}
+	if peakIdx != g0 {
+		t.Errorf("compressed peak at %d, want %d", peakIdx, g0)
+	}
+	// Unit-energy matched filter: peak value = sqrt(energy of pulse) = sqrt(pulseLen).
+	if want := math.Sqrt(pulseLen); math.Abs(peakVal-want) > 0.05*want {
+		t.Errorf("peak value %g, want ~%g", peakVal, want)
+	}
+	// Peak sidelobe at least ~10 dB below the main lobe away from the
+	// mainlobe vicinity.
+	var maxSide float64
+	for i, v := range prof {
+		if i >= g0-3 && i <= g0+3 {
+			continue
+		}
+		if a := cmplx.Abs(v); a > maxSide {
+			maxSide = a
+		}
+	}
+	if maxSide > peakVal/3 {
+		t.Errorf("sidelobe %g too high vs peak %g", maxSide, peakVal)
+	}
+}

@@ -1,0 +1,220 @@
+// Package signal provides the digital signal processing kernels used by the
+// STAP pipeline: complex FFTs, window functions, fast convolution, and
+// linear-FM chirp replica generation. All routines work on complex128 for
+// numeric headroom; cube payloads (complex64) are widened at the task
+// boundaries.
+package signal
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the in-place forward discrete Fourier transform of x.
+// len(x) must be a power of two; use Plan or PadPow2 for other lengths.
+// The transform is unnormalised: FFT followed by IFFT returns the input.
+func FFT(x []complex128) {
+	fftRadix2(x, false)
+}
+
+// IFFT computes the in-place inverse DFT of x, including the 1/N
+// normalisation. len(x) must be a power of two.
+func IFFT(x []complex128) {
+	fftRadix2(x, true)
+	n := float64(len(x))
+	for i := range x {
+		x[i] = complex(real(x[i])/n, imag(x[i])/n)
+	}
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPow2 returns the smallest power of two >= n (n must be positive).
+func NextPow2(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("signal: NextPow2 of non-positive %d", n))
+	}
+	if IsPow2(n) {
+		return n
+	}
+	return 1 << bits.Len(uint(n))
+}
+
+func fftRadix2(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("signal: radix-2 FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Iterative Cooley-Tukey butterflies.
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// DFT computes the naive O(n^2) forward DFT of x into a new slice. It works
+// for any length and exists as the reference implementation for tests and
+// as the kernel of the Bluestein fallback verification.
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// Plan is a reusable FFT plan for a fixed transform length. For power-of-two
+// lengths it dispatches to the radix-2 kernel; for other lengths it uses
+// Bluestein's algorithm (chirp-z) built on a padded power-of-two transform.
+// Plans are safe for concurrent use by multiple goroutines only if each
+// goroutine uses its own scratch via Transform (which allocates) or
+// distinct plans; the zero-allocation TransformInto requires external
+// synchronisation per plan.
+type Plan struct {
+	n    int
+	pow2 bool
+	// Bluestein precomputation (nil when pow2):
+	m     int          // padded length (power of two >= 2n-1)
+	chirp []complex128 // chirp[k] = exp(-i*pi*k^2/n), k in [0,n)
+	bfft  []complex128 // FFT of the conjugate chirp kernel, length m
+	// scratch for TransformInto
+	scratch []complex128
+}
+
+// NewPlan creates a plan for transforms of length n (n >= 1).
+func NewPlan(n int) *Plan {
+	if n < 1 {
+		panic(fmt.Sprintf("signal: NewPlan length %d < 1", n))
+	}
+	p := &Plan{n: n, pow2: IsPow2(n)}
+	if p.pow2 {
+		return p
+	}
+	p.m = NextPow2(2*n - 1)
+	p.chirp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// Use float64 k^2 mod 2n to avoid precision loss for large k.
+		kk := float64(k) * float64(k)
+		angle := -math.Pi * math.Mod(kk, 2*float64(n)) / float64(n)
+		p.chirp[k] = cmplx.Exp(complex(0, angle))
+	}
+	b := make([]complex128, p.m)
+	b[0] = cmplx.Conj(p.chirp[0])
+	for k := 1; k < n; k++ {
+		c := cmplx.Conj(p.chirp[k])
+		b[k] = c
+		b[p.m-k] = c
+	}
+	FFT(b)
+	p.bfft = b
+	p.scratch = make([]complex128, p.m)
+	return p
+}
+
+// Len returns the transform length of the plan.
+func (p *Plan) Len() int { return p.n }
+
+// Forward computes the forward DFT of x (len(x) == p.Len()) in place.
+func (p *Plan) Forward(x []complex128) {
+	p.transform(x, false)
+}
+
+// Inverse computes the normalised inverse DFT of x in place.
+func (p *Plan) Inverse(x []complex128) {
+	p.transform(x, true)
+}
+
+func (p *Plan) transform(x []complex128, inverse bool) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("signal: plan length %d, input length %d", p.n, len(x)))
+	}
+	if p.pow2 {
+		if inverse {
+			IFFT(x)
+		} else {
+			FFT(x)
+		}
+		return
+	}
+	if inverse {
+		// IDFT(x)[t] = conj(DFT(conj(x))[t]) / n
+		for i := range x {
+			x[i] = cmplx.Conj(x[i])
+		}
+		p.bluestein(x)
+		n := float64(p.n)
+		for i := range x {
+			x[i] = complex(real(x[i])/n, -imag(x[i])/n)
+		}
+		return
+	}
+	p.bluestein(x)
+}
+
+// bluestein computes the forward DFT of x (arbitrary length) in place using
+// the chirp-z decomposition: X[k] = chirp[k] * (a ∗ b)[k], where
+// a[t] = x[t]*chirp[t] and b is the conjugate chirp.
+func (p *Plan) bluestein(x []complex128) {
+	a := p.scratch
+	for i := range a {
+		a[i] = 0
+	}
+	for t := 0; t < p.n; t++ {
+		a[t] = x[t] * p.chirp[t]
+	}
+	FFT(a)
+	for i := range a {
+		a[i] *= p.bfft[i]
+	}
+	IFFT(a)
+	for k := 0; k < p.n; k++ {
+		x[k] = a[k] * p.chirp[k]
+	}
+}
+
+// FFTShift rotates x so that the zero-frequency bin moves to the centre,
+// matching the conventional Doppler spectrum display order. It returns a
+// new slice.
+func FFTShift(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	half := (n + 1) / 2
+	copy(out, x[half:])
+	copy(out[n-half:], x[:half])
+	return out
+}

@@ -1,0 +1,209 @@
+package signal
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxDiff(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		x := randVec(rng, n)
+		want := DFT(x)
+		got := append([]complex128(nil), x...)
+		FFT(got)
+		if d := maxDiff(got, want); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: FFT differs from DFT by %g", n, d)
+		}
+	}
+}
+
+func TestFFTIFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 16, 128, 1024} {
+		x := randVec(rng, n)
+		y := append([]complex128(nil), x...)
+		FFT(y)
+		IFFT(y)
+		if d := maxDiff(x, y); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: roundtrip error %g", n, d)
+		}
+	}
+}
+
+func TestFFTNonPow2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two FFT")
+		}
+	}()
+	FFT(make([]complex128, 3))
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	FFT(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// A complex exponential at bin k transforms to n at bin k, 0 elsewhere.
+	n, k := 64, 5
+	x := make([]complex128, n)
+	for t2 := 0; t2 < n; t2++ {
+		x[t2] = cmplx.Exp(complex(0, 2*math.Pi*float64(k)*float64(t2)/float64(n)))
+	}
+	FFT(x)
+	for i, v := range x {
+		want := complex128(0)
+		if i == k {
+			want = complex(float64(n), 0)
+		}
+		if cmplx.Abs(v-want) > 1e-9 {
+			t.Errorf("bin %d = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(ar, ai, br, bi float64) bool {
+		n := 32
+		a := complex(math.Mod(ar, 4), math.Mod(ai, 4))
+		b := complex(math.Mod(br, 4), math.Mod(bi, 4))
+		x := randVec(rng, n)
+		y := randVec(rng, n)
+		// FFT(a*x + b*y) == a*FFT(x) + b*FFT(y)
+		lhs := make([]complex128, n)
+		for i := range lhs {
+			lhs[i] = a*x[i] + b*y[i]
+		}
+		FFT(lhs)
+		fx := append([]complex128(nil), x...)
+		fy := append([]complex128(nil), y...)
+		FFT(fx)
+		FFT(fy)
+		for i := range fx {
+			if cmplx.Abs(lhs[i]-(a*fx[i]+b*fy[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 128
+		x := randVec(r, n)
+		var te float64
+		for _, v := range x {
+			te += real(v)*real(v) + imag(v)*imag(v)
+		}
+		FFT(x)
+		var fe float64
+		for _, v := range x {
+			fe += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(fe/float64(n)-te) < 1e-6*(1+te)
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanPow2AndBluestein(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 2, 3, 5, 12, 17, 100, 128, 130} {
+		p := NewPlan(n)
+		if p.Len() != n {
+			t.Fatalf("Plan.Len = %d, want %d", p.Len(), n)
+		}
+		x := randVec(rng, n)
+		want := DFT(x)
+		got := append([]complex128(nil), x...)
+		p.Forward(got)
+		if d := maxDiff(got, want); d > 1e-8*float64(n) {
+			t.Errorf("n=%d: Plan.Forward differs from DFT by %g", n, d)
+		}
+		p.Inverse(got)
+		if d := maxDiff(got, x); d > 1e-8*float64(n) {
+			t.Errorf("n=%d: Plan roundtrip error %g", n, d)
+		}
+	}
+}
+
+func TestPlanLengthMismatchPanics(t *testing.T) {
+	p := NewPlan(8)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong input length")
+		}
+	}()
+	p.Forward(make([]complex128, 4))
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 8: 8, 9: 16, 1000: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for NextPow2(0)")
+		}
+	}()
+	NextPow2(0)
+}
+
+func TestFFTShift(t *testing.T) {
+	x := []complex128{0, 1, 2, 3}
+	got := FFTShift(x)
+	want := []complex128{2, 3, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FFTShift = %v, want %v", got, want)
+		}
+	}
+	// Odd length: zero bin x[0] must land at centre index n/2.
+	x5 := []complex128{0, 1, 2, 3, 4}
+	got5 := FFTShift(x5)
+	if got5[2] != 0 {
+		t.Errorf("FFTShift odd: centre = %v, want 0 (got %v)", got5[2], got5)
+	}
+}

@@ -1,0 +1,147 @@
+package signal
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestWindowShapes(t *testing.T) {
+	const n = 64
+	for _, k := range []WindowKind{WindowRect, WindowHann, WindowHamming, WindowBlackman} {
+		w := Window(k, n)
+		if len(w) != n {
+			t.Fatalf("%v: len %d", k, len(w))
+		}
+		// Symmetry.
+		for i := 0; i < n/2; i++ {
+			if math.Abs(w[i]-w[n-1-i]) > 1e-12 {
+				t.Errorf("%v: not symmetric at %d: %g vs %g", k, i, w[i], w[n-1-i])
+			}
+		}
+		// Peak at (or near) centre, all coefficients within [0, 1+eps].
+		for i, v := range w {
+			if v < -1e-12 || v > 1+1e-12 {
+				t.Errorf("%v: w[%d] = %g outside [0,1]", k, i, v)
+			}
+		}
+	}
+	if w := Window(WindowHann, 1); w[0] != 1 {
+		t.Errorf("length-1 window = %v, want [1]", w)
+	}
+}
+
+func TestWindowTaperEnds(t *testing.T) {
+	w := Window(WindowHann, 32)
+	if w[0] > 1e-12 || w[31] > 1e-12 {
+		t.Errorf("Hann endpoints = %g, %g, want 0", w[0], w[31])
+	}
+	h := Window(WindowHamming, 32)
+	if math.Abs(h[0]-0.08) > 1e-9 {
+		t.Errorf("Hamming endpoint = %g, want 0.08", h[0])
+	}
+}
+
+func TestWindowGains(t *testing.T) {
+	rect := Window(WindowRect, 100)
+	if g := CoherentGain(rect); math.Abs(g-1) > 1e-12 {
+		t.Errorf("rect coherent gain %g, want 1", g)
+	}
+	if g := NoiseGain(rect); math.Abs(g-1) > 1e-12 {
+		t.Errorf("rect noise gain %g, want 1", g)
+	}
+	hann := Window(WindowHann, 4096)
+	if g := CoherentGain(hann); math.Abs(g-0.5) > 1e-3 {
+		t.Errorf("hann coherent gain %g, want ~0.5", g)
+	}
+	if g := NoiseGain(hann); math.Abs(g-0.375) > 1e-3 {
+		t.Errorf("hann noise gain %g, want ~0.375", g)
+	}
+}
+
+func TestApplyWindow(t *testing.T) {
+	x := []complex128{2, 2, 2, 2}
+	w := []float64{0, 0.5, 1, 0.25}
+	ApplyWindow(x, w)
+	want := []complex128{0, 1, 2, 0.5}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatalf("ApplyWindow = %v, want %v", x, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched lengths")
+		}
+	}()
+	ApplyWindow(x, w[:2])
+}
+
+func TestWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for n<=0")
+		}
+	}()
+	Window(WindowHann, 0)
+}
+
+func TestWindowKindString(t *testing.T) {
+	if WindowHann.String() != "hann" || WindowKind(99).String() == "" {
+		t.Error("WindowKind.String misbehaves")
+	}
+}
+
+func TestSteeringVectors(t *testing.T) {
+	// Broadside (u=0): all ones.
+	s := SteeringVector(8, 0)
+	for i, v := range s {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("broadside element %d = %v", i, v)
+		}
+	}
+	// Unit magnitude everywhere for any angle.
+	s = SteeringVector(16, 0.37)
+	for i, v := range s {
+		if math.Abs(cmplx.Abs(v)-1) > 1e-12 {
+			t.Errorf("element %d magnitude %g", i, cmplx.Abs(v))
+		}
+	}
+	// Doppler steering at fd=0: all ones; at fd=0.5: alternating sign.
+	d := DopplerSteeringVector(4, 0.5)
+	want := []complex128{1, -1, 1, -1}
+	for i := range want {
+		if cmplx.Abs(d[i]-want[i]) > 1e-12 {
+			t.Errorf("doppler steer[%d] = %v, want %v", i, d[i], want[i])
+		}
+	}
+}
+
+func TestLFMChirpProperties(t *testing.T) {
+	c := LFMChirp(128, 0.9)
+	// Constant modulus.
+	for i, v := range c {
+		if math.Abs(cmplx.Abs(v)-1) > 1e-12 {
+			t.Errorf("chirp[%d] magnitude %g, want 1", i, cmplx.Abs(v))
+		}
+	}
+	// Matched filter has unit energy.
+	mf := MatchedFilter(c)
+	var e float64
+	for _, v := range mf {
+		e += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(e-1) > 1e-9 {
+		t.Errorf("matched filter energy %g, want 1", e)
+	}
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("n<=0", func() { LFMChirp(0, 0.5) })
+	mustPanic("bw>1", func() { LFMChirp(8, 1.5) })
+}

@@ -1,0 +1,107 @@
+// Package sim is a small deterministic discrete-event simulation engine:
+// a virtual clock, an event queue, and FIFO service resources. The pipeline
+// performance simulator builds the paper's machines — compute nodes,
+// network, parallel file system stripe servers — out of these pieces.
+//
+// Determinism: events at equal times fire in scheduling order (a
+// monotonically increasing sequence number breaks ties), so simulations are
+// exactly reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Engine is the simulation core. The zero value is ready to use.
+type Engine struct {
+	now    float64
+	seq    int64
+	events eventHeap
+	ran    int64
+}
+
+type event struct {
+	at  float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() int64 { return e.ran }
+
+// Schedule queues fn to run delay seconds from now. Negative delays panic:
+// the past is immutable.
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("sim: negative or NaN delay %v", delay))
+	}
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt queues fn to run at absolute virtual time t >= Now().
+func (e *Engine) ScheduleAt(t float64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: %v < %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// Step executes the next event, returning false when the queue is empty.
+func (e *Engine) Step() bool {
+	if e.events.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.ran++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= t, then advances the clock to t.
+// Events scheduled beyond t remain queued.
+func (e *Engine) RunUntil(t float64) {
+	for e.events.Len() > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.events.Len() }

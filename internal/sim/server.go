@@ -1,0 +1,133 @@
+package sim
+
+import "fmt"
+
+// Server is a FIFO service resource with a fixed number of identical
+// service slots (capacity). Jobs are served in submission order; each
+// occupies one slot for its service duration, then its completion callback
+// fires. A Server with capacity 1 models a disk stripe server or a network
+// link; larger capacities model node pools.
+type Server struct {
+	eng      *Engine
+	name     string
+	capacity int
+	busy     int
+	queue    []job
+
+	// statistics
+	busyTime   float64 // slot-seconds of service delivered
+	waitTime   float64 // total queueing delay
+	served     int64
+	maxQueue   int
+	lastSubmit float64
+}
+
+type job struct {
+	duration float64
+	enqueued float64
+	done     func()
+}
+
+// NewServer creates a server with the given capacity on the engine.
+func NewServer(eng *Engine, name string, capacity int) *Server {
+	if capacity < 1 {
+		panic(fmt.Sprintf("sim: server %q capacity %d < 1", name, capacity))
+	}
+	return &Server{eng: eng, name: name, capacity: capacity}
+}
+
+// Name returns the server's diagnostic name.
+func (s *Server) Name() string { return s.name }
+
+// Submit queues a job with the given service duration; done (which may be
+// nil) fires at completion time.
+func (s *Server) Submit(duration float64, done func()) {
+	if duration < 0 {
+		panic(fmt.Sprintf("sim: server %q negative duration %v", s.name, duration))
+	}
+	s.lastSubmit = s.eng.Now()
+	j := job{duration: duration, enqueued: s.eng.Now(), done: done}
+	if s.busy < s.capacity {
+		s.start(j)
+		return
+	}
+	s.queue = append(s.queue, j)
+	if len(s.queue) > s.maxQueue {
+		s.maxQueue = len(s.queue)
+	}
+}
+
+func (s *Server) start(j job) {
+	s.busy++
+	s.waitTime += s.eng.Now() - j.enqueued
+	s.busyTime += j.duration
+	s.served++
+	s.eng.Schedule(j.duration, func() {
+		s.busy--
+		if len(s.queue) > 0 {
+			next := s.queue[0]
+			s.queue = s.queue[1:]
+			s.start(next)
+		}
+		if j.done != nil {
+			j.done()
+		}
+	})
+}
+
+// Served returns the number of jobs that started service.
+func (s *Server) Served() int64 { return s.served }
+
+// BusyTime returns the total slot-seconds of service delivered.
+func (s *Server) BusyTime() float64 { return s.busyTime }
+
+// MeanWait returns the average queueing delay of started jobs.
+func (s *Server) MeanWait() float64 {
+	if s.served == 0 {
+		return 0
+	}
+	return s.waitTime / float64(s.served)
+}
+
+// MaxQueue returns the high-water mark of the wait queue length.
+func (s *Server) MaxQueue() int { return s.maxQueue }
+
+// Utilization returns BusyTime normalised by capacity over [0, horizon].
+func (s *Server) Utilization(horizon float64) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return s.busyTime / (horizon * float64(s.capacity))
+}
+
+// Batch tracks a fan-out of n concurrent operations and fires its callback
+// when the last one completes (a completion barrier — e.g. "all stripe-unit
+// requests of this read are done").
+type Batch struct {
+	remaining int
+	done      func()
+}
+
+// NewBatch creates a barrier over n completions. If n == 0 the callback
+// fires immediately (synchronously).
+func NewBatch(n int, done func()) *Batch {
+	if n < 0 {
+		panic(fmt.Sprintf("sim: batch size %d < 0", n))
+	}
+	b := &Batch{remaining: n, done: done}
+	if n == 0 && done != nil {
+		done()
+	}
+	return b
+}
+
+// Done records one completion, firing the callback on the last.
+func (b *Batch) Done() {
+	if b.remaining <= 0 {
+		panic("sim: batch over-completed")
+	}
+	b.remaining--
+	if b.remaining == 0 && b.done != nil {
+		b.done()
+	}
+}

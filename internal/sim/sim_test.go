@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.Schedule(3, func() { got = append(got, 3) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(2, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now = %v, want 3", e.Now())
+	}
+	if e.Processed() != 3 {
+		t.Errorf("Processed = %d, want 3", e.Processed())
+	}
+}
+
+func TestEngineTieBreakFIFO(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events out of order: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	var e Engine
+	var times []float64
+	e.Schedule(1, func() {
+		times = append(times, e.Now())
+		e.Schedule(1.5, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 2.5 {
+		t.Errorf("times = %v, want [1 2.5]", times)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	var e Engine
+	fired := 0
+	e.Schedule(1, func() { fired++ })
+	e.Schedule(5, func() { fired++ })
+	e.RunUntil(3)
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now = %v, want 3", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if fired != 2 || e.Now() != 5 {
+		t.Errorf("after Run: fired=%d Now=%v", fired, e.Now())
+	}
+}
+
+func TestEnginePanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	var e Engine
+	mustPanic("negative delay", func() { e.Schedule(-1, func() {}) })
+	mustPanic("NaN delay", func() { e.Schedule(math.NaN(), func() {}) })
+	mustPanic("nil fn", func() { e.Schedule(1, nil) })
+	e2 := &Engine{}
+	e2.Schedule(5, func() {})
+	e2.Run()
+	mustPanic("past", func() { e2.ScheduleAt(1, func() {}) })
+}
+
+func TestEventHeapIsPriorityQueueProperty(t *testing.T) {
+	// Property: however events are scheduled, they fire in nondecreasing
+	// time order.
+	f := func(delaysRaw []uint16) bool {
+		var e Engine
+		var fired []float64
+		for _, d := range delaysRaw {
+			dd := float64(d % 1000)
+			e.Schedule(dd, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		return sort.Float64sAreSorted(fired) && len(fired) == len(delaysRaw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestServerSerialQueueing(t *testing.T) {
+	var e Engine
+	s := NewServer(&e, "disk", 1)
+	var finish []float64
+	for i := 0; i < 3; i++ {
+		s.Submit(2, func() { finish = append(finish, e.Now()) })
+	}
+	e.Run()
+	want := []float64{2, 4, 6}
+	for i := range want {
+		if math.Abs(finish[i]-want[i]) > 1e-12 {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+	if s.Served() != 3 {
+		t.Errorf("Served = %d", s.Served())
+	}
+	if math.Abs(s.BusyTime()-6) > 1e-12 {
+		t.Errorf("BusyTime = %v, want 6", s.BusyTime())
+	}
+	// Jobs 2 and 3 waited 2 and 4 seconds -> mean (0+2+4)/3 = 2.
+	if math.Abs(s.MeanWait()-2) > 1e-12 {
+		t.Errorf("MeanWait = %v, want 2", s.MeanWait())
+	}
+	if s.MaxQueue() != 2 {
+		t.Errorf("MaxQueue = %d, want 2", s.MaxQueue())
+	}
+	if u := s.Utilization(6); math.Abs(u-1) > 1e-12 {
+		t.Errorf("Utilization = %v, want 1", u)
+	}
+}
+
+func TestServerParallelSlots(t *testing.T) {
+	var e Engine
+	s := NewServer(&e, "pool", 2)
+	var finish []float64
+	for i := 0; i < 4; i++ {
+		s.Submit(3, func() { finish = append(finish, e.Now()) })
+	}
+	e.Run()
+	// Two at t=3, two at t=6.
+	want := []float64{3, 3, 6, 6}
+	for i := range want {
+		if math.Abs(finish[i]-want[i]) > 1e-12 {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestServerConservationProperty(t *testing.T) {
+	// Property: with capacity 1, total makespan equals sum of durations
+	// when all jobs are submitted at t=0; BusyTime always equals the sum.
+	f := func(durs []uint8) bool {
+		var e Engine
+		s := NewServer(&e, "d", 1)
+		var total float64
+		var last float64
+		for _, d := range durs {
+			dd := float64(d)/10 + 0.01
+			total += dd
+			s.Submit(dd, func() { last = e.Now() })
+		}
+		e.Run()
+		if len(durs) == 0 {
+			return true
+		}
+		return math.Abs(last-total) < 1e-9 && math.Abs(s.BusyTime()-total) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestServerPanics(t *testing.T) {
+	var e Engine
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("capacity", func() { NewServer(&e, "x", 0) })
+	s := NewServer(&e, "x", 1)
+	mustPanic("negative duration", func() { s.Submit(-1, nil) })
+}
+
+func TestBatch(t *testing.T) {
+	fired := false
+	b := NewBatch(3, func() { fired = true })
+	b.Done()
+	b.Done()
+	if fired {
+		t.Error("fired early")
+	}
+	b.Done()
+	if !fired {
+		t.Error("did not fire")
+	}
+	// Zero-size batch fires immediately.
+	immediate := false
+	NewBatch(0, func() { immediate = true })
+	if !immediate {
+		t.Error("zero batch did not fire")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("over-completion should panic")
+		}
+	}()
+	b.Done()
+}
+
+func TestServerUtilizationZeroHorizon(t *testing.T) {
+	var e Engine
+	s := NewServer(&e, "x", 1)
+	if s.Utilization(0) != 0 {
+		t.Error("zero horizon utilization should be 0")
+	}
+	if s.MeanWait() != 0 {
+		t.Error("MeanWait with no jobs should be 0")
+	}
+}

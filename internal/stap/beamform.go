@@ -1,0 +1,64 @@
+package stap
+
+import (
+	"fmt"
+
+	"stapio/internal/linalg"
+)
+
+// BeamCube holds beamformed (and later pulse-compressed) data:
+// Data[((b*Bins)+d)*Ranges + r] is the output of beam b at Doppler bin d,
+// range gate r. Bins indexes all Doppler bins (easy and hard interleaved in
+// natural bin order).
+type BeamCube struct {
+	Beams, Bins, Ranges int
+	Data                []complex128
+	Seq                 uint64
+}
+
+// NewBeamCube allocates a zeroed beam cube.
+func NewBeamCube(p *Params) *BeamCube {
+	return &BeamCube{
+		Beams:  len(p.Beams),
+		Bins:   p.Bins(),
+		Ranges: p.Dims.Ranges,
+		Data:   make([]complex128, len(p.Beams)*p.Bins()*p.Dims.Ranges),
+	}
+}
+
+// Profile returns the range profile for (beam, bin) aliasing the storage.
+func (bc *BeamCube) Profile(b, d int) []complex128 {
+	off := ((b * bc.Bins) + d) * bc.Ranges
+	return bc.Data[off : off+bc.Ranges]
+}
+
+// Beamform applies the weight set to the listed Doppler bins of dc,
+// writing the per-beam range profiles into out. Bins not listed are left
+// untouched, so the easy and hard beamforming tasks fill disjoint slices
+// of the same output cube — even concurrently, since Beamform writes only
+// the listed bins' profiles and never touches shared fields (the caller
+// sets out.Seq). The weight set must cover every listed bin.
+func Beamform(p *Params, dc *DopplerCube, ws *WeightSet, bins []int, out *BeamCube) error {
+	if out.Bins != p.Bins() || out.Ranges != p.Dims.Ranges || out.Beams != len(p.Beams) {
+		return fmt.Errorf("stap: beam cube geometry mismatch")
+	}
+	for _, d := range bins {
+		perBeam := ws.For(d)
+		if perBeam == nil {
+			return fmt.Errorf("stap: weight set does not cover bin %d", d)
+		}
+		dof := p.DoF(d)
+		for b := range p.Beams {
+			w := perBeam[b]
+			if len(w) != dof {
+				return fmt.Errorf("stap: bin %d beam %d weight length %d, want %d", d, b, len(w), dof)
+			}
+			prof := out.Profile(b, d)
+			for r := 0; r < dc.Ranges; r++ {
+				snap := dc.Snapshot(d, r)[:dof]
+				prof[r] = linalg.Dot(w, snap)
+			}
+		}
+	}
+	return nil
+}

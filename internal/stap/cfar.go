@@ -1,0 +1,117 @@
+package stap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Detection is one CFAR threshold crossing — the pipeline's final output,
+// the paper's "detection report".
+type Detection struct {
+	Seq       uint64  // CPI sequence number
+	Beam      int     // beam index
+	Bin       int     // Doppler bin index
+	Range     int     // range gate
+	Power     float64 // cell power |y|^2
+	Threshold float64 // CFAR threshold the cell exceeded
+}
+
+// SNR returns the detection's power over its threshold noise estimate in
+// dB (threshold margin plus the configured threshold).
+func (d Detection) SNR(p *Params) float64 {
+	if d.Threshold <= 0 {
+		return math.Inf(1)
+	}
+	return 10*math.Log10(d.Power/d.Threshold) + float64(p.CFAR.ThresholdDB)
+}
+
+// CFAR runs cell-averaging CFAR along range on the listed (beam, bin)
+// profiles of bc (all profiles when pairs is nil) and returns the
+// detections sorted by (beam, bin, range).
+//
+// For the cell under test at gate r, the noise level is the mean power of
+// the 2*Window reference cells at distance Guard+1 .. Guard+Window on both
+// sides (one-sided at the profile edges), and the cell detects when
+// power > noise * 10^(ThresholdDB/10).
+func CFAR(p *Params, bc *BeamCube, pairs []BeamBin) ([]Detection, error) {
+	if pairs == nil {
+		pairs = AllBeamBins(bc.Beams, bc.Bins)
+	}
+	alpha := math.Pow(10, float64(p.CFAR.ThresholdDB)/10)
+	g, w := p.CFAR.Guard, p.CFAR.Window
+	var dets []Detection
+	power := make([]float64, bc.Ranges)
+	for _, pb := range pairs {
+		if pb.Beam < 0 || pb.Beam >= bc.Beams || pb.Bin < 0 || pb.Bin >= bc.Bins {
+			return nil, fmt.Errorf("stap: beam/bin pair %+v out of range", pb)
+		}
+		prof := bc.Profile(pb.Beam, pb.Bin)
+		for r, v := range prof {
+			power[r] = real(v)*real(v) + imag(v)*imag(v)
+		}
+		for r := 0; r < bc.Ranges; r++ {
+			var sum float64
+			var n int
+			for k := g + 1; k <= g+w; k++ {
+				if r-k >= 0 {
+					sum += power[r-k]
+					n++
+				}
+				if r+k < bc.Ranges {
+					sum += power[r+k]
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			noise := sum / float64(n)
+			thr := noise * alpha
+			if power[r] > thr && thr > 0 {
+				dets = append(dets, Detection{
+					Seq:       bc.Seq,
+					Beam:      pb.Beam,
+					Bin:       pb.Bin,
+					Range:     r,
+					Power:     power[r],
+					Threshold: thr,
+				})
+			}
+		}
+	}
+	sort.Slice(dets, func(i, j int) bool {
+		a, b := dets[i], dets[j]
+		if a.Beam != b.Beam {
+			return a.Beam < b.Beam
+		}
+		if a.Bin != b.Bin {
+			return a.Bin < b.Bin
+		}
+		return a.Range < b.Range
+	})
+	return dets, nil
+}
+
+// ClusterDetections collapses runs of adjacent detections (same beam and
+// bin, range gates within spread) into the strongest member, suppressing
+// the sidelobe responses around a compressed target peak.
+func ClusterDetections(dets []Detection, spread int) []Detection {
+	if len(dets) == 0 {
+		return nil
+	}
+	var out []Detection
+	best, last := dets[0], dets[0]
+	for _, d := range dets[1:] {
+		if d.Beam == last.Beam && d.Bin == last.Bin && d.Range-last.Range <= spread {
+			if d.Power > best.Power {
+				best = d
+			}
+			last = d
+			continue
+		}
+		out = append(out, best)
+		best, last = d, d
+	}
+	return append(out, best)
+}

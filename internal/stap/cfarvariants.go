@@ -1,0 +1,149 @@
+package stap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CFARKind selects the noise-level estimator used by the CFAR detector.
+type CFARKind int
+
+const (
+	// CFARCellAveraging is the classic CA-CFAR: the mean of all reference
+	// cells (the paper-era default and this library's default).
+	CFARCellAveraging CFARKind = iota
+	// CFARGreatestOf (GOCA) takes the greater of the leading and lagging
+	// window means — robust at clutter edges, slightly higher CFAR loss.
+	CFARGreatestOf
+	// CFARSmallestOf (SOCA) takes the smaller of the two window means —
+	// preserves sensitivity next to interfering targets, fragile at
+	// clutter edges.
+	CFARSmallestOf
+	// CFAROrderedStatistic (OS-CFAR) uses the k-th smallest reference
+	// cell (k = 3/4 of the window by default) — robust against multiple
+	// interfering targets.
+	CFAROrderedStatistic
+)
+
+// String implements fmt.Stringer.
+func (k CFARKind) String() string {
+	switch k {
+	case CFARCellAveraging:
+		return "CA"
+	case CFARGreatestOf:
+		return "GOCA"
+	case CFARSmallestOf:
+		return "SOCA"
+	case CFAROrderedStatistic:
+		return "OS"
+	default:
+		return fmt.Sprintf("CFARKind(%d)", int(k))
+	}
+}
+
+// CFARWith runs the selected CFAR variant along range on the listed
+// (beam, bin) profiles of bc (all when pairs is nil). The geometry and
+// threshold come from p.CFAR, as with the default detector.
+func CFARWith(p *Params, kind CFARKind, bc *BeamCube, pairs []BeamBin) ([]Detection, error) {
+	if kind == CFARCellAveraging {
+		return CFAR(p, bc, pairs)
+	}
+	if pairs == nil {
+		pairs = AllBeamBins(bc.Beams, bc.Bins)
+	}
+	alpha := math.Pow(10, float64(p.CFAR.ThresholdDB)/10)
+	g, w := p.CFAR.Guard, p.CFAR.Window
+	var dets []Detection
+	power := make([]float64, bc.Ranges)
+	lead := make([]float64, 0, w)
+	lag := make([]float64, 0, w)
+	osBuf := make([]float64, 0, 2*w)
+	for _, pb := range pairs {
+		if pb.Beam < 0 || pb.Beam >= bc.Beams || pb.Bin < 0 || pb.Bin >= bc.Bins {
+			return nil, fmt.Errorf("stap: beam/bin pair %+v out of range", pb)
+		}
+		prof := bc.Profile(pb.Beam, pb.Bin)
+		for r, v := range prof {
+			power[r] = real(v)*real(v) + imag(v)*imag(v)
+		}
+		for r := 0; r < bc.Ranges; r++ {
+			lead = lead[:0]
+			lag = lag[:0]
+			for k := g + 1; k <= g+w; k++ {
+				if r-k >= 0 {
+					lead = append(lead, power[r-k])
+				}
+				if r+k < bc.Ranges {
+					lag = append(lag, power[r+k])
+				}
+			}
+			var noise float64
+			switch kind {
+			case CFARGreatestOf, CFARSmallestOf:
+				if len(lead) == 0 && len(lag) == 0 {
+					continue
+				}
+				ml, ok1 := meanOf(lead)
+				mg, ok2 := meanOf(lag)
+				switch {
+				case !ok1:
+					noise = mg
+				case !ok2:
+					noise = ml
+				case kind == CFARGreatestOf:
+					noise = math.Max(ml, mg)
+				default:
+					noise = math.Min(ml, mg)
+				}
+			case CFAROrderedStatistic:
+				osBuf = append(osBuf[:0], lead...)
+				osBuf = append(osBuf, lag...)
+				if len(osBuf) == 0 {
+					continue
+				}
+				sort.Float64s(osBuf)
+				k := (3 * len(osBuf)) / 4
+				if k >= len(osBuf) {
+					k = len(osBuf) - 1
+				}
+				noise = osBuf[k]
+			default:
+				return nil, fmt.Errorf("stap: unknown CFAR kind %d", int(kind))
+			}
+			thr := noise * alpha
+			if power[r] > thr && thr > 0 {
+				dets = append(dets, Detection{
+					Seq:       bc.Seq,
+					Beam:      pb.Beam,
+					Bin:       pb.Bin,
+					Range:     r,
+					Power:     power[r],
+					Threshold: thr,
+				})
+			}
+		}
+	}
+	sort.Slice(dets, func(i, j int) bool {
+		a, b := dets[i], dets[j]
+		if a.Beam != b.Beam {
+			return a.Beam < b.Beam
+		}
+		if a.Bin != b.Bin {
+			return a.Bin < b.Bin
+		}
+		return a.Range < b.Range
+	})
+	return dets, nil
+}
+
+func meanOf(x []float64) (float64, bool) {
+	if len(x) == 0 {
+		return 0, false
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x)), true
+}

@@ -1,0 +1,177 @@
+package stap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// noisyBeamCube fills a beam cube with exponential (power-domain) noise
+// plus optional strong cells.
+func noisyBeamCube(t *testing.T, p *Params, seed int64) *BeamCube {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	bc := NewBeamCube(p)
+	for i := range bc.Data {
+		// Complex Gaussian with unit power.
+		bc.Data[i] = complex(rng.NormFloat64()/1.4142, rng.NormFloat64()/1.4142)
+	}
+	return bc
+}
+
+func injectPoint(bc *BeamCube, beam, bin, r int, amp float64) {
+	bc.Profile(beam, bin)[r] = complex(amp, 0)
+}
+
+func TestCFARVariantsDetectIsolatedTarget(t *testing.T) {
+	p := DefaultParams(testDims())
+	for _, kind := range []CFARKind{CFARCellAveraging, CFARGreatestOf, CFARSmallestOf, CFAROrderedStatistic} {
+		bc := noisyBeamCube(t, &p, 42)
+		injectPoint(bc, 1, 2, 30, 100) // 40 dB point
+		dets, err := CFARWith(&p, kind, bc, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		found := false
+		for _, d := range dets {
+			if d.Beam == 1 && d.Bin == 2 && d.Range == 30 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%v: isolated 40 dB target not detected", kind)
+		}
+	}
+}
+
+func TestCFARVariantFalseAlarmRatesComparable(t *testing.T) {
+	// On pure noise, every variant's false-alarm count should be small
+	// and GOCA must not exceed CA (its threshold is never lower).
+	p := DefaultParams(testDims())
+	p.CFAR.ThresholdDB = 13
+	counts := map[CFARKind]int{}
+	for _, kind := range []CFARKind{CFARCellAveraging, CFARGreatestOf, CFARSmallestOf, CFAROrderedStatistic} {
+		total := 0
+		for seed := int64(0); seed < 5; seed++ {
+			bc := noisyBeamCube(t, &p, seed)
+			dets, err := CFARWith(&p, kind, bc, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += len(dets)
+		}
+		counts[kind] = total
+		cells := 5 * len(p.Beams) * p.Bins() * p.Dims.Ranges
+		if total > cells/20 {
+			t.Errorf("%v: %d false alarms out of %d cells", kind, total, cells)
+		}
+	}
+	if counts[CFARGreatestOf] > counts[CFARCellAveraging] {
+		t.Errorf("GOCA (%d) should not out-alarm CA (%d)", counts[CFARGreatestOf], counts[CFARCellAveraging])
+	}
+	if counts[CFARSmallestOf] < counts[CFARCellAveraging] {
+		t.Errorf("SOCA (%d) should not under-alarm CA (%d)", counts[CFARSmallestOf], counts[CFARCellAveraging])
+	}
+	t.Logf("false alarms: CA=%d GOCA=%d SOCA=%d OS=%d",
+		counts[CFARCellAveraging], counts[CFARGreatestOf], counts[CFARSmallestOf], counts[CFAROrderedStatistic])
+}
+
+func TestOSCFARResistsInterferingTargets(t *testing.T) {
+	// Two closely spaced strong targets: CA-CFAR's reference mean is
+	// inflated by the neighbour (target masking); OS-CFAR must detect
+	// both.
+	p := DefaultParams(testDims())
+	p.CFAR.ThresholdDB = 12
+	build := func() *BeamCube {
+		bc := noisyBeamCube(t, &p, 7)
+		injectPoint(bc, 0, 1, 30, 30)
+		injectPoint(bc, 0, 1, 36, 30) // inside the other's reference window
+		return bc
+	}
+	osDets, err := CFARWith(&p, CFAROrderedStatistic, build(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caDets, err := CFARWith(&p, CFARCellAveraging, build(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := func(dets []Detection) int {
+		n := 0
+		for _, d := range dets {
+			if d.Beam == 0 && d.Bin == 1 && (d.Range == 30 || d.Range == 36) {
+				n++
+			}
+		}
+		return n
+	}
+	if got := hits(osDets); got != 2 {
+		t.Errorf("OS-CFAR detected %d of 2 interfering targets", got)
+	}
+	if hits(osDets) < hits(caDets) {
+		t.Errorf("OS-CFAR (%d) should never trail CA (%d) with interferers", hits(osDets), hits(caDets))
+	}
+}
+
+func TestGOCASuppressesClutterEdgeFalseAlarms(t *testing.T) {
+	// A step in the noise floor (clutter edge): cells just before the
+	// step see a mixed reference window. GOCA uses the greater half and
+	// must produce no more edge false alarms than SOCA (which uses the
+	// lesser half).
+	p := DefaultParams(testDims())
+	p.CFAR.ThresholdDB = 10
+	build := func(seed int64) *BeamCube {
+		rng := rand.New(rand.NewSource(seed))
+		bc := NewBeamCube(&p)
+		for b := 0; b < bc.Beams; b++ {
+			for d := 0; d < bc.Bins; d++ {
+				prof := bc.Profile(b, d)
+				for r := range prof {
+					sigma := 0.7071
+					if r >= len(prof)/2 {
+						sigma *= 10 // 20 dB clutter step
+					}
+					prof[r] = complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+				}
+			}
+		}
+		return bc
+	}
+	edgeAlarms := func(kind CFARKind) int {
+		total := 0
+		for seed := int64(0); seed < 4; seed++ {
+			dets, err := CFARWith(&p, kind, build(seed), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mid := p.Dims.Ranges / 2
+			for _, d := range dets {
+				// Alarms in the low-noise region near the edge are the
+				// clutter-edge artefact.
+				if d.Range < mid && d.Range >= mid-(p.CFAR.Guard+p.CFAR.Window) {
+					total++
+				}
+			}
+		}
+		return total
+	}
+	goca := edgeAlarms(CFARGreatestOf)
+	soca := edgeAlarms(CFARSmallestOf)
+	if goca > soca {
+		t.Errorf("GOCA edge alarms (%d) exceed SOCA (%d)", goca, soca)
+	}
+	t.Logf("clutter-edge alarms: GOCA=%d SOCA=%d", goca, soca)
+}
+
+func TestCFARWithErrors(t *testing.T) {
+	p := DefaultParams(testDims())
+	bc := NewBeamCube(&p)
+	if _, err := CFARWith(&p, CFARGreatestOf, bc, []BeamBin{{Beam: -1}}); err == nil {
+		t.Error("expected pair range error")
+	}
+	if _, err := CFARWith(&p, CFARKind(99), bc, nil); err == nil {
+		t.Error("expected unknown-kind error")
+	}
+	if CFARKind(99).String() == "" || CFAROrderedStatistic.String() != "OS" {
+		t.Error("CFARKind.String misbehaves")
+	}
+}

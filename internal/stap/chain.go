@@ -1,0 +1,110 @@
+package stap
+
+import (
+	"fmt"
+
+	"stapio/internal/cube"
+)
+
+// Processor is the sequential reference implementation of the full STAP
+// chain. It executes the seven tasks in order for each CPI, carrying the
+// temporal dependency (weights trained on the previous CPI's Doppler
+// output) across calls. The parallel pipeline executors must produce the
+// same detections; tests compare against this.
+type Processor struct {
+	P          Params
+	easyBins   []int
+	hardBins   []int
+	comp       *Compressor
+	prevEasyW  *WeightSet
+	prevHardW  *WeightSet
+	prevFilter *DopplerCube
+	easySmooth CovarianceSmoother
+	hardSmooth CovarianceSmoother
+	processed  int
+}
+
+// NewProcessor validates p and builds a processor primed with non-adaptive
+// initial weights.
+func NewProcessor(p Params) (*Processor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	pr := &Processor{
+		P:          p,
+		easyBins:   p.EasyBins(),
+		hardBins:   p.HardBins(),
+		comp:       NewCompressor(&p),
+		easySmooth: CovarianceSmoother{Lambda: p.Forgetting},
+		hardSmooth: CovarianceSmoother{Lambda: p.Forgetting},
+	}
+	pr.prevEasyW = InitialWeights(&p, pr.easyBins)
+	pr.prevHardW = InitialWeights(&p, pr.hardBins)
+	return pr, nil
+}
+
+// EasyBins returns the easy Doppler bin set.
+func (pr *Processor) EasyBins() []int { return pr.easyBins }
+
+// HardBins returns the hard Doppler bin set.
+func (pr *Processor) HardBins() []int { return pr.hardBins }
+
+// Processed returns the number of CPIs pushed through the chain.
+func (pr *Processor) Processed() int { return pr.processed }
+
+// Process runs one CPI through the full chain and returns its detections.
+// The weights applied to this CPI were trained on the previous one (or the
+// initial non-adaptive weights for the first CPI), exactly as in the
+// pipelined system: beamforming of CPI k never waits for CPI k's weights.
+func (pr *Processor) Process(cb *cube.Cube, seq uint64) ([]Detection, error) {
+	// Task 0: Doppler filter processing.
+	dc, err := DopplerFilter(&pr.P, cb, seq)
+	if err != nil {
+		return nil, fmt.Errorf("stap: doppler: %w", err)
+	}
+
+	// Tasks 3/4: beamforming with the previous CPI's weights.
+	bc := NewBeamCube(&pr.P)
+	bc.Seq = seq
+	if err := Beamform(&pr.P, dc, pr.prevEasyW, pr.easyBins, bc); err != nil {
+		return nil, fmt.Errorf("stap: easy beamform: %w", err)
+	}
+	if err := Beamform(&pr.P, dc, pr.prevHardW, pr.hardBins, bc); err != nil {
+		return nil, fmt.Errorf("stap: hard beamform: %w", err)
+	}
+
+	// Tasks 1/2: weight computation for the *next* CPI from this CPI's
+	// Doppler output (runs concurrently with beamforming in the pipeline;
+	// sequentially here), with optional covariance smoothing across CPIs.
+	easyEst, err := EstimateCovariances(&pr.P, dc, pr.easyBins, false)
+	if err != nil {
+		return nil, fmt.Errorf("stap: easy weights: %w", err)
+	}
+	easyW, err := SolveWeights(&pr.P, pr.easySmooth.Update(easyEst), pr.easyBins, seq)
+	if err != nil {
+		return nil, fmt.Errorf("stap: easy weights: %w", err)
+	}
+	hardEst, err := EstimateCovariances(&pr.P, dc, pr.hardBins, true)
+	if err != nil {
+		return nil, fmt.Errorf("stap: hard weights: %w", err)
+	}
+	hardW, err := SolveWeights(&pr.P, pr.hardSmooth.Update(hardEst), pr.hardBins, seq)
+	if err != nil {
+		return nil, fmt.Errorf("stap: hard weights: %w", err)
+	}
+	pr.prevEasyW, pr.prevHardW = easyW, hardW
+	pr.prevFilter = dc
+
+	// Task 5: pulse compression.
+	if err := Compress(&pr.P, bc, pr.comp, nil); err != nil {
+		return nil, fmt.Errorf("stap: pulse compression: %w", err)
+	}
+
+	// Task 6: CFAR (with the configured variant).
+	dets, err := CFARWith(&pr.P, pr.P.CFAR.Kind, bc, nil)
+	if err != nil {
+		return nil, fmt.Errorf("stap: cfar: %w", err)
+	}
+	pr.processed++
+	return dets, nil
+}

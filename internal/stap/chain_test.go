@@ -1,0 +1,281 @@
+package stap
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"stapio/internal/cube"
+	"stapio/internal/radar"
+	"stapio/internal/signal"
+)
+
+func TestBeamformSteeredToneUnitGain(t *testing.T) {
+	// A unit tone exactly on an easy bin and beam direction must come out
+	// of beamforming with magnitude equal to the Doppler filter gain
+	// (distortionless constraint).
+	p := DefaultParams(testDims())
+	p.Window = signal.WindowRect
+	easy := p.EasyBins()
+	d := easy[len(easy)/2]
+	u := p.Beams[1]
+	cb := toneCube(p.Dims, u, p.BinDoppler(d))
+	dc, err := DopplerFilter(&p, cb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := InitialWeights(&p, easy)
+	bc := NewBeamCube(&p)
+	if err := Beamform(&p, dc, ws, easy, bc); err != nil {
+		t.Fatal(err)
+	}
+	prof := bc.Profile(1, d)
+	want := float64(p.Bins()) // rect-window on-bin DFT gain
+	for r := 0; r < p.Dims.Ranges; r++ {
+		if a := cmplx.Abs(prof[r]); math.Abs(a-want) > 1e-6 {
+			t.Fatalf("gate %d: beamformed magnitude %g, want %g", r, a, want)
+		}
+	}
+}
+
+func TestBeamformErrors(t *testing.T) {
+	p := DefaultParams(testDims())
+	dc := NewDopplerCube(&p)
+	bc := NewBeamCube(&p)
+	easy := p.EasyBins()
+	ws := InitialWeights(&p, easy[:1])
+	if err := Beamform(&p, dc, ws, easy, bc); err == nil {
+		t.Error("expected uncovered-bin error")
+	}
+	// Wrong-geometry output cube.
+	small := &BeamCube{Beams: 1, Bins: 1, Ranges: 1, Data: make([]complex128, 1)}
+	if err := Beamform(&p, dc, ws, easy[:1], small); err == nil {
+		t.Error("expected geometry error")
+	}
+	// Wrong weight length.
+	ws.W[0][0] = ws.W[0][0][:1]
+	if err := Beamform(&p, dc, ws, easy[:1], bc); err == nil {
+		t.Error("expected weight length error")
+	}
+}
+
+func TestCompressAndCFARFindInjectedPeak(t *testing.T) {
+	p := DefaultParams(testDims())
+	bc := NewBeamCube(&p)
+	// Inject a chirp echo into one profile; leave the rest as weak noise
+	// floor (CFAR needs a non-zero noise estimate, so add a tiny DC).
+	for i := range bc.Data {
+		bc.Data[i] = 1e-3
+	}
+	chirp := signal.LFMChirp(p.PulseLen, p.Bandwidth)
+	prof := bc.Profile(1, 2)
+	const g0 = 30
+	for i, c := range chirp {
+		prof[g0+i] += c * 10
+	}
+	comp := NewCompressor(&p)
+	if err := Compress(&p, bc, comp, nil); err != nil {
+		t.Fatal(err)
+	}
+	dets, err := CFAR(&p, bc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets = ClusterDetections(dets, 3)
+	if len(dets) == 0 {
+		t.Fatal("no detections")
+	}
+	// The strongest detection must be at (beam 1, bin 2, gate g0).
+	best := dets[0]
+	for _, d := range dets[1:] {
+		if d.Power > best.Power {
+			best = d
+		}
+	}
+	if best.Beam != 1 || best.Bin != 2 {
+		t.Errorf("best detection at beam %d bin %d, want 1/2", best.Beam, best.Bin)
+	}
+	if best.Range != g0 {
+		t.Errorf("best detection at gate %d, want %d", best.Range, g0)
+	}
+	if snr := best.SNR(&p); snr < float64(p.CFAR.ThresholdDB) {
+		t.Errorf("SNR %g below threshold %d", snr, p.CFAR.ThresholdDB)
+	}
+}
+
+func TestCompressErrors(t *testing.T) {
+	p := DefaultParams(testDims())
+	bc := NewBeamCube(&p)
+	comp := NewCompressor(&p)
+	if err := Compress(&p, bc, comp, []BeamBin{{Beam: 99, Bin: 0}}); err == nil {
+		t.Error("expected out-of-range pair error")
+	}
+	if _, err := CFAR(&p, bc, []BeamBin{{Beam: 0, Bin: -1}}); err == nil {
+		t.Error("expected CFAR pair error")
+	}
+}
+
+func TestCompressorCloneIndependent(t *testing.T) {
+	p := DefaultParams(testDims())
+	a := NewCompressor(&p)
+	b := a.Clone()
+	x := make([]complex128, p.Dims.Ranges)
+	x[5] = 1
+	y := append([]complex128(nil), x...)
+	a.CompressProfile(x)
+	b.CompressProfile(y)
+	for i := range x {
+		if cmplx.Abs(x[i]-y[i]) > 1e-12 {
+			t.Fatal("clone produces different output")
+		}
+	}
+}
+
+func TestClusterDetections(t *testing.T) {
+	dets := []Detection{
+		{Beam: 0, Bin: 1, Range: 10, Power: 1},
+		{Beam: 0, Bin: 1, Range: 11, Power: 5},
+		{Beam: 0, Bin: 1, Range: 12, Power: 2},
+		{Beam: 0, Bin: 1, Range: 40, Power: 3},
+		{Beam: 1, Bin: 1, Range: 41, Power: 4},
+	}
+	out := ClusterDetections(dets, 2)
+	if len(out) != 3 {
+		t.Fatalf("clustered to %d, want 3: %+v", len(out), out)
+	}
+	if out[0].Range != 11 || out[0].Power != 5 {
+		t.Errorf("first cluster peak = %+v, want range 11 power 5", out[0])
+	}
+	if ClusterDetections(nil, 2) != nil {
+		t.Error("nil input should return nil")
+	}
+}
+
+// TestEndToEndDetection is the integration test for the whole chain: a
+// scenario with known targets must produce detections at the right beams,
+// Doppler bins, and range gates, and (almost) nowhere else.
+func TestEndToEndDetection(t *testing.T) {
+	dims := cube.Dims{Channels: 6, Pulses: 33, Ranges: 128}
+	s := &radar.Scenario{
+		Dims:       dims,
+		PulseLen:   16,
+		Bandwidth:  0.8,
+		NoisePower: 1,
+		Targets: []radar.Target{
+			{Angle: 0, Doppler: 0.25, Range: 40, SNR: 6},
+			{Angle: -0.5, Doppler: -0.3125, Range: 90, SNR: 6},
+		},
+		Clutter: radar.Clutter{Patches: 10, CNR: 25, Beta: 1},
+		Seed:    99,
+	}
+	p := DefaultParams(dims)
+	p.Beams = []float64{-0.5, 0, 0.5}
+	p.PulseLen = s.PulseLen
+	p.Bandwidth = s.Bandwidth
+	p.TrainHard = 64
+	p.CFAR.ThresholdDB = 15
+	pr, err := NewProcessor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Push 3 CPIs: the first primes the adaptive weights, later ones use
+	// trained weights.
+	var dets []Detection
+	for seq := uint64(0); seq < 3; seq++ {
+		cb, err := s.Generate(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dets, err = pr.Process(cb, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pr.Processed() != 3 {
+		t.Errorf("Processed = %d, want 3", pr.Processed())
+	}
+	dets = ClusterDetections(dets, 4)
+
+	type truth struct {
+		beam, bin, gate int
+	}
+	wants := []truth{
+		{beam: 1, bin: p.BinForDoppler(0.25), gate: 40},
+		{beam: 0, bin: p.BinForDoppler(-0.3125), gate: 90},
+	}
+	for _, w := range wants {
+		found := false
+		for _, d := range dets {
+			if d.Beam == w.beam && absInt(d.Bin-w.bin) <= 1 && absInt(d.Range-w.gate) <= 2 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("target at beam %d bin %d gate %d not detected; got %d detections: %+v",
+				w.beam, w.bin, w.gate, len(dets), firstN(dets, 10))
+		}
+	}
+	// False alarms should be bounded: with a 15 dB threshold the total
+	// report count must stay small relative to the cell count.
+	cells := len(p.Beams) * p.Bins() * dims.Ranges
+	if len(dets) > cells/100 {
+		t.Errorf("%d clustered detections out of %d cells — too many false alarms", len(dets), cells)
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func firstN(d []Detection, n int) []Detection {
+	if len(d) < n {
+		return d
+	}
+	return d[:n]
+}
+
+func TestProcessorRejectsInvalidParams(t *testing.T) {
+	p := DefaultParams(testDims())
+	p.Bandwidth = 0
+	if _, err := NewProcessor(p); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestProcessorWeightFeedback(t *testing.T) {
+	// After the first Process call the stored weights must be adaptive
+	// (different from the initial conventional weights).
+	s := radar.SmallTestScenario()
+	p := DefaultParams(s.Dims)
+	pr, err := NewProcessor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := InitialWeights(&p, pr.EasyBins())
+	cb, err := s.Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pr.Process(cb, 0); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0.0
+	for i := range pr.prevEasyW.W {
+		for b := range pr.prevEasyW.W[i] {
+			for k := range pr.prevEasyW.W[i][b] {
+				diff += cmplx.Abs(pr.prevEasyW.W[i][b][k] - init.W[i][b][k])
+			}
+		}
+	}
+	if diff < 1e-9 {
+		t.Error("weights did not adapt after first CPI")
+	}
+	if pr.prevEasyW.Seq != 0 {
+		t.Errorf("weight Seq = %d, want 0", pr.prevEasyW.Seq)
+	}
+}

@@ -1,0 +1,177 @@
+package stap
+
+import (
+	"math"
+	"testing"
+
+	"stapio/internal/cube"
+	"stapio/internal/radar"
+	"stapio/internal/signal"
+)
+
+func TestSINRImprovementAgainstJammer(t *testing.T) {
+	// A strong jammer is spatially coherent; the adaptive weights must
+	// null it, yielding a large SINR improvement even in the easy bins
+	// (jamming is white across Doppler).
+	s := radar.SmallTestScenario()
+	s.Targets = nil
+	s.Jammers = []radar.Jammer{{Angle: 0.7, JNR: 30}}
+	cb, err := s.Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(s.Dims)
+	p.TrainEasy = 48
+	dc, err := DopplerFilter(&p, cb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	easy := p.EasyBins()
+	adaptive, err := ComputeWeights(&p, dc, easy, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain, err := SINRImprovement(&p, dc, adaptive, easy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain < 10 {
+		t.Errorf("jammer nulling gain %.1f dB, want >= 10 dB", gain)
+	}
+	t.Logf("jammer nulling gain: %.1f dB", gain)
+}
+
+func TestMeanOutputPowerErrors(t *testing.T) {
+	p := DefaultParams(testDims())
+	dc := NewDopplerCube(&p)
+	ws := InitialWeights(&p, p.EasyBins()[:1])
+	if _, err := MeanOutputPower(&p, dc, ws, p.EasyBins()); err == nil {
+		t.Error("expected uncovered-bin error")
+	}
+	if _, err := MeanOutputPower(&p, dc, ws, nil); err == nil {
+		t.Error("expected empty-bin error")
+	}
+	ws.W[0][0] = ws.W[0][0][:1]
+	if _, err := MeanOutputPower(&p, dc, ws, p.EasyBins()[:1]); err == nil {
+		t.Error("expected weight-length error")
+	}
+}
+
+func TestSINRImprovementZeroOnNoise(t *testing.T) {
+	// On pure white noise, adapting buys (almost) nothing: the
+	// improvement should be near 0 dB (slightly positive or negative from
+	// estimation error).
+	s := radar.SmallTestScenario()
+	s.Targets = nil
+	cb, err := s.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(s.Dims)
+	p.TrainEasy = 64
+	dc, err := DopplerFilter(&p, cb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	easy := p.EasyBins()
+	adaptive, err := ComputeWeights(&p, dc, easy, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain, err := SINRImprovement(&p, dc, adaptive, easy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gain) > 3 {
+		t.Errorf("white-noise 'improvement' %.1f dB, want ~0", gain)
+	}
+}
+
+func TestAngleDopplerMapLocatesTarget(t *testing.T) {
+	// A single noise-free tone must peak at its own (angle, bin) cell.
+	dims := cube.Dims{Channels: 8, Pulses: 17, Ranges: 32}
+	p := DefaultParams(dims)
+	p.Window = signal.WindowRect
+	d := p.EasyBins()[3]
+	u := 0.5
+	cb := toneCube(dims, u, p.BinDoppler(d))
+	dc, err := DopplerFilter(&p, cb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ComputeAngleDopplerMap(&p, dc, 5, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	angle, bin, power := m.Peak()
+	if bin != d {
+		t.Errorf("peak at bin %d, want %d", bin, d)
+	}
+	if math.Abs(angle-u) > 0.06 {
+		t.Errorf("peak at angle %.3f, want %.3f", angle, u)
+	}
+	if power <= 0 {
+		t.Error("peak power must be positive")
+	}
+	if len(m.Power) != 41 || len(m.Power[0]) != p.Bins() {
+		t.Errorf("map shape %dx%d, want 41x%d", len(m.Power), len(m.Power[0]), p.Bins())
+	}
+}
+
+func TestAngleDopplerMapClutterRidge(t *testing.T) {
+	// With a beta=1 clutter ridge, the per-bin peak angle should track
+	// the bin's Doppler: u_peak ~ 2*fd/beta.
+	s := radar.SmallTestScenario()
+	s.Dims = cube.Dims{Channels: 8, Pulses: 33, Ranges: 64}
+	s.Targets = nil
+	s.NoisePower = 0.01
+	s.Clutter = radar.Clutter{Patches: 32, CNR: 40, Beta: 1}
+	cb, err := s.Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(s.Dims)
+	dc, err := DopplerFilter(&p, cb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ComputeAngleDopplerMap(&p, dc, 10, 81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check a few interior bins: the angle of the per-bin power peak
+	// should be near 2*fd (the ridge locus), within beam-width slack.
+	checked := 0
+	for j, d := range m.Bins {
+		fd := p.BinDoppler(d)
+		if math.Abs(fd) > 0.3 || math.Abs(fd) < 0.05 {
+			continue
+		}
+		bestA, bestP := 0.0, -1.0
+		for i, u := range m.Angles {
+			if m.Power[i][j] > bestP {
+				bestP = m.Power[i][j]
+				bestA = u
+			}
+		}
+		want := 2 * fd / s.Clutter.Beta
+		if math.Abs(bestA-want) > 0.3 {
+			t.Errorf("bin %d (fd=%.3f): ridge peak at angle %.2f, want ~%.2f", d, fd, bestA, want)
+		}
+		checked++
+	}
+	if checked < 4 {
+		t.Fatalf("only %d bins checked — test geometry too small", checked)
+	}
+}
+
+func TestAngleDopplerMapErrors(t *testing.T) {
+	p := DefaultParams(testDims())
+	dc := NewDopplerCube(&p)
+	if _, err := ComputeAngleDopplerMap(&p, dc, -1, 10); err == nil {
+		t.Error("expected gate range error")
+	}
+	if _, err := ComputeAngleDopplerMap(&p, dc, 0, 1); err == nil {
+		t.Error("expected angle count error")
+	}
+}

@@ -1,0 +1,104 @@
+package stap
+
+import (
+	"fmt"
+
+	"stapio/internal/cube"
+	"stapio/internal/signal"
+)
+
+// DopplerCube holds the output of Doppler filter processing: for each
+// Doppler bin and range gate, the stacked space-time snapshot
+// [stagger0 ch0..chC-1, stagger1 ch0..chC-1, ...]. Snapshots are
+// contiguous in memory — layout is Data[((bin*Ranges)+r)*SnapLen + k] — so
+// beamforming and covariance estimation stream over them without
+// gathering.
+type DopplerCube struct {
+	Bins, Ranges, Channels int
+	// SnapLen = StaggerCount*Channels, the full snapshot length (hard-bin
+	// DoF; easy bins use the first Channels entries).
+	SnapLen int
+	Data    []complex128
+	// Seq is the CPI sequence number the cube was filtered from.
+	Seq uint64
+}
+
+// NewDopplerCube allocates a zeroed Doppler cube for the given parameters.
+func NewDopplerCube(p *Params) *DopplerCube {
+	bins := p.Bins()
+	sl := p.StaggerCount() * p.Dims.Channels
+	return &DopplerCube{
+		Bins:     bins,
+		Ranges:   p.Dims.Ranges,
+		Channels: p.Dims.Channels,
+		SnapLen:  sl,
+		Data:     make([]complex128, bins*p.Dims.Ranges*sl),
+	}
+}
+
+// Snapshot returns the space-time snapshot at (bin, range) as a slice
+// aliasing the cube storage (length SnapLen).
+func (dc *DopplerCube) Snapshot(bin, r int) []complex128 {
+	off := ((bin * dc.Ranges) + r) * dc.SnapLen
+	return dc.Data[off : off+dc.SnapLen]
+}
+
+// At returns the Doppler output for (bin, stagger, channel, range).
+func (dc *DopplerCube) At(bin, stagger, ch, r int) complex128 {
+	return dc.Snapshot(bin, r)[stagger*dc.Channels+ch]
+}
+
+// DopplerFilter runs Doppler filter processing over the full cube. It is
+// equivalent to DopplerFilterRanges over the whole range extent.
+func DopplerFilter(p *Params, cb *cube.Cube, seq uint64) (*DopplerCube, error) {
+	out := NewDopplerCube(p)
+	out.Seq = seq
+	if err := DopplerFilterRanges(p, cb, cube.Block{Lo: 0, Hi: p.Dims.Ranges}, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DopplerFilterRanges performs Doppler filtering for the range gates in
+// block rb only, writing into out. Distinct range blocks touch disjoint
+// regions of out, so the pipeline's Doppler task workers each process one
+// block concurrently. The input cube must match p.Dims.
+func DopplerFilterRanges(p *Params, cb *cube.Cube, rb cube.Block, out *DopplerCube) error {
+	if cb.Dims != p.Dims {
+		return fmt.Errorf("stap: cube dims %v do not match params dims %v", cb.Dims, p.Dims)
+	}
+	if rb.Lo < 0 || rb.Hi > p.Dims.Ranges || rb.Lo > rb.Hi {
+		return fmt.Errorf("stap: range block %v outside [0,%d]", rb, p.Dims.Ranges)
+	}
+	l := p.Bins()
+	k := p.StaggerCount()
+	if out.SnapLen != k*p.Dims.Channels || out.Bins != l || out.Ranges != p.Dims.Ranges {
+		return fmt.Errorf("stap: output cube geometry does not match params")
+	}
+	w := signal.Window(p.Window, l)
+	plan := signal.NewPlan(l)
+	bufs := make([][]complex128, k)
+	for st := range bufs {
+		bufs[st] = make([]complex128, l)
+	}
+	col := make([]complex64, p.Dims.Pulses)
+	for c := 0; c < p.Dims.Channels; c++ {
+		for r := rb.Lo; r < rb.Hi; r++ {
+			cb.PulseColumn(c, r, col)
+			for st := 0; st < k; st++ {
+				buf := bufs[st]
+				for i := 0; i < l; i++ {
+					buf[i] = complex128(col[i+st]) * complex(w[i], 0)
+				}
+				plan.Forward(buf)
+			}
+			for d := 0; d < l; d++ {
+				snap := out.Snapshot(d, r)
+				for st := 0; st < k; st++ {
+					snap[st*p.Dims.Channels+c] = bufs[st][d]
+				}
+			}
+		}
+	}
+	return nil
+}

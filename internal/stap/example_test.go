@@ -1,0 +1,48 @@
+package stap_test
+
+import (
+	"fmt"
+
+	"stapio/internal/radar"
+	"stapio/internal/stap"
+)
+
+// The full STAP chain on a synthetic scene: two CPIs prime the adaptive
+// weights, the second CPI's detections land on the injected targets.
+func ExampleProcessor() {
+	scenario := radar.SmallTestScenario()
+	params := stap.DefaultParams(scenario.Dims)
+	params.PulseLen = scenario.PulseLen
+	params.Bandwidth = scenario.Bandwidth
+
+	pr, err := stap.NewProcessor(params)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	var dets []stap.Detection
+	for seq := uint64(0); seq < 2; seq++ {
+		cb, err := scenario.Generate(seq)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		if dets, err = pr.Process(cb, seq); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	for _, tg := range scenario.Targets {
+		bin := params.BinForDoppler(tg.Doppler)
+		hit := false
+		for _, d := range stap.ClusterDetections(dets, 3) {
+			if d.Bin >= bin-1 && d.Bin <= bin+1 && d.Range >= tg.Range-2 && d.Range <= tg.Range+2 {
+				hit = true
+			}
+		}
+		fmt.Printf("target at doppler-bin %d, gate %d detected: %v\n", bin, tg.Range, hit)
+	}
+	// Output:
+	// target at doppler-bin 4, gate 20 detected: true
+	// target at doppler-bin 11, gate 40 detected: true
+}

@@ -1,0 +1,171 @@
+package stap
+
+import (
+	"fmt"
+	"math"
+
+	"stapio/internal/radar"
+)
+
+// Monte-Carlo detection-performance evaluation: run the full chain over
+// many independent noise realisations and score detections against the
+// scenario's ground truth, yielding the probability of detection (Pd) and
+// the false-alarm rate (Pfa) — the standard way to evaluate a detector.
+
+// MCConfig configures a Monte-Carlo run.
+type MCConfig struct {
+	// Trials is the number of independent noise realisations.
+	Trials int
+	// WarmCPIs is how many CPIs each trial processes before the scored
+	// one (>= 1 so adaptive weights are trained; the scored CPI is
+	// WarmCPIs itself).
+	WarmCPIs int
+	// BinTol and RangeTol are the scoring tolerances around each target's
+	// true Doppler bin and range gate.
+	BinTol, RangeTol int
+	// Cluster collapses detection runs (ClusterDetections spread) before
+	// scoring; <= 0 disables clustering.
+	Cluster int
+}
+
+// DefaultMCConfig returns a light-weight configuration for tests and
+// examples.
+func DefaultMCConfig() MCConfig {
+	return MCConfig{Trials: 10, WarmCPIs: 1, BinTol: 1, RangeTol: 2, Cluster: 4}
+}
+
+// MCStats aggregates Monte-Carlo scoring.
+type MCStats struct {
+	// Trials and Targets give the experiment size.
+	Trials, Targets int
+	// Hits counts (trial, target) pairs with at least one detection
+	// inside the tolerance box around the truth.
+	Hits int
+	// FalseAlarms counts clustered detections not attributable to any
+	// target.
+	FalseAlarms int
+	// CellsPerTrial is the number of resolution cells scored per trial.
+	CellsPerTrial int
+}
+
+// Pd returns the probability of detection.
+func (s MCStats) Pd() float64 {
+	n := s.Trials * s.Targets
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(n)
+}
+
+// Pfa returns the per-cell false-alarm probability.
+func (s MCStats) Pfa() float64 {
+	n := s.Trials * s.CellsPerTrial
+	if n == 0 {
+		return 0
+	}
+	return float64(s.FalseAlarms) / float64(n)
+}
+
+// String implements fmt.Stringer.
+func (s MCStats) String() string {
+	return fmt.Sprintf("Pd=%.2f (%d/%d) Pfa=%.2e (%d alarms over %d cells)",
+		s.Pd(), s.Hits, s.Trials*s.Targets, s.Pfa(), s.FalseAlarms, s.Trials*s.CellsPerTrial)
+}
+
+// nearestBeam returns the index of the configured beam closest to angle u.
+func nearestBeam(p *Params, u float64) int {
+	best, bestD := 0, math.Inf(1)
+	for i, b := range p.Beams {
+		if d := math.Abs(b - u); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// MonteCarlo evaluates the detector on the scenario over cfg.Trials
+// independent realisations (the scenario seed is re-derived per trial).
+func MonteCarlo(sc *radar.Scenario, p Params, cfg MCConfig) (MCStats, error) {
+	if cfg.Trials < 1 {
+		return MCStats{}, fmt.Errorf("stap: MonteCarlo needs at least 1 trial")
+	}
+	if cfg.WarmCPIs < 1 {
+		return MCStats{}, fmt.Errorf("stap: MonteCarlo needs at least 1 warm CPI")
+	}
+	if err := sc.Validate(); err != nil {
+		return MCStats{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return MCStats{}, err
+	}
+	stats := MCStats{
+		Trials:        cfg.Trials,
+		Targets:       len(sc.Targets),
+		CellsPerTrial: len(p.Beams) * p.Bins() * p.Dims.Ranges,
+	}
+	baseSeed := sc.Seed
+	for trial := 0; trial < cfg.Trials; trial++ {
+		trialSc := *sc
+		trialSc.Seed = baseSeed + int64(trial)*1_000_003
+		pr, err := NewProcessor(p)
+		if err != nil {
+			return MCStats{}, err
+		}
+		var dets []Detection
+		for seq := uint64(0); seq <= uint64(cfg.WarmCPIs); seq++ {
+			cb, err := trialSc.Generate(seq)
+			if err != nil {
+				return MCStats{}, err
+			}
+			dets, err = pr.Process(cb, seq)
+			if err != nil {
+				return MCStats{}, err
+			}
+		}
+		if cfg.Cluster > 0 {
+			dets = ClusterDetections(dets, cfg.Cluster)
+		}
+		scored := uint64(cfg.WarmCPIs)
+		matched := make([]bool, len(dets))
+		for ti := range trialSc.Targets {
+			tg := trialSc.Targets[ti]
+			beam := nearestBeam(&p, tg.Angle)
+			bin := p.BinForDoppler(tg.Doppler)
+			gate := trialSc.TargetGate(ti, scored)
+			hit := false
+			for di, d := range dets {
+				if d.Beam == beam &&
+					binDist(p.Bins(), d.Bin, bin) <= cfg.BinTol &&
+					intAbs(d.Range-gate) <= cfg.RangeTol {
+					matched[di] = true
+					hit = true
+				}
+			}
+			if hit {
+				stats.Hits++
+			}
+		}
+		for di := range dets {
+			if !matched[di] {
+				stats.FalseAlarms++
+			}
+		}
+	}
+	return stats, nil
+}
+
+// binDist is the circular distance between Doppler bins.
+func binDist(n, a, b int) int {
+	d := intAbs(a - b)
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+func intAbs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

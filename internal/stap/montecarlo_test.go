@@ -1,0 +1,140 @@
+package stap
+
+import (
+	"strings"
+	"testing"
+
+	"stapio/internal/cube"
+	"stapio/internal/radar"
+)
+
+func mcScenario(snr float64) *radar.Scenario {
+	return &radar.Scenario{
+		Dims:       cube.Dims{Channels: 4, Pulses: 17, Ranges: 64},
+		PulseLen:   8,
+		Bandwidth:  0.8,
+		NoisePower: 1,
+		Targets: []radar.Target{
+			{Angle: 0, Doppler: 0.25, Range: 20, SNR: snr},
+		},
+		Seed: 555,
+	}
+}
+
+func mcParams(s *radar.Scenario) Params {
+	p := DefaultParams(s.Dims)
+	p.PulseLen = s.PulseLen
+	p.Bandwidth = s.Bandwidth
+	p.CFAR.ThresholdDB = 13
+	return p
+}
+
+func TestMonteCarloStrongTargetDetected(t *testing.T) {
+	s := mcScenario(15)
+	cfg := DefaultMCConfig()
+	cfg.Trials = 8
+	stats, err := MonteCarlo(s, mcParams(s), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pd() < 0.9 {
+		t.Errorf("Pd = %.2f for a 15 dB target, want >= 0.9 (%s)", stats.Pd(), stats)
+	}
+	if stats.Pfa() > 5e-3 {
+		t.Errorf("Pfa = %.2e too high (%s)", stats.Pfa(), stats)
+	}
+	if !strings.Contains(stats.String(), "Pd=") {
+		t.Error("String() misbehaves")
+	}
+}
+
+func TestMonteCarloWeakTargetMissed(t *testing.T) {
+	s := mcScenario(-20)
+	cfg := DefaultMCConfig()
+	cfg.Trials = 6
+	stats, err := MonteCarlo(s, mcParams(s), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pd() > 0.4 {
+		t.Errorf("Pd = %.2f for a -20 dB target, want near 0", stats.Pd())
+	}
+}
+
+func TestMonteCarloPdMonotoneInSNR(t *testing.T) {
+	cfg := DefaultMCConfig()
+	cfg.Trials = 6
+	var prev float64 = -1
+	for _, snr := range []float64{-10, 5, 18} {
+		s := mcScenario(snr)
+		stats, err := MonteCarlo(s, mcParams(s), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Pd() < prev-0.15 {
+			t.Errorf("Pd dropped with rising SNR: %.2f after %.2f at %g dB", stats.Pd(), prev, snr)
+		}
+		prev = stats.Pd()
+	}
+	if prev < 0.9 {
+		t.Errorf("Pd at 18 dB = %.2f, want near 1", prev)
+	}
+}
+
+func TestMonteCarloMovingTargetScoredAtWalkedGate(t *testing.T) {
+	s := mcScenario(15)
+	s.Motion = &radar.Motion{GatesPerCPI: 5}
+	cfg := DefaultMCConfig()
+	cfg.Trials = 4
+	cfg.WarmCPIs = 2 // scored CPI is 2; gate walked to 30
+	stats, err := MonteCarlo(s, mcParams(s), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pd() < 0.75 {
+		t.Errorf("moving target Pd = %.2f, want high (scoring should track the walk)", stats.Pd())
+	}
+}
+
+func TestMonteCarloErrors(t *testing.T) {
+	s := mcScenario(10)
+	p := mcParams(s)
+	if _, err := MonteCarlo(s, p, MCConfig{Trials: 0, WarmCPIs: 1}); err == nil {
+		t.Error("expected trials error")
+	}
+	if _, err := MonteCarlo(s, p, MCConfig{Trials: 1, WarmCPIs: 0}); err == nil {
+		t.Error("expected warm-CPI error")
+	}
+	bad := *s
+	bad.Bandwidth = 0
+	if _, err := MonteCarlo(&bad, p, DefaultMCConfig()); err == nil {
+		t.Error("expected scenario validation error")
+	}
+	badP := p
+	badP.Bandwidth = 0
+	if _, err := MonteCarlo(s, badP, DefaultMCConfig()); err == nil {
+		t.Error("expected params validation error")
+	}
+	if (MCStats{}).Pd() != 0 || (MCStats{}).Pfa() != 0 {
+		t.Error("zero stats should report 0")
+	}
+}
+
+func TestBinDistCircular(t *testing.T) {
+	if binDist(16, 0, 15) != 1 {
+		t.Errorf("binDist(16,0,15) = %d, want 1 (wraparound)", binDist(16, 0, 15))
+	}
+	if binDist(16, 3, 7) != 4 {
+		t.Errorf("binDist(16,3,7) = %d, want 4", binDist(16, 3, 7))
+	}
+}
+
+func TestNearestBeam(t *testing.T) {
+	p := DefaultParams(testDims()) // beams -0.5, 0, 0.5
+	cases := map[float64]int{-0.9: 0, -0.3: 0, 0.1: 1, 0.4: 2, 1: 2}
+	for u, want := range cases {
+		if got := nearestBeam(&p, u); got != want {
+			t.Errorf("nearestBeam(%g) = %d, want %d", u, got, want)
+		}
+	}
+}

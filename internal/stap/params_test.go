@@ -1,0 +1,174 @@
+package stap
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"stapio/internal/cube"
+)
+
+func testDims() cube.Dims { return cube.Dims{Channels: 4, Pulses: 17, Ranges: 64} }
+
+func TestDefaultParamsValid(t *testing.T) {
+	p := DefaultParams(testDims())
+	if err := p.Validate(); err != nil {
+		t.Fatalf("DefaultParams invalid: %v", err)
+	}
+	p2 := DefaultParams(cube.Dims{Channels: 16, Pulses: 128, Ranges: 1024})
+	if err := p2.Validate(); err != nil {
+		t.Fatalf("paper-size DefaultParams invalid: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mutations := []func(*Params){
+		func(p *Params) { p.Dims.Channels = 0 },
+		func(p *Params) { p.Dims.Pulses = 1 },
+		func(p *Params) { p.Beams = nil },
+		func(p *Params) { p.Beams = []float64{2} },
+		func(p *Params) { p.ClutterNotch = -0.1 },
+		func(p *Params) { p.ClutterNotch = 0.6 },
+		func(p *Params) { p.TrainEasy = 0 },
+		func(p *Params) { p.TrainHard = p.Dims.Ranges + 1 },
+		func(p *Params) { p.DiagonalLoad = -1 },
+		func(p *Params) { p.PulseLen = 0 },
+		func(p *Params) { p.PulseLen = p.Dims.Ranges + 1 },
+		func(p *Params) { p.Bandwidth = 0 },
+		func(p *Params) { p.CFAR.Window = 0 },
+		func(p *Params) { p.CFAR.Guard = -1 },
+		func(p *Params) { p.CFAR.Window = p.Dims.Ranges },
+	}
+	for i, mutate := range mutations {
+		p := DefaultParams(testDims())
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestBinDopplerMapping(t *testing.T) {
+	p := DefaultParams(testDims()) // 16 bins
+	if p.Bins() != 16 {
+		t.Fatalf("Bins = %d, want 16", p.Bins())
+	}
+	if f := p.BinDoppler(0); f != 0 {
+		t.Errorf("BinDoppler(0) = %v, want 0", f)
+	}
+	if f := p.BinDoppler(8); f != -0.5 {
+		t.Errorf("BinDoppler(8) = %v, want -0.5", f)
+	}
+	if f := p.BinDoppler(4); f != 0.25 {
+		t.Errorf("BinDoppler(4) = %v, want 0.25", f)
+	}
+	// BinForDoppler inverts BinDoppler for every bin.
+	for d := 0; d < p.Bins(); d++ {
+		if got := p.BinForDoppler(p.BinDoppler(d)); got != d {
+			t.Errorf("BinForDoppler(BinDoppler(%d)) = %d", d, got)
+		}
+	}
+}
+
+func TestEasyHardPartition(t *testing.T) {
+	p := DefaultParams(testDims())
+	easy, hard := p.EasyBins(), p.HardBins()
+	if len(easy)+len(hard) != p.Bins() {
+		t.Fatalf("easy %d + hard %d != bins %d", len(easy), len(hard), p.Bins())
+	}
+	seen := map[int]bool{}
+	for _, d := range append(append([]int{}, easy...), hard...) {
+		if seen[d] {
+			t.Fatalf("bin %d in both sets", d)
+		}
+		seen[d] = true
+	}
+	// Hard set contains zero Doppler.
+	foundZero := false
+	for _, d := range hard {
+		if math.Abs(p.BinDoppler(d)) > p.ClutterNotch {
+			t.Errorf("hard bin %d doppler %v outside notch", d, p.BinDoppler(d))
+		}
+		if d == 0 {
+			foundZero = true
+		}
+	}
+	if !foundZero {
+		t.Error("bin 0 (zero Doppler) should be hard")
+	}
+	for _, d := range easy {
+		if p.IsHard(d) {
+			t.Errorf("easy bin %d reported hard", d)
+		}
+	}
+}
+
+func TestDoFAndSteering(t *testing.T) {
+	p := DefaultParams(testDims())
+	c := p.Dims.Channels
+	for d := 0; d < p.Bins(); d++ {
+		dof := p.DoF(d)
+		s := p.Steering(0.3, d)
+		if len(s) != dof {
+			t.Fatalf("bin %d: steering len %d, want DoF %d", d, len(s), dof)
+		}
+		if p.IsHard(d) {
+			if dof != 2*c {
+				t.Errorf("hard bin %d DoF %d, want %d", d, dof, 2*c)
+			}
+			// Second stagger is first rotated by the bin Doppler phase.
+			rot := cmplx.Exp(complex(0, 2*math.Pi*p.BinDoppler(d)))
+			for k := 0; k < c; k++ {
+				if cmplx.Abs(s[c+k]-s[k]*rot) > 1e-12 {
+					t.Errorf("hard steering stagger phase wrong at bin %d elem %d", d, k)
+				}
+			}
+		} else if dof != c {
+			t.Errorf("easy bin %d DoF %d, want %d", d, dof, c)
+		}
+	}
+}
+
+func TestReplicaEnergy(t *testing.T) {
+	p := DefaultParams(testDims())
+	rep := p.Replica()
+	if len(rep) != p.PulseLen {
+		t.Fatalf("replica len %d, want %d", len(rep), p.PulseLen)
+	}
+	var e float64
+	for _, v := range rep {
+		e += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(e-1) > 1e-9 {
+		t.Errorf("replica energy %g, want 1", e)
+	}
+}
+
+func TestComputeWorkloadsShape(t *testing.T) {
+	p := DefaultParams(cube.Dims{Channels: 16, Pulses: 128, Ranges: 1024})
+	w := ComputeWorkloads(&p)
+	for i, f := range w.Flops {
+		if f <= 0 {
+			t.Errorf("task %d flops = %g, want > 0", i, f)
+		}
+	}
+	if w.TotalFlops() <= w.Flops[0] {
+		t.Error("total flops must exceed any single task")
+	}
+	// Hard weight computation strictly costs more than easy per bin: the
+	// hard set here is small, but per-bin hard cost must dominate.
+	e, h := float64(len(p.EasyBins())), float64(len(p.HardBins()))
+	if w.Flops[2]/h <= w.Flops[1]/e {
+		t.Error("per-bin hard weight cost should exceed easy")
+	}
+	if w.Flops[4]/h <= w.Flops[3]/e {
+		t.Error("per-bin hard beamforming cost should exceed easy")
+	}
+	if w.CubeBytes != float64(p.Dims.Bytes()) {
+		t.Errorf("CubeBytes = %g, want %d", w.CubeBytes, p.Dims.Bytes())
+	}
+	// Paper-scale cube is 16 MiB.
+	if w.CubeBytes != float64(16<<20) {
+		t.Errorf("CubeBytes = %g, want 16 MiB", w.CubeBytes)
+	}
+}

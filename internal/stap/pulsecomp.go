@@ -1,0 +1,70 @@
+package stap
+
+import (
+	"fmt"
+
+	"stapio/internal/signal"
+)
+
+// Compressor performs pulse compression on beam-cube range profiles with
+// the scenario's matched-filter replica. One Compressor is not safe for
+// concurrent use; workers clone it.
+type Compressor struct {
+	fc   *signal.FastConvolver
+	full []complex128
+}
+
+// NewCompressor builds a compressor for the parameters' replica and range
+// extent.
+func NewCompressor(p *Params) *Compressor {
+	fc := signal.NewFastConvolver(p.Dims.Ranges, p.Replica())
+	return &Compressor{fc: fc, full: make([]complex128, fc.OutLen())}
+}
+
+// Clone returns an independent compressor for another goroutine.
+func (c *Compressor) Clone() *Compressor {
+	return &Compressor{fc: c.fc.Clone(), full: make([]complex128, c.fc.OutLen())}
+}
+
+// CompressProfile compresses one range profile in place.
+func (c *Compressor) CompressProfile(prof []complex128) {
+	c.fc.Convolve(prof, c.full)
+	copy(prof, c.fc.MatchedOutput(c.full))
+}
+
+// Compress pulse-compresses the (beam, bin) profiles listed in pairs; if
+// pairs is nil every profile of the cube is compressed. Profiles are
+// independent, so the pipeline partitions the (beam, bin) product space
+// among pulse-compression workers.
+func Compress(p *Params, bc *BeamCube, c *Compressor, pairs []BeamBin) error {
+	if bc.Ranges != p.Dims.Ranges {
+		return fmt.Errorf("stap: beam cube ranges %d, params %d", bc.Ranges, p.Dims.Ranges)
+	}
+	if pairs == nil {
+		pairs = AllBeamBins(bc.Beams, bc.Bins)
+	}
+	for _, pb := range pairs {
+		if pb.Beam < 0 || pb.Beam >= bc.Beams || pb.Bin < 0 || pb.Bin >= bc.Bins {
+			return fmt.Errorf("stap: beam/bin pair %+v out of range", pb)
+		}
+		c.CompressProfile(bc.Profile(pb.Beam, pb.Bin))
+	}
+	return nil
+}
+
+// BeamBin identifies one (beam, Doppler-bin) range profile.
+type BeamBin struct {
+	Beam, Bin int
+}
+
+// AllBeamBins enumerates the full (beam, bin) product space in row-major
+// (beam-major) order.
+func AllBeamBins(beams, bins int) []BeamBin {
+	out := make([]BeamBin, 0, beams*bins)
+	for b := 0; b < beams; b++ {
+		for d := 0; d < bins; d++ {
+			out = append(out, BeamBin{Beam: b, Bin: d})
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package stap
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"stapio/internal/linalg"
+	"stapio/internal/radar"
+)
+
+func TestSolveWeightsEquivalentToComputeWeights(t *testing.T) {
+	// The refactored estimate+solve path must reproduce ComputeWeights
+	// exactly.
+	p, dc := filteredTestCube(t, 21)
+	bins := p.EasyBins()
+	direct, err := ComputeWeights(p, dc, bins, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateCovariances(p, dc, bins, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := SolveWeights(p, est, bins, dc.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bins {
+		for b := range p.Beams {
+			for k := range direct.W[i][b] {
+				if cmplx.Abs(direct.W[i][b][k]-split.W[i][b][k]) > 1e-12 {
+					t.Fatalf("bin %d beam %d elem %d differ", bins[i], b, k)
+				}
+			}
+		}
+	}
+}
+
+func TestSolveWeightsErrors(t *testing.T) {
+	p, dc := filteredTestCube(t, 22)
+	bins := p.EasyBins()
+	est, err := EstimateCovariances(p, dc, bins, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveWeights(p, est[:1], bins, 0); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	bad := make([]*linalg.Matrix, len(bins))
+	for i := range bad {
+		bad[i] = linalg.NewMatrix(1, 1)
+	}
+	if _, err := SolveWeights(p, bad, bins, 0); err == nil {
+		t.Error("expected DoF mismatch error")
+	}
+}
+
+func TestCovarianceSmootherBlends(t *testing.T) {
+	a := linalg.NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	b := linalg.NewMatrix(2, 2)
+	b.Set(0, 0, 8)
+
+	s := &CovarianceSmoother{Lambda: 0.5}
+	first := s.Update([]*linalg.Matrix{a})
+	if first[0].At(0, 0) != 4 {
+		t.Errorf("first update = %v, want 4", first[0].At(0, 0))
+	}
+	// The smoother must not alias the caller's matrix.
+	a.Set(0, 0, 999)
+	second := s.Update([]*linalg.Matrix{b})
+	if got := second[0].At(0, 0); got != 6 { // 0.5*4 + 0.5*8
+		t.Errorf("blend = %v, want 6", got)
+	}
+	// Lambda 0: passthrough.
+	s0 := &CovarianceSmoother{}
+	out := s0.Update([]*linalg.Matrix{b})
+	if out[0] != b {
+		t.Error("lambda=0 should pass estimates through")
+	}
+}
+
+func TestForgettingValidation(t *testing.T) {
+	p := DefaultParams(testDims())
+	p.Forgetting = 1
+	if err := p.Validate(); err == nil {
+		t.Error("forgetting=1 should fail validation")
+	}
+	p.Forgetting = -0.1
+	if err := p.Validate(); err == nil {
+		t.Error("negative forgetting should fail validation")
+	}
+}
+
+func TestSmoothedProcessorStabilisesWeights(t *testing.T) {
+	// With heavy smoothing the weights change less between CPIs than with
+	// per-CPI SMI, while detections still work.
+	s := radar.SmallTestScenario()
+	weightDelta := func(forgetting float64) float64 {
+		p := DefaultParams(s.Dims)
+		p.PulseLen = s.PulseLen
+		p.Bandwidth = s.Bandwidth
+		p.Forgetting = forgetting
+		pr, err := NewProcessor(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prev, curr *WeightSet
+		for seq := uint64(0); seq < 3; seq++ {
+			cb, err := s.Generate(seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := pr.Process(cb, seq); err != nil {
+				t.Fatal(err)
+			}
+			prev, curr = curr, pr.prevEasyW
+		}
+		var delta float64
+		for i := range curr.W {
+			for b := range curr.W[i] {
+				for k := range curr.W[i][b] {
+					delta += cmplx.Abs(curr.W[i][b][k] - prev.W[i][b][k])
+				}
+			}
+		}
+		return delta
+	}
+	raw := weightDelta(0)
+	smooth := weightDelta(0.9)
+	if smooth >= raw {
+		t.Errorf("smoothed weight delta %g not below raw %g", smooth, raw)
+	}
+	t.Logf("CPI-to-CPI weight change: raw %g, smoothed %g", raw, smooth)
+}
+
+func TestSmoothedChainStillDetects(t *testing.T) {
+	s := radar.SmallTestScenario()
+	p := DefaultParams(s.Dims)
+	p.PulseLen = s.PulseLen
+	p.Bandwidth = s.Bandwidth
+	p.Forgetting = 0.7
+	pr, err := NewProcessor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dets []Detection
+	for seq := uint64(0); seq < 3; seq++ {
+		cb, err := s.Generate(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dets, err = pr.Process(cb, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	dets = ClusterDetections(dets, 3)
+	found := 0
+	for ti, tg := range s.Targets {
+		bin := p.BinForDoppler(tg.Doppler)
+		gate := s.TargetGate(ti, 2)
+		for _, d := range dets {
+			if binDist(p.Bins(), d.Bin, bin) <= 1 && intAbs(d.Range-gate) <= 2 {
+				found++
+				break
+			}
+		}
+	}
+	if found != len(s.Targets) {
+		t.Errorf("smoothed chain found %d of %d targets", found, len(s.Targets))
+	}
+}

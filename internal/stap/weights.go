@@ -1,0 +1,226 @@
+package stap
+
+import (
+	"fmt"
+
+	"stapio/internal/linalg"
+)
+
+// WeightSet holds the adaptive weight vectors for a set of Doppler bins.
+// W[i][b] is the weight vector (length DoF of the bin) for the i-th bin of
+// Bins and beam b.
+type WeightSet struct {
+	// Bins lists the Doppler bin indices this set covers, in ascending
+	// order (either the easy or the hard set).
+	Bins []int
+	// W is indexed [position-in-Bins][beam][dof].
+	W [][][]complex128
+	// Seq is the CPI sequence number of the Doppler data the weights were
+	// trained on; the pipeline applies weights trained on CPI k-1 to the
+	// data of CPI k (temporal data dependency).
+	Seq uint64
+}
+
+// lookup returns the position of bin d in ws.Bins, or -1.
+func (ws *WeightSet) lookup(d int) int {
+	lo, hi := 0, len(ws.Bins)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case ws.Bins[mid] == d:
+			return mid
+		case ws.Bins[mid] < d:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return -1
+}
+
+// For returns the weight vectors (per beam) for Doppler bin d, or nil if
+// the set does not cover d.
+func (ws *WeightSet) For(d int) [][]complex128 {
+	i := ws.lookup(d)
+	if i < 0 {
+		return nil
+	}
+	return ws.W[i]
+}
+
+// trainingGates returns k training range gates spread evenly across the
+// range extent, excluding nothing (the classic "fencepost" subsample). The
+// paper's training strategy details are not given; an even subsample keeps
+// the estimate full-rank without favouring any range interval.
+func trainingGates(ranges, k int) []int {
+	if k > ranges {
+		k = ranges
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = i * ranges / k
+	}
+	return out
+}
+
+// EstimateCovariances returns the (unloaded) sample covariance estimate
+// for each listed Doppler bin from the training gates of dc. hard selects
+// the snapshot length (full DoF with TrainHard gates vs first-stagger with
+// TrainEasy gates).
+func EstimateCovariances(p *Params, dc *DopplerCube, bins []int, hard bool) ([]*linalg.Matrix, error) {
+	if dc.Ranges != p.Dims.Ranges || dc.Channels != p.Dims.Channels {
+		return nil, fmt.Errorf("stap: doppler cube geometry mismatch")
+	}
+	train := p.TrainEasy
+	if hard {
+		train = p.TrainHard
+	}
+	gates := trainingGates(dc.Ranges, train)
+	covs := make([]*linalg.Matrix, len(bins))
+	for i, d := range bins {
+		if p.IsHard(d) != hard {
+			return nil, fmt.Errorf("stap: bin %d is not in the %s set", d, setName(hard))
+		}
+		dof := p.DoF(d)
+		r := linalg.NewMatrix(dof, dof)
+		inv := 1 / float64(len(gates))
+		for _, g := range gates {
+			snap := dc.Snapshot(d, g)[:dof]
+			r.AccumulateOuter(snap, inv)
+		}
+		covs[i] = r
+	}
+	return covs, nil
+}
+
+// SolveWeights turns per-bin covariance estimates into MVDR weights:
+// diagonal loading, one Cholesky per bin, one pair of triangular solves
+// per beam, unit-gain normalisation toward the steering direction.
+func SolveWeights(p *Params, covs []*linalg.Matrix, bins []int, seq uint64) (*WeightSet, error) {
+	if len(covs) != len(bins) {
+		return nil, fmt.Errorf("stap: %d covariances for %d bins", len(covs), len(bins))
+	}
+	ws := &WeightSet{Bins: append([]int(nil), bins...), W: make([][][]complex128, len(bins)), Seq: seq}
+	for i, d := range bins {
+		dof := p.DoF(d)
+		if covs[i].Rows != dof || covs[i].Cols != dof {
+			return nil, fmt.Errorf("stap: covariance for bin %d is %dx%d, want %d",
+				d, covs[i].Rows, covs[i].Cols, dof)
+		}
+		// Diagonal loading relative to the average diagonal power keeps
+		// the estimate well-conditioned when training is light. Work on a
+		// copy so the caller's (possibly smoothed) estimate is preserved.
+		r := covs[i].Clone()
+		var trace float64
+		for k := 0; k < dof; k++ {
+			trace += real(r.At(k, k))
+		}
+		load := p.DiagonalLoad*trace/float64(dof) + 1e-12
+		r.AddScaledIdentity(complex(load, 0))
+
+		l, err := linalg.Cholesky(r)
+		if err != nil {
+			return nil, fmt.Errorf("stap: covariance for bin %d: %w", d, err)
+		}
+		perBeam := make([][]complex128, len(p.Beams))
+		for b, u := range p.Beams {
+			t := p.Steering(u, d)
+			y, err := linalg.SolveLower(l, t)
+			if err != nil {
+				return nil, fmt.Errorf("stap: solve bin %d beam %d: %w", d, b, err)
+			}
+			w, err := linalg.SolveUpperH(l, y)
+			if err != nil {
+				return nil, fmt.Errorf("stap: solve bin %d beam %d: %w", d, b, err)
+			}
+			// Normalise for unit gain on the steering direction:
+			// w <- w / (t^H w), the MVDR distortionless response.
+			g := linalg.Dot(t, w)
+			if g != 0 {
+				for k := range w {
+					w[k] /= g
+				}
+			}
+			perBeam[b] = w
+		}
+		ws.W[i] = perBeam
+	}
+	return ws, nil
+}
+
+// ComputeWeights computes adaptive weights for the listed Doppler bins
+// from the Doppler-filtered cube dc — EstimateCovariances followed by
+// SolveWeights. The returned set's Seq is dc.Seq.
+func ComputeWeights(p *Params, dc *DopplerCube, bins []int, hard bool) (*WeightSet, error) {
+	covs, err := EstimateCovariances(p, dc, bins, hard)
+	if err != nil {
+		return nil, err
+	}
+	return SolveWeights(p, covs, bins, dc.Seq)
+}
+
+// CovarianceSmoother blends per-bin covariance estimates across CPIs with
+// an exponential forgetting factor lambda in [0, 1):
+//
+//	R_k = lambda * R_{k-1} + (1 - lambda) * Rhat_k
+//
+// Real systems smooth their training this way to stabilise the weights in
+// slowly varying interference; lambda = 0 reproduces per-CPI SMI.
+type CovarianceSmoother struct {
+	Lambda float64
+	prev   []*linalg.Matrix
+}
+
+// Update blends the new estimates into the running state and returns the
+// smoothed covariances (aliasing the internal state; do not mutate).
+func (s *CovarianceSmoother) Update(est []*linalg.Matrix) []*linalg.Matrix {
+	if s.Lambda <= 0 || s.prev == nil {
+		s.prev = est
+		if s.Lambda > 0 {
+			// Keep an independent copy so later blends don't mutate the
+			// caller's matrices.
+			s.prev = make([]*linalg.Matrix, len(est))
+			for i, m := range est {
+				s.prev[i] = m.Clone()
+			}
+		}
+		return s.prev
+	}
+	l := complex(s.Lambda, 0)
+	nl := complex(1-s.Lambda, 0)
+	for i, m := range est {
+		pm := s.prev[i]
+		for j := range pm.Data {
+			pm.Data[j] = l*pm.Data[j] + nl*m.Data[j]
+		}
+	}
+	return s.prev
+}
+
+// InitialWeights returns non-adaptive (conventional beamformer) weights for
+// the listed bins: w = t / (t^H t). The pipeline uses them for the first
+// CPI, before any previous-CPI training data exists.
+func InitialWeights(p *Params, bins []int) *WeightSet {
+	ws := &WeightSet{Bins: append([]int(nil), bins...), W: make([][][]complex128, len(bins))}
+	for i, d := range bins {
+		perBeam := make([][]complex128, len(p.Beams))
+		for b, u := range p.Beams {
+			t := p.Steering(u, d)
+			g := linalg.Dot(t, t)
+			w := make([]complex128, len(t))
+			for k := range t {
+				w[k] = t[k] / g
+			}
+			perBeam[b] = w
+		}
+		ws.W[i] = perBeam
+	}
+	return ws
+}
+
+func setName(hard bool) string {
+	if hard {
+		return "hard"
+	}
+	return "easy"
+}

@@ -1,0 +1,180 @@
+package stap
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"stapio/internal/linalg"
+	"stapio/internal/radar"
+)
+
+func filteredTestCube(t *testing.T, seed int64) (*Params, *DopplerCube) {
+	t.Helper()
+	s := radar.SmallTestScenario()
+	s.Seed = seed
+	cb, err := s.Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(s.Dims)
+	dc, err := DopplerFilter(&p, cb, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &p, dc
+}
+
+func TestComputeWeightsShapes(t *testing.T) {
+	p, dc := filteredTestCube(t, 1)
+	for _, hard := range []bool{false, true} {
+		bins := p.EasyBins()
+		if hard {
+			bins = p.HardBins()
+		}
+		ws, err := ComputeWeights(p, dc, bins, hard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ws.Seq != dc.Seq {
+			t.Errorf("Seq = %d, want %d", ws.Seq, dc.Seq)
+		}
+		if len(ws.W) != len(bins) {
+			t.Fatalf("weights for %d bins, want %d", len(ws.W), len(bins))
+		}
+		for i, d := range bins {
+			perBeam := ws.W[i]
+			if len(perBeam) != len(p.Beams) {
+				t.Fatalf("bin %d: %d beams, want %d", d, len(perBeam), len(p.Beams))
+			}
+			for b, w := range perBeam {
+				if len(w) != p.DoF(d) {
+					t.Errorf("bin %d beam %d: len %d, want DoF %d", d, b, len(w), p.DoF(d))
+				}
+			}
+		}
+		// Lookup.
+		if ws.For(bins[0]) == nil {
+			t.Error("For(first bin) = nil")
+		}
+		if ws.For(-1) != nil {
+			t.Error("For(-1) should be nil")
+		}
+	}
+}
+
+func TestComputeWeightsDistortionless(t *testing.T) {
+	// MVDR normalisation: t^H w = 1 for every (bin, beam).
+	p, dc := filteredTestCube(t, 2)
+	ws, err := ComputeWeights(p, dc, p.EasyBins(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range ws.Bins {
+		for b, u := range p.Beams {
+			tv := p.Steering(u, d)
+			g := linalg.Dot(tv, ws.W[i][b])
+			if cmplx.Abs(g-1) > 1e-9 {
+				t.Errorf("bin %d beam %d: steering gain %v, want 1", d, b, g)
+			}
+		}
+	}
+}
+
+func TestComputeWeightsWrongSet(t *testing.T) {
+	p, dc := filteredTestCube(t, 3)
+	if _, err := ComputeWeights(p, dc, p.EasyBins(), true); err == nil {
+		t.Error("expected error passing easy bins as hard")
+	}
+	other := DefaultParams(testDims())
+	other.Dims.Ranges = 32
+	if _, err := ComputeWeights(&other, dc, other.EasyBins(), false); err == nil {
+		t.Error("expected geometry mismatch error")
+	}
+}
+
+func TestInitialWeightsUnitGain(t *testing.T) {
+	p := DefaultParams(testDims())
+	bins := p.HardBins()
+	ws := InitialWeights(&p, bins)
+	for i, d := range bins {
+		for b, u := range p.Beams {
+			tv := p.Steering(u, d)
+			g := linalg.Dot(tv, ws.W[i][b])
+			if cmplx.Abs(g-1) > 1e-9 {
+				t.Errorf("bin %d beam %d: gain %v, want 1", d, b, g)
+			}
+		}
+	}
+}
+
+func TestAdaptiveWeightsSuppressClutter(t *testing.T) {
+	// With a strong clutter ridge, adaptive hard-bin weights must yield a
+	// much lower output power on training data than the non-adaptive
+	// (conventional) weights: the SINR improvement that motivates STAP.
+	s := radar.SmallTestScenario()
+	s.Targets = nil
+	s.Clutter = radar.Clutter{Patches: 12, CNR: 40, Beta: 1}
+	cb, err := s.Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(s.Dims)
+	p.TrainHard = 48
+	dc, err := DopplerFilter(&p, cb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard := p.HardBins()
+	adaptive, err := ComputeWeights(&p, dc, hard, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conventional := InitialWeights(&p, hard)
+
+	outputPower := func(ws *WeightSet) float64 {
+		var sum float64
+		var n int
+		for i, d := range ws.Bins {
+			dof := p.DoF(d)
+			for b := range p.Beams {
+				w := ws.W[i][b]
+				for r := 0; r < dc.Ranges; r++ {
+					y := linalg.Dot(w, dc.Snapshot(d, r)[:dof])
+					sum += real(y)*real(y) + imag(y)*imag(y)
+					n++
+				}
+			}
+		}
+		return sum / float64(n)
+	}
+	pa := outputPower(adaptive)
+	pc := outputPower(conventional)
+	if pa >= pc {
+		t.Fatalf("adaptive output power %g not below conventional %g", pa, pc)
+	}
+	gain := 10 * math.Log10(pc/pa)
+	if gain < 3 {
+		t.Errorf("clutter suppression only %.1f dB, want >= 3 dB", gain)
+	}
+	t.Logf("adaptive clutter suppression: %.1f dB", gain)
+}
+
+func TestTrainingGates(t *testing.T) {
+	g := trainingGates(64, 8)
+	if len(g) != 8 {
+		t.Fatalf("len = %d", len(g))
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] <= g[i-1] {
+			t.Errorf("gates not strictly increasing: %v", g)
+		}
+	}
+	if g[len(g)-1] >= 64 {
+		t.Errorf("gate out of range: %v", g)
+	}
+	// Clamp when k > ranges.
+	if got := trainingGates(4, 100); len(got) != 4 {
+		t.Errorf("clamped len = %d, want 4", len(got))
+	}
+}

@@ -1,0 +1,124 @@
+package stap
+
+import "math"
+
+// Workloads summarises the computational cost (floating-point operations)
+// of each STAP task and the data volumes (bytes) flowing between tasks for
+// one CPI. The discrete-event performance simulator converts these into
+// task execution times via a machine profile; the counts follow the
+// operation structure of the kernels in this package.
+//
+// Task indices follow the pipeline order: 0 Doppler filter, 1 easy weight,
+// 2 hard weight, 3 easy beamform, 4 hard beamform, 5 pulse compression,
+// 6 CFAR.
+type Workloads struct {
+	// Flops[i] is the per-CPI floating point work of task i.
+	Flops [7]float64
+	// CubeBytes is the size of the raw CPI cube read by (or delivered to)
+	// the Doppler task.
+	CubeBytes float64
+	// DopplerToWeight[0] and [1] are the easy/hard training data volumes
+	// sent from the Doppler task to the weight tasks.
+	DopplerToWeight [2]float64
+	// DopplerToBF[0] and [1] are the easy/hard snapshot volumes sent from
+	// the Doppler task to the beamforming tasks.
+	DopplerToBF [2]float64
+	// WeightToBF[0] and [1] are the easy/hard weight vector volumes.
+	WeightToBF [2]float64
+	// BFToPC[0] and [1] are the easy/hard beamformed profile volumes sent
+	// to pulse compression.
+	BFToPC [2]float64
+	// PCToCFAR is the compressed cube volume.
+	PCToCFAR float64
+	// ReportBytes is the (small) detection report volume out of CFAR.
+	ReportBytes float64
+}
+
+// cmulFlops is the cost of one complex multiply-accumulate (4 real
+// multiplies + 4 adds).
+const cmulFlops = 8
+
+// fftFlops estimates the cost of one complex FFT of length n
+// (5 n log2 n, the standard radix-2 operation count).
+func fftFlops(n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return 5 * float64(n) * math.Log2(float64(n))
+}
+
+// ComputeWorkloads derives the per-task costs from the processing
+// parameters.
+func ComputeWorkloads(p *Params) Workloads {
+	c := float64(p.Dims.Channels)
+	r := float64(p.Dims.Ranges)
+	l := p.Bins()
+	lf := float64(l)
+	b := float64(len(p.Beams))
+	e := float64(len(p.EasyBins()))
+	h := float64(len(p.HardBins()))
+	ke := float64(p.TrainEasy)
+	kh := float64(p.TrainHard)
+	k := float64(p.StaggerCount())
+	dofE := c
+	dofH := k * c
+	const wire = 8 // bytes per complex64 sample on the wire / disk
+
+	var w Workloads
+
+	// Task 0 — Doppler filter processing: per (channel, range gate) one
+	// windowed length-L transform per stagger plus the window products.
+	w.Flops[0] = c * r * (k*fftFlops(l) + k*6*lf)
+
+	// Tasks 1/2 — weight computation: covariance accumulation over the
+	// training gates, one Cholesky, and one pair of triangular solves per
+	// beam, for every bin in the set.
+	weightFlops := func(bins, k, dof float64) float64 {
+		cov := k * dof * dof * cmulFlops
+		chol := 2 * dof * dof * dof // ~ n^3/3 complex ops * 6 flops
+		solves := b * 2 * dof * dof * 4
+		return bins * (cov + chol + solves)
+	}
+	w.Flops[1] = weightFlops(e, ke, dofE)
+	w.Flops[2] = weightFlops(h, kh, dofH)
+
+	// Tasks 3/4 — beamforming: a DoF-length inner product per
+	// (bin, beam, range gate).
+	w.Flops[3] = e * b * r * dofE * cmulFlops
+	w.Flops[4] = h * b * r * dofH * cmulFlops
+
+	// Task 5 — pulse compression: per (beam, bin) one forward FFT, one
+	// spectrum product, one inverse FFT at the padded length.
+	m := float64(nextPow2(p.Dims.Ranges + p.PulseLen - 1))
+	w.Flops[5] = b * lf * (2*fftFlops(int(m)) + m*cmulFlops)
+
+	// Task 6 — CFAR: sliding-window power estimate and compare per cell.
+	w.Flops[6] = b * lf * r * 10
+
+	// Inter-task volumes.
+	w.CubeBytes = c * float64(p.Dims.Pulses) * r * wire
+	w.DopplerToWeight = [2]float64{e * ke * dofE * wire, h * kh * dofH * wire}
+	w.DopplerToBF = [2]float64{e * r * dofE * wire, h * r * dofH * wire}
+	w.WeightToBF = [2]float64{e * b * dofE * wire, h * b * dofH * wire}
+	w.BFToPC = [2]float64{e * b * r * wire, h * b * r * wire}
+	w.PCToCFAR = b * lf * r * wire
+	w.ReportBytes = 4096
+	return w
+}
+
+// TotalFlops returns the sum over all seven tasks.
+func (w Workloads) TotalFlops() float64 {
+	var s float64
+	for _, f := range w.Flops {
+		s += f
+	}
+	return s
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
