@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full pre-commit gate: everything CI runs.
+check: vet build race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

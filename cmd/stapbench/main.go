@@ -23,18 +23,19 @@ import (
 
 func main() {
 	var (
-		table    = flag.Int("table", 0, "render one table (1-4; 5 = optimizer extension)")
-		figure   = flag.Int("figure", 0, "render one figure (5-8)")
-		all      = flag.Bool("all", false, "render every table and figure")
-		summary  = flag.Bool("summary", false, "print compact summary tables instead of per-task rows")
-		cpis     = flag.Int("cpis", 60, "CPIs per simulation run")
-		warmup   = flag.Int("warmup", 12, "warmup CPIs excluded from statistics")
-		csvDir   = flag.String("csv", "", "also write tables as CSV into this directory")
-		timeline = flag.Bool("timeline", false, "render an execution timeline (Gantt) instead of tables")
-		setupIdx = flag.Int("setup", 0, "timeline: setup index (0 PFS-16, 1 PFS-64, 2 PIOFS)")
-		caseIdx  = flag.Int("case", 2, "timeline: node case index (0=50, 1=100, 2=200 nodes)")
-		design   = flag.String("design", "embedded", "timeline/graph: embedded | separate | combined")
-		graph    = flag.Bool("graph", false, "print the pipeline task graph (the paper's figures 2-4) and exit")
+		table     = flag.Int("table", 0, "render one table (1-4; 5 = optimizer extension; 6 = fault-injection sweep)")
+		figure    = flag.Int("figure", 0, "render one figure (5-8)")
+		all       = flag.Bool("all", false, "render every table and figure")
+		summary   = flag.Bool("summary", false, "print compact summary tables instead of per-task rows")
+		cpis      = flag.Int("cpis", 60, "CPIs per simulation run")
+		warmup    = flag.Int("warmup", 12, "warmup CPIs excluded from statistics")
+		csvDir    = flag.String("csv", "", "also write tables as CSV into this directory")
+		timeline  = flag.Bool("timeline", false, "render an execution timeline (Gantt) instead of tables")
+		setupIdx  = flag.Int("setup", 0, "timeline: setup index (0 PFS-16, 1 PFS-64, 2 PIOFS)")
+		caseIdx   = flag.Int("case", 2, "timeline: node case index (0=50, 1=100, 2=200 nodes)")
+		design    = flag.String("design", "embedded", "timeline/graph: embedded | separate | combined")
+		graph     = flag.Bool("graph", false, "print the pipeline task graph (the paper's figures 2-4) and exit")
+		faultSeed = flag.Int64("faultseed", 42, "table 6: fault-plan seed")
 	)
 	flag.Parse()
 	if *graph {
@@ -125,8 +126,15 @@ func main() {
 				fatal(err)
 			}
 			emit(oc.Table())
+		case 6:
+			sw, err := experiments.RunFaultSweep(nil, *faultSeed, opts)
+			if err != nil {
+				fatal(err)
+			}
+			emit(experiments.FaultTable(sw,
+				"Table 6: throughput and latency under injected stripe-server faults (embedded I/O, case 3)"))
 		default:
-			fatal(fmt.Errorf("no table %d (the paper has tables 1-4; 5 is this library's extension)", n))
+			fatal(fmt.Errorf("no table %d (the paper has tables 1-4; 5-6 are this library's extensions)", n))
 		}
 	}
 	doFigure := func(n int) {

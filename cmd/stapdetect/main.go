@@ -6,6 +6,8 @@
 //	stapdetect -cpis 3                            # paper-scale, in-memory
 //	stapdetect -data /tmp/stap-data -stripedirs 16 -cpis 4   # from striped files
 //	stapdetect -separate-io -combine-pc-cfar ...  # pipeline variants
+//	stapdetect -data ... -faults fail=0.05,corrupt=0.01,seed=42 -degrade skip
+//	                                              # fault injection + resilience
 package main
 
 import (
@@ -35,6 +37,9 @@ func main() {
 		maxPrint = flag.Int("max-print", 12, "maximum detections printed per CPI")
 		cfarKind = flag.String("cfar", "ca", "CFAR variant: ca | goca | soca | os")
 		staggers = flag.Int("staggers", 0, "PRI stagger count (0 = the paper's 2)")
+		faults   = flag.String("faults", "", `inject faults into the striped reads, e.g. "fail=0.05,corrupt=0.01,seed=42" (requires -data)`)
+		degrade  = flag.String("degrade", "failfast", "degradation policy once retries are exhausted: failfast | skip | lastgood")
+		retries  = flag.Int("retries", 3, "read attempts per CPI before the degradation policy applies")
 	)
 	flag.Parse()
 
@@ -59,6 +64,10 @@ func main() {
 		fatal(fmt.Errorf("unknown CFAR variant %q", *cfarKind))
 	}
 
+	policy, err := pipexec.ParseDegradePolicy(*degrade)
+	if err != nil {
+		fatal(err)
+	}
 	w := *workers
 	cfg := pipexec.Config{
 		Params: params,
@@ -68,6 +77,8 @@ func main() {
 		},
 		SeparateIO:    *sepIO,
 		CombinePCCFAR: *combine,
+		Degrade:       policy,
+		Retry:         pipexec.RetryPolicy{MaxAttempts: *retries},
 	}
 
 	var src pipexec.AsyncSource
@@ -76,6 +87,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *faults != "" {
+			plan, err := pfs.ParseFaultSpec(*faults)
+			if err != nil {
+				fatal(err)
+			}
+			fs.SetFaults(plan)
+			fmt.Printf("injecting faults: %v; degradation policy %v, %d read attempts\n",
+				plan, policy, cfg.Retry.MaxAttempts)
+		}
 		fsrc, err := pipexec.NewFileSource(fs, sc.Dims, *files)
 		if err != nil {
 			fatal(err)
@@ -83,6 +103,9 @@ func main() {
 		src = fsrc
 		fmt.Printf("reading %v CPIs from striped dataset %s (stripe factor %d)\n", sc.Dims, *data, *dirs)
 	} else {
+		if *faults != "" {
+			fatal(fmt.Errorf("-faults injects into the striped file system and needs -data"))
+		}
 		src = pipexec.ScenarioSource(sc)
 		fmt.Printf("generating %v CPIs in memory\n", sc.Dims)
 	}
@@ -93,6 +116,13 @@ func main() {
 	}
 	fmt.Printf("processed %d CPIs in %v — throughput %.2f CPIs/s, mean latency %v\n",
 		len(res.CPIs), res.Elapsed.Round(1e6), res.Throughput, res.MeanLatency().Round(1e6))
+	st := res.Stats
+	if *faults != "" || st.Retries+st.Drops+st.ChecksumFailures+st.DeadlineHits+st.WeightFallbacks > 0 {
+		fmt.Printf("resilience: %v\n", st)
+		if len(st.DroppedSeqs) > 0 {
+			fmt.Printf("  dropped CPIs: %v\n", st.DroppedSeqs)
+		}
+	}
 	fmt.Println("per-stage busy time (mean per CPI):")
 	for _, st := range res.Stages {
 		fmt.Printf("  %-18s %v\n", st.Name, st.MeanBusy().Round(1e5))

@@ -2,7 +2,9 @@ package cube
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 )
@@ -15,17 +17,23 @@ import (
 //
 //	offset  size  field
 //	0       4     magic "SCPI"
-//	4       4     format version (uint32, currently 1)
+//	4       4     format version (uint32, currently 2)
 //	8       4     channels (uint32)
 //	12      4     pulses   (uint32)
 //	16      4     ranges   (uint32)
 //	20      8     CPI sequence number (uint64)
-//	28      4     reserved (zero)
+//	28      4     CRC-32C of the sample payload (v2; zero/unchecked in v1)
 //	32      ...   samples
 //
 // The header size is deliberately smaller than one stripe unit so a file of
 // N stripe units occupies N units plus a header tail; the dataset writer
 // pads the header region to keep samples stripe-aligned when requested.
+//
+// Version 2 turns the reserved word into a payload checksum so a bit flip
+// anywhere in the sample array — a degraded stripe server, a torn write —
+// is detected instead of silently processed. Version-1 files (checksum
+// word zero) still decode; their headers report HasChecksum false and the
+// payload is accepted unverified.
 
 // Magic identifies a cube file.
 const Magic = "SCPI"
@@ -34,12 +42,33 @@ const Magic = "SCPI"
 const HeaderSize = 32
 
 // FormatVersion is the current cube file format version.
-const FormatVersion = 1
+const FormatVersion = 2
+
+// Typed codec failures, matched with errors.Is so the pipeline's resilience
+// layer can distinguish detected corruption (retryable) from structural
+// decode failures.
+var (
+	// ErrTruncated reports a file shorter than its header claims.
+	ErrTruncated = errors.New("cube: truncated file")
+	// ErrCorrupt reports a payload or header that fails integrity checks.
+	ErrCorrupt = errors.New("cube: corrupt file")
+)
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC-32C of an encoded sample payload.
+func Checksum(payload []byte) uint32 { return crc32.Checksum(payload, castagnoli) }
 
 // Header describes the metadata stored at the front of a cube file.
 type Header struct {
 	Dims
 	Seq uint64 // CPI sequence number
+	// Checksum is the CRC-32C of the encoded payload (version >= 2).
+	Checksum uint32
+	// HasChecksum reports whether the file carries a payload checksum
+	// (false for version-1 files, which decode unverified).
+	HasChecksum bool
 }
 
 // FileBytes returns the total encoded size of a cube with dimensions d:
@@ -55,29 +84,50 @@ func EncodeHeader(h Header, buf []byte) {
 	binary.LittleEndian.PutUint32(buf[12:16], uint32(h.Pulses))
 	binary.LittleEndian.PutUint32(buf[16:20], uint32(h.Ranges))
 	binary.LittleEndian.PutUint64(buf[20:28], h.Seq)
-	binary.LittleEndian.PutUint32(buf[28:32], 0)
+	binary.LittleEndian.PutUint32(buf[28:32], h.Checksum)
 }
 
 // DecodeHeader parses a 32-byte header.
 func DecodeHeader(buf []byte) (Header, error) {
 	var h Header
 	if len(buf) < HeaderSize {
-		return h, fmt.Errorf("cube: header too short: %d bytes", len(buf))
+		return h, fmt.Errorf("%w: header is %d bytes, want %d", ErrTruncated, len(buf), HeaderSize)
 	}
 	if string(buf[0:4]) != Magic {
-		return h, fmt.Errorf("cube: bad magic %q", buf[0:4])
+		return h, fmt.Errorf("%w: bad magic %q", ErrCorrupt, buf[0:4])
 	}
-	if v := binary.LittleEndian.Uint32(buf[4:8]); v != FormatVersion {
+	v := binary.LittleEndian.Uint32(buf[4:8])
+	if v < 1 || v > FormatVersion {
 		return h, fmt.Errorf("cube: unsupported format version %d", v)
 	}
 	h.Channels = int(binary.LittleEndian.Uint32(buf[8:12]))
 	h.Pulses = int(binary.LittleEndian.Uint32(buf[12:16]))
 	h.Ranges = int(binary.LittleEndian.Uint32(buf[16:20]))
 	h.Seq = binary.LittleEndian.Uint64(buf[20:28])
+	if v >= 2 {
+		h.Checksum = binary.LittleEndian.Uint32(buf[28:32])
+		h.HasChecksum = true
+	}
 	if !h.Valid() {
-		return h, fmt.Errorf("cube: invalid dimensions in header: %v", h.Dims)
+		return h, fmt.Errorf("%w: invalid dimensions in header: %v", ErrCorrupt, h.Dims)
 	}
 	return h, nil
+}
+
+// VerifyPayload checks an encoded payload against the header's checksum.
+// Version-1 headers carry none, so they pass; a length shortfall reports
+// ErrTruncated and a checksum mismatch ErrCorrupt.
+func VerifyPayload(h Header, payload []byte) error {
+	if int64(len(payload)) < h.Bytes() {
+		return fmt.Errorf("%w: payload is %d bytes, want %d", ErrTruncated, len(payload), h.Bytes())
+	}
+	if !h.HasChecksum {
+		return nil
+	}
+	if got := Checksum(payload[:h.Bytes()]); got != h.Checksum {
+		return fmt.Errorf("%w: payload CRC %08x, header says %08x (CPI %d)", ErrCorrupt, got, h.Checksum, h.Seq)
+	}
+	return nil
 }
 
 // EncodeSamples serialises the samples of cb into buf, which must be at
@@ -103,19 +153,31 @@ func DecodeSamples(cb *Cube, buf []byte) error {
 	return nil
 }
 
+// Encode serialises cb with sequence number seq into buf, which must be at
+// least FileBytes(cb.Dims) long: samples first, then the header carrying
+// their checksum.
+func Encode(cb *Cube, seq uint64, buf []byte) {
+	EncodeSamples(cb, buf[HeaderSize:])
+	h := Header{Dims: cb.Dims, Seq: seq, HasChecksum: true}
+	h.Checksum = Checksum(buf[HeaderSize : HeaderSize+cb.Bytes()])
+	EncodeHeader(h, buf)
+}
+
 // Write serialises cb with sequence number seq to w.
 func Write(w io.Writer, cb *Cube, seq uint64) error {
 	buf := make([]byte, FileBytes(cb.Dims))
-	EncodeHeader(Header{Dims: cb.Dims, Seq: seq}, buf)
-	EncodeSamples(cb, buf[HeaderSize:])
+	Encode(cb, seq, buf)
 	_, err := w.Write(buf)
 	return err
 }
 
-// Read parses a full cube file from r.
+// Read parses a full cube file from r, verifying the payload checksum.
 func Read(r io.Reader) (*Cube, Header, error) {
 	hbuf := make([]byte, HeaderSize)
 	if _, err := io.ReadFull(r, hbuf); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			err = fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
 		return nil, Header{}, fmt.Errorf("cube: reading header: %w", err)
 	}
 	h, err := DecodeHeader(hbuf)
@@ -125,7 +187,13 @@ func Read(r io.Reader) (*Cube, Header, error) {
 	cb := New(h.Dims)
 	pbuf := make([]byte, h.Bytes())
 	if _, err := io.ReadFull(r, pbuf); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			err = fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
 		return nil, Header{}, fmt.Errorf("cube: reading payload: %w", err)
+	}
+	if err := VerifyPayload(h, pbuf); err != nil {
+		return nil, Header{}, err
 	}
 	if err := DecodeSamples(cb, pbuf); err != nil {
 		return nil, Header{}, err

@@ -1,0 +1,111 @@
+package cube
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// encodeFile serialises a pseudo-random cube and returns the raw bytes.
+func encodeFile(t *testing.T, d Dims, seq uint64) []byte {
+	t.Helper()
+	cb := New(d)
+	rng := rand.New(rand.NewSource(int64(seq) + 99))
+	for i := range cb.Data {
+		cb.Data[i] = complex(rng.Float32()-0.5, rng.Float32()-0.5)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, cb, seq); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTripCarriesChecksum(t *testing.T) {
+	raw := encodeFile(t, Dims{2, 3, 5}, 7)
+	got, h, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.HasChecksum {
+		t.Error("freshly written file should carry a checksum")
+	}
+	if h.Checksum != Checksum(raw[HeaderSize:]) {
+		t.Error("header checksum does not match payload")
+	}
+	if h.Seq != 7 || got == nil {
+		t.Errorf("round trip lost data: seq %d", h.Seq)
+	}
+}
+
+func TestReadTruncatedTyped(t *testing.T) {
+	raw := encodeFile(t, Dims{2, 3, 5}, 1)
+	for _, cut := range []int{0, 5, HeaderSize - 1, HeaderSize, HeaderSize + 9, len(raw) - 1} {
+		_, _, err := Read(bytes.NewReader(raw[:cut]))
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut at %d: got %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestReadBitFlippedPayloadTyped(t *testing.T) {
+	raw := encodeFile(t, Dims{2, 3, 5}, 2)
+	for _, pos := range []int{HeaderSize, HeaderSize + 17, len(raw) - 1} {
+		flipped := append([]byte(nil), raw...)
+		flipped[pos] ^= 0x08
+		_, _, err := Read(bytes.NewReader(flipped))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("flip at %d: got %v, want ErrCorrupt", pos, err)
+		}
+	}
+	// A flipped magic byte is header corruption, also typed.
+	flipped := append([]byte(nil), raw...)
+	flipped[0] ^= 0x01
+	if _, _, err := Read(bytes.NewReader(flipped)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("flipped magic: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestVersion1FilesStillDecode(t *testing.T) {
+	// A legacy file has version 1 and a zero checksum word; it must decode
+	// without verification rather than being rejected as corrupt.
+	raw := encodeFile(t, Dims{2, 3, 5}, 3)
+	legacy := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(legacy[4:8], 1)
+	binary.LittleEndian.PutUint32(legacy[28:32], 0)
+	_, h, err := Read(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("version-1 file rejected: %v", err)
+	}
+	if h.HasChecksum {
+		t.Error("version-1 header claims a checksum")
+	}
+	// Unknown future versions still fail.
+	future := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(future[4:8], 99)
+	if _, _, err := Read(bytes.NewReader(future)); err == nil {
+		t.Error("future version should be rejected")
+	}
+}
+
+func TestVerifyPayload(t *testing.T) {
+	d := Dims{1, 2, 3}
+	raw := encodeFile(t, d, 4)
+	h, err := DecodeHeader(raw[:HeaderSize])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyPayload(h, raw[HeaderSize:]); err != nil {
+		t.Errorf("clean payload rejected: %v", err)
+	}
+	if err := VerifyPayload(h, raw[HeaderSize:len(raw)-4]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short payload: got %v, want ErrTruncated", err)
+	}
+	bad := append([]byte(nil), raw[HeaderSize:]...)
+	bad[3] ^= 0x80
+	if err := VerifyPayload(h, bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("flipped payload: got %v, want ErrCorrupt", err)
+	}
+}

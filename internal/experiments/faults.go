@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"stapio/internal/pfs"
+	"stapio/internal/pipesim"
+	"stapio/internal/report"
+)
+
+// The paper evaluates the I/O designs on healthy stripe servers. This
+// extension asks what the same pipeline delivers when servers degrade: a
+// deterministic fault plan makes a fraction of stripe requests fail (the
+// server re-serves them, pricing a retry with backoff) or run slow, and the
+// sweep measures throughput and latency as that fraction grows. Because the
+// paper's bottleneck task is the one exposed to the file system, injected
+// stripe faults translate directly into pipeline-rate loss — the sweep
+// quantifies how quickly.
+
+// DefaultFaultRates are the sweep points of the fault-injection table.
+func DefaultFaultRates() []float64 { return []float64{0, 0.01, 0.02, 0.05, 0.10} }
+
+// FaultCell is one (setup, fault-rate) measurement of the sweep.
+type FaultCell struct {
+	Setup Setup
+	// Rate is the per-stripe-request fail and slow probability injected.
+	Rate     float64
+	Measured *pipesim.Result
+}
+
+// FaultSweep is the fault-injection measurement grid: the two Paragon PFS
+// columns of the paper's tables, swept over fault rates at one node case.
+type FaultSweep struct {
+	Case  Case
+	Rates []float64
+	Cells [][]FaultCell // [setup][rate]
+}
+
+// RunFaultSweep measures the embedded-I/O pipeline at the paper's largest
+// node case (case 3, 200 compute nodes — the configuration where the file
+// system is the bottleneck) across fault rates on both Paragon PFS stripe
+// factors. Each rate injects the same seeded plan, so the sweep is
+// reproducible run to run.
+func RunFaultSweep(rates []float64, seed int64, opts pipesim.Options) (*FaultSweep, error) {
+	if len(rates) == 0 {
+		rates = DefaultFaultRates()
+	}
+	c := Cases()[2]
+	sweep := &FaultSweep{Case: c, Rates: rates}
+	for _, s := range Setups()[:2] {
+		var row []FaultCell
+		for _, rate := range rates {
+			p, err := Build(Embedded, c.Scale)
+			if err != nil {
+				return nil, err
+			}
+			o := opts
+			if rate > 0 {
+				o.Faults = &pfs.FaultPlan{Seed: seed, FailRate: rate, SlowRate: rate}
+			}
+			res, err := pipesim.Measure(p, s.Prof, s.FS, o)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fault sweep %s rate %.2f: %w", s.Label, rate, err)
+			}
+			row = append(row, FaultCell{Setup: s, Rate: rate, Measured: res})
+		}
+		sweep.Cells = append(sweep.Cells, row)
+	}
+	return sweep, nil
+}
+
+// FaultTable renders the sweep as Table 6: throughput and latency versus
+// injected fault rate, with the degradation relative to the healthy run.
+func FaultTable(sw *FaultSweep, title string) *report.Table {
+	t := &report.Table{
+		Title: title,
+		Columns: []string{"file system", "fault rate", "throughput (CPIs/s)",
+			"vs healthy", "latency (s)", "latency p95 (s)", "stripe retries"},
+	}
+	for _, row := range sw.Cells {
+		base := row[0].Measured.Throughput
+		for _, cell := range row {
+			rel := "100.0%"
+			if base > 0 && cell.Rate > 0 {
+				rel = fmt.Sprintf("%.1f%%", 100*cell.Measured.Throughput/base)
+			}
+			t.AddRow(cell.Setup.Label,
+				fmt.Sprintf("%.0f%%", 100*cell.Rate),
+				fmt.Sprintf("%.2f", cell.Measured.Throughput),
+				rel,
+				fmtS(cell.Measured.Latency),
+				fmtS(cell.Measured.LatencyP95),
+				fmt.Sprintf("%d", cell.Measured.FaultRetries))
+		}
+	}
+	return t
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultSweepShape(t *testing.T) {
+	rates := []float64{0, 0.05}
+	sw, err := RunFaultSweep(rates, 42, QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Cells) != 2 {
+		t.Fatalf("want the two Paragon PFS rows, got %d", len(sw.Cells))
+	}
+	for _, row := range sw.Cells {
+		if len(row) != len(rates) {
+			t.Fatalf("row has %d cells, want %d", len(row), len(rates))
+		}
+		healthy, faulty := row[0], row[1]
+		if healthy.Measured.FaultRetries != 0 {
+			t.Errorf("%s: healthy cell reports %d retries", healthy.Setup.Label, healthy.Measured.FaultRetries)
+		}
+		if faulty.Measured.FaultRetries == 0 {
+			t.Errorf("%s: faulty cell reports no retries", faulty.Setup.Label)
+		}
+		if faulty.Measured.Throughput >= healthy.Measured.Throughput {
+			t.Errorf("%s: faults did not cost throughput (%.3f vs %.3f)",
+				faulty.Setup.Label, faulty.Measured.Throughput, healthy.Measured.Throughput)
+		}
+	}
+	// The wider stripe spreads the re-served requests across more servers,
+	// so it holds more of its healthy throughput — the paper's stripe-factor
+	// argument extended to degraded servers.
+	rel16 := sw.Cells[0][1].Measured.Throughput / sw.Cells[0][0].Measured.Throughput
+	rel64 := sw.Cells[1][1].Measured.Throughput / sw.Cells[1][0].Measured.Throughput
+	if rel64 <= rel16 {
+		t.Errorf("stripe 64 should degrade more gracefully: kept %.1f%% vs stripe 16's %.1f%%",
+			100*rel64, 100*rel16)
+	}
+	tbl := FaultTable(sw, "Table 6")
+	if len(tbl.Rows) != 4 {
+		t.Errorf("table has %d rows, want 4", len(tbl.Rows))
+	}
+	var b strings.Builder
+	tbl.Render(&b)
+	if !strings.Contains(b.String(), "fault rate") {
+		t.Error("rendered table missing the fault-rate column")
+	}
+}

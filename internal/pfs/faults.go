@@ -1,0 +1,311 @@
+package pfs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Fault injection for the striped file system.
+//
+// A FaultPlan makes individual stripe servers misbehave — fail a request,
+// serve it slowly, or hand back corrupted bytes — the degraded modes a real
+// parallel file system exhibits and the happy-path reproduction never
+// exercised. The same plan drives both backends: RealFS injects the faults
+// into its per-directory read goroutines (so the resilient client in
+// pipexec pays for them in wall-clock time), and the DES Model prices them
+// into per-unit service times (so the paper-style throughput/latency
+// experiments extend to a fault-rate axis).
+//
+// Every decision is a pure function of (seed, operation identity), not of
+// goroutine scheduling: the real backend keys on (file name, read offset,
+// stripe dir, attempt) and the model on (stripe dir, per-dir sequence
+// number). A retried operation carries attempt+1 and therefore re-draws,
+// which is what makes retry-with-backoff effective against transient
+// faults, while two runs with the same seed inject exactly the same faults
+// regardless of prefetch interleaving.
+
+// FaultOutcome is the drawn fate of one stripe-server operation.
+type FaultOutcome struct {
+	// Fail aborts the operation with an injected error.
+	Fail bool
+	// Corrupt flips one payload bit after a successful read.
+	Corrupt bool
+	// Slow delays (real) or stretches (model) the service.
+	Slow bool
+}
+
+// FaultStats counts the faults a plan actually injected.
+type FaultStats struct {
+	Failures    int64
+	Corruptions int64
+	Slowdowns   int64
+}
+
+// FaultPlan describes seeded, deterministic fault injection for the stripe
+// servers. The zero value injects nothing; rates are probabilities in
+// [0, 1] applied independently per stripe-server operation.
+type FaultPlan struct {
+	// Seed selects the deterministic fault stream.
+	Seed int64
+	// FailRate is the probability one stripe server fails one request.
+	FailRate float64
+	// CorruptRate is the probability a served payload is bit-flipped.
+	CorruptRate float64
+	// SlowRate is the probability of a latency spike on a request.
+	SlowRate float64
+	// SlowDelay is the real-time delay of one spike (RealFS; default 1ms).
+	SlowDelay time.Duration
+	// SlowFactor is the service-time multiplier of one spike (Model;
+	// default 8).
+	SlowFactor float64
+	// DownDirs lists stripe directories that are permanently failed: every
+	// request to them fails regardless of FailRate.
+	DownDirs []int
+	// MaxModelAttempts caps the retries the DES model charges for before a
+	// resilient client gives up on a unit (default 4).
+	MaxModelAttempts int
+
+	failures    atomic.Int64
+	corruptions atomic.Int64
+	slowdowns   atomic.Int64
+}
+
+// Validate checks the plan's rates.
+func (p *FaultPlan) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"fail", p.FailRate}, {"corrupt", p.CorruptRate}, {"slow", p.SlowRate}} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("pfs: %s rate %v outside [0, 1]", r.name, r.v)
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (p *FaultPlan) Stats() FaultStats {
+	return FaultStats{
+		Failures:    p.failures.Load(),
+		Corruptions: p.corruptions.Load(),
+		Slowdowns:   p.slowdowns.Load(),
+	}
+}
+
+// Down reports whether stripe directory d is permanently failed.
+func (p *FaultPlan) Down(d int) bool {
+	for _, x := range p.DownDirs {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *FaultPlan) slowDelay() time.Duration {
+	if p.SlowDelay > 0 {
+		return p.SlowDelay
+	}
+	return time.Millisecond
+}
+
+func (p *FaultPlan) slowFactor() float64 {
+	if p.SlowFactor > 1 {
+		return p.SlowFactor
+	}
+	return 8
+}
+
+func (p *FaultPlan) maxModelAttempts() int {
+	if p.MaxModelAttempts > 0 {
+		return p.MaxModelAttempts
+	}
+	return 4
+}
+
+// mix64 is the splitmix64 finalizer, used to turn an operation key into a
+// uniform draw.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// draw maps a key and stream index to a uniform float in [0, 1).
+func (p *FaultPlan) draw(key, stream uint64) float64 {
+	h := mix64(uint64(p.Seed) ^ mix64(key^mix64(stream)))
+	return float64(h>>11) / float64(1<<53)
+}
+
+func (p *FaultPlan) outcome(key uint64) FaultOutcome {
+	return FaultOutcome{
+		Fail:    p.draw(key, 1) < p.FailRate,
+		Corrupt: p.draw(key, 2) < p.CorruptRate,
+		Slow:    p.draw(key, 3) < p.SlowRate,
+	}
+}
+
+// ReadOutcome draws the fate of one stripe-server read: the operation is
+// identified by the file name, the logical read offset, the stripe
+// directory, and the retry attempt, so the result is independent of
+// goroutine interleaving and a retry re-draws.
+func (p *FaultPlan) ReadOutcome(name string, off int64, dir, attempt int) FaultOutcome {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	key := h.Sum64() ^ mix64(uint64(off)) ^ mix64(uint64(dir)<<20^uint64(attempt))
+	o := p.outcome(key)
+	if p.Down(dir) {
+		o.Fail = true
+	}
+	return o
+}
+
+// CorruptOffset returns the deterministic byte position within an n-byte
+// region that a corruption of this operation flips.
+func (p *FaultPlan) CorruptOffset(name string, off int64, dir int, n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	key := h.Sum64() ^ mix64(uint64(off)^uint64(dir)<<40)
+	return int64(mix64(key^0xc0ffee) % uint64(n))
+}
+
+// SeqOutcome draws the fate of operation seq at stripe directory dir — the
+// model-side identity, where the single-threaded DES gives every server a
+// deterministic operation order.
+func (p *FaultPlan) SeqOutcome(dir int, seq uint64) FaultOutcome {
+	o := p.outcome(mix64(uint64(dir)+1) ^ seq)
+	if p.Down(dir) {
+		o.Fail = true
+	}
+	return o
+}
+
+// ModelServiceTime prices one unit request of base service time at stripe
+// directory dir under the plan, as paid by a resilient client: a latency
+// spike multiplies the service time, and each failed attempt is re-served
+// (the server burned the time before failing) up to MaxModelAttempts. seq
+// is the per-directory operation counter maintained by the model; the
+// number of attempts consumed is returned so the model can advance it and
+// count retries.
+func (p *FaultPlan) ModelServiceTime(dir int, seq uint64, base float64) (t float64, attempts int) {
+	max := p.maxModelAttempts()
+	for attempts = 1; ; attempts++ {
+		o := p.SeqOutcome(dir, seq+uint64(attempts-1))
+		step := base
+		if o.Slow {
+			step *= p.slowFactor()
+			p.slowdowns.Add(1)
+		}
+		t += step
+		if !o.Fail {
+			return t, attempts
+		}
+		p.failures.Add(1)
+		if attempts >= max {
+			return t, attempts
+		}
+	}
+}
+
+func (p *FaultPlan) countFailure() { p.failures.Add(1) }
+func (p *FaultPlan) countCorrupt() { p.corruptions.Add(1) }
+func (p *FaultPlan) countSlow()    { p.slowdowns.Add(1) }
+
+// String summarises the plan for logs and reports.
+func (p *FaultPlan) String() string {
+	parts := []string{fmt.Sprintf("seed=%d", p.Seed)}
+	if p.FailRate > 0 {
+		parts = append(parts, fmt.Sprintf("fail=%g", p.FailRate))
+	}
+	if p.CorruptRate > 0 {
+		parts = append(parts, fmt.Sprintf("corrupt=%g", p.CorruptRate))
+	}
+	if p.SlowRate > 0 {
+		parts = append(parts, fmt.Sprintf("slow=%g", p.SlowRate))
+	}
+	if len(p.DownDirs) > 0 {
+		ds := make([]string, len(p.DownDirs))
+		for i, d := range p.DownDirs {
+			ds[i] = strconv.Itoa(d)
+		}
+		sort.Strings(ds)
+		parts = append(parts, "down="+strings.Join(ds, "+"))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseFaultSpec parses a compact fault-plan spec of the form
+// "fail=0.05,corrupt=0.01,slow=0.02,seed=42,down=3+7". Unknown keys are
+// errors; an empty spec returns nil (no injection).
+func ParseFaultSpec(spec string) (*FaultPlan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := &FaultPlan{}
+	for _, field := range strings.Split(spec, ",") {
+		kv := strings.SplitN(field, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("pfs: fault spec field %q is not key=value", field)
+		}
+		key, val := strings.TrimSpace(kv[0]), strings.TrimSpace(kv[1])
+		switch key {
+		case "fail", "corrupt", "slow":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("pfs: fault spec %s: %w", key, err)
+			}
+			switch key {
+			case "fail":
+				p.FailRate = f
+			case "corrupt":
+				p.CorruptRate = f
+			case "slow":
+				p.SlowRate = f
+			}
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("pfs: fault spec seed: %w", err)
+			}
+			p.Seed = n
+		case "down":
+			for _, d := range strings.Split(val, "+") {
+				n, err := strconv.Atoi(d)
+				if err != nil {
+					return nil, fmt.Errorf("pfs: fault spec down: %w", err)
+				}
+				p.DownDirs = append(p.DownDirs, n)
+			}
+		default:
+			return nil, fmt.Errorf("pfs: unknown fault spec key %q", key)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// FaultError is the injected failure of one stripe-server operation,
+// carrying the server identity so a resilient client can report which
+// server degraded.
+type FaultError struct {
+	Dir  int    // stripe directory index
+	Name string // file name
+	Off  int64  // logical read offset
+}
+
+// Error implements error.
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("pfs: injected fault at stripe dir %d of %q (offset %d)", e.Dir, e.Name, e.Off)
+}

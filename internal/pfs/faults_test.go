@@ -1,0 +1,213 @@
+package pfs
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"stapio/internal/sim"
+)
+
+func TestFaultPlanDeterministic(t *testing.T) {
+	a := &FaultPlan{Seed: 42, FailRate: 0.3, CorruptRate: 0.1, SlowRate: 0.2}
+	b := &FaultPlan{Seed: 42, FailRate: 0.3, CorruptRate: 0.1, SlowRate: 0.2}
+	for dir := 0; dir < 4; dir++ {
+		for attempt := 0; attempt < 3; attempt++ {
+			if a.ReadOutcome("cpi_0.dat", 0, dir, attempt) != b.ReadOutcome("cpi_0.dat", 0, dir, attempt) {
+				t.Fatalf("same seed drew different outcomes (dir %d attempt %d)", dir, attempt)
+			}
+		}
+	}
+	c := &FaultPlan{Seed: 43, FailRate: 0.3, CorruptRate: 0.1, SlowRate: 0.2}
+	same := true
+	for dir := 0; dir < 64; dir++ {
+		if a.ReadOutcome("cpi_0.dat", 0, dir, 0) != c.ReadOutcome("cpi_0.dat", 0, dir, 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds drew identical outcome streams")
+	}
+}
+
+func TestFaultPlanRates(t *testing.T) {
+	p := &FaultPlan{Seed: 7, FailRate: 0.2}
+	const n = 20000
+	fails := 0
+	for i := 0; i < n; i++ {
+		if p.SeqOutcome(0, uint64(i)).Fail {
+			fails++
+		}
+	}
+	got := float64(fails) / n
+	if math.Abs(got-0.2) > 0.02 {
+		t.Errorf("empirical fail rate %.3f, want ~0.20", got)
+	}
+	// Zero plan injects nothing.
+	zero := &FaultPlan{Seed: 7}
+	for i := 0; i < 100; i++ {
+		if o := zero.SeqOutcome(0, uint64(i)); o.Fail || o.Corrupt || o.Slow {
+			t.Fatal("zero-rate plan injected a fault")
+		}
+	}
+}
+
+func TestFaultPlanDownDirs(t *testing.T) {
+	p := &FaultPlan{Seed: 1, DownDirs: []int{2}}
+	if !p.ReadOutcome("f", 0, 2, 0).Fail {
+		t.Error("down dir must always fail")
+	}
+	if p.ReadOutcome("f", 0, 1, 0).Fail {
+		t.Error("healthy dir failed with zero fail rate")
+	}
+}
+
+func TestFaultPlanValidateAndParse(t *testing.T) {
+	if err := (&FaultPlan{FailRate: 1.5}).Validate(); err == nil {
+		t.Error("fail rate > 1 must not validate")
+	}
+	p, err := ParseFaultSpec("fail=0.05,corrupt=0.01,slow=0.02,seed=9,down=1+3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FailRate != 0.05 || p.CorruptRate != 0.01 || p.SlowRate != 0.02 || p.Seed != 9 {
+		t.Errorf("parsed plan %+v", p)
+	}
+	if len(p.DownDirs) != 2 || !p.Down(1) || !p.Down(3) {
+		t.Errorf("down dirs %v", p.DownDirs)
+	}
+	if p, err := ParseFaultSpec(""); err != nil || p != nil {
+		t.Errorf("empty spec = (%v, %v), want (nil, nil)", p, err)
+	}
+	for _, bad := range []string{"fail", "fail=x", "bogus=1", "fail=2", "down=x"} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Errorf("spec %q should not parse", bad)
+		}
+	}
+}
+
+// writeStriped fills a small striped file and returns its contents.
+func writeStriped(t *testing.T, fs *RealFS, name string, n int) []byte {
+	t.Helper()
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := fs.WriteFile(name, data); err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestRealFSInjectedFailureIdentifiesServer(t *testing.T) {
+	fs, err := CreateReal(t.TempDir(), 4, 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeStriped(t, fs, "f.dat", 1024)
+	fs.SetFaults(&FaultPlan{Seed: 3, DownDirs: []int{2}})
+	buf := make([]byte, 1024)
+	err = fs.ReadAt("f.dat", 0, buf)
+	var se *StripeReadError
+	if !errors.As(err, &se) {
+		t.Fatalf("want StripeReadError, got %v", err)
+	}
+	if se.Dir != 2 {
+		t.Errorf("failure attributed to dir %d, want 2", se.Dir)
+	}
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Errorf("injected failure should unwrap to FaultError, got %v", err)
+	}
+	if fs.Faults().Stats().Failures == 0 {
+		t.Error("failure not counted")
+	}
+}
+
+func TestRealFSDeterministicFirstError(t *testing.T) {
+	// Two permanently-down servers: the error must name the lowest dir on
+	// every run, not whichever goroutine lost the race.
+	fs, err := CreateReal(t.TempDir(), 4, 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeStriped(t, fs, "f.dat", 1024)
+	fs.SetFaults(&FaultPlan{Seed: 3, DownDirs: []int{3, 1}})
+	buf := make([]byte, 1024)
+	for i := 0; i < 20; i++ {
+		err := fs.ReadAt("f.dat", 0, buf)
+		var se *StripeReadError
+		if !errors.As(err, &se) || se.Dir != 1 {
+			t.Fatalf("run %d: got %v, want stripe dir 1", i, err)
+		}
+	}
+}
+
+func TestRealFSCorruptionAndRetryClears(t *testing.T) {
+	fs, err := CreateReal(t.TempDir(), 4, 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := writeStriped(t, fs, "f.dat", 1024)
+	// Corrupt every read on attempt 0; attempt draws are independent, so
+	// retrying with a higher attempt eventually serves clean bytes.
+	fs.SetFaults(&FaultPlan{Seed: 11, CorruptRate: 1})
+	buf := make([]byte, 1024)
+	if err := fs.ReadAt("f.dat", 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf, want) {
+		t.Fatal("corruption rate 1 left the payload intact")
+	}
+	if fs.Faults().Stats().Corruptions == 0 {
+		t.Error("corruption not counted")
+	}
+	fs.SetFaults(&FaultPlan{Seed: 11, CorruptRate: 0.5})
+	clean := false
+	for attempt := 0; attempt < 20 && !clean; attempt++ {
+		if err := fs.ReadAtAttempt("f.dat", 0, buf, attempt); err != nil {
+			t.Fatal(err)
+		}
+		clean = bytes.Equal(buf, want)
+	}
+	if !clean {
+		t.Error("20 retries at corrupt rate 0.5 never served clean bytes")
+	}
+}
+
+func TestModelFaultsSlowThroughput(t *testing.T) {
+	// A faulty stripe-server farm must serve the same reads in more
+	// virtual time than a healthy one.
+	run := func(plan *FaultPlan) (float64, int64) {
+		var eng sim.Engine
+		m, err := NewModel(&eng, ParagonPFS(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan != nil {
+			m.SetFaults(plan)
+		}
+		for i := 0; i < 32; i++ {
+			m.Read(0, 1<<20, func() {})
+		}
+		eng.Run()
+		return eng.Now(), m.FaultRetries()
+	}
+	healthy, r0 := run(nil)
+	faulty, r1 := run(&FaultPlan{Seed: 5, FailRate: 0.2})
+	if r0 != 0 {
+		t.Errorf("healthy run charged %d retries", r0)
+	}
+	if r1 == 0 {
+		t.Error("faulty run charged no retries")
+	}
+	if faulty <= healthy {
+		t.Errorf("faulty horizon %.4f not beyond healthy %.4f", faulty, healthy)
+	}
+	// Same seed, same horizon: the model is deterministic.
+	again, r2 := run(&FaultPlan{Seed: 5, FailRate: 0.2})
+	if again != faulty || r2 != r1 {
+		t.Errorf("re-run drifted: horizon %v vs %v, retries %d vs %d", again, faulty, r2, r1)
+	}
+}

@@ -19,6 +19,13 @@ type Model struct {
 	bytes        int64
 	writes       int64
 	bytesWritten int64
+
+	// Fault injection: each stripe server's operations draw from the plan
+	// in per-server sequence order (the engine is single-threaded, so the
+	// order — and therefore the run — is fully deterministic).
+	faults   *FaultPlan
+	faultOps []uint64 // per-server operation counter
+	retries  int64    // extra attempts charged by the plan
 }
 
 // NewModel builds the server array on the engine.
@@ -32,6 +39,31 @@ func NewModel(eng *sim.Engine, cfg Config) (*Model, error) {
 		m.servers[i] = sim.NewServer(eng, fmt.Sprintf("%s/dir%d", cfg.Name, i), 1)
 	}
 	return m, nil
+}
+
+// SetFaults installs a fault plan: unit requests at a degraded server are
+// re-served after each injected failure (the retry cost a resilient client
+// pays) and stretched by latency spikes. Must be called before the run.
+func (m *Model) SetFaults(p *FaultPlan) {
+	m.faults = p
+	m.faultOps = make([]uint64, m.Cfg.StripeDirs)
+}
+
+// FaultRetries returns the number of extra service attempts the fault plan
+// charged over the run.
+func (m *Model) FaultRetries() int64 { return m.retries }
+
+// serviceTime prices one unit request at server dir, applying the fault
+// plan when installed.
+func (m *Model) serviceTime(dir int, n int64) float64 {
+	base := m.Cfg.UnitServiceTime(n)
+	if m.faults == nil {
+		return base
+	}
+	t, attempts := m.faults.ModelServiceTime(dir, m.faultOps[dir], base)
+	m.faultOps[dir] += uint64(attempts)
+	m.retries += int64(attempts - 1)
+	return t
 }
 
 // Read simulates a parallel read of [off, off+length): the byte interval is
@@ -51,8 +83,8 @@ func (m *Model) Read(off, length int64, done func()) {
 	for u := first; u < first+count; u++ {
 		lo := max64(off, int64(u)*m.Cfg.StripeUnit)
 		hi := min64(off+length, int64(u+1)*m.Cfg.StripeUnit)
-		srv := m.servers[m.Cfg.ServerFor(u)]
-		srv.Submit(m.Cfg.UnitServiceTime(hi-lo), batch.Done)
+		dir := m.Cfg.ServerFor(u)
+		m.servers[dir].Submit(m.serviceTime(dir, hi-lo), batch.Done)
 	}
 }
 
@@ -73,8 +105,8 @@ func (m *Model) Write(off, length int64, done func()) {
 	for u := first; u < first+count; u++ {
 		lo := max64(off, int64(u)*m.Cfg.StripeUnit)
 		hi := min64(off+length, int64(u+1)*m.Cfg.StripeUnit)
-		srv := m.servers[m.Cfg.ServerFor(u)]
-		srv.Submit(m.Cfg.UnitServiceTime(hi-lo), batch.Done)
+		dir := m.Cfg.ServerFor(u)
+		m.servers[dir].Submit(m.serviceTime(dir, hi-lo), batch.Done)
 	}
 }
 

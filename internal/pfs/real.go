@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"time"
 )
 
 // RealFS stripes files across local directories, mirroring the layout of
@@ -15,10 +17,11 @@ import (
 // iread()/iowait() pair so the pipeline's first task can overlap I/O with
 // computation.
 type RealFS struct {
-	root  string
-	dirs  int
-	unit  int64
-	async bool
+	root   string
+	dirs   int
+	unit   int64
+	async  bool
+	faults *FaultPlan
 }
 
 // CreateReal initialises (or reuses) a striped store rooted at root with
@@ -45,6 +48,13 @@ func (fs *RealFS) StripeUnit() int64 { return fs.unit }
 // Async reports whether asynchronous reads are enabled (false emulates
 // PIOFS semantics: Start degenerates to a completed synchronous read).
 func (fs *RealFS) Async() bool { return fs.async }
+
+// SetFaults installs (or, with nil, removes) a fault-injection plan. Must
+// not be called while reads are in flight.
+func (fs *RealFS) SetFaults(p *FaultPlan) { fs.faults = p }
+
+// Faults returns the installed fault plan, or nil.
+func (fs *RealFS) Faults() *FaultPlan { return fs.faults }
 
 func (fs *RealFS) dirPath(i int) string {
 	return filepath.Join(fs.root, fmt.Sprintf("sd%03d", i))
@@ -91,9 +101,9 @@ func (fs *RealFS) WriteFile(name string, data []byte) error {
 		}(d, sub)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	for d, err := range errs {
 		if err != nil {
-			return fmt.Errorf("pfs: writing stripe: %w", err)
+			return fmt.Errorf("pfs: writing stripe dir %d of %q: %w", d, name, err)
 		}
 	}
 	return nil
@@ -154,10 +164,39 @@ func (fs *RealFS) segments(off, length int64) []segment {
 	return segs
 }
 
+// StripeReadError identifies which stripe server failed a fan-out read: the
+// stripe directory index and the sub-file offset of the failing run, so a
+// degraded server is attributable rather than lost in an anonymous error.
+type StripeReadError struct {
+	Dir  int    // stripe directory index
+	Name string // file name
+	Off  int64  // offset within the stripe sub-file
+	Err  error
+}
+
+// Error implements error.
+func (e *StripeReadError) Error() string {
+	return fmt.Sprintf("pfs: stripe dir %d of %q at sub-offset %d: %v", e.Dir, e.Name, e.Off, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *StripeReadError) Unwrap() error { return e.Err }
+
 // ReadAt reads length bytes at logical offset off of the named file into
 // buf (len(buf) >= length), fanning out one goroutine per stripe directory
-// touched. It blocks until the read completes.
+// touched. It blocks until the read completes. When several stripe
+// directories fail, the error of the lowest-numbered one is returned, so a
+// multi-server failure reports deterministically rather than in map
+// iteration order.
 func (fs *RealFS) ReadAt(name string, off int64, buf []byte) error {
+	return fs.ReadAtAttempt(name, off, buf, 0)
+}
+
+// ReadAtAttempt is ReadAt with an explicit retry-attempt number, which the
+// fault plan folds into its deterministic per-operation draw: a retried
+// read re-draws, so transient injected faults clear under retry exactly as
+// transient real faults do.
+func (fs *RealFS) ReadAtAttempt(name string, off int64, buf []byte, attempt int) error {
 	segs := fs.segments(off, int64(len(buf)))
 	// Group segments by directory so each directory is served by exactly
 	// one goroutine reading its sub-file sequentially.
@@ -165,32 +204,63 @@ func (fs *RealFS) ReadAt(name string, off int64, buf []byte) error {
 	for _, s := range segs {
 		byDir[s.dir] = append(byDir[s.dir], s)
 	}
+	dirs := make([]int, 0, len(byDir))
+	for d := range byDir {
+		dirs = append(dirs, d)
+	}
+	sort.Ints(dirs)
 	var wg sync.WaitGroup
-	errCh := make(chan error, len(byDir))
-	for d, group := range byDir {
+	errs := make([]error, len(dirs))
+	for i, d := range dirs {
+		group := byDir[d]
 		wg.Add(1)
-		go func(d int, group []segment) {
+		go func(i, d int, group []segment) {
 			defer wg.Done()
-			f, err := os.Open(fs.subPath(d, name))
-			if err != nil {
-				errCh <- fmt.Errorf("pfs: open stripe %d of %q: %w", d, name, err)
-				return
-			}
-			defer f.Close()
-			for _, s := range group {
-				if _, err := f.ReadAt(buf[s.bufOff:s.bufOff+s.length], s.subOff); err != nil {
-					errCh <- fmt.Errorf("pfs: read stripe %d of %q: %w", d, name, err)
-					return
-				}
-			}
-		}(d, group)
+			errs[i] = fs.readDir(name, off, d, group, attempt, buf)
+		}(i, d, group)
 	}
 	wg.Wait()
-	close(errCh)
-	for err := range errCh {
+	for _, err := range errs {
 		if err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// readDir serves one stripe directory's share of a fan-out read, applying
+// the fault plan: a latency spike sleeps, an injected failure aborts the
+// directory's runs, and a corruption flips one bit of the bytes served.
+func (fs *RealFS) readDir(name string, off int64, d int, group []segment, attempt int, buf []byte) error {
+	var o FaultOutcome
+	if fp := fs.faults; fp != nil {
+		o = fp.ReadOutcome(name, off, d, attempt)
+		if o.Slow {
+			fp.countSlow()
+			time.Sleep(fp.slowDelay())
+		}
+		if o.Fail {
+			fp.countFailure()
+			return &StripeReadError{Dir: d, Name: name, Off: group[0].subOff,
+				Err: &FaultError{Dir: d, Name: name, Off: off}}
+		}
+	}
+	f, err := os.Open(fs.subPath(d, name))
+	if err != nil {
+		return &StripeReadError{Dir: d, Name: name, Off: group[0].subOff, Err: err}
+	}
+	defer f.Close()
+	for _, s := range group {
+		if _, err := f.ReadAt(buf[s.bufOff:s.bufOff+s.length], s.subOff); err != nil {
+			return &StripeReadError{Dir: d, Name: name, Off: s.subOff, Err: err}
+		}
+	}
+	if o.Corrupt {
+		fs.faults.countCorrupt()
+		// Flip one bit at a deterministic position within this
+		// directory's first run.
+		s := group[0]
+		buf[s.bufOff+fs.faults.CorruptOffset(name, off, d, s.length)] ^= 0x40
 	}
 	return nil
 }
@@ -215,14 +285,20 @@ func (p *Pending) Wait() error {
 // overlaps anything — matching the paper's observation that PIOFS reads
 // cannot be hidden behind computation.
 func (fs *RealFS) Start(name string, off int64, buf []byte) *Pending {
+	return fs.StartAttempt(name, off, buf, 0)
+}
+
+// StartAttempt is Start with an explicit retry-attempt number (see
+// ReadAtAttempt).
+func (fs *RealFS) StartAttempt(name string, off int64, buf []byte, attempt int) *Pending {
 	p := &Pending{done: make(chan struct{})}
 	if !fs.async {
-		p.err = fs.ReadAt(name, off, buf)
+		p.err = fs.ReadAtAttempt(name, off, buf, attempt)
 		close(p.done)
 		return p
 	}
 	go func() {
-		p.err = fs.ReadAt(name, off, buf)
+		p.err = fs.ReadAtAttempt(name, off, buf, attempt)
 		close(p.done)
 	}()
 	return p

@@ -1,0 +1,51 @@
+package pipesim
+
+import (
+	"testing"
+
+	"stapio/internal/core"
+	"stapio/internal/machine"
+	"stapio/internal/pfs"
+)
+
+func TestFaultPlanSlowsSimulatedPipeline(t *testing.T) {
+	// Injected stripe faults re-serve requests, so the simulated file
+	// system delivers less and the I/O-bound configuration (case 3,
+	// stripe 16) loses throughput.
+	prof := machine.Paragon()
+	fsCfg := pfs.ParagonPFS(16)
+	opts := DefaultOptions()
+	healthy := runEmbedded(t, fsCfg, prof, 4, opts)
+	if healthy.FaultRetries != 0 {
+		t.Errorf("healthy run reported %d fault retries", healthy.FaultRetries)
+	}
+	opts.Faults = &pfs.FaultPlan{Seed: 3, FailRate: 0.05, SlowRate: 0.05}
+	faulty := runEmbedded(t, fsCfg, prof, 4, opts)
+	if faulty.FaultRetries == 0 {
+		t.Fatal("fault plan injected no retries")
+	}
+	if faulty.Throughput >= healthy.Throughput {
+		t.Errorf("faults did not cost throughput: %.3f vs healthy %.3f",
+			faulty.Throughput, healthy.Throughput)
+	}
+	// The plan is deterministic: a fresh plan with the same seed must
+	// reproduce the run exactly.
+	opts.Faults = &pfs.FaultPlan{Seed: 3, FailRate: 0.05, SlowRate: 0.05}
+	again := runEmbedded(t, fsCfg, prof, 4, opts)
+	if again.Throughput != faulty.Throughput || again.FaultRetries != faulty.FaultRetries ||
+		again.Events != faulty.Events {
+		t.Error("faulted simulation is not deterministic")
+	}
+}
+
+func TestFaultPlanValidatedByRun(t *testing.T) {
+	p, err := core.BuildEmbedded(paperWorkloads(), case1Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Faults = &pfs.FaultPlan{FailRate: 2}
+	if _, err := Run(p, machine.Paragon(), pfs.ParagonPFS(16), opts); err == nil {
+		t.Error("invalid fault plan should be rejected")
+	}
+}

@@ -61,6 +61,12 @@ type Options struct {
 	// (report.Gantt renders it). Off by default: tracing a long run
 	// allocates one span per task phase per CPI.
 	Trace bool
+	// Faults, when non-nil, injects the deterministic fault plan into the
+	// simulated stripe servers: failed stripe requests are re-served
+	// (priced as retries with backoff) and slow outcomes stretch the
+	// service time. Only meaningful when the pipeline touches the file
+	// system.
+	Faults *pfs.FaultPlan
 }
 
 // Phase identifies one segment of a task's service in the timeline.
@@ -137,6 +143,9 @@ type Result struct {
 	// StagingConflicts counts read/write overlaps on the same staging
 	// file slot (only meaningful with the radar writer enabled).
 	StagingConflicts int
+	// FaultRetries is the number of stripe requests the file system model
+	// re-served because of injected faults (zero without Options.Faults).
+	FaultRetries int64
 }
 
 // Run simulates the pipeline and returns measured performance.
@@ -183,6 +192,12 @@ func Run(p *core.Pipeline, prof machine.Profile, fsCfg pfs.Config, opts Options)
 			return nil, err
 		}
 		r.fsCfg = fsCfg
+		if opts.Faults != nil {
+			if err := opts.Faults.Validate(); err != nil {
+				return nil, err
+			}
+			r.fs.SetFaults(opts.Faults)
+		}
 	}
 	r.build()
 	r.eng.Run()
@@ -577,6 +592,7 @@ func (r *runner) collect() (*Result, error) {
 	}
 	if r.fs != nil {
 		res.FSBusiestUtilization = r.fs.BusiestUtilization(res.Horizon)
+		res.FaultRetries = r.fs.FaultRetries()
 	}
 	res.Timeline = r.timeline
 	res.StagingConflicts = r.slotConflict

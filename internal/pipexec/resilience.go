@@ -1,0 +1,145 @@
+package pipexec
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Resilience: the paper's system assumes every striped read succeeds; a
+// production pipeline cannot. This file defines the knobs — a retry policy
+// for striped reads, a per-stage deadline, and a degradation policy for
+// reads that stay failed — and the counters a run reports so degraded
+// stripe servers are measured, not guessed at.
+
+// RetryPolicy bounds the re-reads of one CPI's staging file. The zero
+// value means defaults: 3 attempts, 2ms base backoff doubling to 100ms.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of read attempts per CPI (>= 1).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; each further retry
+	// doubles it.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 3
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the delay before attempt (1-based retry index).
+func (p RetryPolicy) backoff(retry int) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = 2 * time.Millisecond
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = 100 * time.Millisecond
+	}
+	d := base << (retry - 1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	return d
+}
+
+// DegradePolicy selects what the pipeline does when a CPI's read has
+// exhausted its retries (and, for DegradeLastGoodWeights, when a weight
+// solve fails).
+type DegradePolicy int
+
+const (
+	// DegradeFailFast aborts the run on the first exhausted retry — the
+	// seed behaviour, appropriate when partial results are worthless.
+	DegradeFailFast DegradePolicy = iota
+	// DegradeSkipCPI drops the unreadable CPI and keeps the pipeline
+	// flowing; downstream stages pair each CPI with the weights of the
+	// previous *delivered* CPI.
+	DegradeSkipCPI
+	// DegradeLastGoodWeights is DegradeSkipCPI plus weight-stage
+	// resilience: a failed weight solve falls back to the last
+	// successfully solved weight set instead of aborting.
+	DegradeLastGoodWeights
+)
+
+// String implements fmt.Stringer.
+func (d DegradePolicy) String() string {
+	switch d {
+	case DegradeFailFast:
+		return "fail-fast"
+	case DegradeSkipCPI:
+		return "skip-CPI"
+	case DegradeLastGoodWeights:
+		return "last-good-weights"
+	default:
+		return fmt.Sprintf("DegradePolicy(%d)", int(d))
+	}
+}
+
+// ParseDegradePolicy maps the CLI names onto policies.
+func ParseDegradePolicy(s string) (DegradePolicy, error) {
+	switch s {
+	case "failfast", "fail-fast":
+		return DegradeFailFast, nil
+	case "skip", "skip-cpi":
+		return DegradeSkipCPI, nil
+	case "lastgood", "last-good-weights":
+		return DegradeLastGoodWeights, nil
+	default:
+		return 0, fmt.Errorf("pipexec: unknown degradation policy %q (failfast | skip | lastgood)", s)
+	}
+}
+
+// RunStats are the resilience counters of one run, aggregated across
+// stages.
+type RunStats struct {
+	// Retries is the number of read attempts beyond each CPI's first.
+	Retries int64
+	// Drops is the number of CPIs abandoned after retry exhaustion.
+	Drops int64
+	// DroppedSeqs lists the abandoned CPIs in ascending order.
+	DroppedSeqs []uint64
+	// ChecksumFailures counts reads whose payload failed the cube CRC
+	// (each one also triggers a retry).
+	ChecksumFailures int64
+	// DeadlineHits counts per-CPI stage services that exceeded
+	// Config.StageTimeout (read waits are aborted and retried; compute
+	// stages cannot be preempted, so theirs are recorded for monitoring).
+	DeadlineHits int64
+	// WeightFallbacks counts CPIs beamformed with stale weights under
+	// DegradeLastGoodWeights.
+	WeightFallbacks int64
+}
+
+// String summarises the counters.
+func (s RunStats) String() string {
+	return fmt.Sprintf("retries=%d drops=%d checksum-failures=%d deadline-hits=%d weight-fallbacks=%d",
+		s.Retries, s.Drops, s.ChecksumFailures, s.DeadlineHits, s.WeightFallbacks)
+}
+
+// runStats is the runner's live (atomic) counterpart of RunStats.
+type runStats struct {
+	retries          atomic.Int64
+	drops            atomic.Int64
+	checksumFailures atomic.Int64
+	deadlineHits     atomic.Int64
+	weightFallbacks  atomic.Int64
+}
+
+// snapshot freezes the counters; droppedSeqs is supplied by the read stage
+// (it is the only writer and has exited by collection time).
+func (s *runStats) snapshot(dropped []uint64) RunStats {
+	return RunStats{
+		Retries:          s.retries.Load(),
+		Drops:            s.drops.Load(),
+		DroppedSeqs:      dropped,
+		ChecksumFailures: s.checksumFailures.Load(),
+		DeadlineHits:     s.deadlineHits.Load(),
+		WeightFallbacks:  s.weightFallbacks.Load(),
+	}
+}

@@ -2,6 +2,7 @@ package pipexec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -34,6 +35,18 @@ type Config struct {
 	// Reports, when non-nil, receives every CPI's detection reports from
 	// the CFAR stage (the output-side I/O strategy).
 	Reports ReportSink
+	// Retry bounds re-reads of a CPI whose striped read fails or whose
+	// payload fails its checksum (zero value: 3 attempts, exponential
+	// backoff).
+	Retry RetryPolicy
+	// Degrade selects what happens when a read stays failed after Retry
+	// is exhausted. The default, DegradeFailFast, aborts the run (the
+	// pre-resilience behaviour).
+	Degrade DegradePolicy
+	// StageTimeout, when positive, is the per-CPI deadline of each stage:
+	// a read wait that exceeds it is abandoned and retried, and compute
+	// services that exceed it are counted in RunStats.DeadlineHits.
+	StageTimeout time.Duration
 }
 
 // Validate checks the configuration.
@@ -89,6 +102,9 @@ type Result struct {
 	Throughput float64
 	// Stages holds per-stage busy-time statistics in pipeline order.
 	Stages []StageStat
+	// Stats holds the resilience counters: retries, drops, checksum
+	// failures, deadline hits, weight fallbacks.
+	Stats RunStats
 }
 
 // SteadyThroughput returns the CPI completion rate between the first and
@@ -166,9 +182,9 @@ func Run(ctx context.Context, cfg Config, src AsyncSource, n int) (*Result, erro
 	if r.err != nil {
 		return nil, r.err
 	}
-	res := &Result{CPIs: r.results, Elapsed: time.Since(start)}
+	res := &Result{CPIs: r.results, Elapsed: time.Since(start), Stats: r.stats.snapshot(r.dropped)}
 	if res.Elapsed > 0 {
-		res.Throughput = float64(n) / res.Elapsed.Seconds()
+		res.Throughput = float64(len(r.results)) / res.Elapsed.Seconds()
 	}
 	sort.Slice(res.CPIs, func(i, j int) bool { return res.CPIs[i].Seq < res.CPIs[j].Seq })
 	for _, c := range r.clocks {
@@ -220,8 +236,30 @@ func (r *runner) launch(buf int) *sync.WaitGroup {
 	spawn(func() error { return r.dopplerStage(ckDop, cubeCh, weIn, whIn, bfeIn, bfhIn) })
 	spawn(func() error { return r.weightStage(ckWE, weIn, weOut, r.easyBins, false, cfg.Workers.EasyWeight) })
 	spawn(func() error { return r.weightStage(ckWH, whIn, whOut, r.hardBins, true, cfg.Workers.HardWeight) })
-	spawn(func() error { return r.bfStage(ckBFE, bfeIn, weOut, pcIn, r.easyBins, cfg.Workers.EasyBF) })
-	spawn(func() error { return r.bfStage(ckBFH, bfhIn, whOut, pcIn, r.hardBins, cfg.Workers.HardBF) })
+	// pcIn has two producers, so neither BF stage may close it alone; a
+	// closer goroutine does once both have exited. Downstream termination
+	// is therefore by channel close, which stays correct when a skip
+	// policy drops CPIs (a fixed CPI count would deadlock the collector).
+	bfDone := &sync.WaitGroup{}
+	bfDone.Add(2)
+	spawnBF := func(fn func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer bfDone.Done()
+			if err := fn(); err != nil {
+				r.fail(err)
+			}
+		}()
+	}
+	spawnBF(func() error { return r.bfStage(ckBFE, bfeIn, weOut, pcIn, r.easyBins, cfg.Workers.EasyBF) })
+	spawnBF(func() error { return r.bfStage(ckBFH, bfhIn, whOut, pcIn, r.hardBins, cfg.Workers.HardBF) })
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		bfDone.Wait()
+		close(pcIn)
+	}()
 	if cfg.CombinePCCFAR {
 		ckPC := clock("pulse compr+CFAR")
 		spawn(func() error { return r.pcStage(ckPC, pcIn, nil) })
@@ -263,6 +301,12 @@ type runner struct {
 	err     error
 	results []CPIResult
 	clocks  []*stageClock
+
+	// Resilience bookkeeping: atomic counters shared by the stages, plus
+	// the dropped-CPI list, which only the read stage appends to and which
+	// is read after every stage has exited.
+	stats   runStats
+	dropped []uint64
 
 	// streamOut, when non-nil, receives each CPI result instead of the
 	// results slice accumulating (unbounded memory would defeat streaming).
@@ -341,26 +385,133 @@ func parallel(w, n int, fn func(blk cube.Block) error) error {
 	return nil
 }
 
+// addBusy records one CPI's processing time on the stage clock and checks
+// it against the optional per-stage deadline. A compute stage cannot be
+// preempted mid-CPI, so an overrun is counted for monitoring rather than
+// aborted (read waits, which can be abandoned, are bounded in waitCube).
+func (r *runner) addBusy(clk *stageClock, d time.Duration) {
+	clk.add(d)
+	if r.cfg.StageTimeout > 0 && d > r.cfg.StageTimeout {
+		r.stats.deadlineHits.Add(1)
+	}
+}
+
+// beginRead starts a fetch, routing retries through attempt-aware sources
+// so the fault plan re-draws.
+func (r *runner) beginRead(seq uint64, attempt int) PendingCube {
+	if attempt > 0 {
+		if rs, ok := r.src.(RetryableSource); ok {
+			return rs.BeginAttempt(seq, attempt)
+		}
+	}
+	return r.src.Begin(seq)
+}
+
+// errReadDeadline marks a read wait abandoned at the stage deadline.
+var errReadDeadline = errors.New("pipexec: read wait exceeded the stage deadline")
+
+type cubeResult struct {
+	cb  *cube.Cube
+	err error
+}
+
+// waitCube blocks for an in-flight read, bounding the wait by the stage
+// deadline (when configured) and by run cancellation. An abandoned wait's
+// goroutine drains itself once the underlying read completes.
+func (r *runner) waitCube(p PendingCube) (*cube.Cube, error) {
+	ch := make(chan cubeResult, 1)
+	go func() {
+		cb, err := p.Wait()
+		ch <- cubeResult{cb, err}
+	}()
+	var deadline <-chan time.Time
+	if r.cfg.StageTimeout > 0 {
+		t := time.NewTimer(r.cfg.StageTimeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case res := <-ch:
+		return res.cb, res.err
+	case <-deadline:
+		r.stats.deadlineHits.Add(1)
+		return nil, errReadDeadline
+	case <-r.ctx.Done():
+		return nil, r.ctx.Err()
+	}
+}
+
+// sleep pauses for a backoff interval unless the run is cancelled first.
+func (r *runner) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-r.ctx.Done():
+		return false
+	}
+}
+
+// awaitCube resolves CPI k's read under the retry and degradation
+// policies. A (nil, nil) return means the CPI was dropped (skip policies)
+// or the run was cancelled; the caller distinguishes via ctx.
+func (r *runner) awaitCube(k int, pending PendingCube) (*cube.Cube, error) {
+	max := r.cfg.Retry.attempts()
+	for attempt := 0; ; attempt++ {
+		cb, err := r.waitCube(pending)
+		if err == nil {
+			return cb, nil
+		}
+		if r.ctx.Err() != nil {
+			return nil, nil
+		}
+		if errors.Is(err, cube.ErrCorrupt) {
+			r.stats.checksumFailures.Add(1)
+		}
+		if attempt+1 >= max {
+			if r.cfg.Degrade == DegradeFailFast {
+				return nil, fmt.Errorf("pipexec: reading CPI %d (attempt %d of %d): %w", k, attempt+1, max, err)
+			}
+			r.stats.drops.Add(1)
+			r.dropped = append(r.dropped, uint64(k))
+			return nil, nil
+		}
+		r.stats.retries.Add(1)
+		if !r.sleep(r.cfg.Retry.backoff(attempt + 1)) {
+			return nil, nil
+		}
+		pending = r.beginRead(uint64(k), attempt+1)
+	}
+}
+
 // readStage fetches cubes with one-deep prefetch. In the embedded design
 // it still runs as a goroutine, but its channel hand-off is the "read
 // phase" of the Doppler task: the latency clock starts when the Doppler
 // stage receives the cube. In the separate design the clock starts when
-// the read stage begins waiting for the data.
+// the read stage begins waiting for the data. Failed reads are retried
+// per Config.Retry and, under a skip policy, dropped once exhausted.
 func (r *runner) readStage(clk *stageClock, out chan<- cubeMsg) error {
 	defer close(out)
-	pending := r.src.Begin(0)
+	pending := r.beginRead(0, 0)
 	for k := 0; k < r.n; k++ {
 		startWait := time.Now()
 		var next PendingCube
 		if k+1 < r.n {
-			next = r.src.Begin(uint64(k + 1))
+			next = r.beginRead(uint64(k+1), 0)
 		}
-		cb, err := pending.Wait()
+		cb, err := r.awaitCube(k, pending)
 		if err != nil {
-			return fmt.Errorf("pipexec: reading CPI %d: %w", k, err)
+			return err
 		}
 		clk.add(time.Since(startWait))
 		pending = next
+		if r.ctx.Err() != nil {
+			return nil
+		}
+		if cb == nil {
+			continue // dropped under a skip policy
+		}
 		msg := cubeMsg{seq: uint64(k), cb: cb}
 		if r.cfg.SeparateIO {
 			msg.start = startWait
@@ -395,7 +546,7 @@ func (r *runner) dopplerStage(clk *stageClock, in <-chan cubeMsg, weOut, whOut, 
 		if err != nil {
 			return fmt.Errorf("pipexec: doppler CPI %d: %w", msg.seq, err)
 		}
-		clk.add(time.Since(t0))
+		r.addBusy(clk, time.Since(t0))
 		bc := stap.NewBeamCube(r.p)
 		bc.Seq = msg.seq
 		out := dopplerMsg{seq: msg.seq, dc: dc, bc: bc, start: msg.start}
@@ -414,42 +565,63 @@ func (r *runner) dopplerStage(clk *stageClock, in <-chan cubeMsg, weOut, whOut, 
 func (r *runner) weightStage(clk *stageClock, in <-chan dopplerMsg, out chan<- *stap.WeightSet, bins []int, hard bool, workers int) error {
 	defer close(out)
 	smoother := stap.CovarianceSmoother{Lambda: r.p.Forgetting}
+	var lastGood *stap.WeightSet
 	for {
 		msg, ok := recv(r, in)
 		if !ok {
 			return nil
 		}
 		t0 := time.Now()
-		est := make([]*linalg.Matrix, len(bins))
-		err := parallel(workers, len(bins), func(blk cube.Block) error {
-			part, err := stap.EstimateCovariances(r.p, msg.dc, bins[blk.Lo:blk.Hi], hard)
-			if err != nil {
-				return err
-			}
-			copy(est[blk.Lo:blk.Hi], part)
-			return nil
-		})
+		ws, err := r.solveWeightSet(&smoother, msg, bins, hard, workers)
 		if err != nil {
-			return fmt.Errorf("pipexec: %s weights CPI %d: %w", setName(hard), msg.seq, err)
-		}
-		covs := smoother.Update(est)
-		ws := &stap.WeightSet{Bins: bins, W: make([][][]complex128, len(bins)), Seq: msg.seq}
-		err = parallel(workers, len(bins), func(blk cube.Block) error {
-			part, err := stap.SolveWeights(r.p, covs[blk.Lo:blk.Hi], bins[blk.Lo:blk.Hi], msg.seq)
-			if err != nil {
-				return err
+			// Under the last-good-weights policy a failed solve (e.g. a
+			// singular covariance from degraded data) degrades the CPI
+			// instead of killing the run: beamform with the weights of
+			// the last CPI that solved.
+			if r.cfg.Degrade != DegradeLastGoodWeights || lastGood == nil {
+				return fmt.Errorf("pipexec: %s weights CPI %d: %w", setName(hard), msg.seq, err)
 			}
-			copy(ws.W[blk.Lo:blk.Hi], part.W)
-			return nil
-		})
-		if err != nil {
-			return fmt.Errorf("pipexec: %s weights CPI %d: %w", setName(hard), msg.seq, err)
+			r.stats.weightFallbacks.Add(1)
+			ws = &stap.WeightSet{Bins: lastGood.Bins, W: lastGood.W, Seq: msg.seq}
+		} else {
+			lastGood = ws
 		}
-		clk.add(time.Since(t0))
+		r.addBusy(clk, time.Since(t0))
 		if !send(r, out, ws) {
 			return nil
 		}
 	}
+}
+
+// solveWeightSet estimates covariances and solves the adaptive weights for
+// one CPI's bin set.
+func (r *runner) solveWeightSet(smoother *stap.CovarianceSmoother, msg dopplerMsg, bins []int, hard bool, workers int) (*stap.WeightSet, error) {
+	est := make([]*linalg.Matrix, len(bins))
+	err := parallel(workers, len(bins), func(blk cube.Block) error {
+		part, err := stap.EstimateCovariances(r.p, msg.dc, bins[blk.Lo:blk.Hi], hard)
+		if err != nil {
+			return err
+		}
+		copy(est[blk.Lo:blk.Hi], part)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	covs := smoother.Update(est)
+	ws := &stap.WeightSet{Bins: bins, W: make([][][]complex128, len(bins)), Seq: msg.seq}
+	err = parallel(workers, len(bins), func(blk cube.Block) error {
+		part, err := stap.SolveWeights(r.p, covs[blk.Lo:blk.Hi], bins[blk.Lo:blk.Hi], msg.seq)
+		if err != nil {
+			return err
+		}
+		copy(ws.W[blk.Lo:blk.Hi], part.W)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ws, nil
 }
 
 func setName(hard bool) string {
@@ -459,25 +631,32 @@ func setName(hard bool) string {
 	return "easy"
 }
 
-// bfStage beamforms its bin set using weights from the previous CPI (the
-// temporal dependency), partitioned by Doppler bins.
+// bfStage beamforms its bin set using weights from the previous delivered
+// CPI (the temporal dependency), partitioned by Doppler bins. "Previous
+// delivered" rather than "seq-1": when a skip policy drops a CPI the
+// weight stream simply misses that sequence number, and beamforming
+// continues from the weights of the last CPI that made it through.
 func (r *runner) bfStage(clk *stageClock, in <-chan dopplerMsg, weights <-chan *stap.WeightSet, out chan<- beamMsg, bins []int, workers int) error {
 	cur := stap.InitialWeights(r.p, bins)
+	first := true
+	var prevSeq uint64
 	for {
 		msg, ok := recv(r, in)
 		if !ok {
 			return nil
 		}
-		if msg.seq > 0 {
+		if !first {
 			ws, ok := recv(r, weights)
 			if !ok {
 				return nil
 			}
-			if ws.Seq != msg.seq-1 {
-				return fmt.Errorf("pipexec: beamforming CPI %d got weights for CPI %d", msg.seq, ws.Seq)
+			if ws.Seq != prevSeq {
+				return fmt.Errorf("pipexec: beamforming CPI %d got weights for CPI %d, want CPI %d", msg.seq, ws.Seq, prevSeq)
 			}
 			cur = ws
 		}
+		first = false
+		prevSeq = msg.seq
 		t0 := time.Now()
 		err := parallel(workers, len(bins), func(blk cube.Block) error {
 			return stap.Beamform(r.p, msg.dc, cur, bins[blk.Lo:blk.Hi], msg.bc)
@@ -485,7 +664,7 @@ func (r *runner) bfStage(clk *stageClock, in <-chan dopplerMsg, weights <-chan *
 		if err != nil {
 			return fmt.Errorf("pipexec: beamform CPI %d: %w", msg.seq, err)
 		}
-		clk.add(time.Since(t0))
+		r.addBusy(clk, time.Since(t0))
 		if !send(r, out, beamMsg{seq: msg.seq, bc: msg.bc, start: msg.start}) {
 			return nil
 		}
@@ -506,9 +685,10 @@ func (r *runner) pcStage(clk *stageClock, in <-chan beamMsg, out chan<- beamMsg)
 	if r.cfg.CombinePCCFAR {
 		workers += r.cfg.Workers.CFAR
 	}
-	// The input has two producers (the BF stages), so termination is by
-	// CPI count rather than channel close.
-	for done := 0; done < r.n; {
+	// The input has two producers (the BF stages); launch closes it once
+	// both have exited, so termination is by channel close — which stays
+	// correct when a skip policy delivers fewer than n CPIs.
+	for {
 		msg, ok := recv(r, in)
 		if !ok {
 			return nil
@@ -529,20 +709,18 @@ func (r *runner) pcStage(clk *stageClock, in <-chan beamMsg, out chan<- beamMsg)
 		if err != nil {
 			return fmt.Errorf("pipexec: pulse compression CPI %d: %w", m.seq, err)
 		}
-		done++
 		if r.cfg.CombinePCCFAR {
 			if err := r.runCFAR(m, workers); err != nil {
 				return err
 			}
-			clk.add(time.Since(t0))
+			r.addBusy(clk, time.Since(t0))
 			continue
 		}
-		clk.add(time.Since(t0))
+		r.addBusy(clk, time.Since(t0))
 		if !send(r, out, m) {
 			return nil
 		}
 	}
-	return nil
 }
 
 // cfarStage runs CFAR detection, partitioned by (beam, bin) pairs.
@@ -556,7 +734,7 @@ func (r *runner) cfarStage(clk *stageClock, in <-chan beamMsg, workers int) erro
 		if err := r.runCFAR(msg, workers); err != nil {
 			return err
 		}
-		clk.add(time.Since(t0))
+		r.addBusy(clk, time.Since(t0))
 	}
 }
 

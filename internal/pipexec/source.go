@@ -27,6 +27,15 @@ type AsyncSource interface {
 	Begin(seq uint64) PendingCube
 }
 
+// RetryableSource is an AsyncSource whose fetches carry a retry-attempt
+// number, so a deterministic fault plan re-draws on each retry instead of
+// replaying the same injected fault forever.
+type RetryableSource interface {
+	AsyncSource
+	// BeginAttempt starts fetch number attempt (0 = first try) of CPI seq.
+	BeginAttempt(seq uint64, attempt int) PendingCube
+}
+
 // PendingCube is an in-flight cube fetch.
 type PendingCube interface {
 	// Wait blocks until the cube is available.
@@ -66,13 +75,23 @@ type filePending struct {
 // Begin implements AsyncSource: it issues a striped read of the whole
 // staging file for the CPI.
 func (s *FileSource) Begin(seq uint64) PendingCube {
-	buf := make([]byte, cube.FileBytes(s.Dims))
-	name := radar.FileName(radar.FileFor(seq, s.Files))
-	return &filePending{src: s, seq: seq, p: s.FS.Start(name, 0, buf), buf: buf}
+	return s.BeginAttempt(seq, 0)
 }
 
-// Wait implements PendingCube: it blocks on the striped read, then decodes
-// the cube.
+// BeginAttempt implements RetryableSource. The read's fault-plan tag folds
+// the CPI sequence number in with the attempt: staging files are reused
+// round-robin, so without the seq every visit to a file would draw the
+// same injected fate.
+func (s *FileSource) BeginAttempt(seq uint64, attempt int) PendingCube {
+	buf := make([]byte, cube.FileBytes(s.Dims))
+	name := radar.FileName(radar.FileFor(seq, s.Files))
+	tag := int(seq)<<8 | attempt&0xff
+	return &filePending{src: s, seq: seq, p: s.FS.StartAttempt(name, 0, buf, tag), buf: buf}
+}
+
+// Wait implements PendingCube: it blocks on the striped read, verifies the
+// payload checksum, then decodes the cube. A corrupt payload surfaces as
+// cube.ErrCorrupt, which the pipeline's retry layer treats as retryable.
 func (p *filePending) Wait() (*cube.Cube, error) {
 	if err := p.p.Wait(); err != nil {
 		return nil, err
@@ -83,6 +102,9 @@ func (p *filePending) Wait() (*cube.Cube, error) {
 	}
 	if h.Dims != p.src.Dims {
 		return nil, fmt.Errorf("pipexec: file holds %v, expected %v", h.Dims, p.src.Dims)
+	}
+	if err := cube.VerifyPayload(h, p.buf[cube.HeaderSize:]); err != nil {
+		return nil, fmt.Errorf("pipexec: CPI %d: %w", p.seq, err)
 	}
 	cb := cube.New(h.Dims)
 	if err := cube.DecodeSamples(cb, p.buf[cube.HeaderSize:]); err != nil {

@@ -80,7 +80,7 @@ func (h *StreamHandle) Stop() (*Result, error) {
 		}()
 	})
 	<-h.done
-	res := &Result{Elapsed: time.Since(h.start)}
+	res := &Result{Elapsed: time.Since(h.start), Stats: h.r.stats.snapshot(h.r.dropped)}
 	var served int
 	for _, c := range h.r.clocks {
 		res.Stages = append(res.Stages, StageStat{Name: c.name, CPIs: c.cpis, Busy: c.busy})

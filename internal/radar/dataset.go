@@ -46,8 +46,7 @@ func WriteDataset(fs FileStore, s *Scenario, count, fileCount int, keep bool) ([
 		if err != nil {
 			return nil, err
 		}
-		cube.EncodeHeader(cube.Header{Dims: cb.Dims, Seq: uint64(seq)}, buf)
-		cube.EncodeSamples(cb, buf[cube.HeaderSize:])
+		cube.Encode(cb, uint64(seq), buf)
 		name := FileName(FileFor(uint64(seq), fileCount))
 		if err := fs.WriteFile(name, buf); err != nil {
 			return nil, fmt.Errorf("radar: writing %s: %w", name, err)
