@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench
+.PHONY: all build vet test race check bench benchjson
 
 all: check
 
@@ -21,3 +21,9 @@ check: vet build race
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Refresh the committed hot-path benchmark record. The existing baseline
+# ("before" section) is preserved so the comparison stays anchored to the
+# pre-optimisation numbers.
+benchjson:
+	$(GO) run ./cmd/benchjson -keep-before -o BENCH_2.json

@@ -381,16 +381,33 @@ func BenchmarkKernelFFT(b *testing.B) {
 	}
 }
 
-// BenchmarkKernelDoppler measures task 0 on one CPI.
+// BenchmarkKernelDoppler measures task 0 on one CPI. "oneshot" is the
+// allocating convenience form (fresh output cube and scratch per call);
+// "steady" is the form the pipeline runs in steady state — pooled output
+// cube plus per-worker scratch — and must stay at zero allocations.
 func BenchmarkKernelDoppler(b *testing.B) {
 	p := benchParams()
 	cb := benchCube(b, p)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := stap.DopplerFilter(&p, cb, 0); err != nil {
-			b.Fatal(err)
+	b.Run("oneshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := stap.DopplerFilter(&p, cb, 0); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
+	b.Run("steady", func(b *testing.B) {
+		out := stap.NewDopplerCube(&p)
+		sc := stap.NewDopplerScratch(&p)
+		blk := cube.Block{Lo: 0, Hi: p.Dims.Ranges}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := stap.DopplerFilterRanges(&p, cb, blk, out, sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkKernelWeights measures tasks 1 and 2 on one CPI.

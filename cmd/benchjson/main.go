@@ -1,0 +1,218 @@
+// Command benchjson runs the repository's benchmark suite (or parses saved
+// `go test -bench` output) and emits the results as JSON, so before/after
+// performance comparisons can be committed alongside the code they measure.
+//
+//	benchjson -o BENCH.json                        # run the default suite
+//	benchjson -parse old.txt -o before.json        # convert saved output
+//	benchjson -before before.json -o BENCH.json    # embed a before section
+//	benchjson -keep-before -o BENCH.json           # refresh "after", keep "before"
+//
+// The -before file may be either a JSON report produced by this tool or raw
+// `go test -bench` text; the format is sniffed.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// defaultBench selects the kernel and real-pipeline benchmarks — the hot
+// path this repository's performance work targets — rather than the full
+// table/figure regeneration suite, which takes far longer.
+const defaultBench = `BenchmarkKernelFFT|BenchmarkKernelDoppler|BenchmarkKernelPulseCompressionCFAR|BenchmarkRealPipeline$|BenchmarkRealPipelineIODesigns`
+
+// Bench is one benchmark result line.
+type Bench struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the result of one benchmark run.
+type Report struct {
+	Go         string  `json:"go,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// Document is the committed artifact: the current run plus an optional
+// baseline it is compared against.
+type Document struct {
+	Generated string  `json:"generated,omitempty"`
+	Before    *Report `json:"before,omitempty"`
+	After     *Report `json:"after"`
+}
+
+func main() {
+	var (
+		bench      = flag.String("bench", defaultBench, "benchmark regexp passed to go test -bench")
+		benchtime  = flag.String("benchtime", "0.5s", "go test -benchtime value")
+		pkg        = flag.String("pkg", ".", "package to benchmark")
+		parse      = flag.String("parse", "", "parse this saved `go test -bench` output instead of running benchmarks")
+		before     = flag.String("before", "", "baseline file (JSON report or raw bench text) embedded as the before section")
+		keepBefore = flag.Bool("keep-before", false, "preserve the before section of an existing -o file")
+		out        = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var (
+		after *Report
+		err   error
+	)
+	if *parse != "" {
+		after, err = loadReport(*parse)
+	} else {
+		after, err = runBenchmarks(*bench, *benchtime, *pkg)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	doc := &Document{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		After:     after,
+	}
+	switch {
+	case *before != "":
+		doc.Before, err = loadReport(*before)
+		if err != nil {
+			fatal(fmt.Errorf("loading baseline: %w", err))
+		}
+	case *keepBefore && *out != "":
+		doc.Before, err = previousBefore(*out)
+		if err != nil {
+			fatal(fmt.Errorf("preserving baseline from %s: %w", *out, err))
+		}
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(after.Benchmarks), *out)
+}
+
+// runBenchmarks invokes go test and parses its output. The benchmark run's
+// stderr passes through so progress is visible.
+func runBenchmarks(bench, benchtime, pkg string) (*Report, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", bench, "-benchmem", "-benchtime", benchtime, pkg)
+	cmd.Stderr = os.Stderr
+	outBuf, err := cmd.Output()
+	if err != nil {
+		os.Stderr.Write(outBuf)
+		return nil, fmt.Errorf("go test -bench: %w", err)
+	}
+	return parseBenchOutput(bytes.NewReader(outBuf))
+}
+
+// loadReport reads a baseline file, accepting either a JSON document
+// written by this tool (its after section, or a bare report) or raw
+// `go test -bench` text.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		var doc Document
+		if err := json.Unmarshal(trimmed, &doc); err == nil && doc.After != nil {
+			return doc.After, nil
+		}
+		var rep Report
+		if err := json.Unmarshal(trimmed, &rep); err != nil {
+			return nil, err
+		}
+		return &rep, nil
+	}
+	return parseBenchOutput(bytes.NewReader(data))
+}
+
+// previousBefore returns the before section of an existing document, so a
+// refresh keeps comparing against the original baseline. A missing file
+// yields no baseline rather than an error.
+func previousBefore(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	return doc.Before, nil
+}
+
+// parseBenchOutput converts `go test -bench -benchmem` text into a Report.
+// A result line is "BenchmarkName[-procs]  N  v1 unit1  v2 unit2 ...".
+func parseBenchOutput(r *bytes.Reader) (*Report, error) {
+	rep := &Report{Go: runtime.Version()}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if cpu, ok := strings.CutPrefix(line, "cpu:"); ok {
+			rep.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "Benchmarking..." chatter, not a result line
+		}
+		name := fields[0]
+		// Strip the GOMAXPROCS suffix so names are stable across machines.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		b := Bench{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: bad metric value %q", line, fields[i])
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	return rep, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

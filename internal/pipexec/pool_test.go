@@ -1,0 +1,118 @@
+package pipexec
+
+import (
+	"context"
+	"testing"
+
+	"stapio/internal/pfs"
+	"stapio/internal/radar"
+)
+
+// The pools must turn per-CPI allocation of the big intermediates — read
+// buffers, decoded cubes, Doppler cubes, beam cubes — into steady-state
+// reuse: the number of buffers ever built ("news") is bounded by how many
+// CPIs the pipeline holds in flight, not by how many it processes. Run far
+// more CPIs than the pipeline depth and pin that bound.
+func TestPoolsBoundedByPipelineDepth(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items deliberately under the race detector; the news bound holds only without it")
+	}
+	s := radar.SmallTestScenario()
+	fs, err := pfs.CreateReal(t.TempDir(), 4, 4096, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const files = 4
+	if _, err := radar.WriteDataset(fs, s, files, files, false); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewFileSource(fs, s.Dims, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Buffer = 2
+
+	const cpis = 64
+	h, err := Stream(context.Background(), cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cpis; i++ {
+		if _, ok := <-h.Results; !ok {
+			t.Fatal("results channel closed early")
+		}
+	}
+	if _, err := h.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The in-flight bound: every channel slot plus every stage actively
+	// holding a CPI. With Buffer=2 that is well under 20; the point is
+	// that it does not scale with the 64 CPIs completed.
+	const bound = 20
+	doppler := h.r.pools.dopplerNews.Load()
+	beam := h.r.pools.beamNews.Load()
+	bufs, cubes := src.PoolNews()
+	for _, c := range []struct {
+		name string
+		news int64
+	}{
+		{"doppler cubes", doppler},
+		{"beam cubes", beam},
+		{"read buffers", bufs},
+		{"decoded cubes", cubes},
+	} {
+		if c.news < 1 {
+			t.Errorf("%s: pool never allocated, expected at least one", c.name)
+		}
+		if c.news > bound {
+			t.Errorf("%s: %d allocated over %d CPIs, want <= %d (per-CPI allocation has crept back in)",
+				c.name, c.news, cpis, bound)
+		}
+	}
+}
+
+// Dropped CPIs must recycle their read buffers rather than leak them: under
+// a skip policy with injected read faults, buffer news stays bounded even
+// though many reads fail and retry.
+func TestPoolsRecycleOnDrops(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items deliberately under the race detector; the news bound holds only without it")
+	}
+	s := radar.SmallTestScenario()
+	fs, err := pfs.CreateReal(t.TempDir(), 4, 4096, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const files = 4
+	if _, err := radar.WriteDataset(fs, s, files, files, false); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFaults(&pfs.FaultPlan{Seed: 7, FailRate: 0.3})
+	src, err := NewFileSource(fs, s.Dims, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Degrade = DegradeSkipCPI
+	cfg.Retry = RetryPolicy{MaxAttempts: 2}
+
+	const cpis = 48
+	res, err := Run(context.Background(), cfg, src, cpis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Retries == 0 {
+		t.Fatal("fault plan injected no retries; the test exercises nothing")
+	}
+	bufs, _ := src.PoolNews()
+	// Every attempt (first tries and retries) leases a buffer and must give
+	// it back when the read resolves; the news count is therefore bounded
+	// by concurrent reads, not by the attempt count.
+	const bound = 20
+	if bufs > bound {
+		t.Errorf("read buffers: %d allocated across %d CPIs with faults, want <= %d (drop/retry paths leak buffers)",
+			bufs, cpis, bound)
+	}
+}

@@ -1,0 +1,98 @@
+package pipexec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"stapio/internal/cube"
+	"stapio/internal/stap"
+)
+
+// dopplerConsumers is the number of stages a Doppler cube fans out to: the
+// easy and hard weight stages plus the easy and hard beamforming stages.
+// Each releases its reference when done reading; the last release returns
+// the cube to the pool for the next CPI.
+const dopplerConsumers = 4
+
+// dopplerHandle pairs a pooled DopplerCube with the count of downstream
+// stages still reading it. The handle is pooled together with its cube so
+// the refcount itself costs no per-CPI allocation.
+type dopplerHandle struct {
+	dc   *stap.DopplerCube
+	refs atomic.Int32
+}
+
+// pipePools recycles the large per-CPI intermediates of one pipeline run —
+// Doppler cubes and beam cubes — so steady-state CPIs reuse the buffers of
+// CPIs that already drained instead of allocating fresh ones. Both cube
+// kinds are fully overwritten by their producing stage (the union of range
+// blocks covers every gate; easy and hard bins together cover every bin),
+// so recycled buffers need no zeroing.
+//
+// The news counters record how many buffers were ever built; with hand-back
+// working they are bounded by the pipeline depth, not the CPI count, which
+// the pool regression test pins.
+type pipePools struct {
+	doppler sync.Pool // *dopplerHandle
+	beam    sync.Pool // *stap.BeamCube
+
+	dopplerNews atomic.Int64
+	beamNews    atomic.Int64
+}
+
+func newPipePools(p *stap.Params) *pipePools {
+	pl := &pipePools{}
+	pl.doppler.New = func() any {
+		pl.dopplerNews.Add(1)
+		return &dopplerHandle{dc: stap.NewDopplerCube(p)}
+	}
+	pl.beam.New = func() any {
+		pl.beamNews.Add(1)
+		return stap.NewBeamCube(p)
+	}
+	return pl
+}
+
+// getDoppler leases a Doppler cube for one CPI with its fan-out references
+// armed.
+func (pl *pipePools) getDoppler(seq uint64) *dopplerHandle {
+	h := pl.doppler.Get().(*dopplerHandle)
+	h.dc.Seq = seq
+	h.refs.Store(dopplerConsumers)
+	return h
+}
+
+// releaseDoppler drops one stage's reference; the last consumer's release
+// recycles the cube. Error and cancellation paths may skip releasing — the
+// run is dying and the garbage collector reclaims the cube.
+func (pl *pipePools) releaseDoppler(h *dopplerHandle) {
+	if h.refs.Add(-1) == 0 {
+		pl.doppler.Put(h)
+	}
+}
+
+func (pl *pipePools) getBeam(seq uint64) *stap.BeamCube {
+	bc := pl.beam.Get().(*stap.BeamCube)
+	bc.Seq = seq
+	return bc
+}
+
+// putBeam recycles a beam cube once CFAR has extracted its detections.
+func (pl *pipePools) putBeam(bc *stap.BeamCube) {
+	pl.beam.Put(bc)
+}
+
+// CubeRecycler is implemented by sources that reuse decoded cube payloads.
+// The pipeline hands each input cube back as soon as Doppler filtering has
+// consumed it; a source that does not implement the interface simply leaves
+// the cubes to the garbage collector.
+type CubeRecycler interface {
+	Recycle(cb *cube.Cube)
+}
+
+// recycleCube returns an input cube to its source, if the source recycles.
+func (r *runner) recycleCube(cb *cube.Cube) {
+	if rc, ok := r.src.(CubeRecycler); ok {
+		rc.Recycle(cb)
+	}
+}

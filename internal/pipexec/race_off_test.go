@@ -1,0 +1,5 @@
+//go:build !race
+
+package pipexec
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package pipexec
+
+// raceEnabled reports that the race detector is active. sync.Pool
+// deliberately drops a fraction of Put items under the race detector to
+// shake out reuse races, so allocation-count bounds that depend on pool
+// hit rates are only meaningful without it.
+const raceEnabled = true

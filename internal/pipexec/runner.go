@@ -142,8 +142,10 @@ type cubeMsg struct {
 }
 
 type dopplerMsg struct {
-	seq   uint64
-	dc    *stap.DopplerCube
+	seq uint64
+	// h carries the pooled Doppler cube with its fan-out refcount; every
+	// consumer releases it when done reading (see pipePools).
+	h     *dopplerHandle
 	bc    *stap.BeamCube // shared output buffer both BF stages fill
 	start time.Time
 }
@@ -167,10 +169,7 @@ func Run(ctx context.Context, cfg Config, src AsyncSource, n int) (*Result, erro
 	if buf < 1 {
 		buf = 1
 	}
-	r := &runner{cfg: cfg, n: n, src: src}
-	r.p = &cfg.Params
-	r.easyBins = r.p.EasyBins()
-	r.hardBins = r.p.HardBins()
+	r := newRunner(cfg, src, n)
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -191,6 +190,17 @@ func Run(ctx context.Context, cfg Config, src AsyncSource, n int) (*Result, erro
 		res.Stages = append(res.Stages, StageStat{Name: c.name, CPIs: c.cpis, Busy: c.busy})
 	}
 	return res, nil
+}
+
+// newRunner builds the per-run state shared by Run and Stream: resolved
+// bin sets plus the buffer pools that recycle the per-CPI intermediates.
+func newRunner(cfg Config, src AsyncSource, n int) *runner {
+	r := &runner{cfg: cfg, n: n, src: src}
+	r.p = &r.cfg.Params
+	r.easyBins = r.p.EasyBins()
+	r.hardBins = r.p.HardBins()
+	r.pools = newPipePools(r.p)
+	return r
 }
 
 // launch creates the inter-stage channels and starts every stage
@@ -293,6 +303,7 @@ type runner struct {
 	src      AsyncSource
 	easyBins []int
 	hardBins []int
+	pools    *pipePools
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -358,13 +369,14 @@ func recv[T any](r *runner, ch <-chan T) (T, bool) {
 }
 
 // parallel partitions n work items across w goroutines and runs fn on each
-// block, returning the first error.
-func parallel(w, n int, fn func(blk cube.Block) error) error {
+// block, returning the first error. fn receives the worker index (always
+// < w) so stages can address per-worker scratch state.
+func parallel(w, n int, fn func(widx int, blk cube.Block) error) error {
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
-		return fn(cube.Block{Lo: 0, Hi: n})
+		return fn(0, cube.Block{Lo: 0, Hi: n})
 	}
 	blocks := cube.Split(n, w)
 	errs := make([]error, w)
@@ -373,7 +385,7 @@ func parallel(w, n int, fn func(blk cube.Block) error) error {
 		wg.Add(1)
 		go func(i int, blk cube.Block) {
 			defer wg.Done()
-			errs[i] = fn(blk)
+			errs[i] = fn(i, blk)
 		}(i, blk)
 	}
 	wg.Wait()
@@ -524,11 +536,19 @@ func (r *runner) readStage(clk *stageClock, out chan<- cubeMsg) error {
 }
 
 // dopplerStage runs Doppler filter processing, partitioned by range gates.
+// Each worker owns a DopplerScratch built once for the whole run, the
+// output cube is leased from the pool, and the input cube is handed back to
+// the source as soon as filtering has consumed it.
 func (r *runner) dopplerStage(clk *stageClock, in <-chan cubeMsg, weOut, whOut, bfeOut, bfhOut chan<- dopplerMsg) error {
 	defer close(weOut)
 	defer close(whOut)
 	defer close(bfeOut)
 	defer close(bfhOut)
+	workers := r.cfg.Workers.Doppler
+	scratches := make([]*stap.DopplerScratch, workers)
+	for i := range scratches {
+		scratches[i] = stap.NewDopplerScratch(r.p)
+	}
 	for {
 		msg, ok := recv(r, in)
 		if !ok {
@@ -538,18 +558,16 @@ func (r *runner) dopplerStage(clk *stageClock, in <-chan cubeMsg, weOut, whOut, 
 			msg.start = time.Now() // embedded design: latency starts here
 		}
 		t0 := time.Now()
-		dc := stap.NewDopplerCube(r.p)
-		dc.Seq = msg.seq
-		err := parallel(r.cfg.Workers.Doppler, r.p.Dims.Ranges, func(blk cube.Block) error {
-			return stap.DopplerFilterRanges(r.p, msg.cb, blk, dc)
+		h := r.pools.getDoppler(msg.seq)
+		err := parallel(workers, r.p.Dims.Ranges, func(widx int, blk cube.Block) error {
+			return stap.DopplerFilterRanges(r.p, msg.cb, blk, h.dc, scratches[widx])
 		})
 		if err != nil {
 			return fmt.Errorf("pipexec: doppler CPI %d: %w", msg.seq, err)
 		}
+		r.recycleCube(msg.cb)
 		r.addBusy(clk, time.Since(t0))
-		bc := stap.NewBeamCube(r.p)
-		bc.Seq = msg.seq
-		out := dopplerMsg{seq: msg.seq, dc: dc, bc: bc, start: msg.start}
+		out := dopplerMsg{seq: msg.seq, h: h, bc: r.pools.getBeam(msg.seq), start: msg.start}
 		for _, ch := range []chan<- dopplerMsg{weOut, whOut, bfeOut, bfhOut} {
 			if !send(r, ch, out) {
 				return nil
@@ -586,6 +604,7 @@ func (r *runner) weightStage(clk *stageClock, in <-chan dopplerMsg, out chan<- *
 		} else {
 			lastGood = ws
 		}
+		r.pools.releaseDoppler(msg.h)
 		r.addBusy(clk, time.Since(t0))
 		if !send(r, out, ws) {
 			return nil
@@ -597,8 +616,8 @@ func (r *runner) weightStage(clk *stageClock, in <-chan dopplerMsg, out chan<- *
 // one CPI's bin set.
 func (r *runner) solveWeightSet(smoother *stap.CovarianceSmoother, msg dopplerMsg, bins []int, hard bool, workers int) (*stap.WeightSet, error) {
 	est := make([]*linalg.Matrix, len(bins))
-	err := parallel(workers, len(bins), func(blk cube.Block) error {
-		part, err := stap.EstimateCovariances(r.p, msg.dc, bins[blk.Lo:blk.Hi], hard)
+	err := parallel(workers, len(bins), func(_ int, blk cube.Block) error {
+		part, err := stap.EstimateCovariances(r.p, msg.h.dc, bins[blk.Lo:blk.Hi], hard)
 		if err != nil {
 			return err
 		}
@@ -610,7 +629,7 @@ func (r *runner) solveWeightSet(smoother *stap.CovarianceSmoother, msg dopplerMs
 	}
 	covs := smoother.Update(est)
 	ws := &stap.WeightSet{Bins: bins, W: make([][][]complex128, len(bins)), Seq: msg.seq}
-	err = parallel(workers, len(bins), func(blk cube.Block) error {
+	err = parallel(workers, len(bins), func(_ int, blk cube.Block) error {
 		part, err := stap.SolveWeights(r.p, covs[blk.Lo:blk.Hi], bins[blk.Lo:blk.Hi], msg.seq)
 		if err != nil {
 			return err
@@ -658,12 +677,13 @@ func (r *runner) bfStage(clk *stageClock, in <-chan dopplerMsg, weights <-chan *
 		first = false
 		prevSeq = msg.seq
 		t0 := time.Now()
-		err := parallel(workers, len(bins), func(blk cube.Block) error {
-			return stap.Beamform(r.p, msg.dc, cur, bins[blk.Lo:blk.Hi], msg.bc)
+		err := parallel(workers, len(bins), func(_ int, blk cube.Block) error {
+			return stap.Beamform(r.p, msg.h.dc, cur, bins[blk.Lo:blk.Hi], msg.bc)
 		})
 		if err != nil {
 			return fmt.Errorf("pipexec: beamform CPI %d: %w", msg.seq, err)
 		}
+		r.pools.releaseDoppler(msg.h)
 		r.addBusy(clk, time.Since(t0))
 		if !send(r, out, beamMsg{seq: msg.seq, bc: msg.bc, start: msg.start}) {
 			return nil
@@ -678,13 +698,27 @@ func (r *runner) pcStage(clk *stageClock, in <-chan beamMsg, out chan<- beamMsg)
 	if out != nil {
 		defer close(out)
 	}
-	comp := stap.NewCompressor(r.p)
-	halves := make(map[uint64]int)
-	buffered := make(map[uint64]beamMsg)
 	workers := r.cfg.Workers.PulseComp
 	if r.cfg.CombinePCCFAR {
 		workers += r.cfg.Workers.CFAR
 	}
+	// Per-worker compressors, the (beam, bin) enumeration, and — in the
+	// combined design — the CFAR worker state are all built once for the
+	// run, not per CPI.
+	comps := make([]*stap.Compressor, workers)
+	comps[0] = stap.NewCompressor(r.p)
+	for i := 1; i < workers; i++ {
+		comps[i] = comps[0].Clone()
+	}
+	pairs := stap.AllBeamBins(len(r.p.Beams), r.p.Bins())
+	var cfar *cfarState
+	if r.cfg.CombinePCCFAR {
+		cfar = newCFARState(r.p, workers)
+	}
+	// firstHalf buffers the first beamforming half of each CPI until its
+	// partner arrives; the entry is deleted on consumption, so the map
+	// stays bounded by the number of CPIs in flight.
+	firstHalf := make(map[uint64]struct{})
 	// The input has two producers (the BF stages); launch closes it once
 	// both have exited, so termination is by channel close — which stays
 	// correct when a skip policy delivers fewer than n CPIs.
@@ -693,63 +727,84 @@ func (r *runner) pcStage(clk *stageClock, in <-chan beamMsg, out chan<- beamMsg)
 		if !ok {
 			return nil
 		}
-		halves[msg.seq]++
-		buffered[msg.seq] = msg
-		if halves[msg.seq] < 2 {
+		// Both halves carry the same beam cube and start time; only
+		// arrival order differs, so the second message stands for the CPI.
+		if _, dup := firstHalf[msg.seq]; !dup {
+			firstHalf[msg.seq] = struct{}{}
 			continue
 		}
-		delete(halves, msg.seq)
-		m := buffered[msg.seq]
-		delete(buffered, msg.seq)
+		delete(firstHalf, msg.seq)
 		t0 := time.Now()
-		pairs := stap.AllBeamBins(m.bc.Beams, m.bc.Bins)
-		err := parallel(workers, len(pairs), func(blk cube.Block) error {
-			return stap.Compress(r.p, m.bc, comp.Clone(), pairs[blk.Lo:blk.Hi])
+		err := parallel(workers, len(pairs), func(widx int, blk cube.Block) error {
+			return stap.Compress(r.p, msg.bc, comps[widx], pairs[blk.Lo:blk.Hi])
 		})
 		if err != nil {
-			return fmt.Errorf("pipexec: pulse compression CPI %d: %w", m.seq, err)
+			return fmt.Errorf("pipexec: pulse compression CPI %d: %w", msg.seq, err)
 		}
 		if r.cfg.CombinePCCFAR {
-			if err := r.runCFAR(m, workers); err != nil {
+			if err := r.runCFAR(msg, cfar, workers); err != nil {
 				return err
 			}
 			r.addBusy(clk, time.Since(t0))
 			continue
 		}
 		r.addBusy(clk, time.Since(t0))
-		if !send(r, out, m) {
+		if !send(r, out, msg) {
 			return nil
 		}
 	}
 }
 
+// cfarState is the reusable worker state of the CFAR service: the (beam,
+// bin) enumeration, its partition into worker blocks, the per-worker
+// detector scratches, and the per-worker result slots. Built once per
+// stage; with it a steady-state CPI without detections allocates nothing.
+type cfarState struct {
+	pairs   []stap.BeamBin
+	blocks  []cube.Block
+	partial [][]stap.Detection
+	scratch []*stap.CFARScratch
+}
+
+func newCFARState(p *stap.Params, workers int) *cfarState {
+	pairs := stap.AllBeamBins(len(p.Beams), p.Bins())
+	st := &cfarState{
+		pairs:   pairs,
+		blocks:  cube.Split(len(pairs), workers),
+		partial: make([][]stap.Detection, workers),
+		scratch: make([]*stap.CFARScratch, workers),
+	}
+	for i := range st.scratch {
+		st.scratch[i] = stap.NewCFARScratch(p)
+	}
+	return st
+}
+
 // cfarStage runs CFAR detection, partitioned by (beam, bin) pairs.
 func (r *runner) cfarStage(clk *stageClock, in <-chan beamMsg, workers int) error {
+	st := newCFARState(r.p, workers)
 	for {
 		msg, ok := recv(r, in)
 		if !ok {
 			return nil
 		}
 		t0 := time.Now()
-		if err := r.runCFAR(msg, workers); err != nil {
+		if err := r.runCFAR(msg, st, workers); err != nil {
 			return err
 		}
 		r.addBusy(clk, time.Since(t0))
 	}
 }
 
-func (r *runner) runCFAR(msg beamMsg, workers int) error {
-	pairs := stap.AllBeamBins(msg.bc.Beams, msg.bc.Bins)
-	partial := make([][]stap.Detection, workers)
-	blocks := cube.Split(len(pairs), workers)
-	err := parallel(workers, workers, func(wblk cube.Block) error {
+func (r *runner) runCFAR(msg beamMsg, st *cfarState, workers int) error {
+	err := parallel(workers, workers, func(_ int, wblk cube.Block) error {
 		for w := wblk.Lo; w < wblk.Hi; w++ {
-			blk := blocks[w]
-			dets, err := stap.CFARWith(r.p, r.p.CFAR.Kind, msg.bc, pairs[blk.Lo:blk.Hi])
+			blk := st.blocks[w]
+			dets, err := stap.CFARWithScratch(r.p, r.p.CFAR.Kind, msg.bc, st.pairs[blk.Lo:blk.Hi], st.scratch[w])
 			if err != nil {
 				return err
 			}
-			partial[w] = dets
+			st.partial[w] = dets
 		}
 		return nil
 	})
@@ -757,19 +812,14 @@ func (r *runner) runCFAR(msg beamMsg, workers int) error {
 		return fmt.Errorf("pipexec: CFAR CPI %d: %w", msg.seq, err)
 	}
 	var all []stap.Detection
-	for _, d := range partial {
+	for w, d := range st.partial {
 		all = append(all, d...)
+		st.partial[w] = nil
 	}
-	sort.Slice(all, func(i, j int) bool {
-		a, b := all[i], all[j]
-		if a.Beam != b.Beam {
-			return a.Beam < b.Beam
-		}
-		if a.Bin != b.Bin {
-			return a.Bin < b.Bin
-		}
-		return a.Range < b.Range
-	})
+	stap.SortDetections(all)
+	// The beam cube's detections are extracted; hand it back for the next
+	// CPI before the (possibly slow) report write.
+	r.pools.putBeam(msg.bc)
 	if r.cfg.Reports != nil {
 		if err := r.cfg.Reports.WriteReports(msg.seq, all); err != nil {
 			return err

@@ -14,6 +14,8 @@ package pipexec
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"stapio/internal/cube"
 	"stapio/internal/pfs"
@@ -43,11 +45,64 @@ type PendingCube interface {
 }
 
 // FileSource reads CPI cubes from the round-robin staging files of a
-// striped file store, the paper's configuration.
+// striped file store, the paper's configuration. Read buffers and decoded
+// cubes are pooled: each staging-file-sized byte buffer is returned to the
+// pool when its read resolves (success, corruption, or drop alike), and the
+// pipeline hands decoded cubes back through Recycle once Doppler filtering
+// has consumed them, so steady-state reads allocate nothing.
 type FileSource struct {
 	FS    *pfs.RealFS
 	Dims  cube.Dims
 	Files int
+
+	bufs     sync.Pool // *readBuf
+	cubes    sync.Pool // *cube.Cube
+	bufNews  atomic.Int64
+	cubeNews atomic.Int64
+}
+
+// readBuf wraps a pooled staging-file buffer; pooling the wrapper rather
+// than the slice keeps Put from boxing a fresh interface value per read.
+type readBuf struct{ b []byte }
+
+// getBuf leases a staging-file-sized read buffer. The pools work without a
+// constructor (FileSource may be built as a literal), so allocation is the
+// nil-Get fallback rather than sync.Pool.New.
+func (s *FileSource) getBuf() *readBuf {
+	if v := s.bufs.Get(); v != nil {
+		return v.(*readBuf)
+	}
+	s.bufNews.Add(1)
+	return &readBuf{b: make([]byte, cube.FileBytes(s.Dims))}
+}
+
+func (s *FileSource) putBuf(rb *readBuf) { s.bufs.Put(rb) }
+
+func (s *FileSource) getCube() *cube.Cube {
+	if v := s.cubes.Get(); v != nil {
+		return v.(*cube.Cube)
+	}
+	s.cubeNews.Add(1)
+	return cube.New(s.Dims)
+}
+
+// Recycle implements CubeRecycler: the pipeline returns a decoded cube once
+// Doppler filtering has consumed it. Cubes of foreign geometry are refused
+// (DecodeSamples fully overwrites a recycled cube's samples, so matching
+// dims are the only requirement).
+func (s *FileSource) Recycle(cb *cube.Cube) {
+	if cb == nil || cb.Dims != s.Dims {
+		return
+	}
+	s.cubes.Put(cb)
+}
+
+// PoolNews reports how many read buffers and decoded cubes the source has
+// ever allocated. With recycling working both stay bounded by the pipeline
+// depth (plus abandoned reads), not the CPI count — the pool regression
+// test pins this.
+func (s *FileSource) PoolNews() (bufs, cubes int64) {
+	return s.bufNews.Load(), s.cubeNews.Load()
 }
 
 // NewFileSource validates the geometry against the first staging file.
@@ -69,7 +124,7 @@ type filePending struct {
 	src *FileSource
 	seq uint64
 	p   *pfs.Pending
-	buf []byte
+	rb  *readBuf
 }
 
 // Begin implements AsyncSource: it issues a striped read of the whole
@@ -83,31 +138,37 @@ func (s *FileSource) Begin(seq uint64) PendingCube {
 // round-robin, so without the seq every visit to a file would draw the
 // same injected fate.
 func (s *FileSource) BeginAttempt(seq uint64, attempt int) PendingCube {
-	buf := make([]byte, cube.FileBytes(s.Dims))
+	rb := s.getBuf()
 	name := radar.FileName(radar.FileFor(seq, s.Files))
 	tag := int(seq)<<8 | attempt&0xff
-	return &filePending{src: s, seq: seq, p: s.FS.StartAttempt(name, 0, buf, tag), buf: buf}
+	return &filePending{src: s, seq: seq, p: s.FS.StartAttempt(name, 0, rb.b, tag), rb: rb}
 }
 
 // Wait implements PendingCube: it blocks on the striped read, verifies the
 // payload checksum, then decodes the cube. A corrupt payload surfaces as
 // cube.ErrCorrupt, which the pipeline's retry layer treats as retryable.
+// The read buffer is recycled on every exit — failed reads, corrupt
+// payloads, and dropped CPIs included — so retries and skip-policy drops
+// reuse buffers rather than leak them.
 func (p *filePending) Wait() (*cube.Cube, error) {
+	defer p.src.putBuf(p.rb)
+	buf := p.rb.b
 	if err := p.p.Wait(); err != nil {
 		return nil, err
 	}
-	h, err := cube.DecodeHeader(p.buf)
+	h, err := cube.DecodeHeader(buf)
 	if err != nil {
 		return nil, err
 	}
 	if h.Dims != p.src.Dims {
 		return nil, fmt.Errorf("pipexec: file holds %v, expected %v", h.Dims, p.src.Dims)
 	}
-	if err := cube.VerifyPayload(h, p.buf[cube.HeaderSize:]); err != nil {
+	if err := cube.VerifyPayload(h, buf[cube.HeaderSize:]); err != nil {
 		return nil, fmt.Errorf("pipexec: CPI %d: %w", p.seq, err)
 	}
-	cb := cube.New(h.Dims)
-	if err := cube.DecodeSamples(cb, p.buf[cube.HeaderSize:]); err != nil {
+	cb := p.src.getCube()
+	if err := cube.DecodeSamples(cb, buf[cube.HeaderSize:]); err != nil {
+		p.src.Recycle(cb)
 		return nil, err
 	}
 	return cb, nil

@@ -38,10 +38,7 @@ func Stream(ctx context.Context, cfg Config, src AsyncSource) (*StreamHandle, er
 	if buf < 1 {
 		buf = 1
 	}
-	r := &runner{cfg: cfg, n: math.MaxInt32, src: src}
-	r.p = &cfg.Params
-	r.easyBins = r.p.EasyBins()
-	r.hardBins = r.p.HardBins()
+	r := newRunner(cfg, src, math.MaxInt32)
 	ctx, cancel := context.WithCancel(ctx)
 	r.ctx, r.cancel = ctx, cancel
 

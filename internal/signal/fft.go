@@ -10,11 +10,15 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"sync"
 )
 
 // FFT computes the in-place forward discrete Fourier transform of x.
 // len(x) must be a power of two; use Plan or PadPow2 for other lengths.
 // The transform is unnormalised: FFT followed by IFFT returns the input.
+// After the first call at a given length the transform allocates nothing:
+// the twiddle-factor and bit-reversal tables are cached process-wide and
+// shared by all callers.
 func FFT(x []complex128) {
 	fftRadix2(x, false)
 }
@@ -48,37 +52,7 @@ func fftRadix2(x []complex128, inverse bool) {
 	if n <= 1 {
 		return
 	}
-	if !IsPow2(n) {
-		panic(fmt.Sprintf("signal: radix-2 FFT length %d is not a power of two", n))
-	}
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.TrailingZeros(uint(n)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	// Iterative Cooley-Tukey butterflies.
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		wStep := cmplx.Exp(complex(0, step))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wStep
-			}
-		}
-	}
+	tablesFor(n).transform(x, inverse)
 }
 
 // DFT computes the naive O(n^2) forward DFT of x into a new slice. It works
@@ -98,35 +72,24 @@ func DFT(x []complex128) []complex128 {
 	return out
 }
 
-// Plan is a reusable FFT plan for a fixed transform length. For power-of-two
-// lengths it dispatches to the radix-2 kernel; for other lengths it uses
-// Bluestein's algorithm (chirp-z) built on a padded power-of-two transform.
-// Plans are safe for concurrent use by multiple goroutines only if each
-// goroutine uses its own scratch via Transform (which allocates) or
-// distinct plans; the zero-allocation TransformInto requires external
-// synchronisation per plan.
-type Plan struct {
-	n    int
-	pow2 bool
-	// Bluestein precomputation (nil when pow2):
+// bluesteinPre is the immutable precomputation for a Bluestein (chirp-z)
+// transform of one non-power-of-two length: the chirp sequence and the FFT
+// of the conjugate chirp kernel. It carries no scratch, so one instance is
+// shared by every plan of that length.
+type bluesteinPre struct {
 	m     int          // padded length (power of two >= 2n-1)
 	chirp []complex128 // chirp[k] = exp(-i*pi*k^2/n), k in [0,n)
 	bfft  []complex128 // FFT of the conjugate chirp kernel, length m
-	// scratch for TransformInto
-	scratch []complex128
 }
 
-// NewPlan creates a plan for transforms of length n (n >= 1).
-func NewPlan(n int) *Plan {
-	if n < 1 {
-		panic(fmt.Sprintf("signal: NewPlan length %d < 1", n))
+// preCache maps non-power-of-two transform length -> *bluesteinPre.
+var preCache sync.Map
+
+func bluesteinPreFor(n int) *bluesteinPre {
+	if v, ok := preCache.Load(n); ok {
+		return v.(*bluesteinPre)
 	}
-	p := &Plan{n: n, pow2: IsPow2(n)}
-	if p.pow2 {
-		return p
-	}
-	p.m = NextPow2(2*n - 1)
-	p.chirp = make([]complex128, n)
+	p := &bluesteinPre{m: NextPow2(2*n - 1), chirp: make([]complex128, n)}
 	for k := 0; k < n; k++ {
 		// Use float64 k^2 mod 2n to avoid precision loss for large k.
 		kk := float64(k) * float64(k)
@@ -142,8 +105,76 @@ func NewPlan(n int) *Plan {
 	}
 	FFT(b)
 	p.bfft = b
-	p.scratch = make([]complex128, p.m)
+	preCache.Store(n, p)
 	return p
+}
+
+// Plan is a reusable FFT plan for a fixed transform length. For power-of-two
+// lengths it dispatches to the table-driven radix-2 kernel; for other
+// lengths it uses Bluestein's algorithm (chirp-z) built on a padded
+// power-of-two transform.
+//
+// The API is Forward and Inverse (plus the batched ForwardMany); both work
+// in place on a caller-supplied slice of length Len and allocate nothing
+// after plan construction.
+//
+// Concurrency: a power-of-two plan is stateless (its tables are immutable
+// and shared process-wide) and safe for concurrent use by any number of
+// goroutines. A Bluestein plan owns a scratch buffer, so a single plan must
+// not be used from two goroutines at once — give each goroutine its own via
+// Clone or PlanFor, which share the immutable precomputation and differ
+// only in scratch.
+type Plan struct {
+	n       int
+	pow2    bool
+	pre     *bluesteinPre // shared immutable state (nil when pow2)
+	scratch []complex128  // per-plan Bluestein scratch (nil when pow2)
+}
+
+// planCache maps power-of-two transform length -> *Plan. Power-of-two plans
+// are stateless, so one shared instance per length serves every caller.
+var planCache sync.Map
+
+// NewPlan creates a plan for transforms of length n (n >= 1).
+func NewPlan(n int) *Plan {
+	if n < 1 {
+		panic(fmt.Sprintf("signal: NewPlan length %d < 1", n))
+	}
+	p := &Plan{n: n, pow2: IsPow2(n)}
+	if p.pow2 {
+		return p
+	}
+	p.pre = bluesteinPreFor(n)
+	p.scratch = make([]complex128, p.pre.m)
+	return p
+}
+
+// PlanFor returns a plan for transforms of length n from the process-wide
+// cache. For power-of-two lengths the returned plan is shared (it is
+// stateless, so concurrent use is safe). For other lengths each call
+// returns a distinct plan that shares the cached immutable Bluestein
+// precomputation but owns its scratch, so hand one to each goroutine.
+func PlanFor(n int) *Plan {
+	if IsPow2(n) {
+		if v, ok := planCache.Load(n); ok {
+			return v.(*Plan)
+		}
+		p := NewPlan(n)
+		planCache.Store(n, p)
+		return p
+	}
+	return NewPlan(n)
+}
+
+// Clone returns an independent plan for use by another goroutine. Cloned
+// plans share the immutable tables and Bluestein precomputation; only the
+// scratch buffer is duplicated.
+func (p *Plan) Clone() *Plan {
+	cp := *p
+	if cp.scratch != nil {
+		cp.scratch = make([]complex128, len(p.scratch))
+	}
+	return &cp
 }
 
 // Len returns the transform length of the plan.
@@ -157,6 +188,31 @@ func (p *Plan) Forward(x []complex128) {
 // Inverse computes the normalised inverse DFT of x in place.
 func (p *Plan) Inverse(x []complex128) {
 	p.transform(x, true)
+}
+
+// ForwardMany computes the forward DFT of every buffer in xs in place —
+// the batched form the Doppler task uses to transform the K stagger
+// buffers of one (channel, range) column in a single call. Each buffer
+// must have length Len. It is equivalent to calling Forward on each
+// buffer, but hoists the per-call dispatch and (for power-of-two lengths)
+// walks the shared tables once per batch.
+func (p *Plan) ForwardMany(xs [][]complex128) {
+	if p.pow2 {
+		if p.n <= 1 {
+			return
+		}
+		t := tablesFor(p.n)
+		for _, x := range xs {
+			if len(x) != p.n {
+				panic(fmt.Sprintf("signal: plan length %d, input length %d", p.n, len(x)))
+			}
+			t.transform(x, false)
+		}
+		return
+	}
+	for _, x := range xs {
+		p.Forward(x)
+	}
 }
 
 func (p *Plan) transform(x []complex128, inverse bool) {
@@ -195,15 +251,15 @@ func (p *Plan) bluestein(x []complex128) {
 		a[i] = 0
 	}
 	for t := 0; t < p.n; t++ {
-		a[t] = x[t] * p.chirp[t]
+		a[t] = x[t] * p.pre.chirp[t]
 	}
 	FFT(a)
 	for i := range a {
-		a[i] *= p.bfft[i]
+		a[i] *= p.pre.bfft[i]
 	}
 	IFFT(a)
 	for k := 0; k < p.n; k++ {
-		x[k] = a[k] * p.chirp[k]
+		x[k] = a[k] * p.pre.chirp[k]
 	}
 }
 

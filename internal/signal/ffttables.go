@@ -1,0 +1,85 @@
+package signal
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// fftTables holds the immutable precomputed state for power-of-two radix-2
+// transforms of one length: the bit-reversal permutation and the twiddle
+// factors tw[k] = exp(-2*pi*i*k/n) for k in [0, n/2). Each butterfly reads
+// its twiddle directly from the table (conjugated for inverse transforms)
+// instead of deriving it by the w *= wStep recurrence, which both removes
+// the per-butterfly complex multiply and the O(n) rounding drift the
+// recurrence accumulates across a stage.
+//
+// Tables are built once per length, cached process-wide, and never written
+// after publication, so any number of goroutines may transform concurrently
+// with the same tables.
+type fftTables struct {
+	n   int
+	rev []int32
+	tw  []complex128
+}
+
+// tableCache maps transform length -> *fftTables. Entries are immutable
+// once stored; duplicate racing builds are harmless (last store wins, both
+// values are identical).
+var tableCache sync.Map
+
+// tablesFor returns the cached tables for power-of-two length n, building
+// them on first use.
+func tablesFor(n int) *fftTables {
+	if v, ok := tableCache.Load(n); ok {
+		return v.(*fftTables)
+	}
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("signal: radix-2 FFT length %d is not a power of two", n))
+	}
+	t := &fftTables{n: n, rev: make([]int32, n), tw: make([]complex128, n/2)}
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		t.rev[i] = int32(bits.Reverse64(uint64(i)) >> shift)
+	}
+	// Each twiddle is computed directly from its own angle, so the table
+	// entry error is one rounding of sin/cos rather than k accumulated
+	// complex multiplies.
+	for k := 0; k < n/2; k++ {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		s, c := math.Sincos(angle)
+		t.tw[k] = complex(c, s)
+	}
+	tableCache.Store(n, t)
+	return t
+}
+
+// transform runs the in-place radix-2 transform using the tables. The
+// inverse transform is unnormalised (callers divide by n).
+func (t *fftTables) transform(x []complex128, inverse bool) {
+	n := t.n
+	for i, jj := range t.rev {
+		if j := int(jj); j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		stride := n / size
+		for start := 0; start < n; start += size {
+			tk := 0
+			for k := 0; k < half; k++ {
+				w := t.tw[tk]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				tk += stride
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package signal
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestPlanForCachedAndEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 8, 15, 64, 127, 130} {
+		p1 := PlanFor(n)
+		p2 := PlanFor(n)
+		if IsPow2(n) && p1 != p2 {
+			t.Errorf("n=%d: power-of-two plans not shared", n)
+		}
+		if !IsPow2(n) && p1 == p2 {
+			t.Errorf("n=%d: Bluestein plans must not share scratch", n)
+		}
+		x := randVec(rng, n)
+		a := append([]complex128(nil), x...)
+		b := append([]complex128(nil), x...)
+		p1.Forward(a)
+		np := NewPlan(n)
+		np.Forward(b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("n=%d: cached plan disagrees with NewPlan at bin %d", n, i)
+			}
+		}
+	}
+}
+
+func TestForwardManyMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{15, 64, 127} {
+		p := PlanFor(n)
+		const k = 3
+		batch := make([][]complex128, k)
+		single := make([][]complex128, k)
+		for i := range batch {
+			x := randVec(rng, n)
+			batch[i] = append([]complex128(nil), x...)
+			single[i] = append([]complex128(nil), x...)
+			p.Forward(single[i])
+		}
+		p.ForwardMany(batch)
+		for i := range batch {
+			for j := range batch[i] {
+				if batch[i][j] != single[i][j] {
+					t.Fatalf("n=%d: ForwardMany diverges from Forward at buffer %d bin %d", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanCloneIndependentScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := PlanFor(15)
+	clones := []*Plan{p, p.Clone(), p.Clone()}
+	inputs := make([][]complex128, len(clones))
+	wants := make([][]complex128, len(clones))
+	for i := range clones {
+		inputs[i] = randVec(rng, 15)
+		wants[i] = DFT(inputs[i])
+	}
+	var wg sync.WaitGroup
+	for i, pl := range clones {
+		wg.Add(1)
+		go func(i int, pl *Plan) {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				x := append([]complex128(nil), inputs[i]...)
+				pl.Forward(x)
+				if maxDiff(x, wants[i]) > 1e-8 {
+					t.Errorf("clone %d: corrupted transform", i)
+					return
+				}
+			}
+		}(i, pl)
+	}
+	wg.Wait()
+}
+
+func TestConcurrentPow2PlanShared(t *testing.T) {
+	// A shared power-of-two plan must be safe for concurrent use: it is
+	// stateless and works in place on caller-owned buffers.
+	p := PlanFor(256)
+	rng := rand.New(rand.NewSource(10))
+	x := randVec(rng, 256)
+	want := append([]complex128(nil), x...)
+	p.Forward(want)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 100; iter++ {
+				y := append([]complex128(nil), x...)
+				p.Forward(y)
+				if maxDiff(y, want) != 0 {
+					t.Error("concurrent transforms disagree")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestFFTZeroAllocSteadyState(t *testing.T) {
+	// After the first call at a length, FFT/IFFT and plan transforms must
+	// not allocate: the tables are cached process-wide.
+	x := make([]complex128, 1024)
+	x[1] = 1
+	FFT(x) // warm the table cache
+	if n := testing.AllocsPerRun(20, func() { FFT(x); IFFT(x) }); n != 0 {
+		t.Errorf("FFT+IFFT allocated %v times per run, want 0", n)
+	}
+	p := PlanFor(15) // Bluestein
+	y := make([]complex128, 15)
+	y[1] = 1
+	p.Forward(y)
+	if n := testing.AllocsPerRun(20, func() { p.Forward(y); p.Inverse(y) }); n != 0 {
+		t.Errorf("Bluestein plan allocated %v times per run, want 0", n)
+	}
+	bufs := [][]complex128{make([]complex128, 64), make([]complex128, 64)}
+	pp := PlanFor(64)
+	pp.ForwardMany(bufs)
+	if n := testing.AllocsPerRun(20, func() { pp.ForwardMany(bufs) }); n != 0 {
+		t.Errorf("ForwardMany allocated %v times per run, want 0", n)
+	}
+}

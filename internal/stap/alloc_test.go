@@ -1,0 +1,154 @@
+package stap
+
+import (
+	"testing"
+
+	"stapio/internal/cube"
+	"stapio/internal/radar"
+)
+
+// The Doppler→CFAR hot path — Doppler filtering, beamforming, pulse
+// compression, and CFAR — must not allocate in steady state once its
+// per-worker scratch state (DopplerScratch, weight sets, Compressor,
+// CFARScratch) is built. These regression tests pin that property with
+// testing.AllocsPerRun so a future change that re-introduces per-CPI
+// allocation fails CI rather than quietly eroding throughput.
+
+func allocTestSetup(t testing.TB) (Params, *cube.Cube) {
+	t.Helper()
+	s := radar.SmallTestScenario()
+	p := DefaultParams(s.Dims)
+	p.PulseLen = s.PulseLen
+	p.Bandwidth = s.Bandwidth
+	cb, err := s.Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, cb
+}
+
+func TestDopplerFilterRangesZeroAlloc(t *testing.T) {
+	p, cb := allocTestSetup(t)
+	out := NewDopplerCube(&p)
+	sc := NewDopplerScratch(&p)
+	blk := cube.Block{Lo: 0, Hi: p.Dims.Ranges}
+	if err := DopplerFilterRanges(&p, cb, blk, out, sc); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(10, func() {
+		if err := DopplerFilterRanges(&p, cb, blk, out, sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Errorf("DopplerFilterRanges allocated %v times per CPI, want 0", n)
+	}
+}
+
+func TestBeamformZeroAlloc(t *testing.T) {
+	p, cb := allocTestSetup(t)
+	dc, err := DopplerFilter(&p, cb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	easy := InitialWeights(&p, p.EasyBins())
+	hard := InitialWeights(&p, p.HardBins())
+	bc := NewBeamCube(&p)
+	n := testing.AllocsPerRun(10, func() {
+		if err := Beamform(&p, dc, easy, easy.Bins, bc); err != nil {
+			t.Fatal(err)
+		}
+		if err := Beamform(&p, dc, hard, hard.Bins, bc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Errorf("Beamform allocated %v times per CPI, want 0", n)
+	}
+}
+
+func TestCompressZeroAlloc(t *testing.T) {
+	p, _ := allocTestSetup(t)
+	bc := NewBeamCube(&p)
+	for i := range bc.Data {
+		bc.Data[i] = complex(float64(i%5)*0.2, 0.1)
+	}
+	comp := NewCompressor(&p)
+	pairs := AllBeamBins(bc.Beams, bc.Bins)
+	n := testing.AllocsPerRun(10, func() {
+		if err := Compress(&p, bc, comp, pairs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Errorf("Compress allocated %v times per CPI, want 0", n)
+	}
+}
+
+func TestCFARZeroAllocWithoutDetections(t *testing.T) {
+	// With a caller-owned scratch and no threshold crossings, every CFAR
+	// variant must complete a CPI without allocating; the detection slice
+	// is the only output that may allocate, and only when detections exist.
+	p, _ := allocTestSetup(t)
+	bc := NewBeamCube(&p) // all-zero: no cell can exceed its threshold
+	pairs := AllBeamBins(bc.Beams, bc.Bins)
+	for _, kind := range []CFARKind{CFARCellAveraging, CFARGreatestOf, CFARSmallestOf, CFAROrderedStatistic} {
+		sc := NewCFARScratch(&p)
+		n := testing.AllocsPerRun(10, func() {
+			dets, err := CFARWithScratch(&p, kind, bc, pairs, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(dets) != 0 {
+				t.Fatalf("%v: unexpected detections on a zero cube", kind)
+			}
+		})
+		if n != 0 {
+			t.Errorf("%v CFAR allocated %v times per CPI, want 0", kind, n)
+		}
+	}
+}
+
+func TestCFARScratchMatchesScratchless(t *testing.T) {
+	// Scratch reuse must not change the detections.
+	p, cb := allocTestSetup(t)
+	dc, err := DopplerFilter(&p, cb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := NewBeamCube(&p)
+	easy := InitialWeights(&p, p.EasyBins())
+	hard := InitialWeights(&p, p.HardBins())
+	if err := Beamform(&p, dc, easy, easy.Bins, bc); err != nil {
+		t.Fatal(err)
+	}
+	if err := Beamform(&p, dc, hard, hard.Bins, bc); err != nil {
+		t.Fatal(err)
+	}
+	if err := Compress(&p, bc, NewCompressor(&p), nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []CFARKind{CFARCellAveraging, CFARGreatestOf, CFARSmallestOf, CFAROrderedStatistic} {
+		want, err := CFARWith(&p, kind, bc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := NewCFARScratch(&p)
+		pairs := AllBeamBins(bc.Beams, bc.Bins)
+		// Run twice through the same scratch: results must be stable.
+		for pass := 0; pass < 2; pass++ {
+			got, err := CFARWithScratch(&p, kind, bc, pairs, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%v pass %d: %d detections with scratch, %d without", kind, pass, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%v pass %d: detection %d differs: %+v vs %+v", kind, pass, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -1,9 +1,10 @@
 package stap
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Detection is one CFAR threshold crossing — the pipeline's final output,
@@ -26,6 +27,45 @@ func (d Detection) SNR(p *Params) float64 {
 	return 10*math.Log10(d.Power/d.Threshold) + float64(p.CFAR.ThresholdDB)
 }
 
+// CFARScratch holds the reusable buffers of one CFAR worker: the per-gate
+// power profile plus the leading/lagging/ordered-statistic reference
+// windows the variant detectors use. Build one per worker with
+// NewCFARScratch (once per stage) and pass it to CFARWithScratch; a CPI
+// that produces no detections then allocates nothing. A scratch must not be
+// shared by two goroutines at once.
+type CFARScratch struct {
+	power []float64
+	lead  []float64
+	lag   []float64
+	os    []float64
+}
+
+// NewCFARScratch builds the reusable detector buffers for p.
+func NewCFARScratch(p *Params) *CFARScratch {
+	w := p.CFAR.Window
+	return &CFARScratch{
+		power: make([]float64, p.Dims.Ranges),
+		lead:  make([]float64, 0, w),
+		lag:   make([]float64, 0, w),
+		os:    make([]float64, 0, 2*w),
+	}
+}
+
+// sortDetections orders detections by (beam, bin, range) without
+// allocating. The key is unique per detection of one CPI, so the order is
+// total and identical to the previous sort.Slice behaviour.
+func SortDetections(dets []Detection) {
+	slices.SortFunc(dets, func(a, b Detection) int {
+		if a.Beam != b.Beam {
+			return cmp.Compare(a.Beam, b.Beam)
+		}
+		if a.Bin != b.Bin {
+			return cmp.Compare(a.Bin, b.Bin)
+		}
+		return cmp.Compare(a.Range, b.Range)
+	})
+}
+
 // CFAR runs cell-averaging CFAR along range on the listed (beam, bin)
 // profiles of bc (all profiles when pairs is nil) and returns the
 // detections sorted by (beam, bin, range).
@@ -35,13 +75,20 @@ func (d Detection) SNR(p *Params) float64 {
 // sides (one-sided at the profile edges), and the cell detects when
 // power > noise * 10^(ThresholdDB/10).
 func CFAR(p *Params, bc *BeamCube, pairs []BeamBin) ([]Detection, error) {
+	return cfarCA(p, bc, pairs, nil)
+}
+
+func cfarCA(p *Params, bc *BeamCube, pairs []BeamBin, sc *CFARScratch) ([]Detection, error) {
 	if pairs == nil {
 		pairs = AllBeamBins(bc.Beams, bc.Bins)
+	}
+	if sc == nil || len(sc.power) < bc.Ranges {
+		sc = &CFARScratch{power: make([]float64, bc.Ranges)}
 	}
 	alpha := math.Pow(10, float64(p.CFAR.ThresholdDB)/10)
 	g, w := p.CFAR.Guard, p.CFAR.Window
 	var dets []Detection
-	power := make([]float64, bc.Ranges)
+	power := sc.power[:bc.Ranges]
 	for _, pb := range pairs {
 		if pb.Beam < 0 || pb.Beam >= bc.Beams || pb.Bin < 0 || pb.Bin >= bc.Bins {
 			return nil, fmt.Errorf("stap: beam/bin pair %+v out of range", pb)
@@ -80,16 +127,7 @@ func CFAR(p *Params, bc *BeamCube, pairs []BeamBin) ([]Detection, error) {
 			}
 		}
 	}
-	sort.Slice(dets, func(i, j int) bool {
-		a, b := dets[i], dets[j]
-		if a.Beam != b.Beam {
-			return a.Beam < b.Beam
-		}
-		if a.Bin != b.Bin {
-			return a.Bin < b.Bin
-		}
-		return a.Range < b.Range
-	})
+	SortDetections(dets)
 	return dets, nil
 }
 

@@ -3,7 +3,7 @@ package stap
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // CFARKind selects the noise-level estimator used by the CFAR detector.
@@ -46,19 +46,35 @@ func (k CFARKind) String() string {
 // (beam, bin) profiles of bc (all when pairs is nil). The geometry and
 // threshold come from p.CFAR, as with the default detector.
 func CFARWith(p *Params, kind CFARKind, bc *BeamCube, pairs []BeamBin) ([]Detection, error) {
+	return CFARWithScratch(p, kind, bc, pairs, nil)
+}
+
+// CFARWithScratch is CFARWith with a caller-owned scratch, the form the
+// pipeline's CFAR workers use so a steady-state CPI with no threshold
+// crossings allocates nothing. sc may be nil (a fresh scratch is built).
+func CFARWithScratch(p *Params, kind CFARKind, bc *BeamCube, pairs []BeamBin, sc *CFARScratch) ([]Detection, error) {
 	if kind == CFARCellAveraging {
-		return CFAR(p, bc, pairs)
+		return cfarCA(p, bc, pairs, sc)
 	}
 	if pairs == nil {
 		pairs = AllBeamBins(bc.Beams, bc.Bins)
 	}
+	if sc == nil || len(sc.power) < bc.Ranges {
+		w := p.CFAR.Window
+		sc = &CFARScratch{
+			power: make([]float64, bc.Ranges),
+			lead:  make([]float64, 0, w),
+			lag:   make([]float64, 0, w),
+			os:    make([]float64, 0, 2*w),
+		}
+	}
 	alpha := math.Pow(10, float64(p.CFAR.ThresholdDB)/10)
 	g, w := p.CFAR.Guard, p.CFAR.Window
 	var dets []Detection
-	power := make([]float64, bc.Ranges)
-	lead := make([]float64, 0, w)
-	lag := make([]float64, 0, w)
-	osBuf := make([]float64, 0, 2*w)
+	power := sc.power[:bc.Ranges]
+	lead := sc.lead
+	lag := sc.lag
+	osBuf := sc.os
 	for _, pb := range pairs {
 		if pb.Beam < 0 || pb.Beam >= bc.Beams || pb.Bin < 0 || pb.Bin >= bc.Bins {
 			return nil, fmt.Errorf("stap: beam/bin pair %+v out of range", pb)
@@ -102,7 +118,7 @@ func CFARWith(p *Params, kind CFARKind, bc *BeamCube, pairs []BeamBin) ([]Detect
 				if len(osBuf) == 0 {
 					continue
 				}
-				sort.Float64s(osBuf)
+				slices.Sort(osBuf)
 				k := (3 * len(osBuf)) / 4
 				if k >= len(osBuf) {
 					k = len(osBuf) - 1
@@ -124,16 +140,7 @@ func CFARWith(p *Params, kind CFARKind, bc *BeamCube, pairs []BeamBin) ([]Detect
 			}
 		}
 	}
-	sort.Slice(dets, func(i, j int) bool {
-		a, b := dets[i], dets[j]
-		if a.Beam != b.Beam {
-			return a.Beam < b.Beam
-		}
-		if a.Bin != b.Bin {
-			return a.Bin < b.Bin
-		}
-		return a.Range < b.Range
-	})
+	SortDetections(dets)
 	return dets, nil
 }
 

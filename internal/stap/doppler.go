@@ -48,12 +48,48 @@ func (dc *DopplerCube) At(bin, stagger, ch, r int) complex128 {
 	return dc.Snapshot(bin, r)[stagger*dc.Channels+ch]
 }
 
+// DopplerScratch is the reusable per-worker state of Doppler filter
+// processing: the window coefficients, the length-L FFT plan, the K stagger
+// buffers, and the slow-time column buffer. Build one per Doppler worker
+// with NewDopplerScratch (once per stage, not once per CPI) and pass it to
+// DopplerFilterRanges; steady-state filtering then allocates nothing. A
+// scratch must not be shared by two goroutines at once.
+type DopplerScratch struct {
+	win  []float64
+	plan *signal.Plan
+	bufs [][]complex128
+	col  []complex64
+}
+
+// NewDopplerScratch builds the reusable filtering state for p.
+func NewDopplerScratch(p *Params) *DopplerScratch {
+	l := p.Bins()
+	k := p.StaggerCount()
+	sc := &DopplerScratch{
+		win:  signal.Window(p.Window, l),
+		plan: signal.PlanFor(l),
+		bufs: make([][]complex128, k),
+		col:  make([]complex64, p.Dims.Pulses),
+	}
+	for st := range sc.bufs {
+		sc.bufs[st] = make([]complex128, l)
+	}
+	return sc
+}
+
+// fits reports whether the scratch was built for p's geometry.
+func (sc *DopplerScratch) fits(p *Params) bool {
+	return sc.plan.Len() == p.Bins() &&
+		len(sc.bufs) == p.StaggerCount() &&
+		len(sc.col) == p.Dims.Pulses
+}
+
 // DopplerFilter runs Doppler filter processing over the full cube. It is
 // equivalent to DopplerFilterRanges over the whole range extent.
 func DopplerFilter(p *Params, cb *cube.Cube, seq uint64) (*DopplerCube, error) {
 	out := NewDopplerCube(p)
 	out.Seq = seq
-	if err := DopplerFilterRanges(p, cb, cube.Block{Lo: 0, Hi: p.Dims.Ranges}, out); err != nil {
+	if err := DopplerFilterRanges(p, cb, cube.Block{Lo: 0, Hi: p.Dims.Ranges}, out, nil); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -62,8 +98,10 @@ func DopplerFilter(p *Params, cb *cube.Cube, seq uint64) (*DopplerCube, error) {
 // DopplerFilterRanges performs Doppler filtering for the range gates in
 // block rb only, writing into out. Distinct range blocks touch disjoint
 // regions of out, so the pipeline's Doppler task workers each process one
-// block concurrently. The input cube must match p.Dims.
-func DopplerFilterRanges(p *Params, cb *cube.Cube, rb cube.Block, out *DopplerCube) error {
+// block concurrently. The input cube must match p.Dims. sc is the worker's
+// reusable scratch; nil allocates a fresh one for the call (convenient for
+// one-shot use, but the hot path should reuse a per-worker scratch).
+func DopplerFilterRanges(p *Params, cb *cube.Cube, rb cube.Block, out *DopplerCube, sc *DopplerScratch) error {
 	if cb.Dims != p.Dims {
 		return fmt.Errorf("stap: cube dims %v do not match params dims %v", cb.Dims, p.Dims)
 	}
@@ -75,13 +113,12 @@ func DopplerFilterRanges(p *Params, cb *cube.Cube, rb cube.Block, out *DopplerCu
 	if out.SnapLen != k*p.Dims.Channels || out.Bins != l || out.Ranges != p.Dims.Ranges {
 		return fmt.Errorf("stap: output cube geometry does not match params")
 	}
-	w := signal.Window(p.Window, l)
-	plan := signal.NewPlan(l)
-	bufs := make([][]complex128, k)
-	for st := range bufs {
-		bufs[st] = make([]complex128, l)
+	if sc == nil {
+		sc = NewDopplerScratch(p)
+	} else if !sc.fits(p) {
+		return fmt.Errorf("stap: doppler scratch geometry does not match params")
 	}
-	col := make([]complex64, p.Dims.Pulses)
+	w, bufs, col := sc.win, sc.bufs, sc.col
 	for c := 0; c < p.Dims.Channels; c++ {
 		for r := rb.Lo; r < rb.Hi; r++ {
 			cb.PulseColumn(c, r, col)
@@ -90,8 +127,8 @@ func DopplerFilterRanges(p *Params, cb *cube.Cube, rb cube.Block, out *DopplerCu
 				for i := 0; i < l; i++ {
 					buf[i] = complex128(col[i+st]) * complex(w[i], 0)
 				}
-				plan.Forward(buf)
 			}
+			sc.plan.ForwardMany(bufs)
 			for d := 0; d < l; d++ {
 				snap := out.Snapshot(d, r)
 				for st := 0; st < k; st++ {

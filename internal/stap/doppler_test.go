@@ -96,8 +96,9 @@ func TestDopplerFilterRangesBlocksCompose(t *testing.T) {
 		t.Fatal(err)
 	}
 	parts := NewDopplerCube(&p)
+	sc := NewDopplerScratch(&p)
 	for _, blk := range cube.Split(p.Dims.Ranges, 3) {
-		if err := DopplerFilterRanges(&p, cb, blk, parts); err != nil {
+		if err := DopplerFilterRanges(&p, cb, blk, parts, sc); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -116,10 +117,16 @@ func TestDopplerFilterErrors(t *testing.T) {
 	}
 	cb := cube.New(p.Dims)
 	out := NewDopplerCube(&p)
-	if err := DopplerFilterRanges(&p, cb, cube.Block{Lo: -1, Hi: 4}, out); err == nil {
+	if err := DopplerFilterRanges(&p, cb, cube.Block{Lo: -1, Hi: 4}, out, nil); err == nil {
 		t.Error("expected block range error")
 	}
-	if err := DopplerFilterRanges(&p, cb, cube.Block{Lo: 0, Hi: p.Dims.Ranges + 1}, out); err == nil {
+	if err := DopplerFilterRanges(&p, cb, cube.Block{Lo: 0, Hi: p.Dims.Ranges + 1}, out, nil); err == nil {
 		t.Error("expected block range error (hi)")
+	}
+	wrongScratch := NewDopplerScratch(&p)
+	bigger := p
+	bigger.Staggers = p.StaggerCount() + 1
+	if err := DopplerFilterRanges(&bigger, cube.New(bigger.Dims), cube.Block{Lo: 0, Hi: 1}, NewDopplerCube(&bigger), wrongScratch); err == nil {
+		t.Error("expected scratch geometry error")
 	}
 }
