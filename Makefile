@@ -22,8 +22,9 @@ check: vet build race
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-# Refresh the committed hot-path benchmark record. The existing baseline
-# ("before" section) is preserved so the comparison stays anchored to the
-# pre-optimisation numbers.
+# Refresh the committed hot-path benchmark record (now including the
+# readahead/decode-worker sweep). BENCH_2.json's "after" section is the
+# baseline: it captured the depth-1 pipeline just before the readahead
+# work, so the comparison is exactly depth-1 vs the new I/O frontend.
 benchjson:
-	$(GO) run ./cmd/benchjson -keep-before -o BENCH_2.json
+	$(GO) run ./cmd/benchjson -before BENCH_2.json -o BENCH_3.json

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	"stapio/internal/core"
 	"stapio/internal/cube"
@@ -565,6 +566,59 @@ func BenchmarkRealPipelineIODesigns(b *testing.B) {
 			b.ReportMetric(last.SteadyThroughput(), "CPIs/s")
 			b.ReportMetric(float64(last.MeanLatency().Microseconds())/1e3, "latency-ms")
 		})
+	}
+}
+
+// BenchmarkRealPipelineReadahead sweeps the readahead depth and the
+// decode-worker count on the separate-I/O design against a deliberately
+// slow striped store (an injected 2ms service latency per stripe read,
+// modelling a loaded parallel file system). At depth 1 the pipeline is
+// read-bound; deeper windows overlap several striped reads and their
+// decode/verify work, so throughput recovers toward the compute bound —
+// the sweep behind BENCH_3.json.
+func BenchmarkRealPipelineReadahead(b *testing.B) {
+	s := radar.SmallTestScenario()
+	root := b.TempDir()
+	fs, err := pfs.CreateReal(root, 4, 4096, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const files = 4
+	if _, err := radar.WriteDataset(fs, s, files, files, false); err != nil {
+		b.Fatal(err)
+	}
+	fs.SetFaults(&pfs.FaultPlan{Seed: 1, SlowRate: 1, SlowDelay: 2 * time.Millisecond})
+	src, err := pipexec.NewFileSource(fs, s.Dims, files)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, depth := range []int{1, 2, 4, 8} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("depth%d/decode%d", depth, workers), func(b *testing.B) {
+				p := stap.DefaultParams(s.Dims)
+				p.PulseLen = s.PulseLen
+				p.Bandwidth = s.Bandwidth
+				pc := pipexec.Config{
+					Params: p,
+					Workers: core.STAPNodes{
+						Doppler: 2, EasyWeight: 1, HardWeight: 1,
+						EasyBF: 2, HardBF: 1, PulseComp: 2, CFAR: 1,
+					},
+					SeparateIO:    true,
+					ReadAhead:     depth,
+					DecodeWorkers: workers,
+				}
+				var last *pipexec.Result
+				for i := 0; i < b.N; i++ {
+					last, err = pipexec.Run(context.Background(), pc, src, 8)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(last.SteadyThroughput(), "CPIs/s")
+				b.ReportMetric(float64(last.MeanLatency().Microseconds())/1e3, "latency-ms")
+			})
+		}
 	}
 }
 

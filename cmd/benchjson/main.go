@@ -28,7 +28,7 @@ import (
 // defaultBench selects the kernel and real-pipeline benchmarks — the hot
 // path this repository's performance work targets — rather than the full
 // table/figure regeneration suite, which takes far longer.
-const defaultBench = `BenchmarkKernelFFT|BenchmarkKernelDoppler|BenchmarkKernelPulseCompressionCFAR|BenchmarkRealPipeline$|BenchmarkRealPipelineIODesigns`
+const defaultBench = `BenchmarkKernelFFT|BenchmarkKernelDoppler|BenchmarkKernelPulseCompressionCFAR|BenchmarkRealPipeline$|BenchmarkRealPipelineIODesigns|BenchmarkRealPipelineReadahead`
 
 // Bench is one benchmark result line.
 type Bench struct {

@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"os"
 
-	"stapio/internal/cube"
 	"stapio/internal/pfs"
 	"stapio/internal/radar"
 )
@@ -51,7 +50,7 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %d CPIs (%v, %d bytes each) into %d round-robin files striped over %d dirs at %s\n",
-		*cpis, sc.Dims, cube.FileBytes(sc.Dims), *files, *dirs, *root)
+		*cpis, sc.Dims, radar.DatasetFileBytes(sc.Dims), *files, *dirs, *root)
 	for i, tg := range sc.Targets {
 		fmt.Printf("  truth target %d: angle=%.2f doppler=%.3f range=%d snr=%.1fdB\n",
 			i, tg.Angle, tg.Doppler, tg.Range, tg.SNR)

@@ -8,6 +8,8 @@
 //	stapdetect -separate-io -combine-pc-cfar ...  # pipeline variants
 //	stapdetect -data ... -faults fail=0.05,corrupt=0.01,seed=42 -degrade skip
 //	                                              # fault injection + resilience
+//	stapdetect -data ... -separate-io -readahead 4 -decodeworkers 4
+//	                                              # deep readahead, parallel decode/verify
 package main
 
 import (
@@ -42,6 +44,8 @@ func main() {
 		faults   = flag.String("faults", "", `inject faults into the striped reads, e.g. "fail=0.05,corrupt=0.01,seed=42" (requires -data)`)
 		degrade  = flag.String("degrade", "failfast", "degradation policy once retries are exhausted: failfast | skip | lastgood")
 		retries  = flag.Int("retries", 3, "read attempts per CPI before the degradation policy applies")
+		rdAhead  = flag.Int("readahead", 1, "readahead depth: striped reads kept in flight beyond the CPI being consumed")
+		decodeW  = flag.Int("decodeworkers", 1, "goroutines sharding each cube's checksum verify and decode")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
@@ -108,6 +112,8 @@ func main() {
 		CombinePCCFAR: *combine,
 		Degrade:       policy,
 		Retry:         pipexec.RetryPolicy{MaxAttempts: *retries},
+		ReadAhead:     *rdAhead,
+		DecodeWorkers: *decodeW,
 	}
 
 	var src pipexec.AsyncSource
@@ -146,7 +152,7 @@ func main() {
 	fmt.Printf("processed %d CPIs in %v — throughput %.2f CPIs/s, mean latency %v\n",
 		len(res.CPIs), res.Elapsed.Round(1e6), res.Throughput, res.MeanLatency().Round(1e6))
 	st := res.Stats
-	if *faults != "" || st.Retries+st.Drops+st.ChecksumFailures+st.DeadlineHits+st.WeightFallbacks > 0 {
+	if *faults != "" || st.Retries+st.Drops+st.ChecksumFailures+st.DeadlineHits+st.WeightFallbacks+st.ChunkRereads > 0 {
 		fmt.Printf("resilience: %v\n", st)
 		if len(st.DroppedSeqs) > 0 {
 			fmt.Printf("  dropped CPIs: %v\n", st.DroppedSeqs)

@@ -33,7 +33,9 @@ import (
 // anywhere in the sample array — a degraded stripe server, a torn write —
 // is detected instead of silently processed. Version-1 files (checksum
 // word zero) still decode; their headers report HasChecksum false and the
-// payload is accepted unverified.
+// payload is accepted unverified. Version 3 (chunks.go) adds a per-chunk
+// checksum table between the header and the payload; the header layout
+// above is unchanged and its checksum word still covers the whole payload.
 
 // Magic identifies a cube file.
 const Magic = "SCPI"
@@ -41,8 +43,13 @@ const Magic = "SCPI"
 // HeaderSize is the size in bytes of the fixed cube file header.
 const HeaderSize = 32
 
-// FormatVersion is the current cube file format version.
-const FormatVersion = 2
+// FormatVersion is the newest cube file format version this package reads
+// and writes. Encode/Write still emit the flat version-2 layout;
+// EncodeChunked/WriteChunked emit version 3.
+const FormatVersion = FormatVersionChunked
+
+// FormatVersionFlat is the flat (chunk-table-free) checksummed format.
+const FormatVersionFlat = 2
 
 // Typed codec failures, matched with errors.Is so the pipeline's resilience
 // layer can distinguish detected corruption (retryable) from structural
@@ -69,6 +76,14 @@ type Header struct {
 	// HasChecksum reports whether the file carries a payload checksum
 	// (false for version-1 files, which decode unverified).
 	HasChecksum bool
+	// Version is the file's format version (encoders treat zero as the
+	// flat version 2, so literal Headers keep their old meaning).
+	Version int
+	// ChunkSize is the payload chunk granularity in bytes (version >= 3;
+	// zero for flat formats). Always a positive multiple of 8 once decoded.
+	ChunkSize int
+	// ChunkCRCs is the per-chunk CRC-32C table (version >= 3).
+	ChunkCRCs []uint32
 }
 
 // FileBytes returns the total encoded size of a cube with dimensions d:
@@ -76,10 +91,15 @@ type Header struct {
 func FileBytes(d Dims) int64 { return HeaderSize + d.Bytes() }
 
 // EncodeHeader writes the 32-byte header for h into buf, which must be at
-// least HeaderSize bytes long.
+// least HeaderSize bytes long. A zero h.Version encodes as the flat
+// version 2.
 func EncodeHeader(h Header, buf []byte) {
+	v := h.Version
+	if v == 0 {
+		v = FormatVersionFlat
+	}
 	copy(buf[0:4], Magic)
-	binary.LittleEndian.PutUint32(buf[4:8], FormatVersion)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(v))
 	binary.LittleEndian.PutUint32(buf[8:12], uint32(h.Channels))
 	binary.LittleEndian.PutUint32(buf[12:16], uint32(h.Pulses))
 	binary.LittleEndian.PutUint32(buf[16:20], uint32(h.Ranges))
@@ -100,6 +120,7 @@ func DecodeHeader(buf []byte) (Header, error) {
 	if v < 1 || v > FormatVersion {
 		return h, fmt.Errorf("cube: unsupported format version %d", v)
 	}
+	h.Version = int(v)
 	h.Channels = int(binary.LittleEndian.Uint32(buf[8:12]))
 	h.Pulses = int(binary.LittleEndian.Uint32(buf[12:16]))
 	h.Ranges = int(binary.LittleEndian.Uint32(buf[16:20]))
@@ -145,12 +166,19 @@ func DecodeSamples(cb *Cube, buf []byte) error {
 	if len(buf) < need {
 		return fmt.Errorf("cube: payload too short: have %d want %d", len(buf), need)
 	}
-	for i := range cb.Data {
+	DecodeSampleRange(cb, buf, 0, len(cb.Data))
+	return nil
+}
+
+// DecodeSampleRange parses samples [lo, hi) from the full payload buf into
+// cb — the shard a decode worker handles. Bounds are the caller's problem
+// (the chunk table guarantees sample-aligned spans).
+func DecodeSampleRange(cb *Cube, buf []byte, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		re := math.Float32frombits(binary.LittleEndian.Uint32(buf[i*8:]))
 		im := math.Float32frombits(binary.LittleEndian.Uint32(buf[i*8+4:]))
 		cb.Data[i] = complex(re, im)
 	}
-	return nil
 }
 
 // Encode serialises cb with sequence number seq into buf, which must be at
@@ -163,37 +191,109 @@ func Encode(cb *Cube, seq uint64, buf []byte) {
 	EncodeHeader(h, buf)
 }
 
-// Write serialises cb with sequence number seq to w.
+// sizedBuf returns buf resliced to n bytes, reusing its capacity when it
+// suffices and allocating otherwise.
+func sizedBuf(buf []byte, n int64) []byte {
+	if int64(cap(buf)) >= n {
+		return buf[:n]
+	}
+	return make([]byte, n)
+}
+
+// Write serialises cb with sequence number seq to w in the flat version-2
+// format, allocating a transient file-sized buffer. Hot paths should use
+// WriteBuf with a pooled buffer instead.
 func Write(w io.Writer, cb *Cube, seq uint64) error {
-	buf := make([]byte, FileBytes(cb.Dims))
+	return WriteBuf(w, cb, seq, nil)
+}
+
+// WriteBuf is Write with a caller-supplied scratch buffer: when buf has
+// capacity for the encoded file it is reused and the call allocates
+// nothing. A nil or undersized buf falls back to allocating.
+func WriteBuf(w io.Writer, cb *Cube, seq uint64, buf []byte) error {
+	buf = sizedBuf(buf, FileBytes(cb.Dims))
 	Encode(cb, seq, buf)
 	_, err := w.Write(buf)
 	return err
 }
 
-// Read parses a full cube file from r, verifying the payload checksum.
-func Read(r io.Reader) (*Cube, Header, error) {
-	hbuf := make([]byte, HeaderSize)
-	if _, err := io.ReadFull(r, hbuf); err != nil {
+// WriteChunked serialises cb to w in the chunked version-3 format, reusing
+// buf as scratch when it is large enough (nil allocates).
+func WriteChunked(w io.Writer, cb *Cube, seq uint64, chunkSize int, buf []byte) error {
+	buf = sizedBuf(buf, FileBytesChunked(cb.Dims, chunkSize))
+	EncodeChunked(cb, seq, chunkSize, buf)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFull wraps io.ReadFull, typing short reads as ErrTruncated.
+func readFull(r io.Reader, buf []byte, what string) error {
+	if _, err := io.ReadFull(r, buf); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 			err = fmt.Errorf("%w: %v", ErrTruncated, err)
 		}
-		return nil, Header{}, fmt.Errorf("cube: reading header: %w", err)
+		return fmt.Errorf("cube: reading %s: %w", what, err)
 	}
-	h, err := DecodeHeader(hbuf)
+	return nil
+}
+
+// Read parses a full cube file (any supported version) from r, verifying
+// its checksums.
+func Read(r io.Reader) (*Cube, Header, error) {
+	return ReadBuf(r, nil, nil)
+}
+
+// ReadBuf is Read with caller-supplied reuse: a cube of matching dimensions
+// is decoded into rather than freshly allocated, and buf serves as the read
+// scratch when large enough. Apart from the header's chunk-CRC table (v3
+// files only) a sized call allocates nothing.
+func ReadBuf(r io.Reader, cb *Cube, buf []byte) (*Cube, Header, error) {
+	buf = sizedBuf(buf, HeaderSize)
+	if err := readFull(r, buf[:HeaderSize], "header"); err != nil {
+		return nil, Header{}, err
+	}
+	h, err := DecodeHeader(buf[:HeaderSize])
 	if err != nil {
 		return nil, Header{}, err
 	}
-	cb := New(h.Dims)
-	pbuf := make([]byte, h.Bytes())
-	if _, err := io.ReadFull(r, pbuf); err != nil {
-		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-			err = fmt.Errorf("%w: %v", ErrTruncated, err)
+	if h.Version >= FormatVersionChunked {
+		// The table size depends on the chunk size, so read its fixed
+		// preamble first, then the CRCs.
+		pre := sizedBuf(buf, chunkTableFixed)
+		if err := readFull(r, pre, "chunk table"); err != nil {
+			return nil, Header{}, err
 		}
-		return nil, Header{}, fmt.Errorf("cube: reading payload: %w", err)
+		cs := int(binary.LittleEndian.Uint32(pre[0:4]))
+		if !validChunkSize(cs) {
+			return nil, Header{}, fmt.Errorf("%w: chunk size %d is not a positive multiple of 8", ErrCorrupt, cs)
+		}
+		table := make([]byte, chunkTableFixed+4*chunkCount(h.Bytes(), cs))
+		copy(table, pre)
+		if err := readFull(r, table[chunkTableFixed:], "chunk table"); err != nil {
+			return nil, Header{}, err
+		}
+		if err := DecodeChunkTable(&h, table); err != nil {
+			return nil, Header{}, err
+		}
 	}
-	if err := VerifyPayload(h, pbuf); err != nil {
+	pbuf := sizedBuf(buf, h.Bytes())
+	if err := readFull(r, pbuf, "payload"); err != nil {
 		return nil, Header{}, err
+	}
+	if h.Chunks() > 0 {
+		bad, err := VerifyChunks(&h, pbuf, 0, h.Chunks(), nil)
+		if err != nil {
+			return nil, Header{}, err
+		}
+		if len(bad) > 0 {
+			return nil, Header{}, fmt.Errorf("%w: %d of %d chunks failed their CRC (first: chunk %d; CPI %d)",
+				ErrCorrupt, len(bad), h.Chunks(), bad[0], h.Seq)
+		}
+	} else if err := VerifyPayload(h, pbuf); err != nil {
+		return nil, Header{}, err
+	}
+	if cb == nil || cb.Dims != h.Dims {
+		cb = New(h.Dims)
 	}
 	if err := DecodeSamples(cb, pbuf); err != nil {
 		return nil, Header{}, err

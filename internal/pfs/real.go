@@ -228,6 +228,25 @@ func (fs *RealFS) ReadAtAttempt(name string, off int64, buf []byte, attempt int)
 	return nil
 }
 
+// ProbeAt reads length bytes at logical offset off of the named file into
+// buf like ReadAt, but without fault injection or fan-out — the metadata
+// probe a client performs once at startup to learn file geometry, which
+// the injected fault stream covering data reads should not fail.
+func (fs *RealFS) ProbeAt(name string, off int64, buf []byte) error {
+	for _, s := range fs.segments(off, int64(len(buf))) {
+		f, err := os.Open(fs.subPath(s.dir, name))
+		if err != nil {
+			return &StripeReadError{Dir: s.dir, Name: name, Off: s.subOff, Err: err}
+		}
+		_, err = f.ReadAt(buf[s.bufOff:s.bufOff+s.length], s.subOff)
+		f.Close()
+		if err != nil {
+			return &StripeReadError{Dir: s.dir, Name: name, Off: s.subOff, Err: err}
+		}
+	}
+	return nil
+}
+
 // readDir serves one stripe directory's share of a fan-out read, applying
 // the fault plan: a latency spike sleeps, an injected failure aborts the
 // directory's runs, and a corruption flips one bit of the bytes served.

@@ -32,6 +32,8 @@ type Options struct {
 	// PrefetchDepth is how many reads ahead an asynchronous-I/O task keeps
 	// in flight (the paper's iread/iowait double buffering is depth 1).
 	// Ignored on synchronous file systems. Values < 1 are treated as 1.
+	// The real executor's pipexec.Config.ReadAhead is the same knob, so
+	// model sweeps and wall-clock sweeps are directly comparable.
 	PrefetchDepth int
 	// BufferDepth bounds how far a producer may run ahead of each
 	// consumer (double buffering = 2, the default). Without flow control

@@ -114,12 +114,23 @@ type RunStats struct {
 	// WeightFallbacks counts CPIs beamformed with stale weights under
 	// DegradeLastGoodWeights.
 	WeightFallbacks int64
+	// ChunkRereads counts chunk-level re-read operations against corrupt
+	// chunks of chunked (v3) cube files — the partial-re-read path that
+	// replaces whole-file retries when per-chunk checksums locate the
+	// damage. Zero for flat (v2) datasets and non-file sources.
+	ChunkRereads int64
+	// ChunkRereadBytes is the total bytes those chunk re-reads fetched.
+	ChunkRereadBytes int64
+	// RepairedReads counts cube reads that hit corrupt chunks but completed
+	// clean via chunk re-reads; such reads surface no error, so they appear
+	// here rather than in ChecksumFailures.
+	RepairedReads int64
 }
 
 // String summarises the counters.
 func (s RunStats) String() string {
-	return fmt.Sprintf("retries=%d drops=%d checksum-failures=%d deadline-hits=%d weight-fallbacks=%d",
-		s.Retries, s.Drops, s.ChecksumFailures, s.DeadlineHits, s.WeightFallbacks)
+	return fmt.Sprintf("retries=%d drops=%d checksum-failures=%d deadline-hits=%d weight-fallbacks=%d chunk-rereads=%d repaired-reads=%d",
+		s.Retries, s.Drops, s.ChecksumFailures, s.DeadlineHits, s.WeightFallbacks, s.ChunkRereads, s.RepairedReads)
 }
 
 // runStats is the runner's live (atomic) counterpart of RunStats.

@@ -47,6 +47,16 @@ type Config struct {
 	// a read wait that exceeds it is abandoned and retried, and compute
 	// services that exceed it are counted in RunStats.DeadlineHits.
 	StageTimeout time.Duration
+	// ReadAhead is the readahead depth: how many striped reads the read
+	// stage keeps in flight beyond the CPI currently being consumed.
+	// Values < 1 mean 1, the classic one-deep prefetch (double
+	// buffering); deeper windows hide multi-CPI read latency the same way
+	// pipesim's PrefetchDepth does in the model.
+	ReadAhead int
+	// DecodeWorkers shards each cube's checksum verification and decode
+	// across this many goroutines when the source supports it
+	// (DecodeParallelSource). Values < 1 mean 1, the serial behaviour.
+	DecodeWorkers int
 }
 
 // Validate checks the configuration.
@@ -181,7 +191,7 @@ func Run(ctx context.Context, cfg Config, src AsyncSource, n int) (*Result, erro
 	if r.err != nil {
 		return nil, r.err
 	}
-	res := &Result{CPIs: r.results, Elapsed: time.Since(start), Stats: r.stats.snapshot(r.dropped)}
+	res := &Result{CPIs: r.results, Elapsed: time.Since(start), Stats: r.snapshotStats()}
 	if res.Elapsed > 0 {
 		res.Throughput = float64(len(r.results)) / res.Elapsed.Seconds()
 	}
@@ -200,7 +210,32 @@ func newRunner(cfg Config, src AsyncSource, n int) *runner {
 	r.easyBins = r.p.EasyBins()
 	r.hardBins = r.p.HardBins()
 	r.pools = newPipePools(r.p)
+	if cfg.DecodeWorkers > 0 {
+		if dp, ok := src.(DecodeParallelSource); ok {
+			dp.SetDecodeWorkers(cfg.DecodeWorkers)
+		}
+	}
+	// Sources keep cumulative ingest counters (they outlive runs), so the
+	// run reports deltas against this baseline.
+	if is, ok := src.(IOStatSource); ok {
+		r.ioSrc = is
+		r.ioBase = is.IOStats()
+	}
 	return r
+}
+
+// snapshotStats freezes the run's resilience counters, folding in the
+// source's ingest counters (chunk re-reads, repaired reads) as deltas since
+// the run began.
+func (r *runner) snapshotStats() RunStats {
+	st := r.stats.snapshot(r.dropped)
+	if r.ioSrc != nil {
+		now := r.ioSrc.IOStats()
+		st.ChunkRereads = now.ChunkRereads - r.ioBase.ChunkRereads
+		st.ChunkRereadBytes = now.ChunkRereadBytes - r.ioBase.ChunkRereadBytes
+		st.RepairedReads = now.RepairedReads - r.ioBase.RepairedReads
+	}
+	return st
 }
 
 // launch creates the inter-stage channels and starts every stage
@@ -318,6 +353,12 @@ type runner struct {
 	// is read after every stage has exited.
 	stats   runStats
 	dropped []uint64
+
+	// ioSrc/ioBase support per-run deltas of the source's cumulative
+	// ingest counters (see snapshotStats); ioSrc is nil for sources
+	// without counters.
+	ioSrc  IOStatSource
+	ioBase IOStats
 
 	// streamOut, when non-nil, receives each CPI result instead of the
 	// results slice accumulating (unbounded memory would defeat streaming).
@@ -497,27 +538,42 @@ func (r *runner) awaitCube(k int, pending PendingCube) (*cube.Cube, error) {
 	}
 }
 
-// readStage fetches cubes with one-deep prefetch. In the embedded design
-// it still runs as a goroutine, but its channel hand-off is the "read
-// phase" of the Doppler task: the latency clock starts when the Doppler
-// stage receives the cube. In the separate design the clock starts when
-// the read stage begins waiting for the data. Failed reads are retried
-// per Config.Retry and, under a skip policy, dropped once exhausted.
+// readStage fetches cubes through a depth-D readahead window: while CPI k
+// is being consumed, the reads of CPIs k+1 .. k+D are already in flight
+// (Config.ReadAhead; depth 1 is the classic one-deep prefetch). Fetches
+// complete in any order but are delivered strictly in sequence — the
+// window is a FIFO, so downstream stages never see reordering. In the
+// embedded design the stage still runs as a goroutine, but its channel
+// hand-off is the "read phase" of the Doppler task: the latency clock
+// starts when the Doppler stage receives the cube. In the separate design
+// the clock starts when the read stage begins waiting for the data.
+// Failed reads are retried per Config.Retry and, under a skip policy,
+// dropped once exhausted; retries re-issue only the CPI at the window
+// head, while the rest of the window stays in flight.
 func (r *runner) readStage(clk *stageClock, out chan<- cubeMsg) error {
 	defer close(out)
-	pending := r.beginRead(0, 0)
+	depth := r.cfg.ReadAhead
+	if depth < 1 {
+		depth = 1
+	}
+	window := make([]PendingCube, 0, depth+1)
+	issued := 0
 	for k := 0; k < r.n; k++ {
-		startWait := time.Now()
-		var next PendingCube
-		if k+1 < r.n {
-			next = r.beginRead(uint64(k+1), 0)
+		// Keep depth reads in flight beyond CPI k (the one about to be
+		// consumed): issue everything up to k+depth that hasn't started.
+		for issued < r.n && issued <= k+depth {
+			window = append(window, r.beginRead(uint64(issued), 0))
+			issued++
 		}
+		pending := window[0]
+		copy(window, window[1:])
+		window = window[:len(window)-1]
+		startWait := time.Now()
 		cb, err := r.awaitCube(k, pending)
 		if err != nil {
 			return err
 		}
 		clk.add(time.Since(startWait))
-		pending = next
 		if r.ctx.Err() != nil {
 			return nil
 		}

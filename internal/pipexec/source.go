@@ -13,6 +13,7 @@
 package pipexec
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -44,26 +45,89 @@ type PendingCube interface {
 	Wait() (*cube.Cube, error)
 }
 
+// IOStats are a source's ingest counters. The pipeline reports them per
+// run (RunStats) by differencing snapshots, so a source reused across runs
+// keeps cumulative counts.
+type IOStats struct {
+	// ChunkRereads is the number of chunk-level re-read operations issued
+	// against corrupt chunks of chunked (v3) cube files.
+	ChunkRereads int64
+	// ChunkRereadBytes is the total bytes those re-reads fetched — the
+	// partial-re-read saving shows as this staying far below file size
+	// times RepairedReads.
+	ChunkRereadBytes int64
+	// RepairedReads is the number of cube reads that hit corrupt chunks
+	// but completed clean via chunk re-reads, avoiding a whole-file retry.
+	RepairedReads int64
+}
+
+// IOStatSource is implemented by sources that track ingest counters.
+type IOStatSource interface {
+	IOStats() IOStats
+}
+
+// DecodeParallelSource is implemented by sources whose per-cube decode and
+// verify work can shard across a worker pool; the pipeline wires
+// Config.DecodeWorkers through it.
+type DecodeParallelSource interface {
+	SetDecodeWorkers(n int)
+}
+
 // FileSource reads CPI cubes from the round-robin staging files of a
-// striped file store, the paper's configuration. Read buffers and decoded
-// cubes are pooled: each staging-file-sized byte buffer is returned to the
-// pool when its read resolves (success, corruption, or drop alike), and the
-// pipeline hands decoded cubes back through Recycle once Doppler filtering
-// has consumed them, so steady-state reads allocate nothing.
+// striped file store, the paper's configuration. Fetch handles decode
+// eagerly: as soon as the striped read lands, a goroutine verifies and
+// decodes the payload — sharded across DecodeWorkers goroutines — so with
+// readahead depth > 1 the decode work of several CPIs overlaps instead of
+// serialising on the pipeline's read stage.
+//
+// Chunked (format v3) files verify per-chunk CRCs; a corrupt chunk is
+// re-read individually (ChunkRetries attempts, each re-drawing the fault
+// plan) rather than failing the whole multi-megabyte read. Flat (v2/v1)
+// files keep the whole-payload check and fall back to whole-file retries
+// through the pipeline's retry policy.
+//
+// Read buffers and decoded cubes are pooled: each staging-file-sized byte
+// buffer is returned to the pool when its fetch resolves (success,
+// corruption, or drop alike), and the pipeline hands decoded cubes back
+// through Recycle once Doppler filtering has consumed them, so
+// steady-state reads allocate nothing.
 type FileSource struct {
 	FS    *pfs.RealFS
 	Dims  cube.Dims
 	Files int
 
+	// DecodeWorkers shards each cube's verify+decode across this many
+	// goroutines (values < 1 mean 1, the pre-readahead serial behaviour).
+	DecodeWorkers int
+	// ChunkRetries bounds per-chunk re-read rounds before the whole read
+	// reports ErrCorrupt (values < 1 mean 2).
+	ChunkRetries int
+
+	// fileBytes is the probed staging-file size (set by NewFileSource;
+	// zero means the literal-construction fallback: flat v2 layout).
+	fileBytes int64
+
 	bufs     sync.Pool // *readBuf
 	cubes    sync.Pool // *cube.Cube
 	bufNews  atomic.Int64
 	cubeNews atomic.Int64
+
+	chunkRereads     atomic.Int64
+	chunkRereadBytes atomic.Int64
+	repairedReads    atomic.Int64
 }
 
 // readBuf wraps a pooled staging-file buffer; pooling the wrapper rather
 // than the slice keeps Put from boxing a fresh interface value per read.
 type readBuf struct{ b []byte }
+
+// fileSize returns the staging-file size reads must cover.
+func (s *FileSource) fileSize() int64 {
+	if s.fileBytes > 0 {
+		return s.fileBytes
+	}
+	return cube.FileBytes(s.Dims)
+}
 
 // getBuf leases a staging-file-sized read buffer. The pools work without a
 // constructor (FileSource may be built as a literal), so allocation is the
@@ -73,7 +137,7 @@ func (s *FileSource) getBuf() *readBuf {
 		return v.(*readBuf)
 	}
 	s.bufNews.Add(1)
-	return &readBuf{b: make([]byte, cube.FileBytes(s.Dims))}
+	return &readBuf{b: make([]byte, s.fileSize())}
 }
 
 func (s *FileSource) putBuf(rb *readBuf) { s.bufs.Put(rb) }
@@ -88,8 +152,8 @@ func (s *FileSource) getCube() *cube.Cube {
 
 // Recycle implements CubeRecycler: the pipeline returns a decoded cube once
 // Doppler filtering has consumed it. Cubes of foreign geometry are refused
-// (DecodeSamples fully overwrites a recycled cube's samples, so matching
-// dims are the only requirement).
+// (decoding fully overwrites a recycled cube's samples, so matching dims
+// are the only requirement).
 func (s *FileSource) Recycle(cb *cube.Cube) {
 	if cb == nil || cb.Dims != s.Dims {
 		return
@@ -99,32 +163,87 @@ func (s *FileSource) Recycle(cb *cube.Cube) {
 
 // PoolNews reports how many read buffers and decoded cubes the source has
 // ever allocated. With recycling working both stay bounded by the pipeline
-// depth (plus abandoned reads), not the CPI count — the pool regression
-// test pins this.
+// depth plus readahead, not the CPI count — the pool regression test pins
+// this.
 func (s *FileSource) PoolNews() (bufs, cubes int64) {
 	return s.bufNews.Load(), s.cubeNews.Load()
 }
 
-// NewFileSource validates the geometry against the first staging file.
+// IOStats implements IOStatSource.
+func (s *FileSource) IOStats() IOStats {
+	return IOStats{
+		ChunkRereads:     s.chunkRereads.Load(),
+		ChunkRereadBytes: s.chunkRereadBytes.Load(),
+		RepairedReads:    s.repairedReads.Load(),
+	}
+}
+
+// SetDecodeWorkers implements DecodeParallelSource.
+func (s *FileSource) SetDecodeWorkers(n int) { s.DecodeWorkers = n }
+
+func (s *FileSource) decodeWorkers() int {
+	if s.DecodeWorkers < 1 {
+		return 1
+	}
+	return s.DecodeWorkers
+}
+
+func (s *FileSource) chunkRetries() int {
+	if s.ChunkRetries < 1 {
+		return 2
+	}
+	return s.ChunkRetries
+}
+
+// NewFileSource validates the geometry against the first staging file and
+// learns the dataset's cube format (flat v2 or chunked v3) from its header,
+// sizing the read-buffer pool accordingly. The probe bypasses fault
+// injection — startup metadata reads are not part of the modelled data
+// path.
 func NewFileSource(fs *pfs.RealFS, dims cube.Dims, files int) (*FileSource, error) {
 	if files < 1 {
 		return nil, fmt.Errorf("pipexec: file count %d < 1", files)
 	}
-	size, err := fs.FileSize(radar.FileName(0))
+	name := radar.FileName(0)
+	size, err := fs.FileSize(name)
 	if err != nil {
 		return nil, fmt.Errorf("pipexec: probing dataset: %w", err)
 	}
-	if want := cube.FileBytes(dims); size != want {
-		return nil, fmt.Errorf("pipexec: staging file is %d bytes, want %d for %v", size, want, dims)
+	hbuf := make([]byte, cube.HeaderSize+8)
+	if size < int64(len(hbuf)) {
+		return nil, fmt.Errorf("pipexec: staging file is %d bytes, shorter than any cube header", size)
 	}
-	return &FileSource{FS: fs, Dims: dims, Files: files}, nil
+	if err := fs.ProbeAt(name, 0, hbuf); err != nil {
+		return nil, fmt.Errorf("pipexec: probing dataset: %w", err)
+	}
+	h, err := cube.DecodeHeader(hbuf[:cube.HeaderSize])
+	if err != nil {
+		return nil, fmt.Errorf("pipexec: probing dataset: %w", err)
+	}
+	if h.Dims != dims {
+		return nil, fmt.Errorf("pipexec: staging file holds %v, expected %v", h.Dims, dims)
+	}
+	want := cube.FileBytes(dims)
+	if h.Version >= cube.FormatVersionChunked {
+		chunk := int(binary.LittleEndian.Uint32(hbuf[cube.HeaderSize:]))
+		if chunk <= 0 || chunk%8 != 0 {
+			return nil, fmt.Errorf("pipexec: staging file declares invalid chunk size %d", chunk)
+		}
+		want = cube.FileBytesChunked(dims, chunk)
+	}
+	if size != want {
+		return nil, fmt.Errorf("pipexec: staging file is %d bytes, want %d for %v (format v%d)", size, want, dims, h.Version)
+	}
+	return &FileSource{FS: fs, Dims: dims, Files: files, fileBytes: want}, nil
 }
 
+// filePending is an in-flight fetch: the striped read, then eager verify
+// and decode, run in their own goroutine so fetches deeper in the
+// readahead window make decode progress before the pipeline waits on them.
 type filePending struct {
-	src *FileSource
-	seq uint64
-	p   *pfs.Pending
-	rb  *readBuf
+	done chan struct{}
+	cb   *cube.Cube
+	err  error
 }
 
 // Begin implements AsyncSource: it issues a striped read of the whole
@@ -141,37 +260,122 @@ func (s *FileSource) BeginAttempt(seq uint64, attempt int) PendingCube {
 	rb := s.getBuf()
 	name := radar.FileName(radar.FileFor(seq, s.Files))
 	tag := int(seq)<<8 | attempt&0xff
-	return &filePending{src: s, seq: seq, p: s.FS.StartAttempt(name, 0, rb.b, tag), rb: rb}
+	pend := s.FS.StartAttempt(name, 0, rb.b, tag)
+	p := &filePending{done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		// The read buffer is recycled on every exit — failed reads, corrupt
+		// payloads, and dropped CPIs included — so retries and skip-policy
+		// drops reuse buffers rather than leak them.
+		defer s.putBuf(rb)
+		p.cb, p.err = s.fetch(name, seq, tag, rb.b, pend)
+	}()
+	return p
 }
 
-// Wait implements PendingCube: it blocks on the striped read, verifies the
-// payload checksum, then decodes the cube. A corrupt payload surfaces as
-// cube.ErrCorrupt, which the pipeline's retry layer treats as retryable.
-// The read buffer is recycled on every exit — failed reads, corrupt
-// payloads, and dropped CPIs included — so retries and skip-policy drops
-// reuse buffers rather than leak them.
+// Wait implements PendingCube. A corrupt payload that chunk re-reads could
+// not repair surfaces as cube.ErrCorrupt, which the pipeline's retry layer
+// treats as retryable (whole-file re-read).
 func (p *filePending) Wait() (*cube.Cube, error) {
-	defer p.src.putBuf(p.rb)
-	buf := p.rb.b
-	if err := p.p.Wait(); err != nil {
+	<-p.done
+	return p.cb, p.err
+}
+
+// fetch blocks on the striped read, then verifies and decodes the payload.
+func (s *FileSource) fetch(name string, seq uint64, tag int, buf []byte, pend *pfs.Pending) (*cube.Cube, error) {
+	if err := pend.Wait(); err != nil {
 		return nil, err
 	}
-	h, err := cube.DecodeHeader(buf)
+	h, err := cube.ParseHeader(buf)
 	if err != nil {
 		return nil, err
 	}
-	if h.Dims != p.src.Dims {
-		return nil, fmt.Errorf("pipexec: file holds %v, expected %v", h.Dims, p.src.Dims)
+	if h.Dims != s.Dims {
+		return nil, fmt.Errorf("pipexec: file holds %v, expected %v", h.Dims, s.Dims)
 	}
-	if err := cube.VerifyPayload(h, buf[cube.HeaderSize:]); err != nil {
-		return nil, fmt.Errorf("pipexec: CPI %d: %w", p.seq, err)
+	payload := buf[h.PayloadOffset():]
+	if int64(len(payload)) < h.Bytes() {
+		return nil, fmt.Errorf("pipexec: CPI %d: %w: payload is %d bytes, want %d",
+			seq, cube.ErrTruncated, len(payload), h.Bytes())
 	}
-	cb := p.src.getCube()
-	if err := cube.DecodeSamples(cb, buf[cube.HeaderSize:]); err != nil {
-		p.src.Recycle(cb)
+	cb := s.getCube()
+	if h.Chunks() > 0 {
+		err = s.decodeChunked(name, seq, tag, &h, payload, cb)
+	} else {
+		err = s.decodeFlat(seq, &h, payload, cb)
+	}
+	if err != nil {
+		s.Recycle(cb)
 		return nil, err
 	}
 	return cb, nil
+}
+
+// decodeFlat verifies the whole-payload checksum and decodes, sharding the
+// decode across the worker pool. Flat files carry no chunk table, so a
+// corrupt payload cannot be repaired in place — the error propagates and
+// the pipeline's retry policy re-reads the whole file.
+func (s *FileSource) decodeFlat(seq uint64, h *cube.Header, payload []byte, cb *cube.Cube) error {
+	if err := cube.VerifyPayload(*h, payload); err != nil {
+		return fmt.Errorf("pipexec: CPI %d: %w", seq, err)
+	}
+	return parallel(s.decodeWorkers(), len(cb.Data), func(_ int, blk cube.Block) error {
+		cube.DecodeSampleRange(cb, payload, blk.Lo, blk.Hi)
+		return nil
+	})
+}
+
+// decodeChunked verifies and decodes chunk by chunk across the worker
+// pool, then repairs any chunks whose CRC failed by re-reading just those
+// byte ranges from the striped store. Each repair round carries a fresh
+// attempt number, so a deterministic fault plan re-draws per round exactly
+// as it does for whole-file retries.
+func (s *FileSource) decodeChunked(name string, seq uint64, tag int, h *cube.Header, payload []byte, cb *cube.Cube) error {
+	workers := s.decodeWorkers()
+	badPer := make([][]int, workers)
+	err := parallel(workers, h.Chunks(), func(widx int, blk cube.Block) error {
+		for i := blk.Lo; i < blk.Hi; i++ {
+			if cube.VerifyChunk(h, payload, i) == nil {
+				cube.DecodeChunk(cb, h, payload, i)
+			} else {
+				badPer[widx] = append(badPer[widx], i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	var bad []int
+	for _, b := range badPer {
+		bad = append(bad, b...) // worker blocks are ordered, so bad stays sorted
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	payOff := h.PayloadOffset()
+	retries := s.chunkRetries()
+	for r := 0; r < retries && len(bad) > 0; r++ {
+		remaining := bad[:0]
+		for _, i := range bad {
+			lo, hi := h.ChunkSpan(i)
+			s.chunkRereads.Add(1)
+			s.chunkRereadBytes.Add(hi - lo)
+			if s.FS.ReadAtAttempt(name, payOff+lo, payload[lo:hi], tag+1+r) != nil ||
+				cube.VerifyChunk(h, payload, i) != nil {
+				remaining = append(remaining, i)
+				continue
+			}
+			cube.DecodeChunk(cb, h, payload, i)
+		}
+		bad = remaining
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("pipexec: CPI %d: %w: %d of %d chunks unrecoverable after %d chunk re-read rounds (first: chunk %d)",
+			seq, cube.ErrCorrupt, len(bad), h.Chunks(), retries, bad[0])
+	}
+	s.repairedReads.Add(1)
+	return nil
 }
 
 // MemSource serves cubes from a generator function; used by tests and the

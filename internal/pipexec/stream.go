@@ -77,7 +77,7 @@ func (h *StreamHandle) Stop() (*Result, error) {
 		}()
 	})
 	<-h.done
-	res := &Result{Elapsed: time.Since(h.start), Stats: h.r.stats.snapshot(h.r.dropped)}
+	res := &Result{Elapsed: time.Since(h.start), Stats: h.r.snapshotStats()}
 	var served int
 	for _, c := range h.r.clocks {
 		res.Stages = append(res.Stages, StageStat{Name: c.name, CPIs: c.cpis, Busy: c.busy})

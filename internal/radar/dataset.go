@@ -29,10 +29,34 @@ func FileFor(seq uint64, fileCount int) int { return int(seq % uint64(fileCount)
 
 // WriteDataset generates CPIs seq = 0..count-1 from the scenario and writes
 // each into its round-robin staging file on fs (so after the call file i
-// holds the most recent CPI with seq ≡ i mod fileCount). It returns the
-// generated cubes for ground-truth checks; pass keep=false to discard them
-// and bound memory.
+// holds the most recent CPI with seq ≡ i mod fileCount). Files are written
+// in the chunked version-3 cube format at the default chunk size, so
+// readers can shard decode/verify and re-read individual corrupt chunks.
+// It returns the generated cubes for ground-truth checks; pass keep=false
+// to discard them and bound memory.
 func WriteDataset(fs FileStore, s *Scenario, count, fileCount int, keep bool) ([]*cube.Cube, error) {
+	return writeDataset(fs, s, count, fileCount, keep, cube.DefaultChunkSize)
+}
+
+// WriteDatasetFlat is WriteDataset emitting the flat version-2 format —
+// how pre-chunking datasets were staged, kept so the compatibility path
+// stays exercised.
+func WriteDatasetFlat(fs FileStore, s *Scenario, count, fileCount int, keep bool) ([]*cube.Cube, error) {
+	return writeDataset(fs, s, count, fileCount, keep, 0)
+}
+
+// WriteDatasetChunked is WriteDataset with an explicit chunk size (a
+// positive multiple of 8), for callers tuning checksum granularity — small
+// test cubes need small chunks before partial re-read has anything partial
+// about it.
+func WriteDatasetChunked(fs FileStore, s *Scenario, count, fileCount int, keep bool, chunkSize int) ([]*cube.Cube, error) {
+	if chunkSize <= 0 || chunkSize%8 != 0 {
+		return nil, fmt.Errorf("radar: chunk size %d is not a positive multiple of 8", chunkSize)
+	}
+	return writeDataset(fs, s, count, fileCount, keep, chunkSize)
+}
+
+func writeDataset(fs FileStore, s *Scenario, count, fileCount int, keep bool, chunkSize int) ([]*cube.Cube, error) {
 	if fileCount <= 0 {
 		return nil, fmt.Errorf("radar: fileCount %d <= 0", fileCount)
 	}
@@ -40,13 +64,21 @@ func WriteDataset(fs FileStore, s *Scenario, count, fileCount int, keep bool) ([
 		return nil, fmt.Errorf("radar: count %d < 0", count)
 	}
 	var kept []*cube.Cube
-	buf := make([]byte, cube.FileBytes(s.Dims))
+	size := cube.FileBytes(s.Dims)
+	if chunkSize > 0 {
+		size = cube.FileBytesChunked(s.Dims, chunkSize)
+	}
+	buf := make([]byte, size)
 	for seq := 0; seq < count; seq++ {
 		cb, err := s.Generate(uint64(seq))
 		if err != nil {
 			return nil, err
 		}
-		cube.Encode(cb, uint64(seq), buf)
+		if chunkSize > 0 {
+			cube.EncodeChunked(cb, uint64(seq), chunkSize, buf)
+		} else {
+			cube.Encode(cb, uint64(seq), buf)
+		}
 		name := FileName(FileFor(uint64(seq), fileCount))
 		if err := fs.WriteFile(name, buf); err != nil {
 			return nil, fmt.Errorf("radar: writing %s: %w", name, err)
@@ -56,6 +88,12 @@ func WriteDataset(fs FileStore, s *Scenario, count, fileCount int, keep bool) ([
 		}
 	}
 	return kept, nil
+}
+
+// DatasetFileBytes returns the size of one staging file as WriteDataset
+// lays it out (chunked format, default chunk size).
+func DatasetFileBytes(d cube.Dims) int64 {
+	return cube.FileBytesChunked(d, cube.DefaultChunkSize)
 }
 
 // MemStore is an in-memory FileStore for tests.

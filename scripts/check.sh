@@ -1,8 +1,15 @@
 #!/bin/sh
-# Pre-commit gate: vet, build, and the race-instrumented test suite.
-# Mirrors .github/workflows/ci.yml.
+# Pre-commit gate: vet, staticcheck (when installed), build, and the
+# race-instrumented test suite. Mirrors .github/workflows/ci.yml.
 set -eux
 cd "$(dirname "$0")/.."
 go vet ./...
+# staticcheck is optional locally (no network install here); CI always
+# runs it, so a missing binary skips rather than fails.
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+else
+    echo "staticcheck not installed; skipping (CI runs it)" >&2
+fi
 go build ./...
 go test -race ./...
