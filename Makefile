@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench benchjson
+.PHONY: all build vet test race check bench benchjson smoke
 
 all: check
 
@@ -17,7 +17,11 @@ race:
 	$(GO) test -race ./...
 
 # The full pre-commit gate: everything CI runs.
-check: vet build race
+check: vet build race smoke
+
+# Loopback smoke of the network detection service (stapserve + staploadgen).
+smoke:
+	sh scripts/serve_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -1,0 +1,244 @@
+// Command staploadgen is a closed-loop load generator for the stapserve
+// detection service: it replays a pre-encoded radar dataset over TCP,
+// keeping a fixed number of CPIs in flight, and reports the sustained
+// throughput and the submit-to-result latency percentiles.
+//
+//	staploadgen -addr 127.0.0.1:7420 -n 500
+//	staploadgen -addr 127.0.0.1:7420 -n 500 -window 4 -json BENCH_4.json
+//	staploadgen -addr 127.0.0.1:7420 -faults corrupt=0.1,seed=7
+//
+// The generator pre-encodes a small set of distinct CPIs once (generation
+// is far slower than the pipeline) and replays them round-robin, restamping
+// each submission's sequence number. With -faults it corrupts payload
+// chunks on the wire, exercising the server's chunk re-request repair; a
+// repaired CPI still counts as delivered, not dropped.
+//
+// Exit status is non-zero if any CPI was dropped (rejected or unanswered),
+// so scripts can assert lossless runs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"stapio/internal/cube"
+	"stapio/internal/pfs"
+	"stapio/internal/radar"
+	"stapio/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7420", "detection service address")
+		scenario  = flag.String("scenario", "small", "cube geometry to replay: small | paper")
+		n         = flag.Int("n", 500, "CPIs to submit")
+		window    = flag.Int("window", 0, "CPIs kept in flight (0 = the server's advertised capacity)")
+		templates = flag.Int("templates", 8, "distinct pre-encoded CPIs replayed round-robin")
+		chunk     = flag.Int("chunk", 4096, "cube chunk size in bytes (multiple of 8)")
+		faultSpec = flag.String("faults", "", "wire fault spec, e.g. corrupt=0.1,seed=7 (empty = clean)")
+		jsonOut   = flag.String("json", "", "append the run to this JSON report file")
+	)
+	flag.Parse()
+
+	s, err := scenarioByName(*scenario)
+	if err != nil {
+		fatal(err)
+	}
+	plan, err := pfs.ParseFaultSpec(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	tc := *templates
+	if tc > *n {
+		tc = *n
+	}
+	frames, err := radar.EncodeCPIs(s, tc, *chunk)
+	if err != nil {
+		fatal(err)
+	}
+
+	cl, err := serve.Dial(*addr, serve.Options{Dims: s.Dims, Faults: plan, ResultBuffer: 256})
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+
+	w := *window
+	if w < 1 || w > cl.MaxInFlight() {
+		w = cl.MaxInFlight()
+	}
+	run, err := drive(cl, frames, *n, w)
+	if err != nil {
+		fatal(err)
+	}
+	run.Addr = *addr
+	run.Scenario = *scenario
+	run.ChunkSize = *chunk
+	run.Faults = *faultSpec
+	run.Timestamp = time.Now().UTC().Format(time.RFC3339)
+
+	fmt.Printf("submitted %d CPIs in %.2fs: %.0f CPIs/s, latency p50 %.3fms p90 %.3fms p99 %.3fms max %.3fms\n",
+		run.CPIs, run.WallSeconds, run.Throughput,
+		run.LatencyMs["p50"], run.LatencyMs["p90"], run.LatencyMs["p99"], run.LatencyMs["max"])
+	if run.Repaired > 0 || run.Injected > 0 {
+		fmt.Printf("repair: %d corruptions injected, %d repair requests served, %d chunks re-sent\n",
+			run.Injected, run.RepairReqs, run.ChunkResends)
+	}
+	if *jsonOut != "" {
+		if err := appendRun(*jsonOut, run); err != nil {
+			fatal(err)
+		}
+	}
+	if run.Dropped > 0 {
+		fmt.Fprintf(os.Stderr, "staploadgen: %d of %d CPIs dropped\n", run.Dropped, run.CPIs)
+		os.Exit(1)
+	}
+}
+
+// Run is one load-generation run, as appended to the JSON report.
+type Run struct {
+	Timestamp   string             `json:"timestamp"`
+	Addr        string             `json:"addr"`
+	Scenario    string             `json:"scenario"`
+	CPIs        int                `json:"cpis"`
+	Window      int                `json:"window"`
+	ChunkSize   int                `json:"chunk_size"`
+	Faults      string             `json:"faults,omitempty"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Throughput  float64 `json:"throughput_cpi_per_s"`
+	// Steady is the BENCH_3-comparable steady-state rate: results-per-second
+	// between the first and last result arrival, excluding connect/ramp.
+	Steady    float64            `json:"steady_cpi_per_s"`
+	LatencyMs map[string]float64 `json:"latency_ms"`
+	ServerMs  map[string]float64 `json:"server_latency_ms"`
+	Dropped   int                `json:"dropped"`
+
+	Injected     int64 `json:"corruptions_injected,omitempty"`
+	RepairReqs   int64 `json:"repair_reqs,omitempty"`
+	ChunkResends int64 `json:"chunk_resends,omitempty"`
+	Repaired     int64 `json:"repaired,omitempty"`
+}
+
+// drive replays the frames closed-loop and gathers the statistics.
+func drive(cl *serve.Client, frames [][]byte, n, window int) (*Run, error) {
+	sem := make(chan struct{}, window)
+	latencies := make([]time.Duration, 0, n)
+	serverLat := make([]time.Duration, 0, n)
+	var firstDone, lastDone time.Time
+	dropped := 0
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		got := 0
+		for r := range cl.Results() {
+			if r.Err != nil {
+				dropped++
+				fmt.Fprintf(os.Stderr, "staploadgen: CPI %d: %v\n", r.Seq, r.Err)
+			} else {
+				latencies = append(latencies, r.Latency)
+				serverLat = append(serverLat, r.ServerLatency)
+				lastDone = time.Now()
+				if firstDone.IsZero() {
+					firstDone = lastDone
+				}
+			}
+			<-sem
+			if got++; got == n {
+				return
+			}
+		}
+	}()
+
+	start := time.Now()
+	for seq := 0; seq < n; seq++ {
+		// The submitted buffer must stay untouched until its result is in,
+		// so each in-flight CPI gets its own copy of the template,
+		// restamped with its sequence number.
+		frame := append([]byte(nil), frames[seq%len(frames)]...)
+		if err := cube.PatchSeq(frame, uint64(seq)); err != nil {
+			return nil, err
+		}
+		sem <- struct{}{}
+		if _, err := cl.Submit(frame); err != nil {
+			return nil, fmt.Errorf("submit CPI %d: %w", seq, err)
+		}
+	}
+	<-collected
+	wall := time.Since(start)
+
+	run := &Run{
+		CPIs:        n,
+		Window:      window,
+		WallSeconds: wall.Seconds(),
+		Throughput:  float64(n) / wall.Seconds(),
+		LatencyMs:   percentilesMs(latencies),
+		ServerMs:    percentilesMs(serverLat),
+		Dropped:     dropped,
+	}
+	if span := lastDone.Sub(firstDone).Seconds(); span > 0 && len(latencies) > 1 {
+		run.Steady = float64(len(latencies)-1) / span
+	}
+	run.RepairReqs, run.ChunkResends, run.Injected = cl.RepairStats()
+	run.Repaired = cl.RepairedFrames()
+	return run, nil
+}
+
+// percentilesMs summarises latencies in milliseconds.
+func percentilesMs(d []time.Duration) map[string]float64 {
+	out := map[string]float64{"p50": 0, "p90": 0, "p99": 0, "max": 0}
+	if len(d) == 0 {
+		return out
+	}
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(d)-1))
+		return float64(d[i]) / float64(time.Millisecond)
+	}
+	out["p50"] = at(0.50)
+	out["p90"] = at(0.90)
+	out["p99"] = at(0.99)
+	out["max"] = float64(d[len(d)-1]) / float64(time.Millisecond)
+	return out
+}
+
+// report is the committed artifact: an append-only list of runs.
+type report struct {
+	Runs []*Run `json:"runs"`
+}
+
+func appendRun(path string, run *Run) error {
+	var doc report
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	doc.Runs = append(doc.Runs, run)
+	raw, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+func scenarioByName(name string) (*radar.Scenario, error) {
+	switch name {
+	case "small":
+		return radar.SmallTestScenario(), nil
+	case "paper":
+		return radar.PaperScenario(), nil
+	default:
+		return nil, fmt.Errorf("unknown scenario %q (want small or paper)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "staploadgen:", err)
+	os.Exit(1)
+}

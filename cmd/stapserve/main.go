@@ -1,0 +1,133 @@
+// Command stapserve runs the STAP pipeline as a long-running network
+// detection service: producers stream CPI cubes over TCP (see the serve
+// package's wire protocol) and receive their detection reports on the same
+// connection.
+//
+//	stapserve                                      # small scenario on :7420
+//	stapserve -addr :9000 -replicas 2 -inflight 16
+//	stapserve -scenario paper -http 127.0.0.1:7421
+//	stapserve -addr 127.0.0.1:0 -announce /tmp/addr # scripts: port 0 + file
+//
+// SIGINT/SIGTERM drain gracefully: new submits are rejected, in-flight CPIs
+// finish and flush, then the process exits with a stats summary.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"stapio/internal/radar"
+	"stapio/internal/serve"
+	"stapio/internal/stap"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7420", "TCP listen address for CPI ingest (port 0 picks a free port)")
+		httpAddr = flag.String("http", "", "HTTP listen address for /healthz and /stats (empty disables)")
+		scenario = flag.String("scenario", "small", "cube geometry the service processes: small | paper")
+		replicas = flag.Int("replicas", 1, "pipeline replicas CPIs are dispatched across")
+		inflight = flag.Int("inflight", 0, "admission window: max CPIs in flight (0 = 4 per replica)")
+		workers  = flag.Int("workers", 1, "worker goroutines per pipeline task")
+		combine  = flag.Bool("combine", false, "merge the pulse-compression and CFAR stages")
+		repairs  = flag.Int("repair-rounds", 2, "chunk re-request rounds before a corrupt CPI is rejected")
+		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight CPIs")
+		announce = flag.String("announce", "", "write the bound TCP and HTTP addresses to this file once listening")
+	)
+	flag.Parse()
+
+	s, err := scenarioByName(*scenario)
+	if err != nil {
+		fatal(err)
+	}
+	p := stap.DefaultParams(s.Dims)
+	p.PulseLen = s.PulseLen
+	p.Bandwidth = s.Bandwidth
+
+	cfg := serve.Config{
+		Params:        p,
+		Replicas:      *replicas,
+		MaxInFlight:   *inflight,
+		CombinePCCFAR: *combine,
+		RepairRounds:  *repairs,
+	}
+	for _, n := range []*int{
+		&cfg.Workers.Doppler, &cfg.Workers.EasyWeight, &cfg.Workers.HardWeight,
+		&cfg.Workers.EasyBF, &cfg.Workers.HardBF, &cfg.Workers.PulseComp, &cfg.Workers.CFAR,
+	} {
+		*n = *workers
+	}
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := srv.Start(*addr); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "stapserve: ingest on %s (%s cubes %v, %d replica(s))\n",
+		srv.Addr(), *scenario, s.Dims, *replicas)
+
+	var httpLn net.Listener
+	if *httpAddr != "" {
+		httpLn, err = net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		go http.Serve(httpLn, srv.StatsHandler())
+		fmt.Fprintf(os.Stderr, "stapserve: stats on http://%s/stats\n", httpLn.Addr())
+	}
+	if *announce != "" {
+		lines := srv.Addr().String() + "\n"
+		if httpLn != nil {
+			lines += httpLn.Addr().String() + "\n"
+		}
+		if err := os.WriteFile(*announce, []byte(lines), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "stapserve: draining...")
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	shutdownErr := srv.Shutdown(ctx)
+	if httpLn != nil {
+		httpLn.Close()
+	}
+
+	st := srv.Stats()
+	enc := json.NewEncoder(os.Stderr)
+	enc.SetIndent("", "  ")
+	enc.Encode(st)
+	if shutdownErr != nil {
+		fatal(shutdownErr)
+	}
+}
+
+func scenarioByName(name string) (*radar.Scenario, error) {
+	switch name {
+	case "small":
+		return radar.SmallTestScenario(), nil
+	case "paper":
+		return radar.PaperScenario(), nil
+	default:
+		return nil, fmt.Errorf("unknown scenario %q (want small or paper)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stapserve:", err)
+	os.Exit(1)
+}

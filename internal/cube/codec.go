@@ -132,8 +132,18 @@ func DecodeHeader(buf []byte) (Header, error) {
 	if !h.Valid() {
 		return h, fmt.Errorf("%w: invalid dimensions in header: %v", ErrCorrupt, h.Dims)
 	}
+	// Bound each dimension so the sample count cannot overflow (and so a
+	// corrupt header cannot demand a preposterous payload allocation from
+	// a reader that trusts it). Real radar geometries sit far below this.
+	if h.Channels > maxDim || h.Pulses > maxDim || h.Ranges > maxDim {
+		return h, fmt.Errorf("%w: implausible dimensions in header: %v", ErrCorrupt, h.Dims)
+	}
 	return h, nil
 }
+
+// maxDim bounds each header dimension; three maxed dimensions still keep
+// Dims.Bytes comfortably inside int64.
+const maxDim = 1 << 16
 
 // VerifyPayload checks an encoded payload against the header's checksum.
 // Version-1 headers carry none, so they pass; a length shortfall reports
@@ -189,6 +199,22 @@ func Encode(cb *Cube, seq uint64, buf []byte) {
 	h := Header{Dims: cb.Dims, Seq: seq, HasChecksum: true}
 	h.Checksum = Checksum(buf[HeaderSize : HeaderSize+cb.Bytes()])
 	EncodeHeader(h, buf)
+}
+
+// PatchSeq restamps the CPI sequence number of an already encoded cube
+// file in place. The sequence number lives in the fixed header, outside
+// every checksum (the payload CRC and the v3 chunk table cover samples
+// only), so replaying one encoded cube under many sequence numbers — the
+// network load generator's trick — costs a header patch, not a re-encode.
+func PatchSeq(file []byte, seq uint64) error {
+	if len(file) < HeaderSize {
+		return fmt.Errorf("%w: file is %d bytes, want at least %d", ErrTruncated, len(file), HeaderSize)
+	}
+	if string(file[0:4]) != Magic {
+		return fmt.Errorf("%w: bad magic %q", ErrCorrupt, file[0:4])
+	}
+	binary.LittleEndian.PutUint64(file[20:28], seq)
+	return nil
 }
 
 // sizedBuf returns buf resliced to n bytes, reusing its capacity when it

@@ -76,6 +76,61 @@ func TestPoolsBoundedByPipelineDepth(t *testing.T) {
 // Dropped CPIs must recycle their read buffers rather than leak them: under
 // a skip policy with injected read faults, buffer news stays bounded even
 // though many reads fail and retry.
+// A source's pools outlive one Run: a service restarting its pipeline over
+// the same source must neither re-allocate the working set per restart nor
+// hand one pooled cube to two runs at once. The news bound pins the first;
+// identical detections across restarts pin the second — a double-returned
+// cube would be overwritten mid-flight and change what CFAR sees.
+func TestPoolsBoundedAcrossBackToBackRuns(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items deliberately under the race detector; the news bound holds only without it")
+	}
+	s := radar.SmallTestScenario()
+	fs, err := pfs.CreateReal(t.TempDir(), 4, 4096, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const files = 4
+	if _, err := radar.WriteDataset(fs, s, files, files, false); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewFileSource(fs, s.Dims, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Buffer = 2
+
+	const rounds, cpis = 6, 8
+	var first []CPIResult
+	for round := 0; round < rounds; round++ {
+		res, err := Run(context.Background(), cfg, src, cpis)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(res.CPIs) != cpis {
+			t.Fatalf("round %d: %d CPIs, want %d", round, len(res.CPIs), cpis)
+		}
+		if round == 0 {
+			first = res.CPIs
+			continue
+		}
+		for i := range res.CPIs {
+			if !sameDetections(res.CPIs[i].Detections, first[i].Detections) {
+				t.Errorf("round %d CPI %d: detections diverge from round 0 (pooled cube shared across runs?)",
+					round, i)
+			}
+		}
+	}
+	bufs, cubes := src.PoolNews()
+	// The bound covers one run's in-flight depth, not rounds * depth.
+	const bound = 20
+	if bufs > bound || cubes > bound {
+		t.Errorf("source pools: %d buffers, %d cubes allocated over %d back-to-back runs, want <= %d each",
+			bufs, cubes, rounds, bound)
+	}
+}
+
 func TestPoolsRecycleOnDrops(t *testing.T) {
 	if raceEnabled {
 		t.Skip("sync.Pool drops items deliberately under the race detector; the news bound holds only without it")

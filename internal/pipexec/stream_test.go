@@ -2,6 +2,7 @@ package pipexec
 
 import (
 	"context"
+	"runtime"
 	"testing"
 	"time"
 
@@ -81,6 +82,40 @@ func TestStreamStopWithoutConsuming(t *testing.T) {
 	case <-done:
 	case <-time.After(10 * time.Second):
 		t.Fatal("Stop deadlocked")
+	}
+}
+
+// Stop must be safe before a single result has been consumed, and it must
+// actually unwind every pipeline goroutine — not just return while stage or
+// drain goroutines linger. A leak here is invisible to the deadlock test
+// above but fatal to a server that starts and stops many streams.
+func TestStreamStopBeforeFirstResultLeaksNoGoroutines(t *testing.T) {
+	s := radar.SmallTestScenario()
+	cfg := testConfig()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		h, err := Stream(context.Background(), cfg, ScenarioSource(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// No sleep, no consume: stop races the pipeline's own spin-up.
+		if _, err := h.Stop(); err != nil {
+			t.Fatalf("round %d: Stop: %v", i, err)
+		}
+	}
+	// Goroutine counts settle asynchronously (closers, drainers); poll
+	// rather than assert instantly.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines: %d before, %d after 5 stream start/stop rounds\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

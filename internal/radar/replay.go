@@ -1,0 +1,41 @@
+package radar
+
+import (
+	"fmt"
+
+	"stapio/internal/cube"
+)
+
+// Replay support for the network detection service's load generator: a
+// closed-loop producer does not want to synthesise a fresh CPI per
+// submission (generation is far slower than the pipeline at full rate), so
+// it pre-encodes a small set of distinct cubes once and replays them
+// round-robin, restamping the sequence number per submission with
+// cube.PatchSeq.
+
+// EncodeCPIs generates CPIs seq = 0..count-1 from the scenario and returns
+// each encoded as a chunked version-3 cube file — the frame payload the
+// detection service's wire protocol carries. chunkSize <= 0 selects the
+// default chunk size.
+func EncodeCPIs(s *Scenario, count, chunkSize int) ([][]byte, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("radar: replay set needs at least one CPI, got %d", count)
+	}
+	if chunkSize <= 0 {
+		chunkSize = cube.DefaultChunkSize
+	}
+	if chunkSize%8 != 0 {
+		return nil, fmt.Errorf("radar: chunk size %d is not a multiple of 8", chunkSize)
+	}
+	frames := make([][]byte, count)
+	size := cube.FileBytesChunked(s.Dims, chunkSize)
+	for seq := 0; seq < count; seq++ {
+		cb, err := s.Generate(uint64(seq))
+		if err != nil {
+			return nil, err
+		}
+		frames[seq] = make([]byte, size)
+		cube.EncodeChunked(cb, uint64(seq), chunkSize, frames[seq])
+	}
+	return frames, nil
+}

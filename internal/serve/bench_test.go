@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"stapio/internal/cube"
+	"stapio/internal/radar"
+)
+
+// BenchmarkServeLoopback measures the sustained end-to-end CPI rate of the
+// detection service over loopback TCP: one closed-loop producer replaying
+// pre-encoded small-scenario cubes against an in-process server. This is
+// the networked counterpart of BenchmarkRealPipelineReadahead — the
+// difference between the two is the cost of the wire.
+func BenchmarkServeLoopback(b *testing.B) {
+	s := radar.SmallTestScenario()
+	cfg := testServerConfig()
+	cfg.Replicas = 1
+	cfg.MaxInFlight = 32
+	srv, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	frames, err := radar.EncodeCPIs(s, 8, testChunkSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := Dial(srv.Addr().String(), Options{Dims: s.Dims, ResultBuffer: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+
+	window := cl.MaxInFlight()
+	// Rotate a fixed set of frame buffers: one per in-flight slot, returned
+	// when the slot's result arrives, so the producer allocates nothing.
+	bufs := make(chan []byte, window)
+	for i := 0; i < window; i++ {
+		bufs <- make([]byte, len(frames[0]))
+	}
+	var mu sync.Mutex
+	inFlight := make(map[uint64][]byte, window)
+	done := make(chan error, 1)
+	go func() {
+		got := 0
+		for r := range cl.Results() {
+			if r.Err != nil {
+				done <- r.Err
+				return
+			}
+			mu.Lock()
+			buf := inFlight[r.Seq]
+			delete(inFlight, r.Seq)
+			mu.Unlock()
+			bufs <- buf
+			if got++; got == b.N {
+				done <- nil
+				return
+			}
+		}
+	}()
+
+	b.ResetTimer()
+	start := time.Now()
+	for seq := 0; seq < b.N; seq++ {
+		buf := <-bufs
+		buf = append(buf[:0], frames[seq%len(frames)]...)
+		if err := cube.PatchSeq(buf, uint64(seq)); err != nil {
+			b.Fatal(err)
+		}
+		mu.Lock()
+		inFlight[uint64(seq)] = buf
+		mu.Unlock()
+		if _, err := cl.Submit(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "CPIs/s")
+}

@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stapio/internal/cube"
+	"stapio/internal/pipexec"
+)
+
+// A replica is one long-running pipexec.Stream pipeline fed over a channel
+// source. The server owns N of them; each accepted CPI is dispatched to
+// one replica, which assigns it the replica's next internal sequence
+// number (the pipeline's weight feedback is a per-replica temporal chain,
+// so internal sequencing is per replica, not global), runs it through the
+// real pipeline, and routes the detection reports back to the submitting
+// connection.
+
+// job is one accepted CPI travelling through a replica.
+type job struct {
+	conn *serverConn
+	seq  uint64 // the producer's sequence number (unique per connection)
+	cb   *cube.Cube
+	t0   time.Time // server receipt time, for the reported latency
+}
+
+// srcItem is one delivery from the dispatcher to the pipeline's read stage.
+type srcItem struct {
+	cb  *cube.Cube
+	err error
+}
+
+// chanSource adapts the dispatcher's push model to pipexec's pull-based
+// AsyncSource: the pipeline's read stage Begins internal sequence numbers
+// in order, and deliver hands each the matching cube. A Begin may race
+// ahead of its delivery (readahead) or trail it (a burst of dispatches);
+// both orders rendezvous through the slots/ready maps. Close releases
+// every waiting Begin with ErrClosed so abandoned read waits cannot leak.
+type chanSource struct {
+	mu     sync.Mutex
+	slots  map[uint64]chan srcItem // Begin arrived first; deliver fills
+	ready  map[uint64]srcItem      // deliver arrived first; Begin drains
+	closed bool
+
+	// recycle returns decoded cubes to the server's pool once the pipeline
+	// has consumed them (pipexec hands them back after Doppler filtering).
+	recycle func(*cube.Cube)
+}
+
+func newChanSource(recycle func(*cube.Cube)) *chanSource {
+	return &chanSource{
+		slots:   make(map[uint64]chan srcItem),
+		ready:   make(map[uint64]srcItem),
+		recycle: recycle,
+	}
+}
+
+// slotPending implements pipexec.PendingCube over the rendezvous channel.
+type slotPending struct{ ch chan srcItem }
+
+func (p slotPending) Wait() (*cube.Cube, error) {
+	it := <-p.ch
+	return it.cb, it.err
+}
+
+// Begin implements pipexec.AsyncSource.
+func (s *chanSource) Begin(seq uint64) pipexec.PendingCube {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan srcItem, 1)
+	if it, ok := s.ready[seq]; ok {
+		delete(s.ready, seq)
+		ch <- it
+		return slotPending{ch}
+	}
+	if s.closed {
+		ch <- srcItem{err: ErrClosed}
+		return slotPending{ch}
+	}
+	s.slots[seq] = ch
+	return slotPending{ch}
+}
+
+// deliver hands the cube for internal sequence number seq to the pipeline.
+func (s *chanSource) deliver(seq uint64, cb *cube.Cube) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if ch, ok := s.slots[seq]; ok {
+		delete(s.slots, seq)
+		ch <- srcItem{cb: cb}
+		return nil
+	}
+	s.ready[seq] = srcItem{cb: cb}
+	return nil
+}
+
+// Close fails every outstanding and future Begin. Safe to call after the
+// pipeline has stopped: the buffered rendezvous channels mean the sends
+// never block even if nobody waits anymore.
+func (s *chanSource) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for seq, ch := range s.slots {
+		delete(s.slots, seq)
+		ch <- srcItem{err: ErrClosed}
+	}
+	for seq, it := range s.ready {
+		delete(s.ready, seq)
+		if it.cb != nil && s.recycle != nil {
+			s.recycle(it.cb)
+		}
+	}
+}
+
+// Recycle implements pipexec.CubeRecycler: decoded cubes flow back to the
+// server's pool as soon as Doppler filtering has consumed them.
+func (s *chanSource) Recycle(cb *cube.Cube) {
+	if s.recycle != nil {
+		s.recycle(cb)
+	}
+}
+
+// replica wraps one streaming pipeline instance.
+type replica struct {
+	id  int
+	src *chanSource
+	h   *pipexec.StreamHandle
+
+	mu   sync.Mutex
+	next uint64
+	jobs map[uint64]job
+
+	dispatched atomic.Int64
+	completed  atomic.Int64
+
+	// final holds the pipeline summary after stop (nil while running).
+	final *pipexec.Result
+	ferr  error
+
+	done chan struct{}
+}
+
+// startReplica launches the pipeline and its result router.
+func startReplica(ctx context.Context, id int, cfg pipexec.Config, src *chanSource, route func(job, pipexec.CPIResult)) (*replica, error) {
+	h, err := pipexec.Stream(ctx, cfg, src)
+	if err != nil {
+		return nil, err
+	}
+	r := &replica{id: id, src: src, h: h, jobs: make(map[uint64]job), done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		for res := range h.Results {
+			j, ok := r.take(res.Seq)
+			if !ok {
+				// Unreachable unless the pipeline invents sequence numbers;
+				// drop rather than crash the service.
+				continue
+			}
+			r.completed.Add(1)
+			route(j, res)
+		}
+	}()
+	return r, nil
+}
+
+// submit assigns the job the replica's next internal sequence number and
+// feeds it to the pipeline.
+func (r *replica) submit(j job) error {
+	r.mu.Lock()
+	seq := r.next
+	r.next++
+	r.jobs[seq] = j
+	r.mu.Unlock()
+	if err := r.src.deliver(seq, j.cb); err != nil {
+		r.take(seq)
+		return err
+	}
+	r.dispatched.Add(1)
+	return nil
+}
+
+func (r *replica) take(seq uint64) (job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[seq]
+	if ok {
+		delete(r.jobs, seq)
+	}
+	return j, ok
+}
+
+// inFlight reports how many dispatched CPIs have not completed yet.
+func (r *replica) inFlight() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.jobs)
+}
+
+// stop shuts the pipeline down and waits for the result router to finish.
+// Jobs still in the pipeline when stop is called are abandoned (the server
+// drains in-flight work before stopping replicas, so in normal shutdown
+// there are none).
+func (r *replica) stop() (*pipexec.Result, error) {
+	res, err := r.h.Stop()
+	// The pipeline has fully exited; release any read waits it abandoned
+	// so their goroutines unwind (see pipexec waitCube).
+	r.src.Close()
+	<-r.done
+	r.mu.Lock()
+	r.final, r.ferr = res, err
+	r.mu.Unlock()
+	return res, err
+}
+
+// summary returns the post-stop pipeline result, or nil while running.
+func (r *replica) summary() (*pipexec.Result, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.final, r.ferr
+}
+
+// replicaConfig derives the per-replica pipeline configuration from the
+// service configuration.
+func replicaConfig(cfg Config) pipexec.Config {
+	pc := pipexec.Config{
+		Params:        cfg.Params,
+		Workers:       cfg.Workers,
+		CombinePCCFAR: cfg.CombinePCCFAR,
+		Buffer:        cfg.Buffer,
+		// The source is push-fed; depth-1 readahead just keeps one Begin
+		// slot open ahead of the CPI being consumed.
+		ReadAhead: 1,
+	}
+	w := &pc.Workers
+	for _, n := range []*int{&w.Doppler, &w.EasyWeight, &w.HardWeight, &w.EasyBF, &w.HardBF, &w.PulseComp, &w.CFAR} {
+		if *n < 1 {
+			*n = 1
+		}
+	}
+	return pc
+}

@@ -1,0 +1,496 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"stapio/internal/core"
+	"stapio/internal/cube"
+	"stapio/internal/pfs"
+	"stapio/internal/radar"
+	"stapio/internal/stap"
+)
+
+// testChunkSize splits the small scenario's 64 KiB payload into 16 chunks,
+// enough granularity for the repair tests.
+const testChunkSize = 4096
+
+func testServerConfig() Config {
+	s := radar.SmallTestScenario()
+	p := stap.DefaultParams(s.Dims)
+	p.PulseLen = s.PulseLen
+	p.Bandwidth = s.Bandwidth
+	return Config{
+		Params:  p,
+		Workers: core.STAPNodes{Doppler: 2, EasyWeight: 1, HardWeight: 1, EasyBF: 2, HardBF: 1, PulseComp: 2, CFAR: 1},
+	}
+}
+
+// startServer builds, starts, and schedules shutdown of a service.
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return srv
+}
+
+func dialTest(t *testing.T, srv *Server, opt Options) *Client {
+	t.Helper()
+	if !opt.Dims.Valid() {
+		opt.Dims = srv.cfg.Params.Dims
+	}
+	cl, err := Dial(srv.Addr().String(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// submitAll pushes every frame closed-loop — at most the server's advertised
+// in-flight window outstanding — and collects one result per submission.
+func submitAll(t *testing.T, cl *Client, frames [][]byte) []Result {
+	t.Helper()
+	results := make([]Result, 0, len(frames))
+	window := make(chan struct{}, cl.MaxInFlight())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := range cl.Results() {
+			results = append(results, r)
+			<-window
+			if len(results) == len(frames) {
+				return
+			}
+		}
+	}()
+	for _, f := range frames {
+		window <- struct{}{}
+		if _, err := cl.Submit(f); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	wg.Wait()
+	sort.Slice(results, func(i, j int) bool { return results[i].Seq < results[j].Seq })
+	return results
+}
+
+// referenceDetections runs the sequential STAP chain over the scenario's
+// CPIs 0..n-1 — the ground truth the networked pipeline must reproduce.
+func referenceDetections(t *testing.T, p stap.Params, s *radar.Scenario, n int) [][]stap.Detection {
+	t.Helper()
+	pr, err := stap.NewProcessor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]stap.Detection, n)
+	for k := 0; k < n; k++ {
+		cb, err := s.Generate(uint64(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[k], err = pr.Process(cb, uint64(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func sameDetections(a, b []stap.Detection) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Beam != b[i].Beam || a[i].Bin != b[i].Bin || a[i].Range != b[i].Range {
+			return false
+		}
+	}
+	return true
+}
+
+func TestServeRoundTripMatchesSequentialReference(t *testing.T) {
+	const n = 8
+	s := radar.SmallTestScenario()
+	cfg := testServerConfig()
+	cfg.Replicas = 1 // one pipeline => submission order is the weight chain
+	srv := startServer(t, cfg)
+	cl := dialTest(t, srv, Options{})
+
+	frames, err := radar.EncodeCPIs(s, n, testChunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceDetections(t, cfg.Params, s, n)
+	results := submitAll(t, cl, frames)
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for k, r := range results {
+		if r.Err != nil {
+			t.Fatalf("CPI %d failed: %v", r.Seq, r.Err)
+		}
+		if r.Seq != uint64(k) {
+			t.Fatalf("result %d carries seq %d", k, r.Seq)
+		}
+		if !sameDetections(r.Detections, want[k]) {
+			t.Errorf("CPI %d: networked pipeline found %d detections, sequential reference %d",
+				k, len(r.Detections), len(want[k]))
+		}
+		if r.Latency <= 0 || r.ServerLatency <= 0 {
+			t.Errorf("CPI %d: non-positive latency %v / %v", k, r.Latency, r.ServerLatency)
+		}
+	}
+	st := srv.Stats()
+	if st.Accepted != n || st.ResultsSent != n || st.Orphaned != 0 {
+		t.Errorf("stats: accepted=%d results=%d orphaned=%d, want %d/%d/0",
+			st.Accepted, st.ResultsSent, st.Orphaned, n, n)
+	}
+}
+
+func TestServeConcurrentProducers(t *testing.T) {
+	const producers, perProducer = 3, 10
+	s := radar.SmallTestScenario()
+	cfg := testServerConfig()
+	cfg.Replicas = 2
+	cfg.MaxInFlight = 16
+	srv := startServer(t, cfg)
+
+	templates, err := radar.EncodeCPIs(s, 4, testChunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, producers*perProducer)
+	for pi := 0; pi < producers; pi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := Dial(srv.Addr().String(), Options{Dims: s.Dims})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			// Each producer keeps a small window so the three of them stay
+			// within the shared admission capacity.
+			window := make(chan struct{}, 2)
+			got := make(chan struct{})
+			go func() {
+				defer close(got)
+				n := 0
+				for r := range cl.Results() {
+					if r.Err != nil {
+						errs <- r.Err
+					}
+					<-window
+					if n++; n == perProducer {
+						return
+					}
+				}
+			}()
+			for k := 0; k < perProducer; k++ {
+				frame := append([]byte(nil), templates[k%len(templates)]...)
+				if err := cube.PatchSeq(frame, uint64(k)); err != nil {
+					errs <- err
+					return
+				}
+				window <- struct{}{}
+				if _, err := cl.Submit(frame); err != nil {
+					errs <- err
+					return
+				}
+			}
+			<-got
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("producer: %v", err)
+	}
+	st := srv.Stats()
+	if want := int64(producers * perProducer); st.Completed != want {
+		t.Errorf("completed %d CPIs, want %d", st.Completed, want)
+	}
+	var dispatched int64
+	for _, r := range st.Replicas {
+		dispatched += r.Dispatched
+	}
+	if dispatched != int64(producers*perProducer) {
+		t.Errorf("replicas dispatched %d CPIs, want %d", dispatched, producers*perProducer)
+	}
+}
+
+func TestServeOverloadedReject(t *testing.T) {
+	s := radar.SmallTestScenario()
+	cfg := testServerConfig()
+	cfg.MaxInFlight = 2
+	srv := startServer(t, cfg)
+	cl := dialTest(t, srv, Options{})
+
+	frames, err := radar.EncodeCPIs(s, 2, testChunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaust the admission window from the inside so the reject is
+	// deterministic rather than a race against the pipeline.
+	for i := 0; i < cfg.MaxInFlight; i++ {
+		if !srv.tryAcquire() {
+			t.Fatal("could not drain the admission tokens")
+		}
+	}
+	if _, err := cl.Submit(frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	r := <-cl.Results()
+	if !errors.Is(r.Err, ErrOverloaded) {
+		t.Fatalf("submit into a full window: got %v, want ErrOverloaded", r.Err)
+	}
+	if st := srv.Stats(); st.Rejected["overloaded"] != 1 {
+		t.Errorf("overloaded reject count = %d, want 1", st.Rejected["overloaded"])
+	}
+	for i := 0; i < cfg.MaxInFlight; i++ {
+		srv.release()
+	}
+	// The same frame is admitted once a slot frees up.
+	if _, err := cl.Submit(frames[1]); err != nil {
+		t.Fatal(err)
+	}
+	if r := <-cl.Results(); r.Err != nil {
+		t.Fatalf("submit after release failed: %v", r.Err)
+	}
+}
+
+func TestServeDrainRejectsAndShutsDownCleanly(t *testing.T) {
+	s := radar.SmallTestScenario()
+	srv := startServer(t, testServerConfig())
+	cl := dialTest(t, srv, Options{})
+
+	frames, err := radar.EncodeCPIs(s, 4, testChunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := submitAll(t, cl, frames)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("CPI %d failed before drain: %v", r.Seq, r.Err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The goodbye (or the closed connection) must stop further submits with
+	// a typed drain/closed error.
+	extra := append([]byte(nil), frames[0]...)
+	if err := cube.PatchSeq(extra, 99); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := cl.Submit(extra)
+		if errors.Is(err, ErrDraining) || errors.Is(err, ErrClosed) {
+			break
+		}
+		if err == nil {
+			// Accepted into a closing window; its result (an error) will
+			// flow back or the connection will die — keep probing.
+			<-cl.Results()
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("submit after shutdown: got %v, want ErrDraining or ErrClosed", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := srv.Stats(); !st.Draining || st.Orphaned != 0 {
+		t.Errorf("post-shutdown stats: draining=%v orphaned=%d, want true/0", st.Draining, st.Orphaned)
+	}
+}
+
+func TestServeRepairsCorruptFramesWithoutDropping(t *testing.T) {
+	const n = 20
+	s := radar.SmallTestScenario()
+	cfg := testServerConfig()
+	cfg.RepairRounds = 8
+	srv := startServer(t, cfg)
+
+	// A quarter of the chunks arrive corrupt; re-sent chunks re-draw per
+	// round, so every CPI repairs within the round budget for this seed.
+	plan := &pfs.FaultPlan{Seed: 7, CorruptRate: 0.25}
+	cl := dialTest(t, srv, Options{Faults: plan})
+
+	frames, err := radar.EncodeCPIs(s, n, testChunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := submitAll(t, cl, frames)
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("CPI %d dropped despite chunk repair: %v", r.Seq, r.Err)
+		}
+	}
+	_, resends, injected := cl.RepairStats()
+	if injected == 0 {
+		t.Fatal("fault plan injected no corruption; the test exercised nothing")
+	}
+	st := srv.Stats()
+	if st.RepairedFrames == 0 || st.ChunkResends == 0 || st.RepairReqs == 0 {
+		t.Errorf("server repaired %d frames via %d resends (%d requests), want all > 0",
+			st.RepairedFrames, st.ChunkResends, st.RepairReqs)
+	}
+	if st.Rejected["corrupt"] != 0 {
+		t.Errorf("%d CPIs rejected as corrupt; repair should have saved them", st.Rejected["corrupt"])
+	}
+	if resends < st.ChunkResends {
+		t.Errorf("client sent %d chunk resends, server counted %d", resends, st.ChunkResends)
+	}
+	if got := cl.RepairedFrames(); got != st.RepairedFrames {
+		t.Errorf("client counted %d repaired frames, server %d", got, st.RepairedFrames)
+	}
+	t.Logf("injected %d corruptions, repaired %d frames via %d chunk resends (%d bytes)",
+		injected, st.RepairedFrames, st.ChunkResends, st.ChunkResendBytes)
+}
+
+func TestServeRejectsUnrepairableFlatFrame(t *testing.T) {
+	s := radar.SmallTestScenario()
+	srv := startServer(t, testServerConfig())
+	cl := dialTest(t, srv, Options{})
+
+	cb, err := s.Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A flat (v2) frame has no chunk table, so corruption is terminal.
+	frame := make([]byte, cube.FileBytes(s.Dims))
+	cube.Encode(cb, 0, frame)
+	frame[len(frame)-1] ^= 0xff
+	if _, err := cl.Submit(frame); err != nil {
+		t.Fatal(err)
+	}
+	r := <-cl.Results()
+	if !errors.Is(r.Err, ErrCorrupt) {
+		t.Fatalf("corrupt flat frame: got %v, want ErrCorrupt", r.Err)
+	}
+	if st := srv.Stats(); st.Rejected["corrupt"] != 1 {
+		t.Errorf("corrupt reject count = %d, want 1", st.Rejected["corrupt"])
+	}
+}
+
+func TestServeRejectsMismatchedDims(t *testing.T) {
+	srv := startServer(t, testServerConfig())
+	_, err := Dial(srv.Addr().String(), Options{Dims: cube.Dims{Channels: 2, Pulses: 8, Ranges: 32}})
+	if err == nil {
+		t.Fatal("handshake with wrong dims succeeded")
+	}
+}
+
+func TestServeDropsMalformedStream(t *testing.T) {
+	srv := startServer(t, testServerConfig())
+	c, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := writeFrame(c, fHello, encodeHello(srv.cfg.Params.Dims)); err != nil {
+		t.Fatal(err)
+	}
+	ftype, n, err := readPrelude(c, DefaultMaxFrameBytes)
+	if err != nil || ftype != fHelloAck {
+		t.Fatalf("handshake: type %d, err %v", ftype, err)
+	}
+	if _, err := io.ReadFull(c, make([]byte, n)); err != nil {
+		t.Fatal(err)
+	}
+	// A structurally invalid submit earns a typed reject...
+	if err := writeFrame(c, fSubmit, []byte("not a cube")); err != nil {
+		t.Fatal(err)
+	}
+	ftype, n, err = readPrelude(c, DefaultMaxFrameBytes)
+	if err != nil || ftype != fReject {
+		t.Fatalf("bad submit answer: type %d, err %v", ftype, err)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, code, _, err := decodeReject(buf); err != nil || code != CodeBadFrame {
+		t.Fatalf("bad submit reject: code %d, err %v", code, err)
+	}
+	// ...but an unknown frame type ends the conversation.
+	if err := writeFrame(c, 0x7f, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection stayed open after an unknown frame type")
+	}
+}
+
+func TestServeStatsEndpoint(t *testing.T) {
+	srv := startServer(t, testServerConfig())
+	hs := httptest.NewServer(srv.StatsHandler())
+	defer hs.Close()
+
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(hs.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d %q", resp.StatusCode, body)
+	}
+	for _, want := range []string{`"max_in_flight"`, `"replicas"`, `"rejected"`} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("stats JSON lacks %s: %s", want, body)
+		}
+	}
+
+	srv.draining.Store(true)
+	resp, err = http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d, want 503", resp.StatusCode)
+	}
+	srv.draining.Store(false)
+}

@@ -1,0 +1,614 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stapio/internal/core"
+	"stapio/internal/cube"
+	"stapio/internal/pipexec"
+	"stapio/internal/stap"
+)
+
+// Config describes a detection service instance.
+type Config struct {
+	// Params are the STAP processing parameters; submitted cubes must
+	// match Params.Dims exactly.
+	Params stap.Params
+	// Workers assigns per-task goroutine counts inside each pipeline
+	// replica (zero fields become 1).
+	Workers core.STAPNodes
+	// CombinePCCFAR selects the merged pulse-compression+CFAR stage in
+	// each replica.
+	CombinePCCFAR bool
+	// Replicas is the number of pipeline replicas CPIs are dispatched
+	// across (values < 1 mean 1). Each replica is an independent
+	// pipexec.Stream with its own weight-feedback chain.
+	Replicas int
+	// MaxInFlight bounds the CPIs admitted but not yet answered — the
+	// admission-control depth. A submit that finds no free slot is
+	// rejected with CodeOverloaded. Values < 1 mean 4 per replica.
+	MaxInFlight int
+	// Buffer is each replica's inter-stage channel depth.
+	Buffer int
+	// RepairRounds bounds the chunk re-request rounds per submitted CPI
+	// before it is rejected as corrupt (values < 1 mean 2).
+	RepairRounds int
+	// MaxFrameBytes bounds a single wire frame (values < 1 mean
+	// DefaultMaxFrameBytes).
+	MaxFrameBytes int64
+	// WriteTimeout bounds one frame write to a client; a connection
+	// stuck longer is dropped so it cannot stall a replica's result
+	// routing (values <= 0 mean 10s).
+	WriteTimeout time.Duration
+	// HelloTimeout bounds the handshake (values <= 0 mean 5s).
+	HelloTimeout time.Duration
+}
+
+func (c *Config) replicas() int {
+	if c.Replicas < 1 {
+		return 1
+	}
+	return c.Replicas
+}
+
+func (c *Config) maxInFlight() int {
+	if c.MaxInFlight < 1 {
+		return 4 * c.replicas()
+	}
+	return c.MaxInFlight
+}
+
+func (c *Config) repairRounds() int {
+	if c.RepairRounds < 1 {
+		return 2
+	}
+	return c.RepairRounds
+}
+
+func (c *Config) maxFrame() int64 {
+	if c.MaxFrameBytes < 1 {
+		return DefaultMaxFrameBytes
+	}
+	return c.MaxFrameBytes
+}
+
+func (c *Config) writeTimeout() time.Duration {
+	if c.WriteTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return c.WriteTimeout
+}
+
+func (c *Config) helloTimeout() time.Duration {
+	if c.HelloTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.HelloTimeout
+}
+
+// Server is a running detection service.
+type Server struct {
+	cfg Config
+
+	ln     net.Listener
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	replicas []*replica
+	rr       atomic.Uint64
+
+	// tokens is the admission semaphore: one token per in-flight CPI,
+	// acquired at submit acceptance (including CPIs parked awaiting
+	// repair) and released when the CPI is answered.
+	tokens      chan struct{}
+	outstanding atomic.Int64
+
+	draining atomic.Bool
+
+	connMu sync.Mutex
+	conns  map[*serverConn]struct{}
+
+	bufs  sync.Pool // *frameBuf
+	cubes sync.Pool // *cube.Cube
+
+	stats counters
+	start time.Time
+
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+	stopErr  error
+}
+
+// frameBuf wraps a pooled frame buffer (pooling the wrapper avoids boxing
+// a fresh interface value per Put, same trick as pipexec's readBuf).
+type frameBuf struct{ b []byte }
+
+// New validates the configuration and builds a server (not yet listening).
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s := &Server{
+		cfg:    cfg,
+		tokens: make(chan struct{}, cfg.maxInFlight()),
+		conns:  make(map[*serverConn]struct{}),
+		start:  time.Now(),
+	}
+	for i := 0; i < cfg.maxInFlight(); i++ {
+		s.tokens <- struct{}{}
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	return s, nil
+}
+
+// Start listens on addr ("host:port"; port 0 picks a free one), launches
+// the replica pool, and begins accepting producer connections.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return s.Serve(ln)
+}
+
+// Serve is Start over an existing listener. It returns once the service is
+// accepting (the accept loop runs in the background; Shutdown stops it).
+func (s *Server) Serve(ln net.Listener) error {
+	pc := replicaConfig(s.cfg)
+	for i := 0; i < s.cfg.replicas(); i++ {
+		src := newChanSource(s.putCube)
+		r, err := startReplica(s.ctx, i, pc, src, s.finishJob)
+		if err != nil {
+			for _, prev := range s.replicas {
+				prev.stop()
+			}
+			s.cancel()
+			ln.Close()
+			return err
+		}
+		s.replicas = append(s.replicas, r)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the listener address (useful with port 0).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown
+		}
+		s.stats.connsTotal.Add(1)
+		s.stats.connsActive.Add(1)
+		sc := &serverConn{srv: s, c: c, pending: make(map[uint64]*pendingRepair)}
+		s.connMu.Lock()
+		s.conns[sc] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go sc.readLoop()
+	}
+}
+
+// dropConn unregisters a connection after its reader exits.
+func (s *Server) dropConn(sc *serverConn) {
+	s.connMu.Lock()
+	delete(s.conns, sc)
+	s.connMu.Unlock()
+	s.stats.connsActive.Add(-1)
+}
+
+// tryAcquire takes an admission token without blocking.
+func (s *Server) tryAcquire() bool {
+	select {
+	case <-s.tokens:
+		s.outstanding.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) release() {
+	s.outstanding.Add(-1)
+	s.tokens <- struct{}{}
+}
+
+// getBuf leases a frame buffer with capacity for n bytes.
+func (s *Server) getBuf(n int) *frameBuf {
+	if v := s.bufs.Get(); v != nil {
+		fb := v.(*frameBuf)
+		if cap(fb.b) >= n {
+			fb.b = fb.b[:n]
+			return fb
+		}
+	}
+	return &frameBuf{b: make([]byte, n)}
+}
+
+func (s *Server) putBuf(fb *frameBuf) { s.bufs.Put(fb) }
+
+func (s *Server) getCube() *cube.Cube {
+	if v := s.cubes.Get(); v != nil {
+		return v.(*cube.Cube)
+	}
+	return cube.New(s.cfg.Params.Dims)
+}
+
+func (s *Server) putCube(cb *cube.Cube) {
+	if cb == nil || cb.Dims != s.cfg.Params.Dims {
+		return
+	}
+	s.cubes.Put(cb)
+}
+
+// dispatch routes an accepted job to a replica, round-robin.
+func (s *Server) dispatch(j job) error {
+	r := s.replicas[s.rr.Add(1)%uint64(len(s.replicas))]
+	return r.submit(j)
+}
+
+// finishJob streams one completed CPI's reports back to its producer and
+// returns the admission token. Runs on the replica's result router.
+func (s *Server) finishJob(j job, res pipexec.CPIResult) {
+	defer s.release()
+	s.stats.completed.Add(1)
+	payload := append(encodeResultPrefix(int64(time.Since(j.t0))), pipexec.EncodeReports(j.seq, res.Detections)...)
+	if err := j.conn.send(fResult, payload); err != nil {
+		s.stats.orphaned.Add(1)
+		return
+	}
+	s.stats.resultsSent.Add(1)
+}
+
+// Shutdown drains the service: the listener closes, producers are told to
+// stop (Goodbye; further submits are rejected with CodeDraining), in-flight
+// CPIs complete and their results flush, then the replicas stop and every
+// connection closes. ctx bounds the drain; on expiry remaining in-flight
+// CPIs are abandoned and counted as orphaned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.stopOnce.Do(func() {
+		s.draining.Store(true)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		s.broadcastGoodbye()
+		s.stopErr = s.awaitIdle(ctx)
+		if s.stopErr != nil {
+			// Abandoned jobs will never route results; count them.
+			s.stats.orphaned.Add(s.outstanding.Load())
+		}
+		for _, r := range s.replicas {
+			r.stop()
+		}
+		s.cancel()
+		s.connMu.Lock()
+		for sc := range s.conns {
+			sc.close()
+		}
+		s.connMu.Unlock()
+		s.wg.Wait()
+	})
+	return s.stopErr
+}
+
+func (s *Server) broadcastGoodbye() {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	for sc := range s.conns {
+		sc.send(fGoodbye, nil) // best-effort; errors close the conn anyway
+	}
+}
+
+// awaitIdle waits for every admitted CPI to be answered.
+func (s *Server) awaitIdle(ctx context.Context) error {
+	t := time.NewTicker(2 * time.Millisecond)
+	defer t.Stop()
+	for {
+		if s.outstanding.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return fmt.Errorf("serve: drain incomplete, %d CPIs abandoned: %w", s.outstanding.Load(), ctx.Err())
+		}
+	}
+}
+
+// serverConn is one producer connection.
+type serverConn struct {
+	srv *Server
+	c   net.Conn
+
+	wmu    sync.Mutex
+	closed atomic.Bool
+
+	// pending holds CPIs parked mid-repair, keyed by producer seq. Only
+	// the connection's reader goroutine touches it.
+	pending map[uint64]*pendingRepair
+}
+
+// pendingRepair is a submitted CPI whose payload had corrupt chunks; the
+// frame buffer is retained while re-requested chunks arrive.
+type pendingRepair struct {
+	buf   *frameBuf
+	h     cube.Header
+	bad   []int
+	round int
+	t0    time.Time
+}
+
+// send writes one frame, serialising writers and bounding the write time;
+// a failed or overdue write closes the connection.
+func (sc *serverConn) send(ftype byte, payload []byte) error {
+	if sc.closed.Load() {
+		return ErrClosed
+	}
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	if sc.closed.Load() {
+		return ErrClosed
+	}
+	sc.c.SetWriteDeadline(time.Now().Add(sc.srv.cfg.writeTimeout()))
+	if err := writeFrame(sc.c, ftype, payload); err != nil {
+		sc.closeLocked()
+		return err
+	}
+	return nil
+}
+
+func (sc *serverConn) close() {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	sc.closeLocked()
+}
+
+func (sc *serverConn) closeLocked() {
+	if sc.closed.CompareAndSwap(false, true) {
+		sc.c.Close()
+	}
+}
+
+func (sc *serverConn) reject(seq uint64, code uint32, msg string) {
+	switch code {
+	case CodeOverloaded:
+		sc.srv.stats.rejectedOverload.Add(1)
+	case CodeDraining:
+		sc.srv.stats.rejectedDraining.Add(1)
+	case CodeCorrupt:
+		sc.srv.stats.rejectedCorrupt.Add(1)
+	default:
+		sc.srv.stats.rejectedOther.Add(1)
+	}
+	sc.send(fReject, encodeReject(seq, code, msg))
+}
+
+// readLoop is the connection's reader goroutine: handshake, then frames
+// until the peer hangs up or the server shuts down.
+func (sc *serverConn) readLoop() {
+	defer sc.srv.wg.Done()
+	defer sc.srv.dropConn(sc)
+	defer sc.close()
+	// CPIs parked mid-repair when the producer disappears hold admission
+	// tokens and frame buffers; hand both back.
+	defer func() {
+		for seq, p := range sc.pending {
+			delete(sc.pending, seq)
+			sc.srv.putBuf(p.buf)
+			sc.srv.release()
+			sc.srv.stats.orphaned.Add(1)
+		}
+	}()
+
+	if err := sc.handshake(); err != nil {
+		return
+	}
+	for {
+		ftype, n, err := readPrelude(sc.c, sc.srv.cfg.maxFrame())
+		if err != nil {
+			return
+		}
+		fb := sc.srv.getBuf(n)
+		if _, err := io.ReadFull(sc.c, fb.b); err != nil {
+			sc.srv.putBuf(fb)
+			return
+		}
+		switch ftype {
+		case fSubmit:
+			sc.handleSubmit(fb) // takes ownership of fb
+		case fRepair:
+			sc.handleRepair(fb.b)
+			sc.srv.putBuf(fb)
+		default:
+			// An unknown frame type means the stream is not speaking our
+			// protocol; drop the connection rather than guess.
+			sc.srv.putBuf(fb)
+			return
+		}
+	}
+}
+
+// handshake reads and answers the hello frame under the hello deadline.
+func (sc *serverConn) handshake() error {
+	sc.c.SetReadDeadline(time.Now().Add(sc.srv.cfg.helloTimeout()))
+	defer sc.c.SetReadDeadline(time.Time{})
+	ftype, n, err := readPrelude(sc.c, sc.srv.cfg.maxFrame())
+	if err != nil || ftype != fHello || n != helloLen {
+		return errors.New("serve: handshake failed")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(sc.c, buf); err != nil {
+		return err
+	}
+	dims, err := decodeHello(buf)
+	if err != nil {
+		return err
+	}
+	if dims != sc.srv.cfg.Params.Dims {
+		sc.send(fReject, encodeReject(0, CodeBadDims,
+			fmt.Sprintf("service processes %v, hello announced %v", sc.srv.cfg.Params.Dims, dims)))
+		return errors.New("serve: dims mismatch")
+	}
+	return sc.send(fHelloAck, encodeHelloAck(sc.srv.cfg.maxInFlight()))
+}
+
+// handleSubmit admits, verifies, and dispatches one submitted CPI. It owns
+// fb and must hand it back on every path that does not park it for repair.
+func (sc *serverConn) handleSubmit(fb *frameBuf) {
+	srv := sc.srv
+	t0 := time.Now()
+	h, err := cube.ParseHeader(fb.b)
+	if err != nil {
+		srv.putBuf(fb)
+		sc.reject(h.Seq, CodeBadFrame, err.Error())
+		return
+	}
+	seq := h.Seq
+	if h.Dims != srv.cfg.Params.Dims {
+		srv.putBuf(fb)
+		sc.reject(seq, CodeBadDims,
+			fmt.Sprintf("service processes %v, cube is %v", srv.cfg.Params.Dims, h.Dims))
+		return
+	}
+	if want := h.PayloadOffset() + h.Bytes(); int64(len(fb.b)) != want {
+		srv.putBuf(fb)
+		sc.reject(seq, CodeBadFrame,
+			fmt.Sprintf("frame is %d bytes, cube header wants %d", len(fb.b), want))
+		return
+	}
+	if srv.draining.Load() {
+		srv.putBuf(fb)
+		sc.reject(seq, CodeDraining, "server is draining")
+		return
+	}
+	if !srv.tryAcquire() {
+		srv.putBuf(fb)
+		sc.reject(seq, CodeOverloaded,
+			fmt.Sprintf("all %d in-flight slots busy", srv.cfg.maxInFlight()))
+		return
+	}
+	// Token held from here on; every exit must answer the CPI and release.
+	payload := fb.b[h.PayloadOffset():]
+	if h.Chunks() > 0 {
+		bad, _ := cube.VerifyChunks(&h, payload, 0, h.Chunks(), nil) // length pre-checked
+		if len(bad) > 0 {
+			sc.parkForRepair(fb, h, bad, t0)
+			return
+		}
+	} else if err := cube.VerifyPayload(h, payload); err != nil {
+		// Flat (v2) payloads carry no chunk table, so there is nothing to
+		// re-request — corrupt means rejected, exactly like the file path's
+		// whole-file fallback.
+		srv.putBuf(fb)
+		sc.reject(seq, CodeCorrupt, err.Error())
+		srv.release()
+		return
+	}
+	sc.acceptAndDispatch(fb, h, t0, false)
+}
+
+// parkForRepair stores the frame and asks the producer to re-send the
+// corrupt chunks.
+func (sc *serverConn) parkForRepair(fb *frameBuf, h cube.Header, bad []int, t0 time.Time) {
+	srv := sc.srv
+	if old, ok := sc.pending[h.Seq]; ok {
+		// A duplicate in-flight seq would make repair routing ambiguous.
+		srv.putBuf(old.buf)
+		srv.release()
+		srv.stats.orphaned.Add(1)
+		delete(sc.pending, h.Seq)
+	}
+	sc.pending[h.Seq] = &pendingRepair{buf: fb, h: h, bad: bad, t0: t0}
+	srv.stats.repairReqs.Add(1)
+	sc.send(fRepairReq, encodeRepairReq(h.Seq, 0, bad))
+}
+
+// acceptAndDispatch acknowledges the CPI, decodes it, and hands it to a
+// replica. Consumes fb.
+func (sc *serverConn) acceptAndDispatch(fb *frameBuf, h cube.Header, t0 time.Time, repaired bool) {
+	srv := sc.srv
+	payload := fb.b[h.PayloadOffset():]
+	cb := srv.getCube()
+	cube.DecodeSampleRange(cb, payload, 0, len(cb.Data))
+	srv.putBuf(fb)
+	if repaired {
+		srv.stats.repairedFrames.Add(1)
+	}
+	srv.stats.accepted.Add(1)
+	sc.send(fAccept, encodeAccept(h.Seq))
+	if err := srv.dispatch(job{conn: sc, seq: h.Seq, cb: cb, t0: t0}); err != nil {
+		// Dispatch only fails when a replica is stopping underneath us —
+		// treat it like a drain race.
+		srv.putCube(cb)
+		sc.reject(h.Seq, CodeDraining, "server is draining")
+		srv.release()
+	}
+}
+
+// handleRepair patches re-sent chunk bytes into a parked CPI and either
+// dispatches it clean, asks for another round, or gives up.
+func (sc *serverConn) handleRepair(buf []byte) {
+	srv := sc.srv
+	seq, round, chunks, err := decodeRepair(buf)
+	if err != nil {
+		sc.reject(seq, CodeBadFrame, err.Error())
+		return
+	}
+	p, ok := sc.pending[seq]
+	if !ok {
+		// Repair for a CPI we no longer hold (e.g. it exhausted its rounds
+		// and was rejected); ignorable.
+		return
+	}
+	h := &p.h
+	payload := p.buf.b[h.PayloadOffset():]
+	for _, c := range chunks {
+		if c.index < 0 || c.index >= h.Chunks() {
+			continue
+		}
+		lo, hi := h.ChunkSpan(c.index)
+		if int64(len(c.data)) != hi-lo {
+			continue
+		}
+		srv.stats.chunkResends.Add(1)
+		srv.stats.chunkResendBytes.Add(hi - lo)
+		copy(payload[lo:hi], c.data)
+	}
+	// Re-verify only the chunks that were bad; good ones cannot regress.
+	remaining := p.bad[:0]
+	for _, i := range p.bad {
+		if cube.VerifyChunk(h, payload, i) != nil {
+			remaining = append(remaining, i)
+		}
+	}
+	p.bad = remaining
+	if len(p.bad) == 0 {
+		delete(sc.pending, seq)
+		sc.acceptAndDispatch(p.buf, p.h, p.t0, true)
+		return
+	}
+	p.round = round + 1
+	if p.round >= srv.cfg.repairRounds() {
+		delete(sc.pending, seq)
+		srv.putBuf(p.buf)
+		sc.reject(seq, CodeCorrupt,
+			fmt.Sprintf("%d chunks still corrupt after %d repair rounds", len(p.bad), p.round))
+		srv.release()
+		return
+	}
+	srv.stats.repairReqs.Add(1)
+	sc.send(fRepairReq, encodeRepairReq(seq, p.round, p.bad))
+}

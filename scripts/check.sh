@@ -13,3 +13,4 @@ else
 fi
 go build ./...
 go test -race ./...
+sh scripts/serve_smoke.sh
