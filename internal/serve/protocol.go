@@ -312,6 +312,12 @@ func decodeRepair(buf []byte) (seq uint64, round int, chunks []repairChunk, err 
 	seq = binary.LittleEndian.Uint64(buf[0:8])
 	round = int(binary.LittleEndian.Uint32(buf[8:12]))
 	n := int(binary.LittleEndian.Uint32(buf[12:16]))
+	// The count is attacker-controlled; every chunk needs at least its
+	// 8-byte index/length prefix, so bound it by the frame length before
+	// sizing the slice (mirrors decodeRepairReq's length check).
+	if n < 0 || n > (len(buf)-16)/8 {
+		return 0, 0, nil, fmt.Errorf("serve: repair payload declares %d chunks in %d bytes", n, len(buf))
+	}
 	chunks = make([]repairChunk, 0, n)
 	off := 16
 	for i := 0; i < n; i++ {

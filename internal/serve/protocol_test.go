@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"strings"
 	"testing"
@@ -100,6 +101,26 @@ func TestRepairRoundTrip(t *testing.T) {
 	}
 	if _, _, _, err := decodeRepair(append(enc, 0)); err == nil {
 		t.Fatal("repair payload with trailing bytes accepted")
+	}
+}
+
+// TestDecodeRepairBoundsChunkCount pins the allocation guard: a 16-byte
+// repair frame declaring 2^32-1 chunks must be rejected by the length
+// check, not pre-allocated (which would be a ~137 GB remote OOM).
+func TestDecodeRepairBoundsChunkCount(t *testing.T) {
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf[0:8], 1)
+	binary.LittleEndian.PutUint32(buf[8:12], 0)
+	binary.LittleEndian.PutUint32(buf[12:16], 0xFFFFFFFF)
+	if _, _, _, err := decodeRepair(buf); err == nil {
+		t.Fatal("absurd repair chunk count accepted")
+	}
+	// The same bound must hold when the declared count merely exceeds what
+	// the frame could carry, not just at the uint32 extreme.
+	buf = encodeRepair(1, 0, []repairChunk{{index: 0, data: []byte("abcd")}})
+	binary.LittleEndian.PutUint32(buf[12:16], 3)
+	if _, _, _, err := decodeRepair(buf); err == nil {
+		t.Fatal("overdeclared repair chunk count accepted")
 	}
 }
 

@@ -411,13 +411,15 @@ func TestServeRejectsMismatchedDims(t *testing.T) {
 	}
 }
 
-func TestServeDropsMalformedStream(t *testing.T) {
-	srv := startServer(t, testServerConfig())
+// rawHandshake dials the service and completes the hello exchange,
+// returning the open connection for hand-rolled frame traffic.
+func rawHandshake(t *testing.T, srv *Server) net.Conn {
+	t.Helper()
 	c, err := net.Dial("tcp", srv.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer c.Close()
+	t.Cleanup(func() { c.Close() })
 	if err := writeFrame(c, fHello, encodeHello(srv.cfg.Params.Dims)); err != nil {
 		t.Fatal(err)
 	}
@@ -428,28 +430,178 @@ func TestServeDropsMalformedStream(t *testing.T) {
 	if _, err := io.ReadFull(c, make([]byte, n)); err != nil {
 		t.Fatal(err)
 	}
-	// A structurally invalid submit earns a typed reject...
-	if err := writeFrame(c, fSubmit, []byte("not a cube")); err != nil {
-		t.Fatal(err)
-	}
-	ftype, n, err = readPrelude(c, DefaultMaxFrameBytes)
-	if err != nil || ftype != fReject {
-		t.Fatalf("bad submit answer: type %d, err %v", ftype, err)
+	return c
+}
+
+// readFrame reads one whole frame under a deadline.
+func readFrame(t *testing.T, c net.Conn) (byte, []byte) {
+	t.Helper()
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	ftype, n, err := readPrelude(c, DefaultMaxFrameBytes)
+	if err != nil {
+		t.Fatalf("read frame: %v", err)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read frame payload: %v", err)
+	}
+	return ftype, buf
+}
+
+func TestServeDropsMalformedStream(t *testing.T) {
+	srv := startServer(t, testServerConfig())
+
+	// A structurally invalid submit earns a typed seq-0 reject and then the
+	// connection closes: the framing can no longer be trusted, and dropping
+	// the connection resolves the producer's pending CPIs promptly.
+	c := rawHandshake(t, srv)
+	if err := writeFrame(c, fSubmit, []byte("not a cube")); err != nil {
 		t.Fatal(err)
 	}
-	if _, code, _, err := decodeReject(buf); err != nil || code != CodeBadFrame {
+	ftype, buf := readFrame(t, c)
+	if ftype != fReject {
+		t.Fatalf("bad submit answer: type %d, want reject", ftype)
+	}
+	seq, code, _, err := decodeReject(buf)
+	if err != nil || code != CodeBadFrame {
 		t.Fatalf("bad submit reject: code %d, err %v", code, err)
 	}
-	// ...but an unknown frame type ends the conversation.
+	if seq != 0 {
+		t.Fatalf("bad submit reject carries seq %d, want 0", seq)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection stayed open after an unparseable submit")
+	}
+
+	// An unknown frame type ends the conversation too.
+	c = rawHandshake(t, srv)
 	if err := writeFrame(c, 0x7f, []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
 	c.SetReadDeadline(time.Now().Add(5 * time.Second))
 	if _, err := c.Read(make([]byte, 1)); err == nil {
 		t.Fatal("connection stayed open after an unknown frame type")
+	}
+}
+
+// TestServeRepairRoundIsServerTracked pins the repair-budget fix: the
+// server advances its own round counter and rejects a repair whose echoed
+// round does not match its outstanding request, so a client that always
+// echoes round 0 cannot park a CPI (and its admission token) forever.
+func TestServeRepairRoundIsServerTracked(t *testing.T) {
+	s := radar.SmallTestScenario()
+	cfg := testServerConfig()
+	cfg.RepairRounds = 8 // far above the two rounds the test plays out
+	srv := startServer(t, cfg)
+	c := rawHandshake(t, srv)
+
+	frames, err := radar.EncodeCPIs(s, 1, testChunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := frames[0]
+	h, err := cube.ParseHeader(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one chunk so the submit parks for repair.
+	lo, hi := h.ChunkSpan(0)
+	frame[h.PayloadOffset()+lo] ^= 0x40
+	if err := writeFrame(c, fSubmit, frame); err != nil {
+		t.Fatal(err)
+	}
+	ftype, buf := readFrame(t, c)
+	if ftype != fRepairReq {
+		t.Fatalf("corrupt submit answered with type %d, want repair-req", ftype)
+	}
+	seq, round, bad, err := decodeRepairReq(buf)
+	if err != nil || round != 0 || len(bad) != 1 {
+		t.Fatalf("first repair-req: seq %d round %d chunks %v err %v", seq, round, bad, err)
+	}
+	// Round 0: echo the correct round but re-send the chunk still corrupt,
+	// so the server asks again — now at round 1.
+	still := frame[h.PayloadOffset()+lo : h.PayloadOffset()+hi]
+	if err := writeFrame(c, fRepair, encodeRepair(seq, 0, []repairChunk{{index: 0, data: still}})); err != nil {
+		t.Fatal(err)
+	}
+	if ftype, buf = readFrame(t, c); ftype != fRepairReq {
+		t.Fatalf("second answer type %d, want repair-req", ftype)
+	}
+	if _, round, _, err = decodeRepairReq(buf); err != nil || round != 1 {
+		t.Fatalf("second repair-req at round %d (err %v), want the server-tracked round 1", round, err)
+	}
+	// Now echo the stale round 0 again, as a budget-pinning client would.
+	if err := writeFrame(c, fRepair, encodeRepair(seq, 0, []repairChunk{{index: 0, data: still}})); err != nil {
+		t.Fatal(err)
+	}
+	ftype, buf = readFrame(t, c)
+	if ftype != fReject {
+		t.Fatalf("stale-round repair answered with type %d, want reject", ftype)
+	}
+	if rseq, code, _, err := decodeReject(buf); err != nil || rseq != seq || code != CodeBadFrame {
+		t.Fatalf("stale-round reject: seq %d code %d err %v, want seq %d bad-frame", rseq, code, err, seq)
+	}
+	// The CPI was answered, so its admission token must be free again.
+	waitFor(t, 5*time.Second, func() bool { return srv.outstanding.Load() == 0 })
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestShutdownCountsAbandonedCPIsOnce pins the drain accounting fix: a CPI
+// parked for repair when the drain deadline expires is counted orphaned
+// exactly once, and in_flight settles at zero rather than going negative.
+func TestShutdownCountsAbandonedCPIsOnce(t *testing.T) {
+	s := radar.SmallTestScenario()
+	srv, err := New(testServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	c := rawHandshake(t, srv)
+
+	frames, err := radar.EncodeCPIs(s, 1, testChunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := frames[0]
+	h, err := cube.ParseHeader(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := h.ChunkSpan(0)
+	frame[h.PayloadOffset()+lo] ^= 0x40
+	if err := writeFrame(c, fSubmit, frame); err != nil {
+		t.Fatal(err)
+	}
+	if ftype, _ := readFrame(t, c); ftype != fRepairReq {
+		t.Fatalf("corrupt submit answered with type %d, want repair-req", ftype)
+	}
+	// Never answer the repair request: the CPI stays parked, holding its
+	// admission token, and an already-expired drain deadline abandons it.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := srv.Shutdown(ctx); err == nil {
+		t.Fatal("shutdown with a parked CPI and an expired deadline reported a clean drain")
+	}
+	st := srv.Stats()
+	if st.Orphaned != 1 {
+		t.Errorf("orphaned = %d, want exactly 1 (no double count)", st.Orphaned)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("in_flight = %d after shutdown, want 0", st.InFlight)
 	}
 }
 

@@ -286,10 +286,6 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.broadcastGoodbye()
 		s.stopErr = s.awaitIdle(ctx)
-		if s.stopErr != nil {
-			// Abandoned jobs will never route results; count them.
-			s.stats.orphaned.Add(s.outstanding.Load())
-		}
 		for _, r := range s.replicas {
 			r.stop()
 		}
@@ -300,6 +296,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.connMu.Unlock()
 		s.wg.Wait()
+		// Count abandoned jobs only now: the replicas and connection readers
+		// have stopped, so nothing can still answer (or double-count) a CPI.
+		// Jobs that completed during the stop were routed normally, and
+		// parked repairs were released and counted by their reader's unwind;
+		// whatever is still outstanding is exactly the abandoned set.
+		if n := s.outstanding.Load(); n > 0 {
+			s.stats.orphaned.Add(n)
+		}
 	})
 	return s.stopErr
 }
@@ -428,10 +432,15 @@ func (sc *serverConn) readLoop() {
 		}
 		switch ftype {
 		case fSubmit:
-			sc.handleSubmit(fb) // takes ownership of fb
+			if !sc.handleSubmit(fb) { // takes ownership of fb
+				return
+			}
 		case fRepair:
-			sc.handleRepair(fb.b)
+			ok := sc.handleRepair(fb.b)
 			sc.srv.putBuf(fb)
+			if !ok {
+				return
+			}
 		default:
 			// An unknown frame type means the stream is not speaking our
 			// protocol; drop the connection rather than guess.
@@ -467,38 +476,44 @@ func (sc *serverConn) handshake() error {
 
 // handleSubmit admits, verifies, and dispatches one submitted CPI. It owns
 // fb and must hand it back on every path that does not park it for repair.
-func (sc *serverConn) handleSubmit(fb *frameBuf) {
+// Reports false when the connection must be torn down.
+func (sc *serverConn) handleSubmit(fb *frameBuf) bool {
 	srv := sc.srv
 	t0 := time.Now()
 	h, err := cube.ParseHeader(fb.b)
 	if err != nil {
 		srv.putBuf(fb)
-		sc.reject(h.Seq, CodeBadFrame, err.Error())
-		return
+		// A submit whose cube header does not parse means the stream framing
+		// can no longer be trusted. The reject carries seq 0 (the header may
+		// not have yielded a real one), which the producer cannot correlate
+		// with a pending CPI — so drop the connection too, failing all its
+		// pending CPIs promptly instead of leaving them to dangle.
+		sc.reject(0, CodeBadFrame, err.Error())
+		return false
 	}
 	seq := h.Seq
 	if h.Dims != srv.cfg.Params.Dims {
 		srv.putBuf(fb)
 		sc.reject(seq, CodeBadDims,
 			fmt.Sprintf("service processes %v, cube is %v", srv.cfg.Params.Dims, h.Dims))
-		return
+		return true
 	}
 	if want := h.PayloadOffset() + h.Bytes(); int64(len(fb.b)) != want {
 		srv.putBuf(fb)
 		sc.reject(seq, CodeBadFrame,
 			fmt.Sprintf("frame is %d bytes, cube header wants %d", len(fb.b), want))
-		return
+		return true
 	}
 	if srv.draining.Load() {
 		srv.putBuf(fb)
 		sc.reject(seq, CodeDraining, "server is draining")
-		return
+		return true
 	}
 	if !srv.tryAcquire() {
 		srv.putBuf(fb)
 		sc.reject(seq, CodeOverloaded,
 			fmt.Sprintf("all %d in-flight slots busy", srv.cfg.maxInFlight()))
-		return
+		return true
 	}
 	// Token held from here on; every exit must answer the CPI and release.
 	payload := fb.b[h.PayloadOffset():]
@@ -506,7 +521,7 @@ func (sc *serverConn) handleSubmit(fb *frameBuf) {
 		bad, _ := cube.VerifyChunks(&h, payload, 0, h.Chunks(), nil) // length pre-checked
 		if len(bad) > 0 {
 			sc.parkForRepair(fb, h, bad, t0)
-			return
+			return true
 		}
 	} else if err := cube.VerifyPayload(h, payload); err != nil {
 		// Flat (v2) payloads carry no chunk table, so there is nothing to
@@ -515,9 +530,10 @@ func (sc *serverConn) handleSubmit(fb *frameBuf) {
 		srv.putBuf(fb)
 		sc.reject(seq, CodeCorrupt, err.Error())
 		srv.release()
-		return
+		return true
 	}
 	sc.acceptAndDispatch(fb, h, t0, false)
+	return true
 }
 
 // parkForRepair stores the frame and asks the producer to re-send the
@@ -559,19 +575,34 @@ func (sc *serverConn) acceptAndDispatch(fb *frameBuf, h cube.Header, t0 time.Tim
 }
 
 // handleRepair patches re-sent chunk bytes into a parked CPI and either
-// dispatches it clean, asks for another round, or gives up.
-func (sc *serverConn) handleRepair(buf []byte) {
+// dispatches it clean, asks for another round, or gives up. Reports false
+// when the connection must be torn down.
+func (sc *serverConn) handleRepair(buf []byte) bool {
 	srv := sc.srv
 	seq, round, chunks, err := decodeRepair(buf)
 	if err != nil {
-		sc.reject(seq, CodeBadFrame, err.Error())
-		return
+		// Same trust failure as an unparseable submit: the reject can only
+		// carry seq 0, so drop the connection to resolve pending CPIs.
+		sc.reject(0, CodeBadFrame, err.Error())
+		return false
 	}
 	p, ok := sc.pending[seq]
 	if !ok {
 		// Repair for a CPI we no longer hold (e.g. it exhausted its rounds
 		// and was rejected); ignorable.
-		return
+		return true
+	}
+	if round != p.round {
+		// The round field is an echo of the server's outstanding request,
+		// not client state. Trusting it would let a peer that always echoes
+		// round 0 pin p.round below the budget forever, parking the CPI (and
+		// its admission token and frame buffer) indefinitely.
+		delete(sc.pending, seq)
+		srv.putBuf(p.buf)
+		sc.reject(seq, CodeBadFrame,
+			fmt.Sprintf("repair echoes round %d, server requested round %d", round, p.round))
+		srv.release()
+		return true
 	}
 	h := &p.h
 	payload := p.buf.b[h.PayloadOffset():]
@@ -598,17 +629,18 @@ func (sc *serverConn) handleRepair(buf []byte) {
 	if len(p.bad) == 0 {
 		delete(sc.pending, seq)
 		sc.acceptAndDispatch(p.buf, p.h, p.t0, true)
-		return
+		return true
 	}
-	p.round = round + 1
+	p.round++
 	if p.round >= srv.cfg.repairRounds() {
 		delete(sc.pending, seq)
 		srv.putBuf(p.buf)
 		sc.reject(seq, CodeCorrupt,
 			fmt.Sprintf("%d chunks still corrupt after %d repair rounds", len(p.bad), p.round))
 		srv.release()
-		return
+		return true
 	}
 	srv.stats.repairReqs.Add(1)
 	sc.send(fRepairReq, encodeRepairReq(seq, p.round, p.bad))
+	return true
 }
