@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench benchjson smoke
+.PHONY: all build vet test race check bench benchjson bench5 benchregress smoke
 
 all: check
 
@@ -32,3 +32,13 @@ bench:
 # work, so the comparison is exactly depth-1 vs the new I/O frontend.
 benchjson:
 	$(GO) run ./cmd/benchjson -before BENCH_2.json -o BENCH_3.json
+
+# Refresh the committed auto-tuner sweep: fixed-even vs fixed-stapopt vs
+# online-autotuned worker splits on the skewed scenarios.
+bench5:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkAutoTune' -benchtime 1x -o BENCH_5.json
+
+# Rerun the sweep and diff its steady throughput against the committed
+# baselines (never fails on timing alone).
+benchregress:
+	sh scripts/bench_regress.sh

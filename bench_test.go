@@ -26,6 +26,7 @@ import (
 	"stapio/internal/radar"
 	"stapio/internal/signal"
 	"stapio/internal/stap"
+	"stapio/internal/tune"
 )
 
 func benchOpts() pipesim.Options {
@@ -620,6 +621,166 @@ func BenchmarkRealPipelineReadahead(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkAutoTune compares three worker-assignment strategies on skewed
+// load scenarios — the sweep behind BENCH_5.json:
+//
+//   - even: the uniform split a user picks with no timing information
+//   - stapopt: the offline water-filling optimum computed from the known
+//     injected per-stage workloads (the best hand-picked split)
+//   - autotune: the online controller starting from the even split
+//
+// Per-stage load is injected via pipexec.Config.StageLoad (sleep-based
+// per-item service time), which makes the paper's T_i = W_i/P_i model
+// physically real and host-independent: stage wall time scales with
+// items/workers regardless of core count. The injected totals are chosen
+// so the balanced split beats the even one by construction; the benchmark
+// measures whether the tuner actually finds it from cold within the run.
+// "CPIs/s" is whole-run steady throughput, "tail-CPIs/s" the last third —
+// the post-convergence rate the tuner should push toward the stapopt line.
+func BenchmarkAutoTune(b *testing.B) {
+	s := radar.SmallTestScenario()
+	p := stap.DefaultParams(s.Dims)
+	p.PulseLen = s.PulseLen
+	p.Bandwidth = s.Bandwidth
+	const (
+		budget = 14
+		cpis   = 72
+	)
+	// Per-stage work items (the parallel() partition sizes); injected
+	// per-CPI totals divide by these, and they cap useful worker counts.
+	pairs := len(p.Beams) * p.Bins()
+	items := [7]int{p.Dims.Ranges, len(p.EasyBins()), len(p.HardBins()), len(p.EasyBins()), len(p.HardBins()), pairs, pairs}
+
+	scenarios := []struct {
+		name    string
+		combine bool
+		slow    bool             // slow striped store (separate-I/O, read-bound)
+		loads   [7]time.Duration // injected per-CPI totals, task order
+	}{
+		// Hard weights dominate 5x: the balanced split must strip workers
+		// from the fast stages (hard weight itself caps at 3 items).
+		{name: "hardweights", loads: [7]time.Duration{
+			4 * time.Millisecond, 2 * time.Millisecond, 20 * time.Millisecond,
+			2 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond, 4 * time.Millisecond}},
+		// Combined PC+CFAR design with the merged stage dominating.
+		{name: "pccfar", combine: true, loads: [7]time.Duration{
+			3 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond,
+			2 * time.Millisecond, 2 * time.Millisecond, 12 * time.Millisecond, 8 * time.Millisecond}},
+		// Slow store: the bottleneck is the (untunable) read stage; the
+		// tuner must hold a stable split and match the even baseline.
+		{name: "slowstore", slow: true, loads: [7]time.Duration{
+			3 * time.Millisecond, 3 * time.Millisecond, 3 * time.Millisecond,
+			3 * time.Millisecond, 3 * time.Millisecond, 3 * time.Millisecond, 3 * time.Millisecond}},
+	}
+
+	for _, sc := range scenarios {
+		// The offline optimum over the injected workloads (capped by item
+		// counts) — the fixed-stapopt baseline the tuner chases.
+		slots := 7
+		if sc.combine {
+			slots = 6
+		}
+		work := make([]float64, slots)
+		caps := make([]int, slots)
+		for i := 0; i < slots; i++ {
+			work[i] = float64(sc.loads[i])
+			caps[i] = items[i]
+		}
+		if sc.combine {
+			work[5] = float64(sc.loads[5] + sc.loads[6])
+		}
+		opt := tune.Balance(work, budget, caps)
+
+		variants := []struct {
+			name     string
+			workers  core.STAPNodes
+			autotune *tune.Config
+		}{
+			{name: "even", workers: evenNodes(budget)},
+			{name: "stapopt", workers: nodesFromSplit(opt, sc.combine)},
+			{name: "autotune", workers: evenNodes(budget), autotune: &tune.Config{Interval: 4, Warmup: 4}},
+		}
+		for _, v := range variants {
+			b.Run(sc.name+"/"+v.name, func(b *testing.B) {
+				var load pipexec.StageLoad
+				for i, d := range []*time.Duration{
+					&load.Doppler, &load.EasyWeight, &load.HardWeight,
+					&load.EasyBF, &load.HardBF, &load.PulseComp, &load.CFAR,
+				} {
+					*d = sc.loads[i] / time.Duration(items[i])
+				}
+				cfg := pipexec.Config{
+					Params:        p,
+					Workers:       v.workers,
+					CombinePCCFAR: sc.combine,
+					StageLoad:     load,
+					AutoTune:      v.autotune,
+					Buffer:        2,
+				}
+				var src pipexec.AsyncSource = pipexec.ScenarioSource(s)
+				if sc.slow {
+					root := b.TempDir()
+					fs, err := pfs.CreateReal(root, 4, 4096, true)
+					if err != nil {
+						b.Fatal(err)
+					}
+					const files = 4
+					if _, err := radar.WriteDataset(fs, s, files, files, false); err != nil {
+						b.Fatal(err)
+					}
+					fs.SetFaults(&pfs.FaultPlan{Seed: 1, SlowRate: 1, SlowDelay: 2 * time.Millisecond})
+					fsrc, err := pipexec.NewFileSource(fs, s.Dims, files)
+					if err != nil {
+						b.Fatal(err)
+					}
+					src = fsrc
+					cfg.SeparateIO = true
+					cfg.ReadAhead = 4
+				}
+				var last *pipexec.Result
+				for i := 0; i < b.N; i++ {
+					var err error
+					last, err = pipexec.Run(context.Background(), cfg, src, cpis)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(last.SteadyThroughput(), "CPIs/s")
+				b.ReportMetric(last.SteadyTail(cpis/3), "tail-CPIs/s")
+				if v.autotune != nil {
+					applied := 0
+					for _, d := range last.Stats.TuneDecisions {
+						if d.Applied {
+							applied++
+						}
+					}
+					b.ReportMetric(float64(applied), "rebalances")
+				}
+			})
+		}
+	}
+}
+
+// evenNodes is the uniform cold-start split of a worker budget over the
+// seven tasks.
+func evenNodes(budget int) core.STAPNodes {
+	s := tune.EvenSplit(budget, 7)
+	return core.STAPNodes{Doppler: s[0], EasyWeight: s[1], HardWeight: s[2],
+		EasyBF: s[3], HardBF: s[4], PulseComp: s[5], CFAR: s[6]}
+}
+
+// nodesFromSplit maps a tune.Balance split back onto STAPNodes. In the
+// combined design the last slot is the merged PC+CFAR stage; pipexec sums
+// PulseComp+CFAR for it, so the pair just has to preserve the slot total.
+func nodesFromSplit(s []int, combine bool) core.STAPNodes {
+	if combine {
+		return core.STAPNodes{Doppler: s[0], EasyWeight: s[1], HardWeight: s[2],
+			EasyBF: s[3], HardBF: s[4], PulseComp: s[5] - 1, CFAR: 1}
+	}
+	return core.STAPNodes{Doppler: s[0], EasyWeight: s[1], HardWeight: s[2],
+		EasyBF: s[3], HardBF: s[4], PulseComp: s[5], CFAR: s[6]}
 }
 
 // BenchmarkRealPipeline runs the actual goroutine pipeline end to end,

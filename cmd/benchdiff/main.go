@@ -1,0 +1,194 @@
+// Command benchdiff renders a markdown table comparing the steady
+// throughput of a fresh benchmark run against one or more committed
+// baseline reports, so CI can annotate a job summary with the delta
+// without gating on noisy shared-runner timings.
+//
+//	benchdiff -new /tmp/bench5.json -base BENCH_5.json
+//	benchdiff -new /tmp/bench5.json -base BENCH_5.json -base BENCH_3.json -base BENCH_4.json
+//
+// The -new file must be a benchjson document. Each -base file may be a
+// benchjson document or a staploadgen report ({"runs": [...]}); the format
+// is sniffed. Benchmarks present in both the new run and a baseline get a
+// delta row; baseline-only entries are listed as reference rows, so the
+// committed network-service numbers (BENCH_4.json) sit alongside the
+// in-process pipeline sweep they contextualise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// bench is one benchmark result in a benchjson document.
+type bench struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type report struct {
+	Benchmarks []bench `json:"benchmarks"`
+}
+
+type document struct {
+	After *report `json:"after"`
+}
+
+// loadRun is the subset of a staploadgen run benchdiff compares.
+type loadRun struct {
+	Scenario string  `json:"scenario"`
+	CPIs     int     `json:"cpis"`
+	Faults   string  `json:"faults"`
+	Steady   float64 `json:"steady_cpi_per_s"`
+}
+
+type loadReport struct {
+	Runs []loadRun `json:"runs"`
+}
+
+// entry is one named throughput number from any report format.
+type entry struct {
+	Name   string
+	Steady float64
+}
+
+// throughputMetrics lists the metric keys treated as steady throughput,
+// in preference order.
+var throughputMetrics = []string{"CPIs/s", "tail-CPIs/s"}
+
+func main() {
+	var (
+		newPath = flag.String("new", "", "fresh benchjson document to compare (required)")
+		bases   multiFlag
+	)
+	flag.Var(&bases, "base", "baseline report to diff against (repeatable; benchjson or staploadgen format)")
+	flag.Parse()
+	if *newPath == "" || len(bases) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -new file.json -base baseline.json [-base ...]")
+		os.Exit(2)
+	}
+
+	fresh, err := loadEntries(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+	byName := make(map[string]float64, len(fresh))
+	for _, e := range fresh {
+		byName[e.Name] = e.Steady
+	}
+
+	fmt.Println("## Benchmark regression check")
+	fmt.Println()
+	fmt.Println("| benchmark | baseline | base CPIs/s | new CPIs/s | delta |")
+	fmt.Println("|---|---|---:|---:|---:|")
+	matchedAny := false
+	for _, base := range bases {
+		ents, err := loadEntries(base)
+		if err != nil {
+			fatal(err)
+		}
+		for _, e := range ents {
+			if cur, ok := byName[e.Name]; ok {
+				matchedAny = true
+				fmt.Printf("| %s | %s | %.1f | %.1f | %s |\n",
+					e.Name, base, e.Steady, cur, deltaCell(e.Steady, cur))
+			} else {
+				fmt.Printf("| %s | %s | %.1f | — | reference |\n", e.Name, base, e.Steady)
+			}
+		}
+	}
+	if !matchedAny {
+		fmt.Println()
+		fmt.Println("_No benchmark names matched between the new run and the baselines._")
+	}
+}
+
+// deltaCell formats the relative change, flagging drops beyond 10% so the
+// job summary draws the eye without failing the build.
+func deltaCell(base, cur float64) string {
+	if base <= 0 {
+		return "n/a"
+	}
+	pct := 100 * (cur - base) / base
+	s := fmt.Sprintf("%+.1f%%", pct)
+	if pct < -10 {
+		s += " ⚠"
+	}
+	return s
+}
+
+// loadEntries reads either report format and flattens it to named
+// steady-throughput numbers.
+func loadEntries(path string) ([]entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if _, ok := probe["runs"]; ok {
+		var doc loadReport
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return loadgenEntries(doc), nil
+	}
+	var doc document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.After == nil {
+		return nil, fmt.Errorf("%s: benchjson document has no \"after\" report", path)
+	}
+	var out []entry
+	for _, b := range doc.After.Benchmarks {
+		for _, key := range throughputMetrics {
+			if v, ok := b.Metrics[key]; ok {
+				out = append(out, entry{Name: b.Name, Steady: v})
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// loadgenEntries names staploadgen runs by scenario and fault spec;
+// multiple runs of the same shape keep the best steady rate, since the
+// committed file is append-only across experiments.
+func loadgenEntries(doc loadReport) []entry {
+	best := map[string]float64{}
+	for _, r := range doc.Runs {
+		name := "staploadgen/" + r.Scenario
+		if r.Faults != "" {
+			name += "/" + strings.ReplaceAll(r.Faults, ",", "_")
+		}
+		if r.Steady > best[name] {
+			best[name] = r.Steady
+		}
+	}
+	names := make([]string, 0, len(best))
+	for n := range best {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]entry, 0, len(names))
+	for _, n := range names {
+		out = append(out, entry{Name: n, Steady: best[n]})
+	}
+	return out
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -10,6 +10,10 @@
 //	                                              # fault injection + resilience
 //	stapdetect -data ... -separate-io -readahead 4 -decodeworkers 4
 //	                                              # deep readahead, parallel decode/verify
+//	stapdetect -small -cpis 200 -autotune -budget 14 -stagestats
+//	                                              # online worker rebalancing + histograms
+//	stapdetect -small -workers-per-stage dop=3,wh=4,cfar=1
+//	                                              # hand-picked per-stage split
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"stapio/internal/pipexec"
 	"stapio/internal/radar"
 	"stapio/internal/stap"
+	"stapio/internal/tune"
 )
 
 func main() {
@@ -37,7 +42,11 @@ func main() {
 		files    = flag.Int("files", radar.DefaultFileCount, "round-robin staging files in the dataset")
 		sepIO    = flag.Bool("separate-io", false, "use the separate I/O task design")
 		combine  = flag.Bool("combine-pc-cfar", false, "combine pulse compression and CFAR into one task")
-		workers  = flag.Int("workers", 2, "worker goroutines per task")
+		workers  = flag.Int("workers", 2, "worker goroutines per task (uniform split)")
+		perStage = flag.String("workers-per-stage", "", `per-stage worker counts overriding -workers, e.g. "dop=3,wh=4,cfar=1" (dop we wh bfe bfh pc cfar io)`)
+		autotune = flag.Bool("autotune", false, "rebalance the worker budget online against measured per-stage service times")
+		budget   = flag.Int("budget", 0, "autotune worker budget; 0 keeps the sum of the configured per-stage counts")
+		stats    = flag.Bool("stagestats", false, "print per-stage service-time histograms (p50/p90/max)")
 		maxPrint = flag.Int("max-print", 12, "maximum detections printed per CPI")
 		cfarKind = flag.String("cfar", "ca", "CFAR variant: ca | goca | soca | os")
 		staggers = flag.Int("staggers", 0, "PRI stagger count (0 = the paper's 2)")
@@ -102,18 +111,30 @@ func main() {
 		fatal(err)
 	}
 	w := *workers
+	split := core.STAPNodes{
+		Doppler: w, EasyWeight: w, HardWeight: w,
+		EasyBF: w, HardBF: w, PulseComp: w, CFAR: w,
+	}
+	if *perStage != "" {
+		split, err = core.ParseWorkerSpec(*perStage, split)
+		if err != nil {
+			fatal(err)
+		}
+	}
 	cfg := pipexec.Config{
-		Params: params,
-		Workers: core.STAPNodes{
-			Doppler: w, EasyWeight: w, HardWeight: w,
-			EasyBF: w, HardBF: w, PulseComp: w, CFAR: w,
-		},
+		Params:        params,
+		Workers:       split,
 		SeparateIO:    *sepIO,
 		CombinePCCFAR: *combine,
 		Degrade:       policy,
 		Retry:         pipexec.RetryPolicy{MaxAttempts: *retries},
 		ReadAhead:     *rdAhead,
 		DecodeWorkers: *decodeW,
+	}
+	if *autotune {
+		cfg.AutoTune = &tune.Config{Budget: *budget}
+	} else if *budget != 0 {
+		fatal(fmt.Errorf("-budget needs -autotune"))
 	}
 
 	var src pipexec.AsyncSource
@@ -161,6 +182,31 @@ func main() {
 	fmt.Println("per-stage busy time (mean per CPI):")
 	for _, st := range res.Stages {
 		fmt.Printf("  %-18s %v\n", st.Name, st.MeanBusy().Round(1e5))
+	}
+	if *stats {
+		fmt.Println("per-stage service-time histograms:")
+		for _, h := range res.Stats.StageTimes {
+			fmt.Printf("  %v\n", h)
+		}
+	}
+	if *autotune {
+		applied := 0
+		for _, d := range res.Stats.TuneDecisions {
+			if d.Applied {
+				applied++
+			}
+		}
+		fmt.Printf("autotune: %d decisions (%d applied), final split %s\n",
+			len(res.Stats.TuneDecisions), applied, pipexec.FormatSplit(res.Stats.TuneStages, res.Stats.TuneFinalSplit))
+		for _, d := range res.Stats.TuneDecisions {
+			if !d.Applied {
+				continue
+			}
+			fmt.Printf("  CPI %-5d %s -> %s (bottleneck %s, %v/CPI)\n",
+				d.CPI, pipexec.FormatSplit(res.Stats.TuneStages, d.Old),
+				pipexec.FormatSplit(res.Stats.TuneStages, d.New),
+				res.Stats.TuneStages[d.Bottleneck], d.Service[d.Bottleneck].Round(1e4))
+		}
 	}
 	fmt.Printf("ground truth: %d injected targets\n", len(sc.Targets))
 	for _, tg := range sc.Targets {

@@ -41,6 +41,7 @@ func main() {
 		chunk     = flag.Int("chunk", 4096, "cube chunk size in bytes (multiple of 8)")
 		faultSpec = flag.String("faults", "", "wire fault spec, e.g. corrupt=0.1,seed=7 (empty = clean)")
 		jsonOut   = flag.String("json", "", "append the run to this JSON report file")
+		phaseK    = flag.Int("phasek", 0, "per-phase window: also report steady throughput over the first K and last K results (0 = n/4, min 2) — shows tuner convergence, not just the average")
 	)
 	flag.Parse()
 
@@ -71,7 +72,7 @@ func main() {
 	if w < 1 || w > cl.MaxInFlight() {
 		w = cl.MaxInFlight()
 	}
-	run, err := drive(cl, frames, *n, w)
+	run, err := drive(cl, frames, *n, w, *phaseK)
 	if err != nil {
 		fatal(err)
 	}
@@ -84,6 +85,10 @@ func main() {
 	fmt.Printf("submitted %d CPIs in %.2fs: %.0f CPIs/s, latency p50 %.3fms p90 %.3fms p99 %.3fms max %.3fms\n",
 		run.CPIs, run.WallSeconds, run.Throughput,
 		run.LatencyMs["p50"], run.LatencyMs["p90"], run.LatencyMs["p99"], run.LatencyMs["max"])
+	if run.PhaseK > 0 {
+		fmt.Printf("phases (K=%d): first-K %.0f CPIs/s, last-K %.0f CPIs/s (steady %.0f)\n",
+			run.PhaseK, run.SteadyFirst, run.SteadyLast, run.Steady)
+	}
 	if run.Repaired > 0 || run.Injected > 0 {
 		fmt.Printf("repair: %d corruptions injected, %d repair requests served, %d chunks re-sent\n",
 			run.Injected, run.RepairReqs, run.ChunkResends)
@@ -101,21 +106,28 @@ func main() {
 
 // Run is one load-generation run, as appended to the JSON report.
 type Run struct {
-	Timestamp   string             `json:"timestamp"`
-	Addr        string             `json:"addr"`
-	Scenario    string             `json:"scenario"`
-	CPIs        int                `json:"cpis"`
-	Window      int                `json:"window"`
-	ChunkSize   int                `json:"chunk_size"`
-	Faults      string             `json:"faults,omitempty"`
+	Timestamp   string  `json:"timestamp"`
+	Addr        string  `json:"addr"`
+	Scenario    string  `json:"scenario"`
+	CPIs        int     `json:"cpis"`
+	Window      int     `json:"window"`
+	ChunkSize   int     `json:"chunk_size"`
+	Faults      string  `json:"faults,omitempty"`
 	WallSeconds float64 `json:"wall_seconds"`
 	Throughput  float64 `json:"throughput_cpi_per_s"`
 	// Steady is the BENCH_3-comparable steady-state rate: results-per-second
 	// between the first and last result arrival, excluding connect/ramp.
-	Steady    float64            `json:"steady_cpi_per_s"`
-	LatencyMs map[string]float64 `json:"latency_ms"`
-	ServerMs  map[string]float64 `json:"server_latency_ms"`
-	Dropped   int                `json:"dropped"`
+	Steady float64 `json:"steady_cpi_per_s"`
+	// PhaseK splits the run into phases of K results; SteadyFirst/SteadyLast
+	// are the arrival rates over the first and last K. Against an autotuned
+	// server the gap is the tuner's convergence gain — the last-K rate is the
+	// post-convergence throughput, where Steady averages the cold split in.
+	PhaseK      int                `json:"phase_k,omitempty"`
+	SteadyFirst float64            `json:"steady_first_cpi_per_s,omitempty"`
+	SteadyLast  float64            `json:"steady_last_cpi_per_s,omitempty"`
+	LatencyMs   map[string]float64 `json:"latency_ms"`
+	ServerMs    map[string]float64 `json:"server_latency_ms"`
+	Dropped     int                `json:"dropped"`
 
 	Injected     int64 `json:"corruptions_injected,omitempty"`
 	RepairReqs   int64 `json:"repair_reqs,omitempty"`
@@ -124,11 +136,11 @@ type Run struct {
 }
 
 // drive replays the frames closed-loop and gathers the statistics.
-func drive(cl *serve.Client, frames [][]byte, n, window int) (*Run, error) {
+func drive(cl *serve.Client, frames [][]byte, n, window, phaseK int) (*Run, error) {
 	sem := make(chan struct{}, window)
 	latencies := make([]time.Duration, 0, n)
 	serverLat := make([]time.Duration, 0, n)
-	var firstDone, lastDone time.Time
+	arrivals := make([]time.Time, 0, n)
 	dropped := 0
 	collected := make(chan struct{})
 	go func() {
@@ -141,10 +153,7 @@ func drive(cl *serve.Client, frames [][]byte, n, window int) (*Run, error) {
 			} else {
 				latencies = append(latencies, r.Latency)
 				serverLat = append(serverLat, r.ServerLatency)
-				lastDone = time.Now()
-				if firstDone.IsZero() {
-					firstDone = lastDone
-				}
+				arrivals = append(arrivals, time.Now())
 			}
 			<-sem
 			if got++; got == n {
@@ -179,12 +188,50 @@ func drive(cl *serve.Client, frames [][]byte, n, window int) (*Run, error) {
 		ServerMs:    percentilesMs(serverLat),
 		Dropped:     dropped,
 	}
-	if span := lastDone.Sub(firstDone).Seconds(); span > 0 && len(latencies) > 1 {
-		run.Steady = float64(len(latencies)-1) / span
+	if len(arrivals) > 1 {
+		if span := arrivals[len(arrivals)-1].Sub(arrivals[0]).Seconds(); span > 0 {
+			run.Steady = float64(len(arrivals)-1) / span
+		}
+	}
+	if k := phaseWindow(phaseK, len(arrivals)); k > 0 {
+		run.PhaseK = k
+		run.SteadyFirst = arrivalRate(arrivals[:k])
+		run.SteadyLast = arrivalRate(arrivals[len(arrivals)-k:])
 	}
 	run.RepairReqs, run.ChunkResends, run.Injected = cl.RepairStats()
 	run.Repaired = cl.RepairedFrames()
 	return run, nil
+}
+
+// phaseWindow resolves the -phasek flag: 0 defaults to a quarter of the
+// delivered results, the window never drops below 2 results or exceeds
+// what was delivered, and fewer than 4 results carry no phase signal.
+func phaseWindow(k, delivered int) int {
+	if delivered < 4 {
+		return 0
+	}
+	if k <= 0 {
+		k = delivered / 4
+	}
+	if k < 2 {
+		k = 2
+	}
+	if k > delivered {
+		k = delivered
+	}
+	return k
+}
+
+// arrivalRate is results-per-second across a window of arrival times.
+func arrivalRate(a []time.Time) float64 {
+	if len(a) < 2 {
+		return 0
+	}
+	span := a[len(a)-1].Sub(a[0]).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(len(a)-1) / span
 }
 
 // percentilesMs summarises latencies in milliseconds.

@@ -27,6 +27,7 @@ import (
 	"stapio/internal/radar"
 	"stapio/internal/serve"
 	"stapio/internal/stap"
+	"stapio/internal/tune"
 )
 
 func main() {
@@ -41,6 +42,7 @@ func main() {
 		repairs  = flag.Int("repair-rounds", 2, "chunk re-request rounds before a corrupt CPI is rejected")
 		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight CPIs")
 		announce = flag.String("announce", "", "write the bound TCP and HTTP addresses to this file once listening")
+		tuneBud  = flag.Int("autotune-budget", 0, "give each replica an online worker rebalancer with this worker budget (0 disables; -1 tunes from the -workers split)")
 	)
 	flag.Parse()
 
@@ -64,6 +66,12 @@ func main() {
 		&cfg.Workers.EasyBF, &cfg.Workers.HardBF, &cfg.Workers.PulseComp, &cfg.Workers.CFAR,
 	} {
 		*n = *workers
+	}
+	switch {
+	case *tuneBud > 0:
+		cfg.AutoTune = &tune.Config{Budget: *tuneBud}
+	case *tuneBud < 0:
+		cfg.AutoTune = &tune.Config{} // budget = sum of the -workers split
 	}
 
 	srv, err := serve.New(cfg)

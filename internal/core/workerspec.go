@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// workerKeys maps the CLI spelling of each task onto its STAPNodes field.
+// The short names follow the paper's task order: dop (Doppler filtering),
+// we/wh (easy/hard weight computation), bfe/bfh (easy/hard beamforming),
+// pc (pulse compression), cfar, io.
+var workerKeys = map[string]func(*STAPNodes) *int{
+	"dop":  func(n *STAPNodes) *int { return &n.Doppler },
+	"we":   func(n *STAPNodes) *int { return &n.EasyWeight },
+	"wh":   func(n *STAPNodes) *int { return &n.HardWeight },
+	"bfe":  func(n *STAPNodes) *int { return &n.EasyBF },
+	"bfh":  func(n *STAPNodes) *int { return &n.HardBF },
+	"pc":   func(n *STAPNodes) *int { return &n.PulseComp },
+	"cfar": func(n *STAPNodes) *int { return &n.CFAR },
+	"io":   func(n *STAPNodes) *int { return &n.IO },
+}
+
+// ParseWorkerSpec overlays a comma-separated per-stage worker spec, e.g.
+// "dop=3,wh=4,cfar=2", onto base and returns the result. Unmentioned
+// stages keep their base counts, so a spec can adjust just the stages it
+// names (hand splits from the CLI, or replaying an autotune trace).
+func ParseWorkerSpec(spec string, base STAPNodes) (STAPNodes, error) {
+	out := base
+	if strings.TrimSpace(spec) == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return base, fmt.Errorf("core: worker spec entry %q is not key=count", part)
+		}
+		field, known := workerKeys[strings.TrimSpace(key)]
+		if !known {
+			return base, fmt.Errorf("core: unknown stage %q in worker spec (%s)", strings.TrimSpace(key), workerSpecKeys())
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || n < 0 {
+			return base, fmt.Errorf("core: worker spec entry %q needs a non-negative count", part)
+		}
+		*field(&out) = n
+	}
+	return out, nil
+}
+
+// FormatWorkerSpec renders a STAPNodes as a spec string ParseWorkerSpec
+// accepts, in pipeline order.
+func FormatWorkerSpec(n STAPNodes) string {
+	parts := []string{
+		fmt.Sprintf("dop=%d", n.Doppler),
+		fmt.Sprintf("we=%d", n.EasyWeight),
+		fmt.Sprintf("wh=%d", n.HardWeight),
+		fmt.Sprintf("bfe=%d", n.EasyBF),
+		fmt.Sprintf("bfh=%d", n.HardBF),
+		fmt.Sprintf("pc=%d", n.PulseComp),
+		fmt.Sprintf("cfar=%d", n.CFAR),
+	}
+	if n.IO > 0 {
+		parts = append(parts, fmt.Sprintf("io=%d", n.IO))
+	}
+	return strings.Join(parts, ",")
+}
+
+func workerSpecKeys() string {
+	keys := make([]string, 0, len(workerKeys))
+	for k := range workerKeys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, " | ")
+}

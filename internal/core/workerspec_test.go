@@ -1,0 +1,39 @@
+package core
+
+import "testing"
+
+func TestParseWorkerSpec(t *testing.T) {
+	base := STAPNodes{Doppler: 2, EasyWeight: 2, HardWeight: 2, EasyBF: 2, HardBF: 2, PulseComp: 2, CFAR: 2}
+	got, err := ParseWorkerSpec("dop=3, wh=5,cfar=1", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base
+	want.Doppler, want.HardWeight, want.CFAR = 3, 5, 1
+	if got != want {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+
+	if got, err := ParseWorkerSpec("", base); err != nil || got != base {
+		t.Errorf("empty spec should return base unchanged, got %+v, %v", got, err)
+	}
+	if got, err := ParseWorkerSpec("io=4", base); err != nil || got.IO != 4 {
+		t.Errorf("io key: got %+v, %v", got, err)
+	}
+	for _, bad := range []string{"dop", "dop=x", "dop=-1", "nope=3"} {
+		if _, err := ParseWorkerSpec(bad, base); err == nil {
+			t.Errorf("spec %q should fail", bad)
+		}
+	}
+}
+
+func TestFormatWorkerSpecRoundTrip(t *testing.T) {
+	n := STAPNodes{Doppler: 3, EasyWeight: 1, HardWeight: 5, EasyBF: 2, HardBF: 2, PulseComp: 4, CFAR: 2, IO: 3}
+	got, err := ParseWorkerSpec(FormatWorkerSpec(n), STAPNodes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Errorf("round trip: got %+v, want %+v", got, n)
+	}
+}

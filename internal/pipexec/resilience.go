@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"stapio/internal/tune"
 )
 
 // Resilience: the paper's system assumes every striped read succeeds; a
@@ -125,6 +127,15 @@ type RunStats struct {
 	// clean via chunk re-reads; such reads surface no error, so they appear
 	// here rather than in ChecksumFailures.
 	RepairedReads int64
+	// StageTimes holds each stage's per-CPI service-time distribution
+	// (p50/p90/max from the live log-scale histograms), in pipeline order.
+	StageTimes []StageTimeStats
+	// TuneStages names the tunable stages in split order, TuneDecisions is
+	// the auto-tuner's decision trace, and TuneFinalSplit is the worker
+	// split the run ended on. All empty without Config.AutoTune.
+	TuneStages     []string
+	TuneDecisions  []tune.Decision
+	TuneFinalSplit []int
 }
 
 // String summarises the counters.

@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stapio/internal/core"
 	"stapio/internal/cube"
 	"stapio/internal/linalg"
 	"stapio/internal/stap"
+	"stapio/internal/tune"
 )
 
 // Config describes a real pipeline execution.
@@ -57,6 +59,24 @@ type Config struct {
 	// across this many goroutines when the source supports it
 	// (DecodeParallelSource). Values < 1 mean 1, the serial behaviour.
 	DecodeWorkers int
+	// AutoTune, when non-nil, enables the online worker rebalancer: a
+	// tune.Controller watches the live per-stage busy counters and swaps
+	// the per-stage worker counts between CPIs to equalise busy/workers
+	// (the paper's balance condition). With AutoTune.Budget > 0 the
+	// configured Workers are replaced by an even split of the budget (the
+	// cold start the tuner refines); with Budget 0 the tuner starts from
+	// Workers and keeps their sum as the budget. Decisions are traced in
+	// RunStats.TuneDecisions.
+	AutoTune *tune.Config
+	// StageLoad injects synthetic per-item service time into the compute
+	// stages (see StageLoad) — a workload-shaping knob for benchmarks and
+	// tuner tests. The zero value injects nothing.
+	StageLoad StageLoad
+	// testOnCPI, when set (tests only), runs on the terminal stage's
+	// goroutine after each recorded CPI with a setter that swaps live
+	// per-stage worker counts — the seam rebalance-determinism tests use
+	// to exercise arbitrary swap schedules.
+	testOnCPI func(cpi int, set func(stage, workers int))
 }
 
 // Validate checks the configuration.
@@ -131,6 +151,30 @@ func (r *Result) SteadyThroughput() float64 {
 	return float64(len(r.CPIs)-1) / span
 }
 
+// SteadyTail returns the CPI completion rate over the last k completions
+// (in completion order) — the post-convergence throughput of an autotuned
+// run, as opposed to SteadyThroughput, which averages the whole run
+// including the cold-split phase. It needs at least two of the last k.
+func (r *Result) SteadyTail(k int) float64 {
+	if k > len(r.CPIs) {
+		k = len(r.CPIs)
+	}
+	if k < 2 {
+		return r.SteadyThroughput()
+	}
+	done := make([]time.Time, 0, len(r.CPIs))
+	for _, c := range r.CPIs {
+		done = append(done, c.Done)
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i].Before(done[j]) })
+	tail := done[len(done)-k:]
+	span := tail[len(tail)-1].Sub(tail[0]).Seconds()
+	if span <= 0 {
+		return r.SteadyThroughput()
+	}
+	return float64(k-1) / span
+}
+
 // MeanLatency returns the average per-CPI latency.
 func (r *Result) MeanLatency() time.Duration {
 	if len(r.CPIs) == 0 {
@@ -169,6 +213,10 @@ type beamMsg struct {
 // Run pushes n CPIs from src through the pipeline and collects the
 // detection reports.
 func Run(ctx context.Context, cfg Config, src AsyncSource, n int) (*Result, error) {
+	cfg, err := withAutoTuneDefaults(cfg)
+	if err != nil {
+		return nil, err
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -180,6 +228,9 @@ func Run(ctx context.Context, cfg Config, src AsyncSource, n int) (*Result, erro
 		buf = 1
 	}
 	r := newRunner(cfg, src, n)
+	if err := r.setup(); err != nil {
+		return nil, err
+	}
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -197,7 +248,7 @@ func Run(ctx context.Context, cfg Config, src AsyncSource, n int) (*Result, erro
 	}
 	sort.Slice(res.CPIs, func(i, j int) bool { return res.CPIs[i].Seq < res.CPIs[j].Seq })
 	for _, c := range r.clocks {
-		res.Stages = append(res.Stages, StageStat{Name: c.name, CPIs: c.cpis, Busy: c.busy})
+		res.Stages = append(res.Stages, c.stat())
 	}
 	return res, nil
 }
@@ -235,7 +286,42 @@ func (r *runner) snapshotStats() RunStats {
 		st.ChunkRereadBytes = now.ChunkRereadBytes - r.ioBase.ChunkRereadBytes
 		st.RepairedReads = now.RepairedReads - r.ioBase.RepairedReads
 	}
+	st.StageTimes = make([]StageTimeStats, 0, len(r.clocks))
+	for _, c := range r.clocks {
+		st.StageTimes = append(st.StageTimes, c.timeStats())
+	}
+	if r.tuner != nil {
+		st.TuneStages = r.tuner.StageNames()
+		st.TuneDecisions = r.tuner.Trace()
+		st.TuneFinalSplit = r.tuner.Split()
+	}
 	return st
+}
+
+// setup creates the stage clocks and the live worker counts (plus the
+// tuner, when configured); it must run before launch. Split out of launch
+// so controller-configuration errors surface before goroutines exist.
+func (r *runner) setup() error {
+	clock := func(name string) *stageClock {
+		c := &stageClock{name: name}
+		r.clocks = append(r.clocks, c)
+		return c
+	}
+	r.ck.read = clock("read")
+	r.ck.dop = clock("doppler")
+	r.ck.we = clock("easy weight")
+	r.ck.wh = clock("hard weight")
+	r.ck.bfe = clock("easy BF")
+	r.ck.bfh = clock("hard BF")
+	if r.cfg.CombinePCCFAR {
+		r.ck.pc = clock("pulse compr+CFAR")
+	} else {
+		r.ck.pc = clock("pulse compr")
+		r.ck.cf = clock("CFAR")
+	}
+	return r.initTuning([numTunable]*stageClock{
+		r.ck.dop, r.ck.we, r.ck.wh, r.ck.bfe, r.ck.bfh, r.ck.pc, r.ck.cf,
+	})
 }
 
 // launch creates the inter-stage channels and starts every stage
@@ -264,23 +350,13 @@ func (r *runner) launch(buf int) *sync.WaitGroup {
 		}()
 	}
 
-	// Clocks are created up front (the stage goroutines own them; the
-	// slice itself is only read after the WaitGroup completes).
-	clock := func(name string) *stageClock {
-		c := &stageClock{name: name}
-		r.clocks = append(r.clocks, c)
-		return c
-	}
-	ckRead := clock("read")
-	ckDop := clock("doppler")
-	ckWE := clock("easy weight")
-	ckWH := clock("hard weight")
-	ckBFE := clock("easy BF")
-	ckBFH := clock("hard BF")
-	spawn(func() error { return r.readStage(ckRead, cubeCh) })
-	spawn(func() error { return r.dopplerStage(ckDop, cubeCh, weIn, whIn, bfeIn, bfhIn) })
-	spawn(func() error { return r.weightStage(ckWE, weIn, weOut, r.easyBins, false, cfg.Workers.EasyWeight) })
-	spawn(func() error { return r.weightStage(ckWH, whIn, whOut, r.hardBins, true, cfg.Workers.HardWeight) })
+	// Clocks and live worker counts were created by setup(); stages load
+	// their counts from r.wcs once per CPI, so a tuner swap lands cleanly
+	// on a CPI boundary.
+	spawn(func() error { return r.readStage(r.ck.read, cubeCh) })
+	spawn(func() error { return r.dopplerStage(r.ck.dop, cubeCh, weIn, whIn, bfeIn, bfhIn) })
+	spawn(func() error { return r.weightStage(r.ck.we, weIn, weOut, r.easyBins, false, tsEasyWeight) })
+	spawn(func() error { return r.weightStage(r.ck.wh, whIn, whOut, r.hardBins, true, tsHardWeight) })
 	// pcIn has two producers, so neither BF stage may close it alone; a
 	// closer goroutine does once both have exited. Downstream termination
 	// is therefore by channel close, which stays correct when a skip
@@ -297,8 +373,8 @@ func (r *runner) launch(buf int) *sync.WaitGroup {
 			}
 		}()
 	}
-	spawnBF(func() error { return r.bfStage(ckBFE, bfeIn, weOut, pcIn, r.easyBins, cfg.Workers.EasyBF) })
-	spawnBF(func() error { return r.bfStage(ckBFH, bfhIn, whOut, pcIn, r.hardBins, cfg.Workers.HardBF) })
+	spawnBF(func() error { return r.bfStage(r.ck.bfe, bfeIn, weOut, pcIn, r.easyBins, tsEasyBF) })
+	spawnBF(func() error { return r.bfStage(r.ck.bfh, bfhIn, whOut, pcIn, r.hardBins, tsHardBF) })
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -306,29 +382,41 @@ func (r *runner) launch(buf int) *sync.WaitGroup {
 		close(pcIn)
 	}()
 	if cfg.CombinePCCFAR {
-		ckPC := clock("pulse compr+CFAR")
-		spawn(func() error { return r.pcStage(ckPC, pcIn, nil) })
+		spawn(func() error { return r.pcStage(r.ck.pc, pcIn, nil) })
 	} else {
-		ckPC := clock("pulse compr")
-		ckCF := clock("CFAR")
-		spawn(func() error { return r.pcStage(ckPC, pcIn, cfarIn) })
-		spawn(func() error { return r.cfarStage(ckCF, cfarIn, cfg.Workers.CFAR) })
+		spawn(func() error { return r.pcStage(r.ck.pc, pcIn, cfarIn) })
+		spawn(func() error { return r.cfarStage(r.ck.cf, cfarIn) })
 	}
 	return wg
 }
 
-// stageClock accumulates a stage's busy time; owned by one goroutine and
-// read only after the run completes.
+// stageClock accumulates a stage's busy time in lock-free counters plus a
+// service-time histogram. Written by the owning stage goroutine; readable
+// live (the tuner samples busy/cpis without stopping the run) and after
+// the run for the summary.
 type stageClock struct {
 	name string
-	busy time.Duration
-	cpis int
+	busy atomic.Int64 // cumulative busy nanoseconds
+	cpis atomic.Int64
+	hist durHist
 }
 
 // add records one CPI's processing time.
 func (c *stageClock) add(d time.Duration) {
-	c.busy += d
-	c.cpis++
+	c.busy.Add(int64(d))
+	c.cpis.Add(1)
+	c.hist.record(d)
+}
+
+// stat freezes the clock into a StageStat.
+func (c *stageClock) stat() StageStat {
+	return StageStat{Name: c.name, CPIs: int(c.cpis.Load()), Busy: time.Duration(c.busy.Load())}
+}
+
+// pipeClocks names the per-stage clocks (cf is nil in the combined design,
+// where pc carries the merged PC+CFAR stage).
+type pipeClocks struct {
+	read, dop, we, wh, bfe, bfh, pc, cf *stageClock
 }
 
 type runner struct {
@@ -347,6 +435,21 @@ type runner struct {
 	err     error
 	results []CPIResult
 	clocks  []*stageClock
+	ck      pipeClocks
+
+	// Live per-stage worker counts in tunable-slot order (see tsDoppler
+	// etc.); stages Load theirs once per CPI, the tuner (or the test seam)
+	// Stores new counts between CPIs.
+	wcs []atomic.Int32
+	// Online tuner state; nil without Config.AutoTune. tuneClocks lists
+	// the tunable stage clocks in slot order, tuneBusy/tuneCPIs are the
+	// reusable snapshot buffers, cpisDone counts recorded CPIs (terminal
+	// stage only).
+	tuner      *tune.Controller
+	tuneClocks []*stageClock
+	tuneBusy   []int64
+	tuneCPIs   []int64
+	cpisDone   int
 
 	// Resilience bookkeeping: atomic counters shared by the stages, plus
 	// the dropped-CPI list, which only the read stage appends to and which
@@ -411,8 +514,13 @@ func recv[T any](r *runner, ch <-chan T) (T, bool) {
 
 // parallel partitions n work items across w goroutines and runs fn on each
 // block, returning the first error. fn receives the worker index (always
-// < w) so stages can address per-worker scratch state.
+// < w) so stages can address per-worker scratch state. With no work
+// (n <= 0) fn is never called; w beyond n is truncated so no worker ever
+// receives an empty block, and w < 1 degrades to serial.
 func parallel(w, n int, fn func(widx int, blk cube.Block) error) error {
+	if n <= 0 {
+		return nil
+	}
 	if w > n {
 		w = n
 	}
@@ -600,11 +708,7 @@ func (r *runner) dopplerStage(clk *stageClock, in <-chan cubeMsg, weOut, whOut, 
 	defer close(whOut)
 	defer close(bfeOut)
 	defer close(bfhOut)
-	workers := r.cfg.Workers.Doppler
-	scratches := make([]*stap.DopplerScratch, workers)
-	for i := range scratches {
-		scratches[i] = stap.NewDopplerScratch(r.p)
-	}
+	var scratches []*stap.DopplerScratch
 	for {
 		msg, ok := recv(r, in)
 		if !ok {
@@ -613,10 +717,20 @@ func (r *runner) dopplerStage(clk *stageClock, in <-chan cubeMsg, weOut, whOut, 
 		if msg.start.IsZero() {
 			msg.start = time.Now() // embedded design: latency starts here
 		}
+		// The worker count is loaded once per CPI; scratches grow lazily so
+		// a tuner upscale mid-run builds the extra state exactly once.
+		workers := r.workersFor(tsDoppler)
+		for len(scratches) < workers {
+			scratches = append(scratches, stap.NewDopplerScratch(r.p))
+		}
 		t0 := time.Now()
 		h := r.pools.getDoppler(msg.seq)
 		err := parallel(workers, r.p.Dims.Ranges, func(widx int, blk cube.Block) error {
-			return stap.DopplerFilterRanges(r.p, msg.cb, blk, h.dc, scratches[widx])
+			if err := stap.DopplerFilterRanges(r.p, msg.cb, blk, h.dc, scratches[widx]); err != nil {
+				return err
+			}
+			r.stageSleep(r.cfg.StageLoad.Doppler, blk.Len())
+			return nil
 		})
 		if err != nil {
 			return fmt.Errorf("pipexec: doppler CPI %d: %w", msg.seq, err)
@@ -636,7 +750,7 @@ func (r *runner) dopplerStage(clk *stageClock, in <-chan cubeMsg, weOut, whOut, 
 // Doppler bins, and feeds them forward for the next CPI's beamforming.
 // When Params.Forgetting is set, the stage smooths the covariance
 // estimates across CPIs exactly as the sequential reference chain does.
-func (r *runner) weightStage(clk *stageClock, in <-chan dopplerMsg, out chan<- *stap.WeightSet, bins []int, hard bool, workers int) error {
+func (r *runner) weightStage(clk *stageClock, in <-chan dopplerMsg, out chan<- *stap.WeightSet, bins []int, hard bool, slot int) error {
 	defer close(out)
 	smoother := stap.CovarianceSmoother{Lambda: r.p.Forgetting}
 	var lastGood *stap.WeightSet
@@ -645,6 +759,7 @@ func (r *runner) weightStage(clk *stageClock, in <-chan dopplerMsg, out chan<- *
 		if !ok {
 			return nil
 		}
+		workers := r.workersFor(slot)
 		t0 := time.Now()
 		ws, err := r.solveWeightSet(&smoother, msg, bins, hard, workers)
 		if err != nil {
@@ -671,6 +786,10 @@ func (r *runner) weightStage(clk *stageClock, in <-chan dopplerMsg, out chan<- *
 // solveWeightSet estimates covariances and solves the adaptive weights for
 // one CPI's bin set.
 func (r *runner) solveWeightSet(smoother *stap.CovarianceSmoother, msg dopplerMsg, bins []int, hard bool, workers int) (*stap.WeightSet, error) {
+	load := r.cfg.StageLoad.EasyWeight
+	if hard {
+		load = r.cfg.StageLoad.HardWeight
+	}
 	est := make([]*linalg.Matrix, len(bins))
 	err := parallel(workers, len(bins), func(_ int, blk cube.Block) error {
 		part, err := stap.EstimateCovariances(r.p, msg.h.dc, bins[blk.Lo:blk.Hi], hard)
@@ -678,6 +797,7 @@ func (r *runner) solveWeightSet(smoother *stap.CovarianceSmoother, msg dopplerMs
 			return err
 		}
 		copy(est[blk.Lo:blk.Hi], part)
+		r.stageSleep(load, blk.Len())
 		return nil
 	})
 	if err != nil {
@@ -711,7 +831,11 @@ func setName(hard bool) string {
 // delivered" rather than "seq-1": when a skip policy drops a CPI the
 // weight stream simply misses that sequence number, and beamforming
 // continues from the weights of the last CPI that made it through.
-func (r *runner) bfStage(clk *stageClock, in <-chan dopplerMsg, weights <-chan *stap.WeightSet, out chan<- beamMsg, bins []int, workers int) error {
+func (r *runner) bfStage(clk *stageClock, in <-chan dopplerMsg, weights <-chan *stap.WeightSet, out chan<- beamMsg, bins []int, slot int) error {
+	load := r.cfg.StageLoad.EasyBF
+	if slot == tsHardBF {
+		load = r.cfg.StageLoad.HardBF
+	}
 	cur := stap.InitialWeights(r.p, bins)
 	first := true
 	var prevSeq uint64
@@ -732,9 +856,14 @@ func (r *runner) bfStage(clk *stageClock, in <-chan dopplerMsg, weights <-chan *
 		}
 		first = false
 		prevSeq = msg.seq
+		workers := r.workersFor(slot)
 		t0 := time.Now()
 		err := parallel(workers, len(bins), func(_ int, blk cube.Block) error {
-			return stap.Beamform(r.p, msg.h.dc, cur, bins[blk.Lo:blk.Hi], msg.bc)
+			if err := stap.Beamform(r.p, msg.h.dc, cur, bins[blk.Lo:blk.Hi], msg.bc); err != nil {
+				return err
+			}
+			r.stageSleep(load, blk.Len())
+			return nil
 		})
 		if err != nil {
 			return fmt.Errorf("pipexec: beamform CPI %d: %w", msg.seq, err)
@@ -754,22 +883,14 @@ func (r *runner) pcStage(clk *stageClock, in <-chan beamMsg, out chan<- beamMsg)
 	if out != nil {
 		defer close(out)
 	}
-	workers := r.cfg.Workers.PulseComp
-	if r.cfg.CombinePCCFAR {
-		workers += r.cfg.Workers.CFAR
-	}
 	// Per-worker compressors, the (beam, bin) enumeration, and — in the
-	// combined design — the CFAR worker state are all built once for the
-	// run, not per CPI.
-	comps := make([]*stap.Compressor, workers)
-	comps[0] = stap.NewCompressor(r.p)
-	for i := 1; i < workers; i++ {
-		comps[i] = comps[0].Clone()
-	}
+	// combined design — the CFAR worker state are built once and grown
+	// lazily when a tuner upscale raises the worker count.
+	comps := []*stap.Compressor{stap.NewCompressor(r.p)}
 	pairs := stap.AllBeamBins(len(r.p.Beams), r.p.Bins())
 	var cfar *cfarState
 	if r.cfg.CombinePCCFAR {
-		cfar = newCFARState(r.p, workers)
+		cfar = newCFARState(r.p, 1)
 	}
 	// firstHalf buffers the first beamforming half of each CPI until its
 	// partner arrives; the entry is deleted on consumption, so the map
@@ -790,18 +911,28 @@ func (r *runner) pcStage(clk *stageClock, in <-chan beamMsg, out chan<- beamMsg)
 			continue
 		}
 		delete(firstHalf, msg.seq)
+		workers := r.workersFor(tsPulseComp)
+		for len(comps) < workers {
+			comps = append(comps, comps[0].Clone())
+		}
 		t0 := time.Now()
 		err := parallel(workers, len(pairs), func(widx int, blk cube.Block) error {
-			return stap.Compress(r.p, msg.bc, comps[widx], pairs[blk.Lo:blk.Hi])
+			if err := stap.Compress(r.p, msg.bc, comps[widx], pairs[blk.Lo:blk.Hi]); err != nil {
+				return err
+			}
+			r.stageSleep(r.cfg.StageLoad.PulseComp, blk.Len())
+			return nil
 		})
 		if err != nil {
 			return fmt.Errorf("pipexec: pulse compression CPI %d: %w", msg.seq, err)
 		}
 		if r.cfg.CombinePCCFAR {
+			cfar.resize(r.p, workers)
 			if err := r.runCFAR(msg, cfar, workers); err != nil {
 				return err
 			}
 			r.addBusy(clk, time.Since(t0))
+			r.afterCPI()
 			continue
 		}
 		r.addBusy(clk, time.Since(t0))
@@ -836,19 +967,37 @@ func newCFARState(p *stap.Params, workers int) *cfarState {
 	return st
 }
 
+// resize re-partitions the (beam, bin) pairs for a new worker count and
+// grows the per-worker state; scratches and result slots built for a
+// larger earlier count are kept (shrinking is free, regrowth reuses them).
+func (st *cfarState) resize(p *stap.Params, workers int) {
+	if len(st.blocks) != workers {
+		st.blocks = cube.Split(len(st.pairs), workers)
+	}
+	for len(st.partial) < workers {
+		st.partial = append(st.partial, nil)
+	}
+	for len(st.scratch) < workers {
+		st.scratch = append(st.scratch, stap.NewCFARScratch(p))
+	}
+}
+
 // cfarStage runs CFAR detection, partitioned by (beam, bin) pairs.
-func (r *runner) cfarStage(clk *stageClock, in <-chan beamMsg, workers int) error {
-	st := newCFARState(r.p, workers)
+func (r *runner) cfarStage(clk *stageClock, in <-chan beamMsg) error {
+	st := newCFARState(r.p, r.workersFor(tsCFAR))
 	for {
 		msg, ok := recv(r, in)
 		if !ok {
 			return nil
 		}
+		workers := r.workersFor(tsCFAR)
+		st.resize(r.p, workers)
 		t0 := time.Now()
 		if err := r.runCFAR(msg, st, workers); err != nil {
 			return err
 		}
 		r.addBusy(clk, time.Since(t0))
+		r.afterCPI()
 	}
 }
 
@@ -861,6 +1010,7 @@ func (r *runner) runCFAR(msg beamMsg, st *cfarState, workers int) error {
 				return err
 			}
 			st.partial[w] = dets
+			r.stageSleep(r.cfg.StageLoad.CFAR, blk.Len())
 		}
 		return nil
 	})

@@ -31,6 +31,10 @@ type StreamHandle struct {
 // Stream starts the pipeline against src and returns immediately. The
 // caller must drain Results and call Stop exactly once when finished.
 func Stream(ctx context.Context, cfg Config, src AsyncSource) (*StreamHandle, error) {
+	cfg, err := withAutoTuneDefaults(cfg)
+	if err != nil {
+		return nil, err
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -39,6 +43,9 @@ func Stream(ctx context.Context, cfg Config, src AsyncSource) (*StreamHandle, er
 		buf = 1
 	}
 	r := newRunner(cfg, src, math.MaxInt32)
+	if err := r.setup(); err != nil {
+		return nil, err
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	r.ctx, r.cancel = ctx, cancel
 
@@ -80,9 +87,10 @@ func (h *StreamHandle) Stop() (*Result, error) {
 	res := &Result{Elapsed: time.Since(h.start), Stats: h.r.snapshotStats()}
 	var served int
 	for _, c := range h.r.clocks {
-		res.Stages = append(res.Stages, StageStat{Name: c.name, CPIs: c.cpis, Busy: c.busy})
-		if c.cpis > served {
-			served = c.cpis
+		st := c.stat()
+		res.Stages = append(res.Stages, st)
+		if st.CPIs > served {
+			served = st.CPIs
 		}
 	}
 	if res.Elapsed > 0 {

@@ -1,0 +1,256 @@
+package pipexec
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"stapio/internal/cube"
+	"stapio/internal/radar"
+	"stapio/internal/tune"
+)
+
+func TestParallelEdgeCases(t *testing.T) {
+	// n == 0: fn must not run at all (no empty-block call).
+	called := false
+	if err := parallel(4, 0, func(widx int, blk cube.Block) error {
+		called = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("parallel(4, 0) invoked fn")
+	}
+
+	// w > n: truncated to n workers, every item covered exactly once, no
+	// empty blocks, and every widx < the truncated count.
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	if err := parallel(10, 3, func(widx int, blk cube.Block) error {
+		if widx >= 3 {
+			t.Errorf("widx %d with only 3 items", widx)
+		}
+		if blk.Len() == 0 {
+			t.Error("empty block handed to a worker")
+		}
+		mu.Lock()
+		for i := blk.Lo; i < blk.Hi; i++ {
+			seen[i]++
+		}
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if seen[i] != 1 {
+			t.Errorf("item %d covered %d times", i, seen[i])
+		}
+	}
+
+	// w <= 0 degrades to serial, still covering everything once.
+	total := 0
+	if err := parallel(0, 5, func(widx int, blk cube.Block) error {
+		total += blk.Len()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 {
+		t.Errorf("parallel(0, 5) covered %d items", total)
+	}
+}
+
+// testLoad skews the hard-weight stage hard enough that the balanced split
+// must move workers there, while keeping the test fast. The injected load
+// must dominate the stages' real compute (Doppler's FFTs are the largest)
+// with margin: measured service times on a contended CI core are noisy,
+// and the tuner's ranking has to survive that noise.
+func testLoad() StageLoad {
+	return StageLoad{
+		Doppler:    20 * time.Microsecond,
+		HardWeight: 2 * time.Millisecond,
+		PulseComp:  2 * time.Microsecond,
+	}
+}
+
+func TestAutoTuneMatchesReference(t *testing.T) {
+	// Rebalancing must be correctness-neutral: an autotuned run under a
+	// skewed injected load produces exactly the reference chain's
+	// detections, and the tuner must actually have rebalanced.
+	s := radar.SmallTestScenario()
+	cfg := testConfig()
+	cfg.AutoTune = &tune.Config{Interval: 2, Warmup: 2, Hysteresis: -1}
+	cfg.StageLoad = testLoad()
+	const n = 24
+	want := referenceDetections(t, cfg.Params, s, n)
+	res, err := Run(context.Background(), cfg, ScenarioSource(s), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CPIs) != n {
+		t.Fatalf("got %d CPI results, want %d", len(res.CPIs), n)
+	}
+	for k, c := range res.CPIs {
+		if !sameDetections(c.Detections, want[k]) {
+			t.Errorf("CPI %d: autotuned run diverged from the reference chain", k)
+		}
+	}
+	applied := 0
+	for _, d := range res.Stats.TuneDecisions {
+		if d.Applied {
+			applied++
+		}
+	}
+	if applied == 0 {
+		t.Fatalf("no rebalance applied under a skewed load; trace: %+v", res.Stats.TuneDecisions)
+	}
+	if len(res.Stats.TuneStages) != 7 {
+		t.Errorf("TuneStages = %v, want 7 stages", res.Stats.TuneStages)
+	}
+}
+
+func TestAutoTuneConvergesOnSkew(t *testing.T) {
+	// From a cold even split the tuner must shift workers toward the
+	// loaded hard-weight stage while conserving the budget.
+	s := radar.SmallTestScenario()
+	cfg := testConfig()
+	cfg.AutoTune = &tune.Config{Budget: 14, Interval: 2, Warmup: 2, Hysteresis: -1}
+	cfg.StageLoad = testLoad()
+	res, err := Run(context.Background(), cfg, ScenarioSource(s), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := res.Stats.TuneFinalSplit
+	if len(final) != 7 {
+		t.Fatalf("final split %v, want 7 stages", final)
+	}
+	sum := 0
+	for i, w := range final {
+		sum += w
+		if w < 1 {
+			t.Errorf("stage %s ended with %d workers", res.Stats.TuneStages[i], w)
+		}
+	}
+	if sum != 14 {
+		t.Errorf("final split %v spends %d workers, budget 14", final, sum)
+	}
+	// Slot 2 is the hard-weight stage (dominant injected load): it must
+	// have gained over the even split's 2.
+	if final[2] <= 2 {
+		t.Errorf("hard weight kept %d workers despite dominating; split %v", final[2], final)
+	}
+}
+
+func TestRandomRebalanceScheduleDeterminism(t *testing.T) {
+	// A worker-count swap between CPIs must never re-partition a block
+	// mid-CPI or skip rows: under arbitrary random swap schedules the
+	// detections stay byte-identical to the reference chain.
+	s := radar.SmallTestScenario()
+	base := testConfig()
+	const n = 12
+	want := referenceDetections(t, base.Params, s, n)
+	for _, combine := range []bool{false, true} {
+		for seed := int64(1); seed <= 3; seed++ {
+			cfg := base
+			cfg.CombinePCCFAR = combine
+			rng := rand.New(rand.NewSource(seed))
+			stages := 7
+			if combine {
+				stages = 6
+			}
+			cfg.testOnCPI = func(cpi int, set func(stage, workers int)) {
+				set(rng.Intn(stages), 1+rng.Intn(4))
+			}
+			res, err := Run(context.Background(), cfg, ScenarioSource(s), n)
+			if err != nil {
+				t.Fatalf("combine=%v seed %d: %v", combine, seed, err)
+			}
+			if len(res.CPIs) != n {
+				t.Fatalf("combine=%v seed %d: %d CPIs, want %d", combine, seed, len(res.CPIs), n)
+			}
+			for k, c := range res.CPIs {
+				if !sameDetections(c.Detections, want[k]) {
+					t.Errorf("combine=%v seed %d CPI %d: detections diverged under rebalance schedule", combine, seed, k)
+				}
+			}
+		}
+	}
+}
+
+func TestStageTimeStats(t *testing.T) {
+	s := radar.SmallTestScenario()
+	cfg := testConfig()
+	const n = 6
+	res, err := Run(context.Background(), cfg, ScenarioSource(s), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats.StageTimes
+	if len(st) != 8 {
+		t.Fatalf("got %d stage histograms, want 8", len(st))
+	}
+	for _, h := range st {
+		if h.CPIs != n {
+			t.Errorf("stage %s histogram has %d CPIs, want %d", h.Name, h.CPIs, n)
+		}
+		if h.P50 <= 0 || h.P90 <= 0 || h.Max <= 0 {
+			t.Errorf("stage %s has non-positive quantiles: %+v", h.Name, h)
+		}
+		if h.P50 > h.P90 || h.P90 > h.Max {
+			t.Errorf("stage %s quantiles not monotone: %+v", h.Name, h)
+		}
+	}
+}
+
+func TestAutoTuneBudgetColdStart(t *testing.T) {
+	// AutoTune.Budget overrides Workers with the even split; too small a
+	// budget must fail before the pipeline starts.
+	s := radar.SmallTestScenario()
+	cfg := testConfig()
+	cfg.Workers.Doppler = 1 // ignored once Budget is set
+	cfg.AutoTune = &tune.Config{Budget: 14, Interval: 4}
+	res, err := Run(context.Background(), cfg, ScenarioSource(s), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.TuneDecisions) != 0 {
+		// 4 CPIs < warmup+interval: no decision should have fired.
+		t.Errorf("unexpected decisions: %+v", res.Stats.TuneDecisions)
+	}
+	cfg.AutoTune = &tune.Config{Budget: 3}
+	if _, err := Run(context.Background(), cfg, ScenarioSource(s), 4); err == nil {
+		t.Error("budget 3 over 7 tasks should fail validation")
+	}
+}
+
+func TestDurHistQuantiles(t *testing.T) {
+	var h durHist
+	for i := 0; i < 90; i++ {
+		h.record(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.record(10 * time.Millisecond)
+	}
+	p50, p90, max := h.quantile(0.5), h.quantile(0.9), time.Duration(h.max.Load())
+	if max != 10*time.Millisecond {
+		t.Errorf("max = %v", max)
+	}
+	// Log-bucket estimates are upper bounds within 2x of the true value.
+	if p50 < 100*time.Microsecond || p50 > 200*time.Microsecond {
+		t.Errorf("p50 = %v, want within [100us, 200us]", p50)
+	}
+	if p90 < 100*time.Microsecond || p90 > 20*time.Millisecond {
+		t.Errorf("p90 = %v out of range", p90)
+	}
+	if h.quantile(0.999) != max {
+		t.Errorf("tail quantile %v should clamp to max %v", h.quantile(0.999), max)
+	}
+	var empty durHist
+	if empty.quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"stapio/internal/cube"
 	"stapio/internal/pipexec"
+	"stapio/internal/tune"
 )
 
 // A replica is one long-running pipexec.Stream pipeline fed over a channel
@@ -236,6 +237,10 @@ func replicaConfig(cfg Config) pipexec.Config {
 		Workers:       cfg.Workers,
 		CombinePCCFAR: cfg.CombinePCCFAR,
 		Buffer:        cfg.Buffer,
+		// Each replica gets its own controller instance (tune.Controller
+		// is single-run state), so a replica pool converges per replica
+		// against its own measured load.
+		AutoTune: cloneTuneConfig(cfg.AutoTune),
 		// The source is push-fed; depth-1 readahead just keeps one Begin
 		// slot open ahead of the CPI being consumed.
 		ReadAhead: 1,
@@ -247,4 +252,15 @@ func replicaConfig(cfg Config) pipexec.Config {
 		}
 	}
 	return pc
+}
+
+// cloneTuneConfig copies the tuner config so every replica owns its own
+// (pipexec keeps the pointer; shared mutable config across replicas would
+// be a trap).
+func cloneTuneConfig(c *tune.Config) *tune.Config {
+	if c == nil {
+		return nil
+	}
+	cp := *c
+	return &cp
 }

@@ -14,6 +14,7 @@ import (
 	"stapio/internal/cube"
 	"stapio/internal/pipexec"
 	"stapio/internal/stap"
+	"stapio/internal/tune"
 )
 
 // Config describes a detection service instance.
@@ -27,6 +28,10 @@ type Config struct {
 	// CombinePCCFAR selects the merged pulse-compression+CFAR stage in
 	// each replica.
 	CombinePCCFAR bool
+	// AutoTune, when non-nil, gives every replica an independent online
+	// worker rebalancer (see pipexec.Config.AutoTune); each replica's
+	// controller converges against that replica's own measured load.
+	AutoTune *tune.Config
 	// Replicas is the number of pipeline replicas CPIs are dispatched
 	// across (values < 1 mean 1). Each replica is an independent
 	// pipexec.Stream with its own weight-feedback chain.
@@ -161,8 +166,9 @@ func (s *Server) Start(addr string) error {
 // Serve is Start over an existing listener. It returns once the service is
 // accepting (the accept loop runs in the background; Shutdown stops it).
 func (s *Server) Serve(ln net.Listener) error {
-	pc := replicaConfig(s.cfg)
 	for i := 0; i < s.cfg.replicas(); i++ {
+		// Built per replica so each gets its own tuner config clone.
+		pc := replicaConfig(s.cfg)
 		src := newChanSource(s.putCube)
 		r, err := startReplica(s.ctx, i, pc, src, s.finishJob)
 		if err != nil {

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"stapio/internal/radar"
+	"stapio/internal/tune"
+)
+
+func TestServeAutoTunedReplicaMatchesReference(t *testing.T) {
+	// A replica with an online tuner must stay correctness-neutral (the
+	// networked results still match the sequential chain) and must have
+	// evaluated rebalance decisions by the end of the run.
+	const n = 30
+	s := radar.SmallTestScenario()
+	cfg := testServerConfig()
+	cfg.Replicas = 1
+	cfg.AutoTune = &tune.Config{Interval: 2, Warmup: 2, Hysteresis: -1}
+
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	shut := false
+	shutdown := func() {
+		if shut {
+			return
+		}
+		shut = true
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}
+	defer shutdown()
+	cl := dialTest(t, srv, Options{})
+
+	frames, err := radar.EncodeCPIs(s, n, testChunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceDetections(t, cfg.Params, s, n)
+	results := submitAll(t, cl, frames)
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for k, r := range results {
+		if r.Err != nil {
+			t.Fatalf("CPI %d failed: %v", r.Seq, r.Err)
+		}
+		if !sameDetections(r.Detections, want[k]) {
+			t.Errorf("CPI %d: autotuned replica diverged from the sequential reference", k)
+		}
+	}
+	cl.Close()
+	shutdown()
+
+	res, ferr := srv.replicas[0].summary()
+	if ferr != nil {
+		t.Fatalf("replica summary: %v", ferr)
+	}
+	if res == nil {
+		t.Fatal("no replica summary after shutdown")
+	}
+	if len(res.Stats.TuneStages) != 7 {
+		t.Errorf("replica tuner names %v, want 7 stages", res.Stats.TuneStages)
+	}
+	if len(res.Stats.TuneDecisions) == 0 {
+		t.Error("replica tuner evaluated no decisions over 30 CPIs at interval 2")
+	}
+	if len(res.Stats.TuneFinalSplit) != 7 {
+		t.Errorf("final split %v, want 7 stages", res.Stats.TuneFinalSplit)
+	}
+}
+
+func TestServeReplicasGetIndependentTuners(t *testing.T) {
+	// Two replicas must each own a controller: both summaries carry their
+	// own trace state and the shared Config pointer is cloned per replica.
+	cfg := testServerConfig()
+	cfg.Replicas = 2
+	cfg.AutoTune = &tune.Config{Interval: 2, Warmup: 1, Hysteresis: -1}
+	pc1, pc2 := replicaConfig(cfg), replicaConfig(cfg)
+	if pc1.AutoTune == nil || pc2.AutoTune == nil {
+		t.Fatal("replica configs lost the tuner")
+	}
+	if pc1.AutoTune == cfg.AutoTune || pc1.AutoTune == pc2.AutoTune {
+		t.Error("replica tuner configs must be cloned, not shared")
+	}
+}

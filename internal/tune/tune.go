@@ -1,0 +1,354 @@
+// Package tune implements the online pipeline auto-tuner: a controller
+// that watches the measured per-stage service times of a running pipeline
+// and rebalances a fixed worker budget across the stages between CPIs.
+//
+// The paper (and cmd/stapopt) solves the same problem offline: given the
+// per-task workloads W_i and a node budget P, assign P_i to minimise the
+// bottleneck service time max_i W_i/P_i (eqs. (1)-(15) reduce throughput
+// to 1/max_i T_i). The marginal-allocation greedy is optimal because each
+// task's service time is non-increasing in its own worker count and
+// independent of the others'. The controller here runs the identical
+// discrete water-filling, but against *measured* busy times instead of the
+// analytic model: every decision window it estimates each stage's serial
+// work as measuredService x currentWorkers, re-solves the split, and
+// applies it only when the predicted bottleneck improvement clears a
+// hysteresis threshold (so measurement noise cannot make it thrash).
+//
+// The controller is deliberately pipeline-agnostic: stages are just names
+// with optional worker caps, and the caller feeds cumulative (busyNS,
+// cpis) counters after every completed CPI. pipexec owns the mapping onto
+// its stage goroutines and the atomic worker-count swap.
+package tune
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config parameterises the controller.
+type Config struct {
+	// Budget is the total worker budget distributed across the tunable
+	// stages. 0 means "the sum of the initial per-stage counts".
+	Budget int
+	// Interval is the number of completed CPIs between decisions
+	// (default 8). Shorter intervals react faster but measure noisier
+	// service times.
+	Interval int
+	// Warmup is the number of completed CPIs ignored before the first
+	// measurement window opens (default: Interval), excluding the
+	// pipeline-fill transient from the first decision.
+	Warmup int
+	// Hysteresis is the minimum predicted relative improvement of the
+	// bottleneck service time required to apply a rebalance. 0 means the
+	// default (0.1); negative means none (every differing split is
+	// applied — useful in tests).
+	Hysteresis float64
+}
+
+func (c Config) interval() int {
+	if c.Interval < 1 {
+		return 8
+	}
+	return c.Interval
+}
+
+func (c Config) warmup() int {
+	if c.Warmup < 1 {
+		return c.interval()
+	}
+	return c.Warmup
+}
+
+func (c Config) hysteresis() float64 {
+	switch {
+	case c.Hysteresis < 0:
+		return 0
+	case c.Hysteresis == 0:
+		return 0.1
+	default:
+		return c.Hysteresis
+	}
+}
+
+// Stage describes one tunable pipeline stage.
+type Stage struct {
+	Name string
+	// Max caps the useful worker count (0 = uncapped) — typically the
+	// number of work items the stage partitions, beyond which extra
+	// workers receive empty blocks.
+	Max int
+}
+
+// Decision is one evaluation of the balance condition, recorded whether or
+// not it changed the split — the trace replays how the tuner converged.
+type Decision struct {
+	// CPI is the number of CPIs the pipeline had completed when the
+	// decision was taken (timestamp-free, so traces are comparable
+	// across runs and machines).
+	CPI int
+	// Service is the measured mean wall-clock service time per CPI of
+	// each stage over the window just closed, at the Old worker counts.
+	Service []time.Duration
+	// Old and New are the per-stage worker splits before and after the
+	// decision (New == Old when not applied).
+	Old, New []int
+	// Bottleneck indexes the stage with the largest measured service.
+	Bottleneck int
+	// Applied reports whether the split was actually swapped; false when
+	// the re-solve reproduced the current split or the predicted gain
+	// did not clear the hysteresis threshold.
+	Applied bool
+}
+
+// traceCap bounds the decision trace so unbounded streaming runs cannot
+// grow memory; decisions beyond it still apply, they are just not recorded.
+const traceCap = 4096
+
+// Controller holds the tuner state. It is not internally synchronised: the
+// caller must invoke Observe from a single goroutine (pipexec calls it
+// from the terminal pipeline stage) and read Trace/Split only after the
+// run has stopped or from that same goroutine.
+type Controller struct {
+	cfg    Config
+	stages []Stage
+	budget int
+
+	split    []int
+	prevBusy []int64
+	prevCPI  []int64
+
+	seen      int  // CPIs observed so far
+	lastAt    int  // seen value at the last window boundary
+	baselined bool // a window baseline has been snapshotted
+
+	trace   []Decision
+	skipped int // decisions not recorded after traceCap
+
+	// scratch reused across decisions to keep Observe allocation-light.
+	work []float64
+	caps []int
+}
+
+// NewController validates the configuration and returns a controller
+// starting from the given split.
+func NewController(cfg Config, stages []Stage, initial []int) (*Controller, error) {
+	n := len(stages)
+	if n == 0 {
+		return nil, fmt.Errorf("tune: no stages")
+	}
+	if len(initial) != n {
+		return nil, fmt.Errorf("tune: initial split covers %d stages, have %d", len(initial), n)
+	}
+	sum := 0
+	for i, w := range initial {
+		if w < 1 {
+			return nil, fmt.Errorf("tune: stage %q starts with %d workers, need >= 1", stages[i].Name, w)
+		}
+		sum += w
+	}
+	budget := cfg.Budget
+	if budget == 0 {
+		budget = sum
+	}
+	if budget != sum {
+		return nil, fmt.Errorf("tune: budget %d does not match the initial split's %d workers", budget, sum)
+	}
+	if budget < n {
+		return nil, fmt.Errorf("tune: budget %d cannot cover %d stages", budget, n)
+	}
+	c := &Controller{
+		cfg:      cfg,
+		stages:   append([]Stage(nil), stages...),
+		budget:   budget,
+		split:    append([]int(nil), initial...),
+		prevBusy: make([]int64, n),
+		prevCPI:  make([]int64, n),
+		work:     make([]float64, n),
+		caps:     make([]int, n),
+	}
+	for i, s := range c.stages {
+		c.caps[i] = s.Max
+	}
+	return c, nil
+}
+
+// Budget returns the total worker budget.
+func (c *Controller) Budget() int { return c.budget }
+
+// Split returns a copy of the current per-stage worker split.
+func (c *Controller) Split() []int { return append([]int(nil), c.split...) }
+
+// StageNames returns the stage names in split order.
+func (c *Controller) StageNames() []string {
+	names := make([]string, len(c.stages))
+	for i, s := range c.stages {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Trace returns the recorded decisions.
+func (c *Controller) Trace() []Decision { return append([]Decision(nil), c.trace...) }
+
+// SkippedDecisions reports how many decisions were evaluated but not
+// recorded because the trace hit its cap.
+func (c *Controller) SkippedDecisions() int { return c.skipped }
+
+// Observe feeds the cumulative per-stage busy time (nanoseconds) and CPI
+// counts after one completed CPI. Every Interval completions (after
+// Warmup) it evaluates the balance condition. The returned split is the
+// current one; applied is true when this call rebalanced it — the caller
+// must then install the new counts before the next CPI starts.
+func (c *Controller) Observe(busyNS, cpis []int64) (split []int, applied bool) {
+	c.seen++
+	if !c.baselined {
+		if c.seen >= c.cfg.warmup() {
+			copy(c.prevBusy, busyNS)
+			copy(c.prevCPI, cpis)
+			c.lastAt = c.seen
+			c.baselined = true
+		}
+		return c.split, false
+	}
+	if c.seen-c.lastAt < c.cfg.interval() {
+		return c.split, false
+	}
+	applied = c.decide(busyNS, cpis)
+	copy(c.prevBusy, busyNS)
+	copy(c.prevCPI, cpis)
+	c.lastAt = c.seen
+	return c.split, applied
+}
+
+// effective is the number of workers of stage i that actually carry work
+// when w are assigned: the stage's cap truncates the rest.
+func (c *Controller) effective(i, w int) int {
+	if cap := c.stages[i].Max; cap > 0 && w > cap {
+		return cap
+	}
+	return w
+}
+
+// decide closes the current measurement window, re-solves the split, and
+// applies it if the predicted gain clears the hysteresis threshold.
+func (c *Controller) decide(busyNS, cpis []int64) bool {
+	n := len(c.stages)
+	service := make([]time.Duration, n)
+	bottleneck := 0
+	for i := 0; i < n; i++ {
+		dc := cpis[i] - c.prevCPI[i]
+		if dc <= 0 {
+			// A stage saw no CPIs this window (a skip policy dropped
+			// everything, or the window raced a drain); there is nothing
+			// to measure, so keep the window open.
+			return false
+		}
+		db := busyNS[i] - c.prevBusy[i]
+		if db < 0 {
+			db = 0
+		}
+		service[i] = time.Duration(db / dc)
+		// The stage's serial work per CPI: measured wall time at the
+		// current worker count, scaled back up. Workers beyond the cap
+		// partition empty blocks and contribute nothing, so the scale
+		// factor is the *effective* count — an over-cap split's surplus
+		// is then correctly seen as free to move elsewhere. Stages that
+		// do not scale linearly (memory-bound kernels) are over-estimated
+		// here, but the next window re-measures at the new count, so the
+		// estimate self-corrects; hysteresis damps the resulting
+		// oscillation.
+		c.work[i] = float64(db) / float64(dc) * float64(c.effective(i, c.split[i]))
+		if service[i] > service[bottleneck] {
+			bottleneck = i
+		}
+	}
+	next := Balance(c.work, c.budget, c.caps)
+
+	oldMax, newMax := 0.0, 0.0
+	changed := false
+	for i := 0; i < n; i++ {
+		if v := c.work[i] / float64(c.effective(i, c.split[i])); v > oldMax {
+			oldMax = v
+		}
+		if v := c.work[i] / float64(c.effective(i, next[i])); v > newMax {
+			newMax = v
+		}
+		if next[i] != c.split[i] {
+			changed = true
+		}
+	}
+	applied := changed && newMax <= oldMax*(1-c.cfg.hysteresis())
+
+	d := Decision{
+		CPI:        c.seen,
+		Service:    service,
+		Old:        append([]int(nil), c.split...),
+		Bottleneck: bottleneck,
+		Applied:    applied,
+	}
+	if applied {
+		copy(c.split, next)
+	}
+	d.New = append([]int(nil), c.split...)
+	if len(c.trace) < traceCap {
+		c.trace = append(c.trace, d)
+	} else {
+		c.skipped++
+	}
+	return applied
+}
+
+// Balance distributes budget workers over stages with estimated serial
+// work per CPI, minimising the bottleneck service time max_i work_i/w_i —
+// the paper's balance condition (equalise busy/workers across stages) as
+// discrete water-filling. Every stage gets at least one worker; caps, when
+// non-nil and positive, bound per-stage counts (a capped stage stops
+// receiving workers once at its cap). The greedy is optimal because each
+// height work_i/w_i is strictly decreasing in w_i and independent of the
+// other stages. Stages with zero work keep exactly one worker. Unusable
+// budget (everything capped) is left unassigned.
+func Balance(work []float64, budget int, caps []int) []int {
+	n := len(work)
+	w := make([]int, n)
+	for i := range w {
+		w[i] = 1
+	}
+	height := func(i int) float64 { return work[i] / float64(w[i]) }
+	for used := n; used < budget; used++ {
+		best := -1
+		for i := range w {
+			if work[i] <= 0 {
+				continue
+			}
+			if caps != nil && caps[i] > 0 && w[i] >= caps[i] {
+				continue
+			}
+			if best == -1 || height(i) > height(best) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		w[best]++
+	}
+	return w
+}
+
+// EvenSplit distributes budget over n stages as evenly as possible — the
+// cold-start split the tuner begins from. The first budget%n stages get
+// the extra worker. It panics if budget < n (every stage needs a worker).
+func EvenSplit(budget, n int) []int {
+	if n <= 0 || budget < n {
+		panic(fmt.Sprintf("tune: EvenSplit budget %d cannot cover %d stages", budget, n))
+	}
+	w := make([]int, n)
+	base, extra := budget/n, budget%n
+	for i := range w {
+		w[i] = base
+		if i < extra {
+			w[i]++
+		}
+	}
+	return w
+}

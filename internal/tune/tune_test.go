@@ -1,0 +1,319 @@
+package tune
+
+import (
+	"math"
+	"testing"
+)
+
+// bruteForceMax finds the optimal bottleneck height by exhaustive search
+// over all splits of budget (small instances only).
+func bruteForceMax(work []float64, budget int, caps []int) float64 {
+	n := len(work)
+	best := math.Inf(1)
+	var rec func(i, left int, cur []int)
+	rec = func(i, left int, cur []int) {
+		if i == n {
+			if left != 0 {
+				return
+			}
+			h := 0.0
+			for j, w := range cur {
+				if v := work[j] / float64(w); v > h {
+					h = v
+				}
+			}
+			if h < best {
+				best = h
+			}
+			return
+		}
+		max := left - (n - i - 1)
+		for w := 1; w <= max; w++ {
+			if caps != nil && caps[i] > 0 && w > caps[i] {
+				break
+			}
+			cur[i] = w
+			rec(i+1, left-w, cur)
+		}
+	}
+	rec(0, budget, make([]int, n))
+	return best
+}
+
+func heightOf(work []float64, split []int) float64 {
+	h := 0.0
+	for i, w := range split {
+		if v := work[i] / float64(w); v > h {
+			h = v
+		}
+	}
+	return h
+}
+
+func TestBalanceMatchesBruteForce(t *testing.T) {
+	cases := []struct {
+		work   []float64
+		budget int
+		caps   []int
+	}{
+		{[]float64{4, 2, 20, 2, 2, 4, 4}, 14, nil},
+		{[]float64{1, 1, 1, 1}, 8, nil},
+		{[]float64{10, 1, 1}, 6, nil},
+		{[]float64{5, 5, 5}, 10, []int{2, 0, 0}},
+		{[]float64{7, 3, 9, 1}, 9, []int{0, 1, 4, 0}},
+	}
+	for _, c := range cases {
+		got := Balance(c.work, c.budget, c.caps)
+		sum := 0
+		for i, w := range got {
+			sum += w
+			if w < 1 {
+				t.Fatalf("Balance(%v,%d): stage %d got %d workers", c.work, c.budget, i, w)
+			}
+			if c.caps != nil && c.caps[i] > 0 && w > c.caps[i] {
+				t.Errorf("Balance(%v,%d): stage %d exceeds cap %d with %d", c.work, c.budget, i, c.caps[i], w)
+			}
+		}
+		if sum > c.budget {
+			t.Errorf("Balance(%v,%d) used %d workers", c.work, c.budget, sum)
+		}
+		want := bruteForceMax(c.work, c.budget, c.caps)
+		if got := heightOf(c.work, got); got > want*(1+1e-9) {
+			t.Errorf("Balance(%v,%d): bottleneck %g, optimum %g", c.work, c.budget, got, want)
+		}
+	}
+}
+
+func TestBalanceZeroWorkKeepsOneWorker(t *testing.T) {
+	got := Balance([]float64{0, 10, 0}, 9, nil)
+	if got[0] != 1 || got[2] != 1 {
+		t.Errorf("zero-work stages should keep exactly 1 worker, got %v", got)
+	}
+	if got[1] != 7 {
+		t.Errorf("all spare budget should flow to the loaded stage, got %v", got)
+	}
+}
+
+func TestBalanceAllCappedLeavesBudgetUnused(t *testing.T) {
+	got := Balance([]float64{5, 5}, 10, []int{2, 2})
+	if got[0] != 2 || got[1] != 2 {
+		t.Errorf("caps must bound the split, got %v", got)
+	}
+}
+
+func TestEvenSplit(t *testing.T) {
+	got := EvenSplit(14, 7)
+	for i, w := range got {
+		if w != 2 {
+			t.Fatalf("EvenSplit(14,7)[%d] = %d, want 2", i, w)
+		}
+	}
+	got = EvenSplit(10, 7)
+	sum := 0
+	for _, w := range got {
+		sum += w
+		if w < 1 || w > 2 {
+			t.Fatalf("EvenSplit(10,7) uneven: %v", got)
+		}
+	}
+	if sum != 10 {
+		t.Fatalf("EvenSplit(10,7) sums to %d: %v", sum, got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("EvenSplit(3, 7) should panic")
+		}
+	}()
+	EvenSplit(3, 7)
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	stages := []Stage{{Name: "a"}, {Name: "b"}}
+	if _, err := NewController(Config{}, nil, nil); err == nil {
+		t.Error("no stages should fail")
+	}
+	if _, err := NewController(Config{}, stages, []int{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := NewController(Config{}, stages, []int{0, 2}); err == nil {
+		t.Error("zero initial workers should fail")
+	}
+	if _, err := NewController(Config{Budget: 5}, stages, []int{2, 2}); err == nil {
+		t.Error("budget != sum(initial) should fail")
+	}
+	c, err := NewController(Config{}, stages, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Budget() != 4 {
+		t.Errorf("implied budget = %d, want 4", c.Budget())
+	}
+}
+
+// simulate drives a controller against a synthetic pipeline whose stages
+// scale perfectly: each CPI adds work[i]/split[i] busy time to stage i.
+func simulate(t *testing.T, c *Controller, work []float64, cpis int) {
+	t.Helper()
+	n := len(work)
+	busy := make([]int64, n)
+	count := make([]int64, n)
+	for k := 0; k < cpis; k++ {
+		split := c.Split()
+		for i := 0; i < n; i++ {
+			busy[i] += int64(work[i] / float64(split[i]))
+			count[i]++
+		}
+		c.Observe(busy, count)
+	}
+}
+
+func TestControllerConvergesToBalance(t *testing.T) {
+	stages := []Stage{{Name: "dop"}, {Name: "we"}, {Name: "wh"}, {Name: "bfe"}, {Name: "bfh"}, {Name: "pc"}, {Name: "cfar"}}
+	initial := EvenSplit(14, 7)
+	c, err := NewController(Config{Interval: 4}, stages, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hard weights dominate 5x; the balanced split must hand them the
+	// spare budget.
+	work := []float64{4e6, 2e6, 20e6, 2e6, 2e6, 4e6, 4e6}
+	simulate(t, c, work, 40)
+	got := c.Split()
+	want := Balance(work, 14, nil)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("converged split %v, water-filling optimum %v", got, want)
+		}
+	}
+	trace := c.Trace()
+	if len(trace) == 0 {
+		t.Fatal("no decisions recorded")
+	}
+	applied := 0
+	for _, d := range trace {
+		if d.Bottleneck != 2 && !d.Applied && applied == 0 {
+			t.Errorf("first decisions should see the hard-weight bottleneck, got stage %d", d.Bottleneck)
+		}
+		if d.Applied {
+			applied++
+		}
+		sum := 0
+		for _, w := range d.New {
+			sum += w
+		}
+		if sum != 14 {
+			t.Errorf("decision at CPI %d breaks the budget: %v", d.CPI, d.New)
+		}
+	}
+	if applied == 0 {
+		t.Error("no decision was applied")
+	}
+}
+
+func TestControllerHysteresisHoldsBalancedSplit(t *testing.T) {
+	stages := []Stage{{Name: "a"}, {Name: "b"}}
+	c, err := NewController(Config{Interval: 2, Hysteresis: 0.1}, stages, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfectly balanced load: every re-solve reproduces {2,2}; nothing
+	// may be applied and the trace must say so.
+	simulate(t, c, []float64{10e6, 10e6}, 20)
+	for _, d := range c.Trace() {
+		if d.Applied {
+			t.Fatalf("balanced load caused a rebalance at CPI %d: %v -> %v", d.CPI, d.Old, d.New)
+		}
+	}
+	got := c.Split()
+	if got[0] != 2 || got[1] != 2 {
+		t.Errorf("split drifted to %v", got)
+	}
+}
+
+func TestControllerHysteresisBlocksMarginalGain(t *testing.T) {
+	stages := []Stage{{Name: "a"}, {Name: "b"}, {Name: "c"}}
+	// With a huge hysteresis nothing can ever clear the bar.
+	c, err := NewController(Config{Interval: 2, Hysteresis: 10}, stages, []int{1, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulate(t, c, []float64{30e6, 1e6, 1e6}, 20)
+	got := c.Split()
+	if got[0] != 1 || got[2] != 4 {
+		t.Errorf("hysteresis 10 must freeze the split, got %v", got)
+	}
+	trace := c.Trace()
+	if len(trace) == 0 {
+		t.Fatal("decisions should still be evaluated and traced")
+	}
+	for _, d := range trace {
+		if d.Applied {
+			t.Errorf("decision at CPI %d applied despite hysteresis", d.CPI)
+		}
+	}
+}
+
+func TestControllerRespectsCaps(t *testing.T) {
+	stages := []Stage{{Name: "a", Max: 2}, {Name: "b"}}
+	c, err := NewController(Config{Interval: 2, Hysteresis: -1}, stages, []int{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulate(t, c, []float64{50e6, 1e6}, 20)
+	if got := c.Split(); got[0] > 2 {
+		t.Errorf("stage a capped at 2 but got %d", got[0])
+	}
+}
+
+func TestControllerWarmupAndInterval(t *testing.T) {
+	stages := []Stage{{Name: "a"}, {Name: "b"}}
+	c, err := NewController(Config{Interval: 5, Warmup: 3, Hysteresis: -1}, stages, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := make([]int64, 2)
+	count := make([]int64, 2)
+	decisions := 0
+	for k := 0; k < 13; k++ {
+		split := c.Split()
+		busy[0] += int64(40e6 / float64(split[0]))
+		busy[1] += int64(1e6 / float64(split[1]))
+		count[0]++
+		count[1]++
+		if _, applied := c.Observe(busy, count); applied {
+			decisions++
+		}
+	}
+	// Baseline at CPI 3, first decision at CPI 8, second at 13.
+	if got := len(c.Trace()); got != 2 {
+		t.Fatalf("expected 2 decisions (CPI 8 and 13), got %d", got)
+	}
+	if decisions == 0 {
+		t.Error("skewed load with negative hysteresis must rebalance")
+	}
+	if tr := c.Trace(); tr[0].CPI != 8 || tr[1].CPI != 13 {
+		t.Errorf("decision CPIs %d,%d; want 8,13", tr[0].CPI, tr[1].CPI)
+	}
+}
+
+func TestControllerSkipsWindowWithoutCPIs(t *testing.T) {
+	stages := []Stage{{Name: "a"}, {Name: "b"}}
+	c, err := NewController(Config{Interval: 2, Warmup: 1, Hysteresis: -1}, stages, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := []int64{1e6, 1e6}
+	count := []int64{1, 1}
+	c.Observe(busy, count) // warmup baseline
+	c.Observe(busy, count)
+	// Stage b's counter never advances: the window must stay open with no
+	// decision rather than divide by zero.
+	busy[0] += 2e6
+	count[0] += 2
+	if _, applied := c.Observe(busy, count); applied {
+		t.Error("decision applied with a starved stage")
+	}
+	if len(c.Trace()) != 0 {
+		t.Errorf("starved window recorded a decision: %+v", c.Trace())
+	}
+}

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Non-blocking benchmark regression check: rerun the auto-tuner sweep,
+# diff its steady throughput against the committed baselines, and (under
+# GitHub Actions) append the markdown table to the job summary.
+#
+# Exit status is always 0 for timing differences — shared runners are too
+# noisy to gate on — and non-zero only if the benchmarks fail to run.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=$(mktemp -t bench5.XXXXXX.json)
+trap 'rm -f "$out"' EXIT
+
+go run ./cmd/benchjson -bench 'BenchmarkAutoTune' -benchtime 1x -o "$out"
+
+table=$(go run ./cmd/benchdiff -new "$out" \
+	-base BENCH_5.json -base BENCH_3.json -base BENCH_4.json)
+
+printf '%s\n' "$table"
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+	printf '%s\n' "$table" >>"$GITHUB_STEP_SUMMARY"
+fi
