@@ -6,6 +6,7 @@
 //	benchjson -parse old.txt -o before.json        # convert saved output
 //	benchjson -before before.json -o BENCH.json    # embed a before section
 //	benchjson -keep-before -o BENCH.json           # refresh "after", keep "before"
+//	benchjson -repeat 5 -o BENCH.json              # median of 5 runs, with min/max spread
 //
 // The -before file may be either a JSON report produced by this tool or raw
 // `go test -bench` text; the format is sniffed.
@@ -20,6 +21,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -30,17 +32,23 @@ import (
 // table/figure regeneration suite, which takes far longer.
 const defaultBench = `BenchmarkKernelFFT|BenchmarkKernelDoppler|BenchmarkKernelPulseCompressionCFAR|BenchmarkRealPipeline$|BenchmarkRealPipelineIODesigns|BenchmarkRealPipelineReadahead`
 
-// Bench is one benchmark result line.
+// Bench is one benchmark result line. With -repeat, Metrics holds the
+// per-metric median across runs and Min/Max the spread — the median is the
+// headline number so one noisy run cannot move a committed comparison.
 type Bench struct {
 	Name       string             `json:"name"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
+	Min        map[string]float64 `json:"min,omitempty"`
+	Max        map[string]float64 `json:"max,omitempty"`
 }
 
-// Report is the result of one benchmark run.
+// Report is the result of one benchmark run (or, with -repeat, the
+// per-metric aggregate of Runs identical runs).
 type Report struct {
 	Go         string  `json:"go,omitempty"`
 	CPU        string  `json:"cpu,omitempty"`
+	Runs       int     `json:"runs,omitempty"`
 	Benchmarks []Bench `json:"benchmarks"`
 }
 
@@ -60,6 +68,7 @@ func main() {
 		parse      = flag.String("parse", "", "parse this saved `go test -bench` output instead of running benchmarks")
 		before     = flag.String("before", "", "baseline file (JSON report or raw bench text) embedded as the before section")
 		keepBefore = flag.Bool("keep-before", false, "preserve the before section of an existing -o file")
+		repeat     = flag.Int("repeat", 1, "run the suite this many times; report the per-metric median with min/max spread")
 		out        = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
@@ -71,7 +80,20 @@ func main() {
 	if *parse != "" {
 		after, err = loadReport(*parse)
 	} else {
-		after, err = runBenchmarks(*bench, *benchtime, *pkg)
+		runs := make([]*Report, 0, *repeat)
+		for i := 0; i < *repeat || len(runs) == 0; i++ {
+			if *repeat > 1 {
+				fmt.Fprintf(os.Stderr, "benchjson: run %d of %d\n", i+1, *repeat)
+			}
+			var rep *Report
+			if rep, err = runBenchmarks(*bench, *benchtime, *pkg); err != nil {
+				break
+			}
+			runs = append(runs, rep)
+		}
+		if err == nil {
+			after = aggregateReports(runs)
+		}
 	}
 	if err != nil {
 		fatal(err)
@@ -107,6 +129,60 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(after.Benchmarks), *out)
+}
+
+// aggregateReports folds repeated runs of the same suite into one report:
+// each metric becomes its lower median across runs, with the min/max spread
+// recorded alongside. Benchmarks keep the first run's order; one missing
+// from some runs is aggregated over the runs that have it.
+func aggregateReports(runs []*Report) *Report {
+	if len(runs) == 1 {
+		return runs[0]
+	}
+	agg := &Report{Go: runs[0].Go, CPU: runs[0].CPU, Runs: len(runs)}
+	var order []string
+	byName := make(map[string][]Bench)
+	for _, rep := range runs {
+		for _, b := range rep.Benchmarks {
+			if _, seen := byName[b.Name]; !seen {
+				order = append(order, b.Name)
+			}
+			byName[b.Name] = append(byName[b.Name], b)
+		}
+	}
+	for _, name := range order {
+		samples := byName[name]
+		out := Bench{
+			Name:    name,
+			Metrics: map[string]float64{},
+			Min:     map[string]float64{},
+			Max:     map[string]float64{},
+		}
+		iters := make([]int64, 0, len(samples))
+		keys := make(map[string]bool)
+		for _, s := range samples {
+			iters = append(iters, s.Iterations)
+			for k := range s.Metrics {
+				keys[k] = true
+			}
+		}
+		sort.Slice(iters, func(i, j int) bool { return iters[i] < iters[j] })
+		out.Iterations = iters[(len(iters)-1)/2]
+		for k := range keys {
+			vals := make([]float64, 0, len(samples))
+			for _, s := range samples {
+				if v, ok := s.Metrics[k]; ok {
+					vals = append(vals, v)
+				}
+			}
+			sort.Float64s(vals)
+			out.Min[k] = vals[0]
+			out.Metrics[k] = vals[(len(vals)-1)/2]
+			out.Max[k] = vals[len(vals)-1]
+		}
+		agg.Benchmarks = append(agg.Benchmarks, out)
+	}
+	return agg
 }
 
 // runBenchmarks invokes go test and parses its output. The benchmark run's

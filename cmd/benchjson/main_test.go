@@ -1,0 +1,80 @@
+package main
+
+import "testing"
+
+func mkReport(nsop, bop float64, iters int64) *Report {
+	return &Report{
+		Go:  "go1.22",
+		CPU: "test-cpu",
+		Benchmarks: []Bench{
+			{Name: "BenchmarkA", Iterations: iters, Metrics: map[string]float64{"ns/op": nsop, "B/op": bop}},
+		},
+	}
+}
+
+func TestAggregateReportsMedianMinMax(t *testing.T) {
+	runs := []*Report{
+		mkReport(300, 64, 10),
+		mkReport(100, 64, 30),
+		mkReport(200, 64, 20),
+	}
+	// A benchmark present in only one run still aggregates over that run.
+	runs[2].Benchmarks = append(runs[2].Benchmarks,
+		Bench{Name: "BenchmarkB", Iterations: 5, Metrics: map[string]float64{"ns/op": 7}})
+
+	agg := aggregateReports(runs)
+	if agg.Runs != 3 {
+		t.Errorf("Runs = %d, want 3", agg.Runs)
+	}
+	if agg.Go != "go1.22" || agg.CPU != "test-cpu" {
+		t.Errorf("environment not carried over: %q %q", agg.Go, agg.CPU)
+	}
+	if len(agg.Benchmarks) != 2 {
+		t.Fatalf("aggregated %d benchmarks, want 2", len(agg.Benchmarks))
+	}
+	a := agg.Benchmarks[0]
+	if a.Name != "BenchmarkA" {
+		t.Fatalf("first benchmark is %q, want the first run's order", a.Name)
+	}
+	if a.Metrics["ns/op"] != 200 {
+		t.Errorf("median ns/op = %v, want 200", a.Metrics["ns/op"])
+	}
+	if a.Min["ns/op"] != 100 || a.Max["ns/op"] != 300 {
+		t.Errorf("ns/op spread = [%v, %v], want [100, 300]", a.Min["ns/op"], a.Max["ns/op"])
+	}
+	if a.Min["B/op"] != 64 || a.Metrics["B/op"] != 64 || a.Max["B/op"] != 64 {
+		t.Errorf("constant metric must aggregate to itself, got min %v med %v max %v",
+			a.Min["B/op"], a.Metrics["B/op"], a.Max["B/op"])
+	}
+	if a.Iterations != 20 {
+		t.Errorf("median iterations = %d, want 20", a.Iterations)
+	}
+	b := agg.Benchmarks[1]
+	if b.Metrics["ns/op"] != 7 || b.Min["ns/op"] != 7 || b.Max["ns/op"] != 7 {
+		t.Errorf("single-run benchmark aggregated wrong: %+v", b)
+	}
+}
+
+// Lower median: an even number of runs must pick a real sample, not an
+// interpolated value, so the headline metric is always a measured run.
+func TestAggregateReportsLowerMedian(t *testing.T) {
+	runs := []*Report{mkReport(100, 1, 1), mkReport(400, 1, 1), mkReport(200, 1, 1), mkReport(300, 1, 1)}
+	agg := aggregateReports(runs)
+	if got := agg.Benchmarks[0].Metrics["ns/op"]; got != 200 {
+		t.Errorf("lower median of {100,200,300,400} = %v, want 200", got)
+	}
+}
+
+func TestAggregateReportsSingleRunPassthrough(t *testing.T) {
+	r := mkReport(123, 8, 9)
+	agg := aggregateReports([]*Report{r})
+	if agg != r {
+		t.Error("single run must pass through unchanged")
+	}
+	if agg.Runs != 0 {
+		t.Errorf("single run must not set Runs (got %d)", agg.Runs)
+	}
+	if agg.Benchmarks[0].Min != nil {
+		t.Error("single run must not grow min/max maps")
+	}
+}

@@ -6,6 +6,15 @@
 //	staploadgen -addr 127.0.0.1:7420 -n 500
 //	staploadgen -addr 127.0.0.1:7420 -n 500 -window 4 -json BENCH_4.json
 //	staploadgen -addr 127.0.0.1:7420 -faults corrupt=0.1,seed=7
+//	staploadgen -addr host1:7420,host2:7420,host3:7420 -n 1000
+//
+// With one -addr the generator drives a single serve.Client directly.
+// With several (comma-separated), it drives a fleet.Client instead: CPIs
+// are routed by rendezvous hashing, failures fail over between servers
+// with per-server circuit breakers, and the run reports per-server latency
+// percentiles plus the fleet's failover/retry/breaker counters — this is
+// the harness the chaos smoke test kills servers under. -health supplies
+// the matching /healthz endpoints so open breakers can probe for recovery.
 //
 // The generator pre-encodes a small set of distinct CPIs once (generation
 // is far slower than the pipeline) and replays them round-robin, restamping
@@ -13,19 +22,26 @@
 // chunks on the wire, exercising the server's chunk re-request repair; a
 // repaired CPI still counts as delivered, not dropped.
 //
-// Exit status is non-zero if any CPI was dropped (rejected or unanswered),
-// so scripts can assert lossless runs.
+// Exit status is non-zero if any CPI was dropped (rejected or unanswered).
+// In fleet mode, -tolerate downgrades typed per-CPI failures (e.g. a CPI
+// abandoned on a crashed server) to warnings — only an unanswered CPI (a
+// hang, which the fleet client is designed to never produce) still fails
+// the run.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"stapio/internal/cube"
+	"stapio/internal/fleet"
 	"stapio/internal/pfs"
 	"stapio/internal/radar"
 	"stapio/internal/serve"
@@ -33,15 +49,22 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7420", "detection service address")
+		addr      = flag.String("addr", "127.0.0.1:7420", "detection service address(es), comma-separated; more than one drives the fleet client")
+		health    = flag.String("health", "", "matching /healthz HTTP address(es), comma-separated, for breaker recovery probes (fleet mode)")
 		scenario  = flag.String("scenario", "small", "cube geometry to replay: small | paper")
 		n         = flag.Int("n", 500, "CPIs to submit")
-		window    = flag.Int("window", 0, "CPIs kept in flight (0 = the server's advertised capacity)")
+		window    = flag.Int("window", 0, "CPIs kept in flight (0 = the advertised capacity)")
 		templates = flag.Int("templates", 8, "distinct pre-encoded CPIs replayed round-robin")
 		chunk     = flag.Int("chunk", 4096, "cube chunk size in bytes (multiple of 8)")
 		faultSpec = flag.String("faults", "", "wire fault spec, e.g. corrupt=0.1,seed=7 (empty = clean)")
 		jsonOut   = flag.String("json", "", "append the run to this JSON report file")
 		phaseK    = flag.Int("phasek", 0, "per-phase window: also report steady throughput over the first K and last K results (0 = n/4, min 2) — shows tuner convergence, not just the average")
+		pace      = flag.Duration("pace", 0, "minimum delay between submissions (stretches the run so chaos events land mid-load)")
+		deadline  = flag.Duration("deadline", 15*time.Second, "per-CPI deadline budget across retries (fleet mode)")
+		retries   = flag.Int("retries", 4, "max submit attempts per CPI across the fleet")
+		cooldown  = flag.Duration("breaker-cooldown", time.Second, "circuit-breaker open duration before a recovery trial (fleet mode)")
+		tolerate  = flag.Bool("tolerate", false, "fleet mode: typed per-CPI failures are warnings, only unanswered CPIs fail the run")
+		httpAddr  = flag.String("http", "", "serve the fleet client's /healthz and /stats on this HTTP address during the run (fleet mode; empty disables)")
 	)
 	flag.Parse()
 
@@ -62,17 +85,22 @@ func main() {
 		fatal(err)
 	}
 
-	cl, err := serve.Dial(*addr, serve.Options{Dims: s.Dims, Faults: plan, ResultBuffer: 256})
-	if err != nil {
-		fatal(err)
+	addrs := splitList(*addr)
+	if len(addrs) == 0 {
+		fatal(fmt.Errorf("no server address given"))
 	}
-	defer cl.Close()
+	healths := splitList(*health)
+	if len(healths) > 0 && len(healths) != len(addrs) {
+		fatal(fmt.Errorf("-health lists %d addresses for %d servers", len(healths), len(addrs)))
+	}
 
-	w := *window
-	if w < 1 || w > cl.MaxInFlight() {
-		w = cl.MaxInFlight()
+	var run *Run
+	if len(addrs) == 1 && len(healths) == 0 {
+		run, err = driveDirect(addrs[0], s, plan, frames, *n, *window, *phaseK, *pace)
+	} else {
+		run, err = driveFleetMode(addrs, healths, s, plan, frames, *n, *window, *phaseK, *pace,
+			*deadline, *retries, *cooldown, *httpAddr)
 	}
-	run, err := drive(cl, frames, *n, w, *phaseK)
 	if err != nil {
 		fatal(err)
 	}
@@ -93,15 +121,43 @@ func main() {
 		fmt.Printf("repair: %d corruptions injected, %d repair requests served, %d chunks re-sent\n",
 			run.Injected, run.RepairReqs, run.ChunkResends)
 	}
+	if len(run.Servers) > 0 {
+		fmt.Printf("fleet: %d servers, %d answered (%d ok, %d typed-failed, %d unanswered), %d failovers, %d retries, %d abandoned\n",
+			len(run.Servers), run.Answered, run.Answered-int(run.Failed), run.Failed, run.Unanswered,
+			run.Failovers, run.Retries, run.Abandoned)
+		fmt.Printf("breakers: %d opens, %d half-opens, %d closes\n",
+			run.BreakerOpens, run.BreakerHalfOpens, run.BreakerCloses)
+		for _, ss := range run.Servers {
+			p := run.PerServerLatencyMs[ss.Addr]
+			fmt.Printf("  %s: %d completed, p50 %.3fms p99 %.3fms, breaker %s (%d/%d/%d)\n",
+				ss.Addr, ss.Completed, p["p50"], p["p99"],
+				ss.Breaker.State, ss.Breaker.Opens, ss.Breaker.HalfOpens, ss.Breaker.Closes)
+		}
+	}
 	if *jsonOut != "" {
 		if err := appendRun(*jsonOut, run); err != nil {
 			fatal(err)
 		}
 	}
-	if run.Dropped > 0 {
+	switch {
+	case run.Unanswered > 0:
+		fmt.Fprintf(os.Stderr, "staploadgen: %d of %d CPIs unanswered (hang)\n", run.Unanswered, run.CPIs)
+		os.Exit(1)
+	case run.Dropped > 0 && !(*tolerate && len(run.Servers) > 0):
 		fmt.Fprintf(os.Stderr, "staploadgen: %d of %d CPIs dropped\n", run.Dropped, run.CPIs)
 		os.Exit(1)
 	}
+}
+
+// splitList parses a comma-separated flag value, dropping empty entries.
+func splitList(v string) []string {
+	var out []string
+	for _, s := range strings.Split(v, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // Run is one load-generation run, as appended to the JSON report.
@@ -127,17 +183,46 @@ type Run struct {
 	SteadyLast  float64            `json:"steady_last_cpi_per_s,omitempty"`
 	LatencyMs   map[string]float64 `json:"latency_ms"`
 	ServerMs    map[string]float64 `json:"server_latency_ms"`
-	Dropped     int                `json:"dropped"`
+	// Dropped counts CPIs that did not complete: typed failures plus
+	// unanswered ones. Answered/Unanswered split the accounting the fleet's
+	// exactly-once contract cares about: every CPI must be answered —
+	// completed or typed-failed — and Unanswered must be zero even when a
+	// server is SIGKILLed mid-run.
+	Dropped    int `json:"dropped"`
+	Answered   int `json:"answered"`
+	Unanswered int `json:"unanswered"`
 
 	Injected     int64 `json:"corruptions_injected,omitempty"`
 	RepairReqs   int64 `json:"repair_reqs,omitempty"`
 	ChunkResends int64 `json:"chunk_resends,omitempty"`
 	Repaired     int64 `json:"repaired,omitempty"`
+
+	// Fleet-mode extras (absent on single-server runs).
+	Failed             int64                         `json:"failed_typed,omitempty"`
+	Failovers          int64                         `json:"failovers,omitempty"`
+	Retries            int64                         `json:"retries,omitempty"`
+	Abandoned          int64                         `json:"abandoned,omitempty"`
+	BreakerOpens       int64                         `json:"breaker_opens,omitempty"`
+	BreakerHalfOpens   int64                         `json:"breaker_half_opens,omitempty"`
+	BreakerCloses      int64                         `json:"breaker_closes,omitempty"`
+	Servers            []fleet.ServerStats           `json:"servers,omitempty"`
+	PerServerLatencyMs map[string]map[string]float64 `json:"per_server_latency_ms,omitempty"`
 }
 
-// drive replays the frames closed-loop and gathers the statistics.
-func drive(cl *serve.Client, frames [][]byte, n, window, phaseK int) (*Run, error) {
-	sem := make(chan struct{}, window)
+// driveDirect replays the frames closed-loop against one server over a
+// plain serve.Client — the original BENCH_4-comparable path.
+func driveDirect(addr string, s *radar.Scenario, plan *pfs.FaultPlan, frames [][]byte, n, window, phaseK int, pace time.Duration) (*Run, error) {
+	cl, err := serve.Dial(addr, serve.Options{Dims: s.Dims, Faults: plan, ResultBuffer: 256})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	w := window
+	if w < 1 || w > cl.MaxInFlight() {
+		w = cl.MaxInFlight()
+	}
+	sem := make(chan struct{}, w)
 	latencies := make([]time.Duration, 0, n)
 	serverLat := make([]time.Duration, 0, n)
 	arrivals := make([]time.Time, 0, n)
@@ -175,19 +260,165 @@ func drive(cl *serve.Client, frames [][]byte, n, window, phaseK int) (*Run, erro
 		if _, err := cl.Submit(frame); err != nil {
 			return nil, fmt.Errorf("submit CPI %d: %w", seq, err)
 		}
+		if pace > 0 {
+			time.Sleep(pace)
+		}
 	}
 	<-collected
 	wall := time.Since(start)
 
 	run := &Run{
 		CPIs:        n,
-		Window:      window,
+		Window:      w,
 		WallSeconds: wall.Seconds(),
 		Throughput:  float64(n) / wall.Seconds(),
 		LatencyMs:   percentilesMs(latencies),
 		ServerMs:    percentilesMs(serverLat),
 		Dropped:     dropped,
+		Answered:    n,
 	}
+	fillArrivalStats(run, arrivals, phaseK)
+	run.RepairReqs, run.ChunkResends, run.Injected = cl.RepairStats()
+	run.Repaired = cl.RepairedFrames()
+	return run, nil
+}
+
+// driveFleetMode replays the frames closed-loop through a fleet.Client
+// spanning several servers, gathering per-server latency splits and the
+// fleet's failover/breaker counters.
+func driveFleetMode(addrs, healths []string, s *radar.Scenario, plan *pfs.FaultPlan, frames [][]byte,
+	n, window, phaseK int, pace, deadline time.Duration, retries int, cooldown time.Duration, httpAddr string) (*Run, error) {
+	specs := make([]fleet.ServerSpec, len(addrs))
+	for i, a := range addrs {
+		specs[i] = fleet.ServerSpec{Addr: a}
+		if len(healths) > 0 {
+			specs[i].Health = healths[i]
+		}
+	}
+	fc, err := fleet.New(fleet.Options{
+		Dims:        s.Dims,
+		Servers:     specs,
+		Dial:        serve.Options{Faults: plan, ResultBuffer: 256},
+		MaxAttempts: retries,
+		CPIDeadline: deadline,
+		Breaker:     fleet.BreakerConfig{Cooldown: cooldown},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer fc.Close()
+	capacity, err := fc.Connect()
+	if err != nil {
+		return nil, err
+	}
+	if httpAddr != "" {
+		go http.ListenAndServe(httpAddr, fc.StatsHandler())
+	}
+
+	w := window
+	if w < 1 || w > capacity {
+		w = capacity
+	}
+	sem := make(chan struct{}, w)
+	latencies := make([]time.Duration, 0, n)
+	serverLat := make([]time.Duration, 0, n)
+	arrivals := make([]time.Time, 0, n)
+	perServer := make(map[string][]time.Duration)
+	var answered, failed atomic.Int64
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		got := 0
+		for r := range fc.Results() {
+			if r.Err != nil {
+				failed.Add(1)
+				fmt.Fprintf(os.Stderr, "staploadgen: CPI %d (attempt %d): %v\n", r.Seq, r.Attempts, r.Err)
+			} else {
+				latencies = append(latencies, r.Latency)
+				serverLat = append(serverLat, r.ServerLatency)
+				arrivals = append(arrivals, time.Now())
+				perServer[r.Server] = append(perServer[r.Server], r.Latency)
+			}
+			answered.Add(1)
+			<-sem
+			if got++; got == n {
+				return
+			}
+		}
+	}()
+
+	start := time.Now()
+	submitErr := make(chan error, 1)
+	go func() {
+		for seq := 0; seq < n; seq++ {
+			frame := append([]byte(nil), frames[seq%len(frames)]...)
+			if err := cube.PatchSeq(frame, uint64(seq)); err != nil {
+				submitErr <- err
+				return
+			}
+			sem <- struct{}{}
+			if _, err := fc.Submit(frame); err != nil {
+				submitErr <- fmt.Errorf("submit CPI %d: %w", seq, err)
+				return
+			}
+			if pace > 0 {
+				time.Sleep(pace)
+			}
+		}
+	}()
+
+	// The fleet client's contract is that every CPI resolves within its
+	// deadline; the watchdog is the backstop that turns a contract
+	// violation (a hang) into a reported unanswered count, not a stuck
+	// process.
+	watchdog := time.Duration(n)*pace + deadline + 30*time.Second
+	timedOut := false
+	select {
+	case <-collected:
+	case err := <-submitErr:
+		return nil, err
+	case <-time.After(watchdog):
+		timedOut = true
+	}
+	wall := time.Since(start)
+
+	run := &Run{
+		CPIs:        n,
+		Window:      w,
+		WallSeconds: wall.Seconds(),
+		Throughput:  float64(n) / wall.Seconds(),
+		Answered:    int(answered.Load()),
+		Failed:      failed.Load(),
+	}
+	run.Unanswered = n - run.Answered
+	run.Dropped = int(run.Failed) + run.Unanswered
+	if !timedOut {
+		// The collector goroutine has exited; its slices are safe to read.
+		run.LatencyMs = percentilesMs(latencies)
+		run.ServerMs = percentilesMs(serverLat)
+		fillArrivalStats(run, arrivals, phaseK)
+		run.PerServerLatencyMs = make(map[string]map[string]float64, len(perServer))
+		for a, d := range perServer {
+			run.PerServerLatencyMs[a] = percentilesMs(d)
+		}
+	} else {
+		run.LatencyMs = percentilesMs(nil)
+		run.ServerMs = percentilesMs(nil)
+	}
+	st := fc.Stats()
+	run.Failovers = st.Failovers
+	run.Retries = st.Retries
+	run.Abandoned = st.Abandoned
+	run.BreakerOpens = st.BreakerOpens
+	run.BreakerHalfOpens = st.BreakerHalfOpens
+	run.BreakerCloses = st.BreakerCloses
+	run.Servers = st.Servers
+	return run, nil
+}
+
+// fillArrivalStats derives the steady-state and phase throughput figures
+// from the result arrival times.
+func fillArrivalStats(run *Run, arrivals []time.Time, phaseK int) {
 	if len(arrivals) > 1 {
 		if span := arrivals[len(arrivals)-1].Sub(arrivals[0]).Seconds(); span > 0 {
 			run.Steady = float64(len(arrivals)-1) / span
@@ -198,9 +429,6 @@ func drive(cl *serve.Client, frames [][]byte, n, window, phaseK int) (*Run, erro
 		run.SteadyFirst = arrivalRate(arrivals[:k])
 		run.SteadyLast = arrivalRate(arrivals[len(arrivals)-k:])
 	}
-	run.RepairReqs, run.ChunkResends, run.Injected = cl.RepairStats()
-	run.Repaired = cl.RepairedFrames()
-	return run, nil
 }
 
 // phaseWindow resolves the -phasek flag: 0 defaults to a quarter of the

@@ -9,7 +9,8 @@
 //	stapserve -addr 127.0.0.1:0 -announce /tmp/addr # scripts: port 0 + file
 //
 // SIGINT/SIGTERM drain gracefully: new submits are rejected, in-flight CPIs
-// finish and flush, then the process exits with a stats summary.
+// finish and flush, then the process exits with a stats summary. A second
+// signal during the drain aborts immediately with exit status 2.
 package main
 
 import (
@@ -103,10 +104,17 @@ func main() {
 		}
 	}
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Fprintln(os.Stderr, "stapserve: draining...")
+	fmt.Fprintln(os.Stderr, "stapserve: draining... (again to abort)")
+	// A second signal during the drain aborts immediately — operators (and
+	// the chaos harness) must always have a fast way out.
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "stapserve: aborted")
+		os.Exit(2)
+	}()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAfterFailureStreak(t *testing.T) {
+	b := newBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: time.Hour}, "")
+	for i := 0; i < 2; i++ {
+		b.record(false)
+		if !b.allow() {
+			t.Fatalf("breaker opened after %d failures, threshold is 3", i+1)
+		}
+	}
+	b.record(false)
+	if b.allow() {
+		t.Fatal("breaker still closed after hitting the failure threshold")
+	}
+	if state, opens, _, _ := b.snapshot(); state != "open" || opens != 1 {
+		t.Fatalf("state %q opens %d, want open/1", state, opens)
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := newBreaker(BreakerConfig{FailureThreshold: 2, Cooldown: time.Hour}, "")
+	b.record(false)
+	b.record(true)
+	b.record(false)
+	if !b.allow() {
+		t.Fatal("interleaved success did not reset the failure streak")
+	}
+}
+
+func TestBreakerHalfOpenAdmitsOneTrial(t *testing.T) {
+	b := newBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: 10 * time.Millisecond}, "")
+	b.record(false)
+	if b.allow() {
+		t.Fatal("open breaker admitted traffic inside the cooldown")
+	}
+	time.Sleep(15 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("breaker did not half-open after the cooldown")
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+	// Trial succeeds: closed, and the recovery arc is visible.
+	b.record(true)
+	if !b.allow() {
+		t.Fatal("breaker did not close after a successful trial")
+	}
+	state, opens, halfOpens, closes := b.snapshot()
+	if state != "closed" || opens != 1 || halfOpens != 1 || closes != 1 {
+		t.Fatalf("recovery arc: state %q opens %d half-opens %d closes %d, want closed/1/1/1", state, opens, halfOpens, closes)
+	}
+}
+
+func TestBreakerFailedTrialReopens(t *testing.T) {
+	b := newBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: 10 * time.Millisecond}, "")
+	b.record(false)
+	time.Sleep(15 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("breaker did not half-open")
+	}
+	b.record(false)
+	if b.allow() {
+		t.Fatal("breaker stayed permeable after a failed half-open trial")
+	}
+	if state, opens, _, _ := b.snapshot(); state != "open" || opens != 2 {
+		t.Fatalf("state %q opens %d after a failed trial, want open/2", state, opens)
+	}
+}
+
+// A breaker with a health endpoint must not half-open while that endpoint
+// says the server is down, and must recover once it says ok — without a
+// real CPI being risked on the probe decision.
+func TestBreakerHealthProbeGatesRecovery(t *testing.T) {
+	var healthy atomic.Bool
+	var probes atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		probes.Add(1)
+		if r.URL.Path != "/healthz" {
+			t.Errorf("probe hit %s, want /healthz", r.URL.Path)
+		}
+		if !healthy.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	}))
+	defer hs.Close()
+	health := strings.TrimPrefix(hs.URL, "http://")
+
+	b := newBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: 5 * time.Millisecond}, health)
+	b.record(false)
+	time.Sleep(10 * time.Millisecond)
+	if b.allow() {
+		t.Fatal("breaker half-opened although /healthz reports down")
+	}
+	if probes.Load() == 0 {
+		t.Fatal("allow() never probed the health endpoint")
+	}
+	// The failed probe restarts the cooldown, rate-limiting probes.
+	if b.allow() {
+		t.Fatal("breaker probed again inside the restarted cooldown")
+	}
+
+	healthy.Store(true)
+	time.Sleep(10 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("breaker did not half-open after /healthz recovered")
+	}
+	b.record(true)
+	if state, _, halfOpens, closes := b.snapshot(); state != "closed" || halfOpens != 1 || closes != 1 {
+		t.Fatalf("post-recovery: state %q half-opens %d closes %d, want closed/1/1", state, halfOpens, closes)
+	}
+}

@@ -1,0 +1,209 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"stapio/internal/cube"
+	"stapio/internal/radar"
+	"stapio/internal/serve"
+)
+
+// isClosed reports whether ch has been closed, without blocking.
+func isClosed(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// TestFleetSurvivesServerCrashAndRestart is the in-process chaos drill
+// behind scripts/chaos_smoke.sh: three servers, one killed abruptly
+// (connection resets, exactly what a SIGKILLed process produces) while a
+// closed-loop run is in flight, then restarted on the same address.
+//
+// Invariants asserted:
+//   - every submitted CPI is answered exactly once — completed, or a typed
+//     error (ErrAbandoned for accepted-then-lost CPIs) — with zero hangs;
+//   - at least one CPI failed over away from its hash-primary;
+//   - the killed server's breaker walks the open → half-open → closed
+//     recovery arc and the server completes CPIs again after the restart.
+func TestFleetSurvivesServerCrashAndRestart(t *testing.T) {
+	const (
+		n      = 150
+		window = 4
+		killAt = 25 // results seen before the kill
+	)
+	s := radar.SmallTestScenario()
+
+	srvA := startServer(t, "")
+	srvC := startServer(t, "")
+	victim, err := serve.New(testServeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := victim.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	victimAddr := victim.Addr().String()
+
+	opt := fleetOptions(srvA.Addr().String(), victimAddr, srvC.Addr().String())
+	c, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	frames, err := radar.EncodeCPIs(s, 8, testChunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		mu      sync.Mutex
+		results = make(map[uint64]Result, n)
+	)
+	sem := make(chan struct{}, window)
+	killed := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		got := 0
+		for r := range c.Results() {
+			mu.Lock()
+			if _, dup := results[r.Seq]; dup {
+				t.Errorf("seq %d answered twice", r.Seq)
+			}
+			results[r.Seq] = r
+			mu.Unlock()
+			<-sem
+			if got++; got == killAt {
+				// Crash the victim mid-run, with CPIs in flight.
+				victim.Kill()
+				close(killed)
+			}
+			if got == n {
+				return
+			}
+		}
+	}()
+
+	var restarted *serve.Server
+	for i := 0; i < n; i++ {
+		frame := append([]byte(nil), frames[i%len(frames)]...)
+		if err := cube.PatchSeq(frame, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		sem <- struct{}{}
+		if _, err := c.Submit(frame); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		// Once the kill has landed and a third of the run is through,
+		// bring the victim back on the same address, mid-load.
+		if restarted == nil && i >= n/3 && isClosed(killed) {
+			restarted, err = serve.New(testServeConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := restarted.Start(victimAddr); err != nil {
+				t.Fatalf("restart on %s: %v", victimAddr, err)
+			}
+			t.Cleanup(func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				restarted.Shutdown(ctx)
+			})
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		mu.Lock()
+		answered := len(results)
+		mu.Unlock()
+		t.Fatalf("run hung: only %d of %d CPIs answered", answered, n)
+	}
+	if restarted == nil {
+		t.Fatal("the victim was never restarted; the chaos scenario did not play out")
+	}
+
+	// Exactly-once: every seq answered, completed or typed-failed.
+	completedByVictim := int64(0)
+	for seq := uint64(0); seq < n; seq++ {
+		r, ok := results[seq]
+		if !ok {
+			t.Errorf("seq %d was never answered", seq)
+			continue
+		}
+		if r.Err != nil {
+			if !errors.Is(r.Err, ErrAbandoned) && !errors.Is(r.Err, ErrExhausted) {
+				t.Errorf("seq %d failed with an untyped error: %v", seq, r.Err)
+			}
+			continue
+		}
+		if r.Server == victimAddr {
+			completedByVictim++
+		}
+	}
+
+	st := c.Stats()
+	if st.Failovers == 0 {
+		t.Error("no failovers recorded across a mid-run server crash")
+	}
+	// The breaker must have tripped on the crash...
+	var vs *ServerStats
+	for i := range st.Servers {
+		if st.Servers[i].Addr == victimAddr {
+			vs = &st.Servers[i]
+		}
+	}
+	if vs == nil {
+		t.Fatal("victim missing from fleet stats")
+	}
+	if vs.Breaker.Opens == 0 {
+		t.Errorf("victim breaker never opened; crash went unnoticed (stats %+v)", vs)
+	}
+
+	// ...and recover once traffic flows again: keep submitting single CPIs
+	// until the recovery arc completes (half-open trial succeeded).
+	deadline := time.Now().Add(20 * time.Second)
+	seq := uint64(n)
+	for {
+		st = c.Stats()
+		for i := range st.Servers {
+			if st.Servers[i].Addr == victimAddr {
+				vs = &st.Servers[i]
+			}
+		}
+		if vs.Breaker.Closes >= 1 && vs.Breaker.HalfOpens >= 1 && vs.Breaker.State == "closed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("victim breaker never recovered: %+v", vs.Breaker)
+		}
+		frame := append([]byte(nil), frames[0]...)
+		if err := cube.PatchSeq(frame, seq); err != nil {
+			t.Fatal(err)
+		}
+		seq++
+		if _, err := c.Submit(frame); err != nil {
+			t.Fatal(err)
+		}
+		r, ok := <-c.Results()
+		if !ok {
+			t.Fatal("Results closed during recovery probing")
+		}
+		if r.Err != nil && !errors.Is(r.Err, ErrAbandoned) && !errors.Is(r.Err, ErrExhausted) {
+			t.Fatalf("recovery probe seq %d: untyped error %v", r.Seq, r.Err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Logf("chaos: %d CPIs, %d failovers, %d retries, %d abandoned; victim %d/%d/%d open/half/close, %d dials",
+		n, st.Failovers, st.Retries, st.Abandoned,
+		vs.Breaker.Opens, vs.Breaker.HalfOpens, vs.Breaker.Closes, vs.Dials)
+}

@@ -1,0 +1,399 @@
+// Package fleet routes CPIs across a pool of stapserve instances and
+// survives individual servers crashing, restarting, shedding load, or
+// dropping off the network mid-run.
+//
+// A fleet.Client holds one lazily-dialed serve.Client per server. Each
+// submitted CPI is routed by rendezvous (highest-random-weight) hashing
+// over (cube geometry, sequence number), so a fixed fleet gives every CPI
+// a stable primary server and removing one server only remaps the CPIs it
+// owned. When the primary is unhealthy — its circuit breaker is open, its
+// connection just died, or it rejected the CPI — the submission fails over
+// to the next server in hash order and retries under an exponential
+// backoff with deterministic jitter, bounded by a per-CPI deadline budget.
+//
+// Retry safety follows the serve protocol's accept semantics: a CPI
+// rejected with ErrOverloaded/ErrDraining, or whose connection died before
+// the server acknowledged it (serve.Result.Accepted == false), was never
+// admitted anywhere and is safe to resubmit. A CPI the server accepted
+// before the connection died may still be processed even though its answer
+// is lost; resubmitting it could process it twice, so it surfaces as a
+// typed ErrAbandoned instead. Every submission therefore completes exactly
+// once or returns a typed error — never silently twice, and never a hang.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stapio/internal/cube"
+	"stapio/internal/serve"
+	"stapio/internal/stap"
+)
+
+// Typed sentinel errors, matched with errors.Is.
+var (
+	// ErrClosed reports an operation on a closed fleet client.
+	ErrClosed = errors.New("fleet: client closed")
+	// ErrAbandoned reports a CPI a server accepted but whose answer was
+	// lost (the connection died mid-stream or the CPI deadline expired
+	// while it was processing). The server may still have processed it, so
+	// the fleet does not resubmit it — doing so could process it twice.
+	ErrAbandoned = errors.New("fleet: CPI abandoned mid-stream")
+	// ErrExhausted reports a CPI whose retry attempts or deadline budget
+	// ran out before any server completed it; it wraps the last cause.
+	ErrExhausted = errors.New("fleet: retry budget exhausted")
+	// ErrNoHealthy reports that every server's circuit breaker was open
+	// when a submission (or one of its retries) looked for a target.
+	ErrNoHealthy = errors.New("fleet: no healthy server")
+)
+
+// ServerSpec names one stapserve instance.
+type ServerSpec struct {
+	// Addr is the TCP CPI-ingest address. Required.
+	Addr string
+	// Health is the optional HTTP host:port serving the server's /healthz
+	// endpoint (stapserve -http). When set, an open circuit breaker probes
+	// it before admitting trial traffic, so recovery is detected without
+	// risking a real CPI on a still-dead server.
+	Health string
+}
+
+// Options configure a fleet client.
+type Options struct {
+	// Dims is the cube geometry every server in the fleet must process.
+	// Required.
+	Dims cube.Dims
+	// Servers lists the fleet members. At least one is required; addresses
+	// must be unique.
+	Servers []ServerSpec
+	// Dial is the template for each per-server connection (Dims is
+	// overridden with the fleet's). Zero values take serve's defaults,
+	// except DialTimeout, which defaults to 2s here — a fleet wants to
+	// fail over to a live server faster than a lone client wants to give
+	// up on its only one.
+	Dial serve.Options
+	// MaxAttempts bounds the submit attempts per CPI across all servers
+	// (values < 1 mean 4).
+	MaxAttempts int
+	// CPIDeadline is the per-CPI wall-clock budget covering every attempt,
+	// backoff, and result wait (values <= 0 mean 30s). A CPI still
+	// unanswered at the deadline is abandoned, never retried: the server
+	// holding it may yet complete it.
+	CPIDeadline time.Duration
+	// BaseBackoff is the first retry's backoff ceiling; attempt k waits in
+	// [2^(k-1)*Base/2, 2^(k-1)*Base], jittered deterministically from the
+	// CPI's sequence number (values <= 0 mean 20ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff (values <= 0 mean 500ms).
+	MaxBackoff time.Duration
+	// Breaker configures the per-server circuit breakers.
+	Breaker BreakerConfig
+	// ResultBuffer is the Results channel depth (values < 1 mean 256).
+	ResultBuffer int
+}
+
+func (o *Options) maxAttempts() int {
+	if o.MaxAttempts < 1 {
+		return 4
+	}
+	return o.MaxAttempts
+}
+
+func (o *Options) cpiDeadline() time.Duration {
+	if o.CPIDeadline <= 0 {
+		return 30 * time.Second
+	}
+	return o.CPIDeadline
+}
+
+func (o *Options) baseBackoff() time.Duration {
+	if o.BaseBackoff <= 0 {
+		return 20 * time.Millisecond
+	}
+	return o.BaseBackoff
+}
+
+func (o *Options) maxBackoff() time.Duration {
+	if o.MaxBackoff <= 0 {
+		return 500 * time.Millisecond
+	}
+	return o.MaxBackoff
+}
+
+func (o *Options) resultBuffer() int {
+	if o.ResultBuffer < 1 {
+		return 256
+	}
+	return o.ResultBuffer
+}
+
+// Result is the outcome of one submitted CPI, from whichever server
+// answered it.
+type Result struct {
+	Seq        uint64
+	Detections []stap.Detection
+	// Latency is submit-to-result wall clock including every retry.
+	Latency time.Duration
+	// ServerLatency is receipt-to-result measured at the answering server.
+	ServerLatency time.Duration
+	// Server is the address of the server that answered (empty when no
+	// server did).
+	Server string
+	// Attempts counts the submit attempts this CPI consumed (1 = no retry).
+	Attempts int
+	// Err is non-nil when the CPI failed everywhere; errors.Is-match
+	// against ErrAbandoned / ErrExhausted / ErrClosed and the serve
+	// sentinels a terminal rejection wraps.
+	Err error
+}
+
+// Client is a resilient multi-server producer. Submissions are
+// asynchronous, like serve.Client's: Submit returns once the CPI is
+// registered, and its outcome arrives on Results. The caller must drain
+// Results; it is closed by Close once every outstanding submission has
+// resolved.
+type Client struct {
+	opt     Options
+	members []*member
+	results chan Result
+
+	closed  atomic.Bool
+	closeCh chan struct{}
+	wg      sync.WaitGroup
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	abandoned atomic.Int64
+	retries   atomic.Int64
+	failovers atomic.Int64
+	start     time.Time
+}
+
+// New validates the options and builds a client. No connection is made
+// until the first submission (or Connect) needs one.
+func New(opt Options) (*Client, error) {
+	if !opt.Dims.Valid() {
+		return nil, fmt.Errorf("fleet: options need valid dims, got %v", opt.Dims)
+	}
+	if len(opt.Servers) == 0 {
+		return nil, errors.New("fleet: options need at least one server")
+	}
+	seen := make(map[string]bool, len(opt.Servers))
+	c := &Client{
+		opt:     opt,
+		results: make(chan Result, opt.resultBuffer()),
+		closeCh: make(chan struct{}),
+		start:   time.Now(),
+	}
+	for _, spec := range opt.Servers {
+		if spec.Addr == "" {
+			return nil, errors.New("fleet: server spec without an address")
+		}
+		if seen[spec.Addr] {
+			return nil, fmt.Errorf("fleet: duplicate server address %s", spec.Addr)
+		}
+		seen[spec.Addr] = true
+		c.members = append(c.members, newMember(spec, &c.opt))
+	}
+	return c, nil
+}
+
+// Connect eagerly dials every server and returns the sum of the admission
+// capacities the reachable ones advertise — the natural window for a
+// closed-loop producer. Unreachable servers are tolerated (their breakers
+// record the failure and the fleet retries them later); only a fleet with
+// zero reachable servers is an error.
+func (c *Client) Connect() (int, error) {
+	total := 0
+	var lastErr error
+	for _, m := range c.members {
+		cl, err := m.ensure()
+		if err != nil {
+			m.breaker.record(false)
+			lastErr = err
+			continue
+		}
+		total += cl.MaxInFlight()
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("fleet: no server reachable: %w", lastErr)
+	}
+	return total, nil
+}
+
+// Results delivers each submitted CPI's outcome. Order follows completion,
+// not submission.
+func (c *Client) Results() <-chan Result { return c.results }
+
+// Submit routes one encoded cube file (see serve.Client.Submit for the
+// frame contract) to the fleet. The frame's header sequence number must be
+// unique among this client's in-flight CPIs, and the caller must not
+// mutate the frame until its Result arrives. The submission itself —
+// routing, retries, failover — proceeds asynchronously.
+func (c *Client) Submit(frame []byte) (uint64, error) {
+	if c.closed.Load() {
+		return 0, ErrClosed
+	}
+	h, err := cube.ParseHeader(frame)
+	if err != nil {
+		return 0, fmt.Errorf("fleet: submit: %w", err)
+	}
+	c.submitted.Add(1)
+	c.wg.Add(1)
+	go c.run(frame, h.Seq, time.Now())
+	return h.Seq, nil
+}
+
+// run drives one CPI to a terminal outcome: completed on some server, or a
+// typed error. It is the only writer of this CPI's Result.
+func (c *Client) run(frame []byte, seq uint64, t0 time.Time) {
+	defer c.wg.Done()
+	deadline := t0.Add(c.opt.cpiDeadline())
+	var lastErr error
+	var lastMember *member
+	attempts := 0
+	for attempts < c.opt.maxAttempts() {
+		if c.closed.Load() {
+			lastErr = ErrClosed
+			break
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+		m, failover := c.pick(seq, lastMember)
+		if m == nil {
+			// Every breaker is open. Wait one backoff step — a cooldown may
+			// elapse or a health probe may pass — and look again; the
+			// attempt budget is only spent on real submits.
+			lastErr = ErrNoHealthy
+			if !c.sleep(c.backoff(seq, 1), deadline) {
+				break
+			}
+			continue
+		}
+		if failover {
+			c.failovers.Add(1)
+		}
+		attempts++
+		res, retry, err := m.trySubmit(frame, seq, deadline)
+		if err == nil {
+			c.completed.Add(1)
+			c.deliver(Result{
+				Seq:           seq,
+				Detections:    res.Detections,
+				Latency:       time.Since(t0),
+				ServerLatency: res.ServerLatency,
+				Server:        m.spec.Addr,
+				Attempts:      attempts,
+			})
+			return
+		}
+		if !retry {
+			c.failed.Add(1)
+			if errors.Is(err, ErrAbandoned) {
+				c.abandoned.Add(1)
+			}
+			c.deliver(Result{Seq: seq, Err: err, Server: m.spec.Addr, Attempts: attempts, Latency: time.Since(t0)})
+			return
+		}
+		lastErr, lastMember = err, m
+		if attempts >= c.opt.maxAttempts() {
+			break
+		}
+		c.retries.Add(1)
+		if !c.sleep(c.backoff(seq, attempts), deadline) {
+			break
+		}
+	}
+	c.failed.Add(1)
+	if lastErr == nil {
+		lastErr = ErrNoHealthy
+	}
+	c.deliver(Result{
+		Seq:      seq,
+		Err:      fmt.Errorf("%w after %d attempts in %v: %w", ErrExhausted, attempts, time.Since(t0).Round(time.Millisecond), lastErr),
+		Attempts: attempts,
+		Latency:  time.Since(t0),
+	})
+}
+
+func (c *Client) deliver(r Result) { c.results <- r }
+
+// pick returns the best admissible server for seq in rendezvous-hash
+// order, and whether that choice is a failover (not the CPI's primary).
+// avoid — the server the previous attempt just failed on — is considered
+// last, so a retry lands elsewhere whenever anything else is admissible.
+func (c *Client) pick(seq uint64, avoid *member) (m *member, failover bool) {
+	order := rankMembers(c.members, c.opt.Dims, seq)
+	var avoided *member
+	for i, cand := range order {
+		if cand == avoid {
+			avoided = cand
+			continue
+		}
+		if cand.breaker.allow() {
+			return cand, i != 0
+		}
+	}
+	if avoided != nil && avoided.breaker.allow() {
+		return avoided, avoided != order[0]
+	}
+	return nil, false
+}
+
+// backoff returns attempt k's wait: exponential in k, capped, and jittered
+// deterministically from the sequence number so simultaneous retries from
+// a burst of CPIs spread out without shared mutable state.
+func (c *Client) backoff(seq uint64, attempt int) time.Duration {
+	d := c.opt.baseBackoff()
+	for i := 1; i < attempt && d < c.opt.maxBackoff(); i++ {
+		d *= 2
+	}
+	if d > c.opt.maxBackoff() {
+		d = c.opt.maxBackoff()
+	}
+	// Jitter into [d/2, d].
+	span := uint64(d/2) + 1
+	j := time.Duration(mix64(seq^uint64(attempt)<<48) % span)
+	return d/2 + j
+}
+
+// sleep waits d (truncated to the deadline), reporting false when the
+// submission should stop instead of retrying (client closed, or the
+// deadline already passed).
+func (c *Client) sleep(d time.Duration, deadline time.Time) bool {
+	if until := time.Until(deadline); d > until {
+		d = until
+	}
+	if d <= 0 {
+		return false
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.closeCh:
+		return false
+	}
+}
+
+// Close tears the fleet down: in-flight submissions resolve (their server
+// connections close, so waits fail fast with typed errors), then Results
+// closes. The caller must keep draining Results until then.
+func (c *Client) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(c.closeCh)
+	for _, m := range c.members {
+		m.close()
+	}
+	c.wg.Wait()
+	close(c.results)
+	return nil
+}

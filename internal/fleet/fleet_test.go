@@ -1,0 +1,265 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"stapio/internal/core"
+	"stapio/internal/radar"
+	"stapio/internal/serve"
+	"stapio/internal/stap"
+)
+
+const testChunkSize = 4096
+
+func testServeConfig() serve.Config {
+	s := radar.SmallTestScenario()
+	p := stap.DefaultParams(s.Dims)
+	p.PulseLen = s.PulseLen
+	p.Bandwidth = s.Bandwidth
+	return serve.Config{
+		Params:  p,
+		Workers: core.STAPNodes{Doppler: 2, EasyWeight: 1, HardWeight: 1, EasyBF: 1, HardBF: 1, PulseComp: 2, CFAR: 1},
+	}
+}
+
+// startServer brings one stapserve-equivalent up on addr ("" = ephemeral)
+// and schedules a graceful shutdown.
+func startServer(t *testing.T, addr string) *serve.Server {
+	t.Helper()
+	srv, err := serve.New(testServeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	if err := srv.Start(addr); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv
+}
+
+// fleetOptions builds quick-failover options over the given servers.
+func fleetOptions(addrs ...string) Options {
+	s := radar.SmallTestScenario()
+	specs := make([]ServerSpec, len(addrs))
+	for i, a := range addrs {
+		specs[i] = ServerSpec{Addr: a}
+	}
+	return Options{
+		Dims:        s.Dims,
+		Servers:     specs,
+		Dial:        serve.Options{DialTimeout: time.Second},
+		MaxAttempts: 5,
+		CPIDeadline: 20 * time.Second,
+		BaseBackoff: 2 * time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+		Breaker:     BreakerConfig{FailureThreshold: 2, Cooldown: 50 * time.Millisecond},
+	}
+}
+
+// driveFleet submits n restamped CPIs closed-loop with the given window
+// and returns every result, keyed by seq.
+func driveFleet(t *testing.T, c *Client, n, window int) map[uint64]Result {
+	t.Helper()
+	s := radar.SmallTestScenario()
+	frames, err := radar.EncodeCPIs(s, n, testChunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make(map[uint64]Result, n)
+	sem := make(chan struct{}, window)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := range c.Results() {
+			if _, dup := results[r.Seq]; dup {
+				t.Errorf("seq %d answered twice", r.Seq)
+			}
+			results[r.Seq] = r
+			<-sem
+			if len(results) == n {
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		if _, err := c.Submit(frames[i]); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	return results
+}
+
+func TestFleetSpreadsAcrossServers(t *testing.T) {
+	const n = 48
+	srvs := []*serve.Server{startServer(t, ""), startServer(t, ""), startServer(t, "")}
+	addrs := make([]string, len(srvs))
+	for i, s := range srvs {
+		addrs[i] = s.Addr().String()
+	}
+	c, err := New(fleetOptions(addrs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if cap, err := c.Connect(); err != nil || cap < 3 {
+		t.Fatalf("Connect: capacity %d, err %v", cap, err)
+	}
+
+	results := driveFleet(t, c, n, 6)
+	if len(results) != n {
+		t.Fatalf("answered %d of %d CPIs", len(results), n)
+	}
+	for seq, r := range results {
+		if r.Err != nil {
+			t.Errorf("CPI %d failed on a healthy fleet: %v", seq, r.Err)
+		}
+	}
+	st := c.Stats()
+	if st.Completed != n || st.Failed != 0 {
+		t.Errorf("stats completed=%d failed=%d, want %d/0", st.Completed, st.Failed, n)
+	}
+	busy := 0
+	for _, ss := range st.Servers {
+		if ss.Completed > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Errorf("only %d of 3 servers completed CPIs; hashing did not spread", busy)
+	}
+}
+
+// A fleet with one dead address fails over every CPI the hash routes there
+// and still completes the full run with zero losses.
+func TestFleetFailsOverFromDeadServer(t *testing.T) {
+	const n = 32
+	live := startServer(t, "")
+	// A listener that is closed immediately: dials are refused instantly.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	c, err := New(fleetOptions(live.Addr().String(), deadAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	results := driveFleet(t, c, n, 4)
+	for seq, r := range results {
+		if r.Err != nil {
+			t.Errorf("CPI %d lost to the dead server: %v", seq, r.Err)
+		}
+		if r.Server != live.Addr().String() {
+			t.Errorf("CPI %d answered by %q, want the live server", seq, r.Server)
+		}
+	}
+	st := c.Stats()
+	if st.Failovers == 0 {
+		t.Error("no failovers recorded although half the keys map to the dead server")
+	}
+	for _, ss := range st.Servers {
+		if ss.Addr == deadAddr && ss.Breaker.State != "open" {
+			t.Errorf("dead server's breaker is %q, want open", ss.Breaker.State)
+		}
+	}
+}
+
+// Typed overload rejects are retried until a slot frees, so a fleet
+// driven harder than its admission capacity sheds latency, not CPIs.
+func TestFleetRetriesOverloadedRejects(t *testing.T) {
+	const n = 24
+	cfg := testServeConfig()
+	cfg.MaxInFlight = 2
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+
+	opt := fleetOptions(srv.Addr().String())
+	opt.MaxAttempts = 50 // the window outruns capacity; keep retrying
+	opt.Breaker.FailureThreshold = 1000
+	c, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	results := driveFleet(t, c, n, 8) // window 8 >> capacity 2
+	for seq, r := range results {
+		if r.Err != nil {
+			t.Errorf("CPI %d dropped under overload: %v", seq, r.Err)
+		}
+	}
+	if st := c.Stats(); st.Retries == 0 {
+		t.Error("no retries recorded although the window exceeded admission capacity")
+	}
+}
+
+// Close resolves in-flight submissions with typed errors and closes
+// Results — no hangs, no goroutine leaks for the race detector to chew on.
+func TestFleetCloseResolvesInFlight(t *testing.T) {
+	srv := startServer(t, "")
+	c, err := New(fleetOptions(srv.Addr().String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := radar.SmallTestScenario()
+	frames, err := radar.EncodeCPIs(s, 6, testChunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if _, err := c.Submit(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drained := make(chan int)
+	go func() {
+		got := 0
+		for range c.Results() {
+			got++
+		}
+		drained <- got
+	}()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-drained:
+		if got != 6 {
+			t.Errorf("drained %d results after Close, want 6 (every in-flight CPI resolved)", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Results did not close after Close")
+	}
+	if _, err := c.Submit(frames[0]); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after Close: %v, want ErrClosed", err)
+	}
+}

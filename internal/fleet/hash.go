@@ -1,0 +1,60 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"stapio/internal/cube"
+)
+
+// Routing is rendezvous (highest-random-weight) hashing: every (server,
+// key) pair gets an independent pseudo-random score, and a CPI's server
+// preference is the servers sorted by score. Two properties matter here:
+// a fixed fleet maps every key to a stable primary (so per-server caches,
+// weight chains, and tuner state see consistent streams), and removing one
+// server only remaps the keys it owned — the others' rankings are
+// untouched, which is what keeps a crash from reshuffling the whole run.
+
+// cpiKey folds the cube geometry and sequence number into the routing key,
+// so fleets hosting mixed geometries shard by scenario first.
+func cpiKey(d cube.Dims, seq uint64) uint64 {
+	k := uint64(d.Channels)<<42 ^ uint64(d.Pulses)<<21 ^ uint64(d.Ranges)
+	return mix64(k) ^ mix64(seq)
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed bijection.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// memberScore is the rendezvous weight of one server for one key.
+func memberScore(addr string, key uint64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(addr))
+	return mix64(h.Sum64() ^ key)
+}
+
+// rankMembers returns the fleet sorted by descending rendezvous score for
+// this CPI; index 0 is the primary.
+func rankMembers(ms []*member, d cube.Dims, seq uint64) []*member {
+	key := cpiKey(d, seq)
+	type scored struct {
+		m *member
+		s uint64
+	}
+	ranked := make([]scored, len(ms))
+	for i, m := range ms {
+		ranked[i] = scored{m: m, s: memberScore(m.spec.Addr, key)}
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].s > ranked[j].s })
+	out := make([]*member, len(ranked))
+	for i, r := range ranked {
+		out[i] = r.m
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"stapio/internal/cube"
+)
+
+func testMembers(n int) []*member {
+	opt := &Options{}
+	ms := make([]*member, n)
+	for i := range ms {
+		ms[i] = newMember(ServerSpec{Addr: fmt.Sprintf("10.0.0.%d:7420", i+1)}, opt)
+	}
+	return ms
+}
+
+var hashDims = cube.Dims{Channels: 4, Pulses: 16, Ranges: 64}
+
+func TestRankMembersIsStable(t *testing.T) {
+	ms := testMembers(5)
+	for seq := uint64(0); seq < 50; seq++ {
+		a := rankMembers(ms, hashDims, seq)
+		b := rankMembers(ms, hashDims, seq)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seq %d: ranking not deterministic at position %d", seq, i)
+			}
+		}
+	}
+}
+
+func TestRankMembersSpreadsKeys(t *testing.T) {
+	ms := testMembers(3)
+	const n = 3000
+	counts := make(map[string]int)
+	for seq := uint64(0); seq < n; seq++ {
+		counts[rankMembers(ms, hashDims, seq)[0].spec.Addr]++
+	}
+	for addr, got := range counts {
+		// Rendezvous over 3 servers should put roughly a third on each;
+		// anything under a sixth means the scoring is badly skewed.
+		if got < n/6 {
+			t.Errorf("server %s is primary for only %d of %d keys", addr, got, n)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d of 3 servers are ever primary", len(counts))
+	}
+}
+
+// Removing one server must only remap the keys it owned: every other key
+// keeps its primary. This is the property that makes a crash a local
+// event instead of a fleet-wide reshuffle.
+func TestRankMembersRemovalOnlyRemapsOwnedKeys(t *testing.T) {
+	ms := testMembers(4)
+	removed := ms[2]
+	rest := append(append([]*member{}, ms[:2]...), ms[3])
+	moved, kept := 0, 0
+	for seq := uint64(0); seq < 1000; seq++ {
+		before := rankMembers(ms, hashDims, seq)[0]
+		after := rankMembers(rest, hashDims, seq)[0]
+		if before == removed {
+			moved++
+			continue // its keys must move somewhere, anywhere
+		}
+		if before != after {
+			t.Fatalf("seq %d: primary changed from %s to %s though neither was removed",
+				seq, before.spec.Addr, after.spec.Addr)
+		}
+		kept++
+	}
+	if moved == 0 {
+		t.Fatal("removed server owned no keys; the test exercised nothing")
+	}
+	t.Logf("removal remapped %d keys, kept %d", moved, kept)
+}
+
+// Different geometries shard differently even at the same sequence
+// numbers, so a mixed-geometry fleet splits by scenario first.
+func TestCpiKeyDependsOnDims(t *testing.T) {
+	other := cube.Dims{Channels: 16, Pulses: 128, Ranges: 512}
+	same := 0
+	const n = 256
+	for seq := uint64(0); seq < n; seq++ {
+		if cpiKey(hashDims, seq) == cpiKey(other, seq) {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Errorf("%d of %d keys collide across geometries", same, n)
+	}
+}

@@ -1,0 +1,200 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stapio/internal/serve"
+)
+
+// member is one server in the fleet: a lazily-(re)dialed serve.Client, the
+// routing registry that matches results back to waiting submissions, and
+// the server's circuit breaker and counters.
+type member struct {
+	spec    ServerSpec
+	opt     *Options
+	breaker *breaker
+
+	// mu guards the connection lifecycle; stopped blocks redials after the
+	// fleet client closes.
+	mu      sync.Mutex
+	cl      *serve.Client
+	stopped bool
+
+	// pmu guards pending: seq → the waiting submission's rendezvous
+	// channel. The pump goroutine routes each serve.Result through it.
+	pmu     sync.Mutex
+	pending map[uint64]chan serve.Result
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	abandoned atomic.Int64
+	dials     atomic.Int64
+	late      atomic.Int64
+}
+
+func newMember(spec ServerSpec, opt *Options) *member {
+	return &member{
+		spec:    spec,
+		opt:     opt,
+		breaker: newBreaker(opt.Breaker, spec.Health),
+		pending: make(map[uint64]chan serve.Result),
+	}
+}
+
+// dialOptions derives this member's connection options from the fleet's.
+func (m *member) dialOptions() serve.Options {
+	o := m.opt.Dial
+	o.Dims = m.opt.Dims
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	return o
+}
+
+// ensure returns the live connection, dialing one if needed. Redials are
+// lazy: the connection a crash killed stays nil until the next submission
+// routed here needs it (by then the breaker has usually opened, so the
+// redial doubles as the recovery trial).
+func (m *member) ensure() (*serve.Client, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return nil, ErrClosed
+	}
+	if m.cl != nil {
+		return m.cl, nil
+	}
+	cl, err := serve.Dial(m.spec.Addr, m.dialOptions())
+	if err != nil {
+		return nil, err
+	}
+	m.cl = cl
+	m.dials.Add(1)
+	go m.pump(cl)
+	return cl, nil
+}
+
+// pump routes one connection's results to the submissions waiting on them,
+// then clears the dead connection so the next submission redials. The
+// serve client guarantees every pending CPI gets a Result (ErrClosed at
+// worst) before its Results channel closes, so no registered waiter is
+// ever left hanging.
+func (m *member) pump(cl *serve.Client) {
+	for r := range cl.Results() {
+		m.pmu.Lock()
+		ch, ok := m.pending[r.Seq]
+		if ok {
+			delete(m.pending, r.Seq)
+		}
+		m.pmu.Unlock()
+		if ok {
+			ch <- r
+		} else {
+			// The waiter gave up (deadline) before the answer arrived.
+			m.late.Add(1)
+		}
+	}
+	m.mu.Lock()
+	if m.cl == cl {
+		m.cl = nil
+	}
+	m.mu.Unlock()
+}
+
+// trySubmit makes one attempt to complete the CPI on this server: submit,
+// then wait for its result or the deadline. retry reports whether the
+// failure is retry-safe — the CPI was provably never admitted here, so
+// resubmitting it elsewhere cannot process it twice.
+func (m *member) trySubmit(frame []byte, seq uint64, deadline time.Time) (res serve.Result, retry bool, err error) {
+	cl, err := m.ensure()
+	if err != nil {
+		if errors.Is(err, ErrClosed) {
+			return serve.Result{}, false, ErrClosed
+		}
+		m.failed.Add(1)
+		m.breaker.record(false)
+		return serve.Result{}, true, fmt.Errorf("fleet: dial %s: %w", m.spec.Addr, err)
+	}
+
+	ch := make(chan serve.Result, 1)
+	m.pmu.Lock()
+	m.pending[seq] = ch
+	m.pmu.Unlock()
+	m.submitted.Add(1)
+
+	if _, err := cl.Submit(frame); err != nil {
+		m.pmu.Lock()
+		delete(m.pending, seq)
+		m.pmu.Unlock()
+		m.failed.Add(1)
+		m.breaker.record(false)
+		// The frame never reached the server (write failed, draining, or
+		// the connection is already dead): retry-safe.
+		return serve.Result{}, true, fmt.Errorf("fleet: submit to %s: %w", m.spec.Addr, err)
+	}
+
+	t := time.NewTimer(time.Until(deadline))
+	defer t.Stop()
+	select {
+	case r := <-ch:
+		return m.classify(r)
+	case <-t.C:
+		// Deadline with the CPI possibly processing on a live server:
+		// deregister and abandon. Retrying elsewhere could run it twice.
+		m.pmu.Lock()
+		delete(m.pending, seq)
+		m.pmu.Unlock()
+		m.abandoned.Add(1)
+		m.failed.Add(1)
+		m.breaker.record(false)
+		return serve.Result{}, false, fmt.Errorf("%w: %s holds seq %d past the CPI deadline", ErrAbandoned, m.spec.Addr, seq)
+	}
+}
+
+// classify turns one serve.Result into the fleet's retry decision.
+func (m *member) classify(r serve.Result) (serve.Result, bool, error) {
+	switch {
+	case r.Err == nil:
+		m.completed.Add(1)
+		m.breaker.record(true)
+		return r, false, nil
+	case errors.Is(r.Err, serve.ErrClosed) && r.Accepted:
+		// Accepted, then the connection died: the server may still process
+		// the CPI (its answer is simply lost). Never resubmit.
+		m.abandoned.Add(1)
+		m.failed.Add(1)
+		m.breaker.record(false)
+		return r, false, fmt.Errorf("%w: %s accepted seq %d and the connection died: %v", ErrAbandoned, m.spec.Addr, r.Seq, r.Err)
+	case errors.Is(r.Err, serve.ErrOverloaded),
+		errors.Is(r.Err, serve.ErrDraining),
+		errors.Is(r.Err, serve.ErrClosed):
+		// Typed rejects and pre-accept connection loss: nothing was queued
+		// here, so another server can safely take the CPI.
+		m.failed.Add(1)
+		m.breaker.record(false)
+		return r, true, fmt.Errorf("fleet: %s: %w", m.spec.Addr, r.Err)
+	default:
+		// ErrCorrupt / bad-frame / bad-dims: the frame itself is the
+		// problem; every server would refuse it. Terminal, and not held
+		// against this server's breaker.
+		m.failed.Add(1)
+		return r, false, fmt.Errorf("fleet: %s: %w", m.spec.Addr, r.Err)
+	}
+}
+
+// close stops the member: no further dials, and the live connection (if
+// any) closes, which resolves every registered waiter via the pump.
+func (m *member) close() {
+	m.mu.Lock()
+	m.stopped = true
+	cl := m.cl
+	m.mu.Unlock()
+	if cl != nil {
+		cl.Close()
+	}
+}

@@ -1,0 +1,128 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// BreakerStats is one server's circuit-breaker slice of a stats snapshot.
+type BreakerStats struct {
+	State string `json:"state"`
+	// Opens / HalfOpens / Closes count the state transitions into each
+	// state — the open→half-open→closed recovery arc of a crashed server
+	// shows up as one increment of each.
+	Opens     int64 `json:"opens"`
+	HalfOpens int64 `json:"half_opens"`
+	Closes    int64 `json:"closes"`
+}
+
+// ServerStats is one server's slice of a fleet stats snapshot.
+type ServerStats struct {
+	Addr string `json:"addr"`
+	// Submitted counts attempts routed here; Completed the CPIs this
+	// server answered; Failed every attempt that did not complete
+	// (rejects, connection losses, deadline misses); Abandoned the subset
+	// that was accepted (or possibly processing) when the failure hit and
+	// therefore could not be retried elsewhere.
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Abandoned int64 `json:"abandoned"`
+	// Dials counts connections made to this server; anything past 1 is a
+	// redial after a crash or drain.
+	Dials int64 `json:"dials"`
+	// LateResults counts answers that arrived after their submission had
+	// already given up on the deadline.
+	LateResults int64        `json:"late_results,omitempty"`
+	Breaker     BreakerStats `json:"breaker"`
+}
+
+// Stats is a point-in-time snapshot of the fleet client, as served on the
+// stats HTTP endpoint (the client-side mirror of serve.Stats).
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	// Submitted counts CPIs handed to Submit; Completed/Failed their
+	// terminal outcomes (Failed includes Abandoned). Retries counts extra
+	// attempts after a retry-safe failure; Failovers submits routed away
+	// from the CPI's hash-primary server.
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Abandoned int64 `json:"abandoned"`
+	Retries   int64 `json:"retries"`
+	Failovers int64 `json:"failovers"`
+
+	// Aggregate breaker transitions across the fleet.
+	BreakerOpens     int64 `json:"breaker_opens"`
+	BreakerHalfOpens int64 `json:"breaker_half_opens"`
+	BreakerCloses    int64 `json:"breaker_closes"`
+
+	Servers []ServerStats `json:"servers"`
+}
+
+// Stats snapshots the fleet counters.
+func (c *Client) Stats() Stats {
+	st := Stats{
+		UptimeSeconds: time.Since(c.start).Seconds(),
+		Submitted:     c.submitted.Load(),
+		Completed:     c.completed.Load(),
+		Failed:        c.failed.Load(),
+		Abandoned:     c.abandoned.Load(),
+		Retries:       c.retries.Load(),
+		Failovers:     c.failovers.Load(),
+	}
+	for _, m := range c.members {
+		state, opens, halfOpens, closes := m.breaker.snapshot()
+		st.BreakerOpens += opens
+		st.BreakerHalfOpens += halfOpens
+		st.BreakerCloses += closes
+		st.Servers = append(st.Servers, ServerStats{
+			Addr:        m.spec.Addr,
+			Submitted:   m.submitted.Load(),
+			Completed:   m.completed.Load(),
+			Failed:      m.failed.Load(),
+			Abandoned:   m.abandoned.Load(),
+			Dials:       m.dials.Load(),
+			LateResults: m.late.Load(),
+			Breaker: BreakerStats{
+				State:     state,
+				Opens:     opens,
+				HalfOpens: halfOpens,
+				Closes:    closes,
+			},
+		})
+	}
+	return st
+}
+
+// StatsHandler returns the fleet's health/stats HTTP handler, the same
+// pattern as serve.Server.StatsHandler:
+//
+//	GET /healthz  200 "ok" while any server's breaker admits traffic,
+//	              503 when every breaker is open (or the client is closed)
+//	GET /stats    the Stats snapshot as JSON
+func (c *Client) StatsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if c.closed.Load() {
+			http.Error(w, "closed", http.StatusServiceUnavailable)
+			return
+		}
+		for _, m := range c.members {
+			if state, _, _, _ := m.breaker.snapshot(); state != "open" {
+				w.Write([]byte("ok\n"))
+				return
+			}
+		}
+		http.Error(w, "no healthy server", http.StatusServiceUnavailable)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(c.Stats())
+	})
+	return mux
+}

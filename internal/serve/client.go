@@ -56,6 +56,10 @@ type Options struct {
 	ResultBuffer int
 	// DialTimeout bounds the TCP dial plus handshake (<= 0 means 5s).
 	DialTimeout time.Duration
+	// KeepAlive is the TCP keepalive probe period, so a black-holed server
+	// (crashed host, dropped route) surfaces as a connection error instead
+	// of a read that hangs forever (0 means 15s; < 0 disables).
+	KeepAlive time.Duration
 	// WriteTimeout bounds one frame write (<= 0 means 10s).
 	WriteTimeout time.Duration
 	// MaxFrameBytes bounds received frames (< 1 means DefaultMaxFrameBytes).
@@ -80,6 +84,13 @@ func (o *Options) dialTimeout() time.Duration {
 		return 5 * time.Second
 	}
 	return o.DialTimeout
+}
+
+func (o *Options) keepAlive() time.Duration {
+	if o.KeepAlive == 0 {
+		return 15 * time.Second
+	}
+	return o.KeepAlive
 }
 
 func (o *Options) writeTimeout() time.Duration {
@@ -109,6 +120,14 @@ type Result struct {
 	// errors.Is-match against ErrOverloaded / ErrDraining / ErrCorrupt /
 	// ErrClosed.
 	Err error
+	// Accepted reports whether the server acknowledged the CPI (fAccept)
+	// before this outcome. An ErrClosed result with Accepted true means the
+	// server may still process the CPI even though its answer is lost —
+	// resubmitting it elsewhere risks processing it twice, which is the
+	// retry-safety line a failover layer must respect. A rejection or a
+	// connection loss with Accepted false means the server discarded or
+	// never admitted the CPI, so a resubmit is safe.
+	Accepted bool
 }
 
 // submission tracks one in-flight CPI.
@@ -119,6 +138,9 @@ type submission struct {
 	// repaired marks that the server requested at least one chunk re-send
 	// for this CPI; only touched from the read loop.
 	repaired bool
+	// accepted marks that the server acknowledged the CPI (fAccept); only
+	// touched from the read loop.
+	accepted bool
 }
 
 // Dial connects to a detection service and performs the handshake.
@@ -126,7 +148,8 @@ func Dial(addr string, opt Options) (*Client, error) {
 	if !opt.Dims.Valid() {
 		return nil, fmt.Errorf("serve: client options need valid dims, got %v", opt.Dims)
 	}
-	c, err := net.DialTimeout("tcp", addr, opt.dialTimeout())
+	d := net.Dialer{Timeout: opt.dialTimeout(), KeepAlive: opt.keepAlive()}
+	c, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -315,8 +338,8 @@ func (cl *Client) readLoop() {
 		}
 		cl.mu.Unlock()
 		for _, seq := range stranded {
-			if _, ok := cl.take(seq); ok {
-				cl.results <- Result{Seq: seq, Err: ErrClosed}
+			if sub, ok := cl.take(seq); ok {
+				cl.results <- Result{Seq: seq, Err: ErrClosed, Accepted: sub.accepted}
 			}
 		}
 		close(cl.results)
@@ -338,6 +361,7 @@ func (cl *Client) readLoop() {
 			if seq, err := decodeAccept(buf); err == nil {
 				if sub, ok := cl.lookup(seq); ok {
 					sub.frame = nil
+					sub.accepted = true
 				}
 			}
 		case fReject:
@@ -370,6 +394,7 @@ func (cl *Client) readLoop() {
 					Detections:    dets,
 					Latency:       time.Since(sub.t0),
 					ServerLatency: time.Duration(serverNs),
+					Accepted:      true,
 				}
 			}
 		case fGoodbye:

@@ -605,6 +605,103 @@ func TestShutdownCountsAbandonedCPIsOnce(t *testing.T) {
 	}
 }
 
+// TestServerKillFailsPendingSubmitsPromptly pins the abrupt-crash
+// semantics a failover layer depends on: when a server dies mid-stream
+// (Kill — the in-process equivalent of SIGKILL, the connections just
+// reset), every outstanding Submit on the client fails promptly with a
+// typed error instead of hanging, and Results closes.
+func TestServerKillFailsPendingSubmitsPromptly(t *testing.T) {
+	const n = 8
+	s := radar.SmallTestScenario()
+	cfg := testServerConfig()
+	cfg.MaxInFlight = n
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(srv.Addr().String(), Options{Dims: s.Dims})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	frames, err := radar.EncodeCPIs(s, n, testChunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the whole admission window without draining results, so CPIs are
+	// guaranteed to be pending when the server dies.
+	for _, f := range frames {
+		if _, err := cl.Submit(f); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	srv.Kill()
+
+	answered := 0
+	deadline := time.After(10 * time.Second)
+	for answered < n {
+		select {
+		case r, ok := <-cl.Results():
+			if !ok {
+				t.Fatalf("Results closed after %d of %d answers", answered, n)
+			}
+			if r.Err != nil && !errors.Is(r.Err, ErrClosed) && !errors.Is(r.Err, ErrDraining) {
+				t.Errorf("CPI %d failed with untyped error: %v", r.Seq, r.Err)
+			}
+			answered++
+		case <-deadline:
+			t.Fatalf("only %d of %d pending CPIs answered after the kill; the rest hang", answered, n)
+		}
+	}
+	// The reader noticed the dead connection; the channel must now close.
+	select {
+	case _, ok := <-cl.Results():
+		if ok {
+			t.Error("extra result after all pending CPIs were answered")
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("Results did not close after the connection died")
+	}
+	// A killed server must also settle its own books: nothing in flight.
+	if st := srv.Stats(); st.InFlight != 0 {
+		t.Errorf("in_flight = %d after Kill, want 0", st.InFlight)
+	}
+}
+
+// TestDialFailsFastWhenHandshakeStalls pins the connect-timeout path: a
+// server that accepts the TCP connection but never answers the hello (a
+// black-holed or wedged process) must fail the Dial within the dial
+// timeout, not hang the caller.
+func TestDialFailsFastWhenHandshakeStalls(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close() // hold the connection open, never respond
+		}
+	}()
+	s := radar.SmallTestScenario()
+	start := time.Now()
+	_, err = Dial(ln.Addr().String(), Options{Dims: s.Dims, DialTimeout: 200 * time.Millisecond})
+	if err == nil {
+		t.Fatal("Dial to a silent server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Dial took %v to fail; the handshake deadline did not bite", elapsed)
+	}
+}
+
 func TestServeStatsEndpoint(t *testing.T) {
 	srv := startServer(t, testServerConfig())
 	hs := httptest.NewServer(srv.StatsHandler())

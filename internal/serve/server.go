@@ -314,6 +314,38 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.stopErr
 }
 
+// Kill stops the service abruptly: no goodbye, no drain. The listener and
+// every producer connection close immediately — from a client's point of
+// view this is indistinguishable from the process being SIGKILLed (pending
+// submits fail with a connection error) — then the replicas tear down and
+// whatever was in flight is counted as orphaned. It is the crash end of the
+// lifecycle spectrum from Shutdown, used by the fleet chaos tests to
+// simulate a server dying mid-stream without leaking the test process's
+// goroutines.
+func (s *Server) Kill() {
+	s.stopOnce.Do(func() {
+		s.draining.Store(true)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		s.connMu.Lock()
+		for sc := range s.conns {
+			sc.close()
+		}
+		s.connMu.Unlock()
+		for _, r := range s.replicas {
+			r.stop()
+		}
+		s.cancel()
+		s.wg.Wait()
+		// Same accounting as Shutdown: with the replicas and readers stopped,
+		// whatever is still outstanding is exactly the abandoned set.
+		if n := s.outstanding.Load(); n > 0 {
+			s.stats.orphaned.Add(n)
+		}
+	})
+}
+
 func (s *Server) broadcastGoodbye() {
 	s.connMu.Lock()
 	defer s.connMu.Unlock()

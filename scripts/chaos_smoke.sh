@@ -1,0 +1,115 @@
+#!/bin/sh
+# Crash-restart chaos smoke for the detection fleet: build the daemon and
+# the load generator, start THREE servers on ephemeral loopback ports, and
+# drive a paced closed-loop run across all of them through the fleet
+# client. Mid-run, one server is SIGKILLed, then restarted on the same
+# TCP and HTTP addresses while the load is still flowing.
+#
+# Assertions:
+#   - the load generator exits 0 under -tolerate: every CPI was answered,
+#     completed or typed-failed — a SIGKILL must never hang a producer;
+#   - the JSON records zero unanswered CPIs;
+#   - at least one CPI failed over off the killed server;
+#   - the killed server's circuit breaker completed the open -> half-open
+#     -> closed recovery arc (breaker_closes present; it is omitted at 0).
+set -eu
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'status=$?; for p in "${pid1:-}" "${pid2:-}" "${pid3:-}" "${pid2b:-}" "${load_pid:-}"; do
+    [ -n "$p" ] && kill -KILL "$p" 2>/dev/null; done; rm -rf "$workdir"; exit $status' EXIT INT TERM
+
+go build -o "$workdir/stapserve" ./cmd/stapserve
+go build -o "$workdir/staploadgen" ./cmd/staploadgen
+
+# wait_announce <file> <pid>: block until the announce file is written.
+wait_announce() {
+    i=0
+    while [ ! -s "$1" ] || [ "$(wc -l < "$1")" -lt 2 ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "chaos_smoke: server never announced its address" >&2
+            exit 1
+        fi
+        kill -0 "$2" 2>/dev/null || { echo "chaos_smoke: server died on startup" >&2; exit 1; }
+        sleep 0.1
+    done
+}
+
+start_server() { # $1 = announce file, $2 = tcp addr, $3 = http addr
+    "$workdir/stapserve" -addr "$2" -http "$3" -scenario small \
+        -replicas 1 -announce "$1" 2>> "$workdir/servers.log" &
+}
+
+start_server "$workdir/a1" 127.0.0.1:0 127.0.0.1:0; pid1=$!
+start_server "$workdir/a2" 127.0.0.1:0 127.0.0.1:0; pid2=$!
+start_server "$workdir/a3" 127.0.0.1:0 127.0.0.1:0; pid3=$!
+wait_announce "$workdir/a1" "$pid1"
+wait_announce "$workdir/a2" "$pid2"
+wait_announce "$workdir/a3" "$pid3"
+t1=$(head -n 1 "$workdir/a1"); h1=$(sed -n 2p "$workdir/a1")
+t2=$(head -n 1 "$workdir/a2"); h2=$(sed -n 2p "$workdir/a2")
+t3=$(head -n 1 "$workdir/a3"); h3=$(sed -n 2p "$workdir/a3")
+
+# Paced run: 240 CPIs at >= 10ms apart stretches the load past the kill,
+# the restart, and the breaker's recovery trial. -tolerate accepts typed
+# per-CPI failures (abandoned on the killed server) but still fails the
+# run if any CPI goes unanswered.
+"$workdir/staploadgen" -addr "$t1,$t2,$t3" -health "$h1,$h2,$h3" \
+    -scenario small -n 240 -window 6 -pace 10ms -retries 6 \
+    -breaker-cooldown 250ms -tolerate -json "$workdir/chaos.json" \
+    > "$workdir/load.log" 2>&1 &
+load_pid=$!
+
+# Let the run ramp, then SIGKILL server 2 with CPIs in flight.
+sleep 0.8
+kill -0 "$load_pid" 2>/dev/null || { echo "chaos_smoke: load generator died before the kill" >&2; cat "$workdir/load.log" >&2; exit 1; }
+kill -KILL "$pid2"
+wait "$pid2" 2>/dev/null || true
+pid2=
+
+# Restart it on the SAME TCP and HTTP addresses mid-load: the fleet must
+# probe /healthz on the old address and walk the breaker back closed.
+sleep 0.5
+start_server "$workdir/a2b" "$t2" "$h2"; pid2b=$!
+wait_announce "$workdir/a2b" "$pid2b"
+
+kill -0 "$load_pid" 2>/dev/null || { echo "chaos_smoke: load generator died around the restart" >&2; cat "$workdir/load.log" >&2; exit 1; }
+if ! wait "$load_pid"; then
+    echo "chaos_smoke: load generator failed" >&2
+    cat "$workdir/load.log" >&2
+    exit 1
+fi
+load_pid=
+
+grep -q '"unanswered": 0' "$workdir/chaos.json" || {
+    echo "chaos_smoke: some CPIs were never answered" >&2
+    cat "$workdir/load.log" >&2
+    exit 1
+}
+# failovers/breaker_closes are omitempty: their presence means nonzero.
+grep -q '"failovers":' "$workdir/chaos.json" || {
+    echo "chaos_smoke: no failovers recorded across a SIGKILL" >&2
+    cat "$workdir/load.log" "$workdir/chaos.json" >&2
+    exit 1
+}
+grep -q '"breaker_closes":' "$workdir/chaos.json" || {
+    echo "chaos_smoke: the killed server's breaker never recovered" >&2
+    cat "$workdir/load.log" "$workdir/chaos.json" >&2
+    exit 1
+}
+
+for p in "$pid1" "$pid3" "$pid2b"; do kill -TERM "$p" 2>/dev/null || true; done
+for p in "$pid1" "$pid3" "$pid2b"; do
+    i=0
+    while kill -0 "$p" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "chaos_smoke: a server did not exit within 10s of SIGTERM" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+done
+pid1=; pid3=; pid2b=
+echo "chaos_smoke: ok (240 CPIs across 3 servers, SIGKILL + restart, zero unanswered, breaker recovered)"

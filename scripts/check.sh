@@ -14,3 +14,4 @@ fi
 go build ./...
 go test -race ./...
 sh scripts/serve_smoke.sh
+sh scripts/chaos_smoke.sh
