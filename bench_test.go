@@ -624,7 +624,7 @@ func BenchmarkRealPipelineReadahead(b *testing.B) {
 }
 
 // BenchmarkAutoTune compares three worker-assignment strategies on skewed
-// load scenarios — the sweep behind BENCH_5.json:
+// load scenarios — the sweep behind BENCH_6.json:
 //
 //   - even: the uniform split a user picks with no timing information
 //   - stapopt: the offline water-filling optimum computed from the known
@@ -639,15 +639,20 @@ func BenchmarkRealPipelineReadahead(b *testing.B) {
 // measures whether the tuner actually finds it from cold within the run.
 // "CPIs/s" is whole-run steady throughput, "tail-CPIs/s" the last third —
 // the post-convergence rate the tuner should push toward the stapopt line.
+//
+// The slowstore scenario exercises the joint I/O + compute solve: the
+// budget there covers the readahead window and decode pool as well as the
+// compute workers, and the even variant's cold depth-1 frontend leaves the
+// pipeline read-bound. The tuner must discover that budget slots are worth
+// more as prefetch depth than as compute workers ("io-rebalances" counts
+// the applied decisions that moved an I/O knob, "final-readahead" the
+// depth it converged to).
 func BenchmarkAutoTune(b *testing.B) {
 	s := radar.SmallTestScenario()
 	p := stap.DefaultParams(s.Dims)
 	p.PulseLen = s.PulseLen
 	p.Bandwidth = s.Bandwidth
-	const (
-		budget = 14
-		cpis   = 72
-	)
+	const cpis = 72
 	// Per-stage work items (the parallel() partition sizes); injected
 	// per-CPI totals divide by these, and they cap useful worker counts.
 	pairs := len(p.Beams) * p.Bins()
@@ -657,22 +662,25 @@ func BenchmarkAutoTune(b *testing.B) {
 		name    string
 		combine bool
 		slow    bool             // slow striped store (separate-I/O, read-bound)
+		budget  int              // shared worker budget (slow: I/O knobs included)
 		loads   [7]time.Duration // injected per-CPI totals, task order
 	}{
 		// Hard weights dominate 5x: the balanced split must strip workers
 		// from the fast stages (hard weight itself caps at 3 items).
-		{name: "hardweights", loads: [7]time.Duration{
+		{name: "hardweights", budget: 14, loads: [7]time.Duration{
 			4 * time.Millisecond, 2 * time.Millisecond, 20 * time.Millisecond,
 			2 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond, 4 * time.Millisecond}},
 		// Combined PC+CFAR design with the merged stage dominating.
-		{name: "pccfar", combine: true, loads: [7]time.Duration{
+		{name: "pccfar", combine: true, budget: 14, loads: [7]time.Duration{
 			3 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond,
 			2 * time.Millisecond, 2 * time.Millisecond, 12 * time.Millisecond, 8 * time.Millisecond}},
-		// Slow store: the bottleneck is the (untunable) read stage; the
-		// tuner must hold a stable split and match the even baseline.
-		{name: "slowstore", slow: true, loads: [7]time.Duration{
-			3 * time.Millisecond, 3 * time.Millisecond, 3 * time.Millisecond,
-			3 * time.Millisecond, 3 * time.Millisecond, 3 * time.Millisecond, 3 * time.Millisecond}},
+		// Slow store: every striped read carries a 10ms latency spike, so the
+		// serial read path towers over the light compute stages. A depth-1
+		// window caps the pipeline near 1/10ms; the win is moving budget into
+		// prefetch slots, which no compute-only tuner can do.
+		{name: "slowstore", slow: true, budget: 16, loads: [7]time.Duration{
+			500 * time.Microsecond, 500 * time.Microsecond, 500 * time.Microsecond,
+			500 * time.Microsecond, 500 * time.Microsecond, 500 * time.Microsecond, 500 * time.Microsecond}},
 	}
 
 	for _, sc := range scenarios {
@@ -691,16 +699,39 @@ func BenchmarkAutoTune(b *testing.B) {
 		if sc.combine {
 			work[5] = float64(sc.loads[5] + sc.loads[6])
 		}
-		opt := tune.Balance(work, budget, caps)
+		if sc.slow {
+			// The slow scenario's offline solve spans nine slots: the read
+			// slot is serial (its work is the known per-fetch latency — the
+			// 10ms injected spike plus ~0.2ms of real striped read — hidden
+			// by prefetch depth), the decode pool a small compute stage.
+			work = append(work, float64(10200*time.Microsecond), float64(100*time.Microsecond))
+			caps = append(caps, 32, 16)
+		}
+		opt := tune.Balance(work, sc.budget, caps)
+		optRA, optDW := 1, 1
+		if sc.slow {
+			optRA, optDW = opt[slots], opt[slots+1]
+		}
 
+		// The even and autotune variants start cold: depth-1, one decoder,
+		// the remaining budget spread evenly over compute. A positive tuner
+		// budget hands the whole allowance — I/O knobs included — to the
+		// online controller.
+		computeBudget := sc.budget
+		atCfg := &tune.Config{Interval: 4, Warmup: 4}
+		if sc.slow {
+			computeBudget = sc.budget - 2
+			atCfg.Budget = sc.budget
+		}
 		variants := []struct {
 			name     string
 			workers  core.STAPNodes
+			ra, dw   int
 			autotune *tune.Config
 		}{
-			{name: "even", workers: evenNodes(budget)},
-			{name: "stapopt", workers: nodesFromSplit(opt, sc.combine)},
-			{name: "autotune", workers: evenNodes(budget), autotune: &tune.Config{Interval: 4, Warmup: 4}},
+			{name: "even", workers: evenNodes(computeBudget), ra: 1, dw: 1},
+			{name: "stapopt", workers: nodesFromSplit(opt[:slots], sc.combine), ra: optRA, dw: optDW},
+			{name: "autotune", workers: evenNodes(computeBudget), ra: 1, dw: 1, autotune: atCfg},
 		}
 		for _, v := range variants {
 			b.Run(sc.name+"/"+v.name, func(b *testing.B) {
@@ -730,14 +761,15 @@ func BenchmarkAutoTune(b *testing.B) {
 					if _, err := radar.WriteDataset(fs, s, files, files, false); err != nil {
 						b.Fatal(err)
 					}
-					fs.SetFaults(&pfs.FaultPlan{Seed: 1, SlowRate: 1, SlowDelay: 2 * time.Millisecond})
+					fs.SetFaults(&pfs.FaultPlan{Seed: 1, SlowRate: 1, SlowDelay: 10 * time.Millisecond})
 					fsrc, err := pipexec.NewFileSource(fs, s.Dims, files)
 					if err != nil {
 						b.Fatal(err)
 					}
 					src = fsrc
 					cfg.SeparateIO = true
-					cfg.ReadAhead = 4
+					cfg.ReadAhead = v.ra
+					cfg.DecodeWorkers = v.dw
 				}
 				var last *pipexec.Result
 				for i := 0; i < b.N; i++ {
@@ -749,14 +781,37 @@ func BenchmarkAutoTune(b *testing.B) {
 				}
 				b.ReportMetric(last.SteadyThroughput(), "CPIs/s")
 				b.ReportMetric(last.SteadyTail(cpis/3), "tail-CPIs/s")
+				if sc.slow {
+					b.ReportMetric(float64(last.Stats.FinalReadAhead), "final-readahead")
+				}
 				if v.autotune != nil {
-					applied := 0
+					// Applied rebalances, split into all and those that moved
+					// an I/O knob (the slots from "src read" on, present only
+					// when the joint solve ran).
+					ioStart := len(last.Stats.TuneStages)
+					for i, n := range last.Stats.TuneStages {
+						if n == "src read" {
+							ioStart = i
+							break
+						}
+					}
+					applied, ioRebal := 0, 0
 					for _, d := range last.Stats.TuneDecisions {
-						if d.Applied {
-							applied++
+						if !d.Applied {
+							continue
+						}
+						applied++
+						for i := ioStart; i < len(d.New) && i < len(d.Old); i++ {
+							if d.New[i] != d.Old[i] {
+								ioRebal++
+								break
+							}
 						}
 					}
 					b.ReportMetric(float64(applied), "rebalances")
+					if sc.slow {
+						b.ReportMetric(float64(ioRebal), "io-rebalances")
+					}
 				}
 			})
 		}

@@ -3,8 +3,9 @@
 // baseline reports, so CI can annotate a job summary with the delta
 // without gating on noisy shared-runner timings.
 //
-//	benchdiff -new /tmp/bench5.json -base BENCH_5.json
-//	benchdiff -new /tmp/bench5.json -base BENCH_5.json -base BENCH_3.json -base BENCH_4.json
+//	benchdiff -new /tmp/bench6.json -base BENCH_6.json
+//	benchdiff -new /tmp/bench6.json -base BENCH_6.json -base BENCH_3.json -base BENCH_4.json
+//	benchdiff -new ... -base ... -gate 'BenchmarkAutoTune/(hardweights|pccfar)/' -maxloss 25
 //
 // The -new file must be a benchjson document. Each -base file may be a
 // benchjson document or a staploadgen report ({"runs": [...]}); the format
@@ -12,6 +13,13 @@
 // delta row; baseline-only entries are listed as reference rows, so the
 // committed network-service numbers (BENCH_4.json) sit alongside the
 // in-process pipeline sweep they contextualise.
+//
+// By default every delta is annotate-only. -gate promotes the matching
+// benchmarks to a hard check: any gated benchmark whose throughput drops
+// more than -maxloss percent below its baseline fails the run with exit
+// status 3. Gate the scenarios whose injected loads make them
+// host-independent; leave the ones riding on real disk and timer
+// behaviour ungated.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -62,6 +71,8 @@ var throughputMetrics = []string{"CPIs/s", "tail-CPIs/s"}
 func main() {
 	var (
 		newPath = flag.String("new", "", "fresh benchjson document to compare (required)")
+		gate    = flag.String("gate", "", "regexp of benchmark names whose throughput regression fails the check (exit 3)")
+		maxLoss = flag.Float64("maxloss", 25, "percent throughput drop tolerated on gated benchmarks")
 		bases   multiFlag
 	)
 	flag.Var(&bases, "base", "baseline report to diff against (repeatable; benchjson or staploadgen format)")
@@ -69,6 +80,14 @@ func main() {
 	if *newPath == "" || len(bases) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff -new file.json -base baseline.json [-base ...]")
 		os.Exit(2)
+	}
+	var gateRe *regexp.Regexp
+	if *gate != "" {
+		re, err := regexp.Compile(*gate)
+		if err != nil {
+			fatal(fmt.Errorf("bad -gate regexp: %w", err))
+		}
+		gateRe = re
 	}
 
 	fresh, err := loadEntries(*newPath)
@@ -85,6 +104,7 @@ func main() {
 	fmt.Println("| benchmark | baseline | base CPIs/s | new CPIs/s | delta |")
 	fmt.Println("|---|---|---:|---:|---:|")
 	matchedAny := false
+	var failures []string
 	for _, base := range bases {
 		ents, err := loadEntries(base)
 		if err != nil {
@@ -95,6 +115,12 @@ func main() {
 				matchedAny = true
 				fmt.Printf("| %s | %s | %.1f | %.1f | %s |\n",
 					e.Name, base, e.Steady, cur, deltaCell(e.Steady, cur))
+				if gateRe != nil && gateRe.MatchString(e.Name) && e.Steady > 0 {
+					if pct := 100 * (cur - e.Steady) / e.Steady; pct < -*maxLoss {
+						failures = append(failures, fmt.Sprintf("%s: %.1f -> %.1f CPIs/s (%+.1f%%, limit -%.0f%%) vs %s",
+							e.Name, e.Steady, cur, pct, *maxLoss, base))
+					}
+				}
 			} else {
 				fmt.Printf("| %s | %s | %.1f | — | reference |\n", e.Name, base, e.Steady)
 			}
@@ -103,6 +129,14 @@ func main() {
 	if !matchedAny {
 		fmt.Println()
 		fmt.Println("_No benchmark names matched between the new run and the baselines._")
+	}
+	if len(failures) > 0 {
+		fmt.Println()
+		fmt.Printf("**FAILED**: %d gated benchmark(s) regressed beyond the %.0f%% budget.\n", len(failures), *maxLoss)
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchdiff: FAIL:", f)
+		}
+		os.Exit(3)
 	}
 }
 

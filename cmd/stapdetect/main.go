@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -55,6 +56,8 @@ func main() {
 		retries  = flag.Int("retries", 3, "read attempts per CPI before the degradation policy applies")
 		rdAhead  = flag.Int("readahead", 1, "readahead depth: striped reads kept in flight beyond the CPI being consumed")
 		decodeW  = flag.Int("decodeworkers", 1, "goroutines sharding each cube's checksum verify and decode")
+		maxRA    = flag.Int("maxreadahead", 0, "cap on autotuned readahead depth (0 = default 32)")
+		traceOut = flag.String("tunetrace", "", "write the auto-tuner's full decision log (no-op windows included) as JSON to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
@@ -130,11 +133,15 @@ func main() {
 		Retry:         pipexec.RetryPolicy{MaxAttempts: *retries},
 		ReadAhead:     *rdAhead,
 		DecodeWorkers: *decodeW,
+		MaxReadAhead:  *maxRA,
 	}
 	if *autotune {
 		cfg.AutoTune = &tune.Config{Budget: *budget}
 	} else if *budget != 0 {
 		fatal(fmt.Errorf("-budget needs -autotune"))
+	}
+	if *traceOut != "" && !*autotune {
+		fatal(fmt.Errorf("-tunetrace needs -autotune"))
 	}
 
 	var src pipexec.AsyncSource
@@ -179,6 +186,10 @@ func main() {
 			fmt.Printf("  dropped CPIs: %v\n", st.DroppedSeqs)
 		}
 	}
+	if *data != "" {
+		fmt.Printf("I/O frontend: readahead=%d decode-workers=%d source-stalls=%d (%v stalled) window-occupancy %.2f\n",
+			st.FinalReadAhead, st.FinalDecodeWorkers, st.SourceStalls, st.SourceStall.Round(1e6), st.ReadaheadReady)
+	}
 	fmt.Println("per-stage busy time (mean per CPI):")
 	for _, st := range res.Stages {
 		fmt.Printf("  %-18s %v\n", st.Name, st.MeanBusy().Round(1e5))
@@ -206,6 +217,24 @@ func main() {
 				d.CPI, pipexec.FormatSplit(res.Stats.TuneStages, d.Old),
 				pipexec.FormatSplit(res.Stats.TuneStages, d.New),
 				res.Stats.TuneStages[d.Bottleneck], d.Service[d.Bottleneck].Round(1e4))
+		}
+		if *traceOut != "" {
+			// The full log, no-op windows included — a trace showing zero
+			// applied rebalances still explains itself (warmup, hysteresis,
+			// starved windows) instead of being silently empty.
+			trace := struct {
+				Stages     []string        `json:"stages"`
+				FinalSplit []int           `json:"final_split"`
+				Decisions  []tune.Decision `json:"decisions"`
+			}{res.Stats.TuneStages, res.Stats.TuneFinalSplit, res.Stats.TuneDecisions}
+			b, err := json.MarshalIndent(trace, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*traceOut, append(b, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("decision log (%d entries) written to %s\n", len(res.Stats.TuneDecisions), *traceOut)
 		}
 	}
 	fmt.Printf("ground truth: %d injected targets\n", len(sc.Targets))

@@ -1,0 +1,208 @@
+package pipexec
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"stapio/internal/pfs"
+	"stapio/internal/radar"
+	"stapio/internal/tune"
+)
+
+// slowStore writes the round-robin dataset to a striped store whose every
+// read carries an injected latency — the I/O-bound regime where prefetch
+// depth, not compute workers, decides throughput.
+func slowStore(t *testing.T, s *radar.Scenario, delay time.Duration) (*pfs.RealFS, *FileSource) {
+	t.Helper()
+	fs, err := pfs.CreateReal(t.TempDir(), 4, 4096, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := radar.WriteDataset(fs, s, radar.DefaultFileCount, radar.DefaultFileCount, false); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFaults(&pfs.FaultPlan{Seed: 1, SlowRate: 1, SlowDelay: delay})
+	src, err := NewFileSource(fs, s.Dims, radar.DefaultFileCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, src
+}
+
+// TestAutoTuneGrowsReadaheadOnSlowStore is the tentpole's end-to-end
+// check: against a slow store, an autotuned run starting from a cold
+// ReadAhead=1, DecodeWorkers=1 frontend must measure the read path as the
+// bottleneck, make at least one I/O rebalance decision (growing the
+// prefetch window out of the shared budget), and still deliver detections
+// byte-identical to an untuned run off the same store.
+func TestAutoTuneGrowsReadaheadOnSlowStore(t *testing.T) {
+	s := radar.SmallTestScenario()
+	_, src := slowStore(t, s, 3*time.Millisecond)
+	cfg := testConfig()
+	cfg.SeparateIO = true
+	cfg.ReadAhead = 1
+	cfg.DecodeWorkers = 1
+	const n = 48
+
+	base, err := Run(context.Background(), cfg, src, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.AutoTune = &tune.Config{Budget: 12, Interval: 2, Warmup: 2, Hysteresis: -1}
+	res, err := Run(context.Background(), cfg, src, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The solve spans nine slots: seven compute stages plus the frontend.
+	names := res.Stats.TuneStages
+	if len(names) != numTunable+2 {
+		t.Fatalf("TuneStages = %v, want %d compute + 2 I/O slots", names, numTunable)
+	}
+	if names[numTunable] != "src read" || names[numTunable+1] != "src decode" {
+		t.Fatalf("I/O slots missing from the solve: %v", names)
+	}
+
+	// At least one applied decision must have moved an I/O knob.
+	ioRebalances := 0
+	for _, d := range res.Stats.TuneDecisions {
+		if !d.Applied {
+			continue
+		}
+		for i := numTunable; i < len(d.New); i++ {
+			if d.New[i] != d.Old[i] {
+				ioRebalances++
+				break
+			}
+		}
+	}
+	if ioRebalances == 0 {
+		t.Errorf("slow store never triggered an I/O rebalance; trace: %+v", res.Stats.TuneDecisions)
+	}
+	if res.Stats.FinalReadAhead <= 1 {
+		t.Errorf("tuner left the readahead window at %d against a 3ms store", res.Stats.FinalReadAhead)
+	}
+
+	// The budget is conserved across compute and I/O slots.
+	sum := 0
+	for _, w := range res.Stats.TuneFinalSplit {
+		sum += w
+	}
+	if sum != 12 {
+		t.Errorf("final split %v spends %d slots, budget 12", res.Stats.TuneFinalSplit, sum)
+	}
+
+	// Rebalancing the frontend is correctness-neutral.
+	if len(res.CPIs) != n {
+		t.Fatalf("got %d CPIs, want %d", len(res.CPIs), n)
+	}
+	for k := range res.CPIs {
+		if !sameDetections(res.CPIs[k].Detections, base.CPIs[k].Detections) {
+			t.Errorf("CPI %d: autotuned I/O run diverged from the untuned baseline", k)
+		}
+	}
+}
+
+// TestSourceStallObservability: a shallow window against a slow store
+// stalls the pipeline on nearly every CPI and the counters must say so; a
+// deep window hides the same latency and the occupancy gauge must show
+// the landed prefetches.
+func TestSourceStallObservability(t *testing.T) {
+	s := radar.SmallTestScenario()
+	_, src := slowStore(t, s, 2*time.Millisecond)
+	cfg := testConfig()
+	cfg.SeparateIO = true
+	cfg.ReadAhead = 1
+	const n = 24
+
+	shallow, err := Run(context.Background(), cfg, src, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shallow.Stats.SourceStalls < n/2 {
+		t.Errorf("depth-1 window against a slow store stalled only %d of %d CPIs", shallow.Stats.SourceStalls, n)
+	}
+	if shallow.Stats.SourceStall <= 0 {
+		t.Error("stalled run reports zero source-stall time")
+	}
+	if shallow.Stats.FinalReadAhead != 1 || shallow.Stats.FinalDecodeWorkers != 1 {
+		t.Errorf("untuned run must end on its configured knobs, got readahead=%d decode=%d",
+			shallow.Stats.FinalReadAhead, shallow.Stats.FinalDecodeWorkers)
+	}
+
+	// The frontend clocks surface through StageTimes like compute stages.
+	found := map[string]int64{}
+	for _, st := range shallow.Stats.StageTimes {
+		found[st.Name] = st.CPIs
+	}
+	if found["src read"] < int64(n) || found["src decode"] < int64(n) {
+		t.Errorf("frontend stage clocks missing or undercounting: %v", found)
+	}
+
+	cfg.ReadAhead = 8
+	deep, err := Run(context.Background(), cfg, src, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.Stats.SourceStalls > shallow.Stats.SourceStalls {
+		t.Errorf("depth-8 window stalled more (%d) than depth-1 (%d)",
+			deep.Stats.SourceStalls, shallow.Stats.SourceStalls)
+	}
+	if deep.Stats.ReadaheadReady <= shallow.Stats.ReadaheadReady {
+		t.Errorf("deep-window occupancy %.2f not above shallow %.2f",
+			deep.Stats.ReadaheadReady, shallow.Stats.ReadaheadReady)
+	}
+}
+
+// TestRandomIOKnobScheduleDeterminism extends the rebalance-determinism
+// guarantee to the I/O knobs: arbitrary live readahead-depth and
+// decode-worker swaps (the seam slots after the compute stages) must never
+// reorder CPIs or change a detection.
+func TestRandomIOKnobScheduleDeterminism(t *testing.T) {
+	s := radar.SmallTestScenario()
+	fs, err := pfs.CreateReal(t.TempDir(), 4, 4096, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := radar.WriteDataset(fs, s, radar.DefaultFileCount, radar.DefaultFileCount, false); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewFileSource(fs, s.Dims, radar.DefaultFileCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.SeparateIO = true
+	const n = 16
+
+	base, err := Run(context.Background(), cfg, src, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		vcfg := cfg
+		rng := rand.New(rand.NewSource(seed))
+		vcfg.testOnCPI = func(cpi int, set func(stage, workers int)) {
+			set(numTunable, 1+rng.Intn(6))   // readahead depth
+			set(numTunable+1, 1+rng.Intn(4)) // decode workers
+		}
+		res, err := Run(context.Background(), vcfg, src, n)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(res.CPIs) != n {
+			t.Fatalf("seed %d: %d CPIs, want %d", seed, len(res.CPIs), n)
+		}
+		for k := range res.CPIs {
+			if res.CPIs[k].Seq != base.CPIs[k].Seq {
+				t.Fatalf("seed %d: CPI order diverged at %d", seed, k)
+			}
+			if !sameDetections(res.CPIs[k].Detections, base.CPIs[k].Detections) {
+				t.Errorf("seed %d CPI %d: detections diverged under I/O knob schedule", seed, k)
+			}
+		}
+	}
+}

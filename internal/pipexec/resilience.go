@@ -127,6 +127,24 @@ type RunStats struct {
 	// clean via chunk re-reads; such reads surface no error, so they appear
 	// here rather than in ChecksumFailures.
 	RepairedReads int64
+	// SourceStalls counts CPIs whose readahead-window head had not landed
+	// when the pipeline came to consume it — the pipeline stalled on the
+	// source. High stall counts with a shallow window are the signature of
+	// an I/O-bound run (zero for sources without readiness probes).
+	SourceStalls int64
+	// SourceStall is the total time the read stage spent waiting on the
+	// source (head-of-window waits, retries included).
+	SourceStall time.Duration
+	// ReadaheadReady is the mean number of landed fetches in the readahead
+	// window at consumption time — window occupancy. Near 0 means the
+	// pipeline is outrunning the source; near the depth means prefetch is
+	// fully hiding the read latency.
+	ReadaheadReady float64
+	// FinalReadAhead and FinalDecodeWorkers are the I/O knob values the
+	// run ended on — equal to the configured values unless the auto-tuner
+	// moved them.
+	FinalReadAhead     int
+	FinalDecodeWorkers int
 	// StageTimes holds each stage's per-CPI service-time distribution
 	// (p50/p90/max from the live log-scale histograms), in pipeline order.
 	StageTimes []StageTimeStats
@@ -144,6 +162,39 @@ func (s RunStats) String() string {
 		s.Retries, s.Drops, s.ChecksumFailures, s.DeadlineHits, s.WeightFallbacks, s.ChunkRereads, s.RepairedReads)
 }
 
+// IOSnapshot is a live view of the pipeline's I/O frontend — the knob
+// values currently in force plus the stall/occupancy counters so far.
+// Cheap to take (atomic loads only), so services can expose it per
+// replica while runs are in flight.
+type IOSnapshot struct {
+	// ReadAhead and DecodeWorkers are the knob values currently in force
+	// (the auto-tuner may have moved them off the configured values).
+	ReadAhead     int `json:"read_ahead"`
+	DecodeWorkers int `json:"decode_workers"`
+	// SourceStalls counts CPIs the pipeline had to wait for because the
+	// window head had not landed; SourceStallNS is the total nanoseconds
+	// spent in those head-of-window waits.
+	SourceStalls  int64 `json:"source_stalls"`
+	SourceStallNS int64 `json:"source_stall_ns"`
+	// ReadaheadReady is the mean landed-fetch count in the readahead
+	// window at consumption time (window occupancy).
+	ReadaheadReady float64 `json:"readahead_ready"`
+}
+
+// ioSnapshot assembles the live view from the runner's atomics.
+func (r *runner) ioSnapshot() IOSnapshot {
+	snap := IOSnapshot{
+		ReadAhead:     int(r.raDepth.Load()),
+		DecodeWorkers: int(r.decW.Load()),
+		SourceStalls:  r.stats.sourceStalls.Load(),
+		SourceStallNS: r.stats.sourceStallNS.Load(),
+	}
+	if n := r.stats.raOccupSamples.Load(); n > 0 {
+		snap.ReadaheadReady = float64(r.stats.raOccupSum.Load()) / float64(n)
+	}
+	return snap
+}
+
 // runStats is the runner's live (atomic) counterpart of RunStats.
 type runStats struct {
 	retries          atomic.Int64
@@ -151,6 +202,10 @@ type runStats struct {
 	checksumFailures atomic.Int64
 	deadlineHits     atomic.Int64
 	weightFallbacks  atomic.Int64
+	sourceStalls     atomic.Int64
+	sourceStallNS    atomic.Int64
+	raOccupSum       atomic.Int64
+	raOccupSamples   atomic.Int64
 }
 
 // snapshot freezes the counters; droppedSeqs is supplied by the read stage
@@ -163,5 +218,7 @@ func (s *runStats) snapshot(dropped []uint64) RunStats {
 		ChecksumFailures: s.checksumFailures.Load(),
 		DeadlineHits:     s.deadlineHits.Load(),
 		WeightFallbacks:  s.weightFallbacks.Load(),
+		SourceStalls:     s.sourceStalls.Load(),
+		SourceStall:      time.Duration(s.sourceStallNS.Load()),
 	}
 }

@@ -59,13 +59,22 @@ type Config struct {
 	// across this many goroutines when the source supports it
 	// (DecodeParallelSource). Values < 1 mean 1, the serial behaviour.
 	DecodeWorkers int
+	// MaxReadAhead caps how deep the auto-tuner may grow the readahead
+	// window (values < 1 mean the default, 32). It also clamps live
+	// depth stores from the test seam; the configured ReadAhead itself is
+	// not clamped.
+	MaxReadAhead int
 	// AutoTune, when non-nil, enables the online worker rebalancer: a
 	// tune.Controller watches the live per-stage busy counters and swaps
 	// the per-stage worker counts between CPIs to equalise busy/workers
 	// (the paper's balance condition). With AutoTune.Budget > 0 the
 	// configured Workers are replaced by an even split of the budget (the
 	// cold start the tuner refines); with Budget 0 the tuner starts from
-	// Workers and keeps their sum as the budget. Decisions are traced in
+	// Workers and keeps their sum as the budget. When the source is an
+	// instrumentable file frontend the budget additionally covers the I/O
+	// knobs — readahead depth and decode workers join the solve as tunable
+	// stages, so a source-bound run trades compute workers for prefetch
+	// depth (see DESIGN.md §12). Decisions are traced in
 	// RunStats.TuneDecisions.
 	AutoTune *tune.Config
 	// StageLoad injects synthetic per-item service time into the compute
@@ -213,7 +222,7 @@ type beamMsg struct {
 // Run pushes n CPIs from src through the pipeline and collects the
 // detection reports.
 func Run(ctx context.Context, cfg Config, src AsyncSource, n int) (*Result, error) {
-	cfg, err := withAutoTuneDefaults(cfg)
+	cfg, err := withAutoTuneDefaults(cfg, src)
 	if err != nil {
 		return nil, err
 	}
@@ -261,8 +270,19 @@ func newRunner(cfg Config, src AsyncSource, n int) *runner {
 	r.easyBins = r.p.EasyBins()
 	r.hardBins = r.p.HardBins()
 	r.pools = newPipePools(r.p)
-	if cfg.DecodeWorkers > 0 {
-		if dp, ok := src.(DecodeParallelSource); ok {
+	ra := cfg.ReadAhead
+	if ra < 1 {
+		ra = 1
+	}
+	r.raDepth.Store(int32(ra))
+	dw := cfg.DecodeWorkers
+	if dw < 1 {
+		dw = 1
+	}
+	r.decW.Store(int32(dw))
+	if dp, ok := src.(DecodeParallelSource); ok {
+		r.decSrc = dp
+		if cfg.DecodeWorkers > 0 {
 			dp.SetDecodeWorkers(cfg.DecodeWorkers)
 		}
 	}
@@ -289,6 +309,11 @@ func (r *runner) snapshotStats() RunStats {
 	st.StageTimes = make([]StageTimeStats, 0, len(r.clocks))
 	for _, c := range r.clocks {
 		st.StageTimes = append(st.StageTimes, c.timeStats())
+	}
+	st.FinalReadAhead = int(r.raDepth.Load())
+	st.FinalDecodeWorkers = int(r.decW.Load())
+	if n := r.stats.raOccupSamples.Load(); n > 0 {
+		st.ReadaheadReady = float64(r.stats.raOccupSum.Load()) / float64(n)
 	}
 	if r.tuner != nil {
 		st.TuneStages = r.tuner.StageNames()
@@ -318,6 +343,15 @@ func (r *runner) setup() error {
 	} else {
 		r.ck.pc = clock("pulse compr")
 		r.ck.cf = clock("CFAR")
+	}
+	// Instrumentable sources get frontend clocks: per-fetch striped-read
+	// latency and per-cube verify+decode wall time, surfaced through
+	// Stages/StageTimes like every compute stage and — with AutoTune —
+	// feeding the joint I/O + compute solve.
+	if cs, ok := r.src.(clockedSource); ok {
+		r.srcRead = clock("src read")
+		r.srcDecode = clock("src decode")
+		cs.setStageClocks(r.srcRead, r.srcDecode)
 	}
 	return r.initTuning([numTunable]*stageClock{
 		r.ck.dop, r.ck.we, r.ck.wh, r.ck.bfe, r.ck.bfh, r.ck.pc, r.ck.cf,
@@ -441,6 +475,23 @@ type runner struct {
 	// etc.); stages Load theirs once per CPI, the tuner (or the test seam)
 	// Stores new counts between CPIs.
 	wcs []atomic.Int32
+	// Live I/O knobs: the readahead depth the read stage loads every
+	// window refill, and a mirror of the source's decode worker count.
+	// The tuner (or the test seam) stores them between CPIs exactly like
+	// the compute counts — growing the window issues more prefetches on
+	// the next refill, shrinking drains naturally, and FIFO delivery keeps
+	// detections byte-identical either way.
+	raDepth atomic.Int32
+	decW    atomic.Int32
+	// decSrc is the source's decode-pool resize hook (nil when the source
+	// has none); srcRead/srcDecode are the frontend stage clocks (nil when
+	// the source is not instrumentable).
+	decSrc    DecodeParallelSource
+	srcRead   *stageClock
+	srcDecode *stageClock
+	// ioTune is true when the tuner's split carries the two I/O slots
+	// after the compute slots.
+	ioTune bool
 	// Online tuner state; nil without Config.AutoTune. tuneClocks lists
 	// the tunable stage clocks in slot order, tuneBusy/tuneCPIs are the
 	// reusable snapshot buffers, cpisDone counts recorded CPIs (terminal
@@ -660,18 +711,36 @@ func (r *runner) awaitCube(k int, pending PendingCube) (*cube.Cube, error) {
 // head, while the rest of the window stays in flight.
 func (r *runner) readStage(clk *stageClock, out chan<- cubeMsg) error {
 	defer close(out)
-	depth := r.cfg.ReadAhead
-	if depth < 1 {
-		depth = 1
-	}
-	window := make([]PendingCube, 0, depth+1)
+	window := make([]PendingCube, 0, r.liveReadAhead()+1)
 	issued := 0
 	for k := 0; k < r.n; k++ {
 		// Keep depth reads in flight beyond CPI k (the one about to be
 		// consumed): issue everything up to k+depth that hasn't started.
+		// The depth is loaded fresh every CPI — the auto-tuner grows or
+		// shrinks the window between CPIs; a grow issues more prefetches
+		// right here, a shrink just stops issuing until the consumer
+		// catches up. Delivery stays strictly FIFO either way, so a
+		// rebalance can never reorder CPIs.
+		depth := r.liveReadAhead()
 		for issued < r.n && issued <= k+depth {
 			window = append(window, r.beginRead(uint64(issued), 0))
 			issued++
+		}
+		// Occupancy + stall bookkeeping: how much of the window has landed
+		// when the pipeline comes asking, and whether it must now stall on
+		// the head fetch. Sources without readiness probes skip this.
+		if head, ok := window[0].(ReadyPending); ok {
+			ready := 0
+			for _, p := range window {
+				if rp, ok := p.(ReadyPending); ok && rp.Ready() {
+					ready++
+				}
+			}
+			r.stats.raOccupSum.Add(int64(ready))
+			r.stats.raOccupSamples.Add(1)
+			if !head.Ready() {
+				r.stats.sourceStalls.Add(1)
+			}
 		}
 		pending := window[0]
 		copy(window, window[1:])
@@ -681,7 +750,9 @@ func (r *runner) readStage(clk *stageClock, out chan<- cubeMsg) error {
 		if err != nil {
 			return err
 		}
-		clk.add(time.Since(startWait))
+		wait := time.Since(startWait)
+		clk.add(wait)
+		r.stats.sourceStallNS.Add(int64(wait))
 		if r.ctx.Err() != nil {
 			return nil
 		}
@@ -697,6 +768,27 @@ func (r *runner) readStage(clk *stageClock, out chan<- cubeMsg) error {
 		}
 	}
 	return nil
+}
+
+// maxReadAhead is the cap on live readahead depth (Config.MaxReadAhead;
+// < 1 means the default).
+func (r *runner) maxReadAhead() int {
+	if r.cfg.MaxReadAhead < 1 {
+		return defaultMaxReadAhead
+	}
+	return r.cfg.MaxReadAhead
+}
+
+// liveReadAhead loads the current readahead depth, clamped to [1, cap].
+func (r *runner) liveReadAhead() int {
+	d := int(r.raDepth.Load())
+	if d < 1 {
+		return 1
+	}
+	if max := r.maxReadAhead(); d > max && d > r.cfg.ReadAhead {
+		return max
+	}
+	return d
 }
 
 // dopplerStage runs Doppler filter processing, partitioned by range gates.

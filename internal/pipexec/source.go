@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"stapio/internal/cube"
 	"stapio/internal/pfs"
@@ -68,9 +69,34 @@ type IOStatSource interface {
 
 // DecodeParallelSource is implemented by sources whose per-cube decode and
 // verify work can shard across a worker pool; the pipeline wires
-// Config.DecodeWorkers through it.
+// Config.DecodeWorkers through it. SetDecodeWorkers must be safe to call
+// while fetches are in flight — the auto-tuner resizes the pool live.
 type DecodeParallelSource interface {
 	SetDecodeWorkers(n int)
+}
+
+// ReadyPending is implemented by pending fetches that can report, without
+// blocking, whether their cube has landed. The read stage uses it to count
+// readahead-window occupancy and pipeline-stalls-on-source.
+type ReadyPending interface {
+	Ready() bool
+}
+
+// clockedSource is implemented by sources that can time their read and
+// decode/verify paths on pipeline stage clocks. The read clock records
+// each fetch's serial latency (issue to data landed) — concurrent fetches
+// each record their full latency, which is exactly the serial-work input
+// the tuner's latency-hiding model wants. The decode clock records each
+// cube's verify+decode wall time at the current decode worker count.
+type clockedSource interface {
+	setStageClocks(read, dec *stageClock)
+}
+
+// srcClocks bundles the frontend clocks behind one atomic pointer: fetch
+// goroutines may outlive the run that started them (abandoned deadline
+// waits), so the source must never race a clock swap from the next run.
+type srcClocks struct {
+	read, dec *stageClock
 }
 
 // FileSource reads CPI cubes from the round-robin staging files of a
@@ -106,6 +132,16 @@ type FileSource struct {
 	// fileBytes is the probed staging-file size (set by NewFileSource;
 	// zero means the literal-construction fallback: flat v2 layout).
 	fileBytes int64
+
+	// decodeW, when > 0, overrides DecodeWorkers: SetDecodeWorkers stores
+	// here so the auto-tuner can resize the pool while fetches are in
+	// flight without racing the plain config field.
+	decodeW atomic.Int32
+
+	// clks holds the frontend stage clocks (nil until the pipeline wires
+	// them); behind an atomic pointer because fetch goroutines can outlive
+	// the run that armed them.
+	clks atomic.Pointer[srcClocks]
 
 	bufs     sync.Pool // *readBuf
 	cubes    sync.Pool // *cube.Cube
@@ -178,14 +214,29 @@ func (s *FileSource) IOStats() IOStats {
 	}
 }
 
-// SetDecodeWorkers implements DecodeParallelSource.
-func (s *FileSource) SetDecodeWorkers(n int) { s.DecodeWorkers = n }
+// SetDecodeWorkers implements DecodeParallelSource. Safe to call while
+// fetches are in flight: the count lands in an atomic that in-flight
+// decodes load once at their start.
+func (s *FileSource) SetDecodeWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.decodeW.Store(int32(n))
+}
 
 func (s *FileSource) decodeWorkers() int {
+	if n := s.decodeW.Load(); n > 0 {
+		return int(n)
+	}
 	if s.DecodeWorkers < 1 {
 		return 1
 	}
 	return s.DecodeWorkers
+}
+
+// setStageClocks implements clockedSource.
+func (s *FileSource) setStageClocks(read, dec *stageClock) {
+	s.clks.Store(&srcClocks{read: read, dec: dec})
 }
 
 func (s *FileSource) chunkRetries() int {
@@ -281,10 +332,29 @@ func (p *filePending) Wait() (*cube.Cube, error) {
 	return p.cb, p.err
 }
 
+// Ready implements ReadyPending without blocking.
+func (p *filePending) Ready() bool {
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
+	}
+}
+
 // fetch blocks on the striped read, then verifies and decodes the payload.
+// With stage clocks armed (setStageClocks) the striped-read wait lands on
+// the read clock — one per-fetch serial latency sample, the tuner's serial
+// work for the frontend — and the verify+decode section lands on the
+// decode clock.
 func (s *FileSource) fetch(name string, seq uint64, tag int, buf []byte, pend *pfs.Pending) (*cube.Cube, error) {
+	clks := s.clks.Load()
+	t0 := time.Now()
 	if err := pend.Wait(); err != nil {
 		return nil, err
+	}
+	if clks != nil && clks.read != nil {
+		clks.read.add(time.Since(t0))
 	}
 	h, err := cube.ParseHeader(buf)
 	if err != nil {
@@ -299,10 +369,14 @@ func (s *FileSource) fetch(name string, seq uint64, tag int, buf []byte, pend *p
 			seq, cube.ErrTruncated, len(payload), h.Bytes())
 	}
 	cb := s.getCube()
+	d0 := time.Now()
 	if h.Chunks() > 0 {
 		err = s.decodeChunked(name, seq, tag, &h, payload, cb)
 	} else {
 		err = s.decodeFlat(seq, &h, payload, cb)
+	}
+	if clks != nil && clks.dec != nil {
+		clks.dec.add(time.Since(d0))
 	}
 	if err != nil {
 		s.Recycle(cb)
@@ -408,6 +482,16 @@ type waitPending struct {
 func (w *waitPending) Wait() (*cube.Cube, error) {
 	<-w.done
 	return w.p.cb, w.p.err
+}
+
+// Ready implements ReadyPending without blocking.
+func (w *waitPending) Ready() bool {
+	select {
+	case <-w.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // ScenarioSource builds a MemSource over a radar scenario.

@@ -31,7 +31,7 @@ type StreamHandle struct {
 // Stream starts the pipeline against src and returns immediately. The
 // caller must drain Results and call Stop exactly once when finished.
 func Stream(ctx context.Context, cfg Config, src AsyncSource) (*StreamHandle, error) {
-	cfg, err := withAutoTuneDefaults(cfg)
+	cfg, err := withAutoTuneDefaults(cfg, src)
 	if err != nil {
 		return nil, err
 	}
@@ -67,6 +67,12 @@ func Stream(ctx context.Context, cfg Config, src AsyncSource) (*StreamHandle, er
 	}()
 	return h, nil
 }
+
+// IOStats returns a live snapshot of the pipeline's I/O frontend state —
+// current readahead depth and decode workers (which the auto-tuner may
+// have moved), source-stall counters, and readahead-window occupancy.
+// Safe to call at any time, including while the pipeline is running.
+func (h *StreamHandle) IOStats() IOSnapshot { return h.r.ioSnapshot() }
 
 // Stop shuts the pipeline down, waits for every stage to exit, and
 // returns the run summary (stage statistics; per-CPI results were already

@@ -63,6 +63,23 @@ func (r *runner) stageSleep(perItem time.Duration, items int) {
 	r.sleep(time.Duration(items) * perItem)
 }
 
+// defaultMaxReadAhead caps tuner-grown readahead depth when
+// Config.MaxReadAhead is unset.
+const defaultMaxReadAhead = 32
+
+// maxDecodeWorkers caps the tunable decode pool — decode shards per cube,
+// so counts beyond this see no useful parallelism on any plausible host.
+const maxDecodeWorkers = 16
+
+// ioTunable reports whether src supports the joint I/O + compute solve:
+// it must expose frontend stage clocks (so the tuner can measure the read
+// and decode paths) and a live-resizable decode pool.
+func ioTunable(src AsyncSource) bool {
+	_, clocked := src.(clockedSource)
+	_, decodes := src.(DecodeParallelSource)
+	return clocked && decodes
+}
+
 // autoTuneWorkers derives the cold-start Workers split from an AutoTune
 // budget: the budget spread as evenly as possible over the seven task
 // slots, in pipeline order. (In the combined design the PC and CFAR slots
@@ -82,11 +99,29 @@ func autoTuneWorkers(budget int) (core.STAPNodes, error) {
 // withAutoTuneDefaults resolves the AutoTune cold start: a positive budget
 // replaces Workers with the even split (the tuner refines it from there);
 // budget 0 keeps the configured Workers as the tuner's starting split.
-func withAutoTuneDefaults(cfg Config) (Config, error) {
+// With an I/O-tunable source the budget is shared with the I/O knobs: the
+// configured ReadAhead and DecodeWorkers (at least 1 each) claim their
+// slots and the compute stages split the rest — the tuner then moves
+// budget freely across all nine.
+func withAutoTuneDefaults(cfg Config, src AsyncSource) (Config, error) {
 	if cfg.AutoTune == nil || cfg.AutoTune.Budget == 0 {
 		return cfg, nil
 	}
-	w, err := autoTuneWorkers(cfg.AutoTune.Budget)
+	budget := cfg.AutoTune.Budget
+	if ioTunable(src) {
+		if cfg.ReadAhead < 1 {
+			cfg.ReadAhead = 1
+		}
+		if cfg.DecodeWorkers < 1 {
+			cfg.DecodeWorkers = 1
+		}
+		budget -= cfg.ReadAhead + cfg.DecodeWorkers
+		if budget < numTunable {
+			return cfg, fmt.Errorf("pipexec: autotune budget %d cannot cover the %d tasks plus readahead %d and decode workers %d",
+				cfg.AutoTune.Budget, numTunable, cfg.ReadAhead, cfg.DecodeWorkers)
+		}
+	}
+	w, err := autoTuneWorkers(budget)
 	if err != nil {
 		return cfg, err
 	}
@@ -120,6 +155,19 @@ func (r *runner) initTuning(clks [numTunable]*stageClock) error {
 		stages[i] = tune.Stage{Name: clks[i].name, Max: caps[i]}
 		r.tuneClocks = append(r.tuneClocks, clks[i])
 	}
+	// An instrumentable frontend joins the solve: the readahead window is
+	// a serial (latency-hiding) stage whose "workers" are prefetch slots,
+	// the decode pool a regular compute stage. Their knobs then trade off
+	// against compute workers under the one shared budget.
+	if r.srcRead != nil && r.decSrc != nil {
+		r.ioTune = true
+		stages = append(stages,
+			tune.Stage{Name: r.srcRead.name, Max: r.maxReadAhead(), Serial: true},
+			tune.Stage{Name: r.srcDecode.name, Max: maxDecodeWorkers},
+		)
+		counts = append(counts, int(r.raDepth.Load()), int(r.decW.Load()))
+		r.tuneClocks = append(r.tuneClocks, r.srcRead, r.srcDecode)
+	}
 	ctl, err := tune.NewController(*r.cfg.AutoTune, stages, counts)
 	if err != nil {
 		return fmt.Errorf("pipexec: %w", err)
@@ -140,16 +188,42 @@ func (r *runner) workersFor(i int) int {
 	return n
 }
 
+// applySplit installs a tuner split: the compute slots into the live
+// worker counts, then — with I/O tuning — the readahead depth and the
+// source's decode pool. All land between CPIs, so the next CPI sees a
+// consistent assignment.
+func (r *runner) applySplit(split []int) {
+	for i := 0; i < len(r.wcs) && i < len(split); i++ {
+		r.wcs[i].Store(int32(split[i]))
+	}
+	if !r.ioTune || len(split) < len(r.wcs)+2 {
+		return
+	}
+	r.raDepth.Store(int32(split[len(r.wcs)]))
+	dw := split[len(r.wcs)+1]
+	r.decW.Store(int32(dw))
+	r.decSrc.SetDecodeWorkers(dw)
+}
+
 // afterCPI runs on the terminal stage's goroutine after each recorded CPI:
 // it feeds the tuner the live clock counters and installs any rebalanced
 // split before the next CPI's stages load their counts. Single-threaded by
 // construction (one terminal stage), so the controller needs no locking.
+// The test seam's setter addresses the compute slots first, then — when
+// the source supports them — slot len(wcs) is the readahead depth and
+// len(wcs)+1 the decode workers.
 func (r *runner) afterCPI() {
 	r.cpisDone++
 	if r.cfg.testOnCPI != nil {
 		r.cfg.testOnCPI(r.cpisDone, func(stage, n int) {
-			if stage >= 0 && stage < len(r.wcs) && n >= 1 {
+			switch {
+			case stage >= 0 && stage < len(r.wcs) && n >= 1:
 				r.wcs[stage].Store(int32(n))
+			case stage == len(r.wcs) && n >= 1:
+				r.raDepth.Store(int32(n))
+			case stage == len(r.wcs)+1 && n >= 1 && r.decSrc != nil:
+				r.decW.Store(int32(n))
+				r.decSrc.SetDecodeWorkers(n)
 			}
 		})
 	}
@@ -162,9 +236,7 @@ func (r *runner) afterCPI() {
 	}
 	split, applied := r.tuner.Observe(r.tuneBusy, r.tuneCPIs)
 	if applied {
-		for i, n := range split {
-			r.wcs[i].Store(int32(n))
-		}
+		r.applySplit(split)
 	}
 }
 

@@ -66,6 +66,13 @@ func (p slotPending) Wait() (*cube.Cube, error) {
 	return it.cb, it.err
 }
 
+// Ready implements pipexec.ReadyPending: the rendezvous channel is
+// buffered (size 1), so a delivered item is observable without blocking.
+// This feeds the pipeline's source-stall and window-occupancy counters —
+// for a push-fed replica a "stall" means the dispatcher had nothing for
+// us, i.e. the replica is starved rather than I/O-bound.
+func (p slotPending) Ready() bool { return len(p.ch) > 0 }
+
 // Begin implements pipexec.AsyncSource.
 func (s *chanSource) Begin(seq uint64) pipexec.PendingCube {
 	s.mu.Lock()

@@ -726,10 +726,15 @@ func TestServeStatsEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("stats: %d %q", resp.StatusCode, body)
 	}
-	for _, want := range []string{`"max_in_flight"`, `"replicas"`, `"rejected"`} {
+	for _, want := range []string{`"max_in_flight"`, `"replicas"`, `"rejected"`,
+		`"io"`, `"source_stalls"`, `"readahead_ready"`, `"read_ahead"`, `"decode_workers"`} {
 		if !bytes.Contains(body, []byte(want)) {
 			t.Errorf("stats JSON lacks %s: %s", want, body)
 		}
+	}
+	// The per-replica I/O view must carry live knob values, not zeros.
+	if st := srv.Stats(); len(st.Replicas) == 0 || st.Replicas[0].IO.ReadAhead < 1 || st.Replicas[0].IO.DecodeWorkers < 1 {
+		t.Errorf("replica IO snapshot not live: %+v", srv.Stats().Replicas)
 	}
 
 	srv.draining.Store(true)

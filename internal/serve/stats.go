@@ -35,6 +35,11 @@ type ReplicaStats struct {
 	Dispatched int64 `json:"dispatched"`
 	Completed  int64 `json:"completed"`
 	InFlight   int   `json:"in_flight"`
+	// IO is the replica pipeline's live frontend view: current readahead
+	// depth and decode workers, source-stall counters, and window
+	// occupancy — sampled while the replica runs, so operators can tell
+	// an I/O-starved replica from a compute-bound one without stopping it.
+	IO pipexec.IOSnapshot `json:"io"`
 	// Pipeline carries the replica's pipexec resilience counters and stage
 	// stats once the replica has stopped (nil while running — pipexec only
 	// summarises on Stop).
@@ -102,6 +107,7 @@ func (s *Server) Stats() Stats {
 			Dispatched: r.dispatched.Load(),
 			Completed:  r.completed.Load(),
 			InFlight:   r.inFlight(),
+			IO:         r.h.IOStats(),
 		}
 		if res, err := r.summary(); err == nil && res != nil {
 			rs.Pipeline = res

@@ -10,9 +10,27 @@
 // independent of the others'. The controller here runs the identical
 // discrete water-filling, but against *measured* busy times instead of the
 // analytic model: every decision window it estimates each stage's serial
-// work as measuredService x currentWorkers, re-solves the split, and
-// applies it only when the predicted bottleneck improvement clears a
-// hysteresis threshold (so measurement noise cannot make it thrash).
+// work, re-solves the split, and applies it only when the predicted
+// bottleneck improvement clears a hysteresis threshold (so measurement
+// noise cannot make it thrash).
+//
+// Two refinements extend the paper's T = W/P model:
+//
+//   - Serial stages (Stage.Serial) model I/O frontends whose "workers" are
+//     latency-hiding slots rather than compute parallelism: a prefetch
+//     window of depth D overlaps D fetches of serial latency L each, so
+//     the pipeline-visible service time is L/D. Their fed busy counters
+//     record per-fetch latency, which the controller uses as the stage's
+//     serial work directly — depth then enters the balance condition
+//     exactly like a worker count, and the tuner trades compute workers
+//     for prefetch depth under the one shared budget.
+//
+//   - Measured per-worker efficiency replaces perfect scaling: whenever a
+//     stage is observed at two different worker counts, the controller
+//     fits the linear-overhead rate model rate(w) = 1 + e(w-1) (e = 1 is
+//     perfect scaling) and feeds e into the height function, so stages
+//     that cannot use extra workers (memory-bound kernels) stop being
+//     over-credited them.
 //
 // The controller is deliberately pipeline-agnostic: stages are just names
 // with optional worker caps, and the caller feeds cumulative (busyNS,
@@ -77,32 +95,95 @@ type Stage struct {
 	// number of work items the stage partitions, beyond which extra
 	// workers receive empty blocks.
 	Max int
+	// Serial marks a latency-hiding stage (an I/O frontend): its busy
+	// counter records the serial latency of each operation (e.g. one
+	// striped read), operations overlap freely, and assigning it w
+	// "workers" (a prefetch window of depth w) divides the
+	// pipeline-visible service time by w. The controller uses the
+	// measured per-operation latency as the stage's serial work directly
+	// instead of scaling it by the current worker count, and pins the
+	// stage's efficiency at 1 (overlap is genuine concurrency, not
+	// compute speedup). If the store saturates, the measured latency
+	// itself rises with depth and the estimate self-corrects.
+	Serial bool
 }
+
+// Reason classifies a Decision: why the tuner did (or did not) move.
+type Reason string
+
+const (
+	// ReasonRebalanced: the re-solve produced a better split and it was
+	// installed.
+	ReasonRebalanced Reason = "rebalanced"
+	// ReasonBalanced: the re-solve reproduced the current split — there
+	// was nothing to move.
+	ReasonBalanced Reason = "balanced"
+	// ReasonHysteresis: a different split existed but its predicted gain
+	// did not clear the hysteresis threshold.
+	ReasonHysteresis Reason = "hysteresis"
+	// ReasonWarmup: the warmup window closed and the measurement baseline
+	// was snapshotted; no measurement existed yet.
+	ReasonWarmup Reason = "warmup"
+	// ReasonStarved: a stage recorded no CPIs in the window (a skip
+	// policy dropped everything, or the window raced a drain), so the
+	// service times were unmeasurable and the split was left alone.
+	ReasonStarved Reason = "starved-window"
+)
 
 // Decision is one evaluation of the balance condition, recorded whether or
 // not it changed the split — the trace replays how the tuner converged.
+// No-op windows are recorded too (with Reason saying why nothing moved),
+// so a trace with zero applied rebalances is still explainable.
 type Decision struct {
 	// CPI is the number of CPIs the pipeline had completed when the
 	// decision was taken (timestamp-free, so traces are comparable
 	// across runs and machines).
-	CPI int
+	CPI int `json:"cpi"`
 	// Service is the measured mean wall-clock service time per CPI of
 	// each stage over the window just closed, at the Old worker counts.
-	Service []time.Duration
+	// Nil for warmup/starved entries, which close no measured window.
+	Service []time.Duration `json:"service_ns,omitempty"`
 	// Old and New are the per-stage worker splits before and after the
 	// decision (New == Old when not applied).
-	Old, New []int
-	// Bottleneck indexes the stage with the largest measured service.
-	Bottleneck int
-	// Applied reports whether the split was actually swapped; false when
-	// the re-solve reproduced the current split or the predicted gain
-	// did not clear the hysteresis threshold.
-	Applied bool
+	Old []int `json:"old"`
+	New []int `json:"new"`
+	// Bottleneck indexes the stage with the largest measured service;
+	// -1 when nothing was measured (warmup/starved entries).
+	Bottleneck int `json:"bottleneck"`
+	// Applied reports whether the split was actually swapped.
+	Applied bool `json:"applied"`
+	// Reason says why the decision moved or held still.
+	Reason Reason `json:"reason"`
+	// Efficiency is the per-stage learned scaling efficiency in (0, 1]
+	// at decision time (1 = perfect scaling; serial stages stay 1).
+	// Omitted on entries that measured nothing.
+	Efficiency []float64 `json:"efficiency,omitempty"`
 }
 
 // traceCap bounds the decision trace so unbounded streaming runs cannot
 // grow memory; decisions beyond it still apply, they are just not recorded.
 const traceCap = 4096
+
+// Efficiency model: measured service s(w) = W / rate(w) with
+// rate(w) = 1 + e(w-1). e below effMin is clamped — a stage that appears
+// to gain nothing from workers is still granted a floor so one noisy
+// window cannot permanently write it off.
+const (
+	effMin   = 0.1
+	effBlend = 0.5 // EWMA weight of a fresh efficiency estimate
+)
+
+// rate is the modelled speedup of w workers at efficiency e: 1 + e(w-1).
+// e <= 0 (unknown) means perfect scaling, i.e. rate = w.
+func rate(e float64, w int) float64 {
+	if w < 1 {
+		w = 1
+	}
+	if e <= 0 || e > 1 {
+		return float64(w)
+	}
+	return 1 + e*float64(w-1)
+}
 
 // Controller holds the tuner state. It is not internally synchronised: the
 // caller must invoke Observe from a single goroutine (pipexec calls it
@@ -123,6 +204,13 @@ type Controller struct {
 
 	trace   []Decision
 	skipped int // decisions not recorded after traceCap
+
+	// eff is the learned per-stage scaling efficiency (1 = perfect);
+	// lastService/lastEffW remember the previous window's measurement so
+	// a worker-count change between windows yields an efficiency sample.
+	eff         []float64
+	lastService []float64
+	lastEffW    []int
 
 	// scratch reused across decisions to keep Observe allocation-light.
 	work []float64
@@ -157,17 +245,21 @@ func NewController(cfg Config, stages []Stage, initial []int) (*Controller, erro
 		return nil, fmt.Errorf("tune: budget %d cannot cover %d stages", budget, n)
 	}
 	c := &Controller{
-		cfg:      cfg,
-		stages:   append([]Stage(nil), stages...),
-		budget:   budget,
-		split:    append([]int(nil), initial...),
-		prevBusy: make([]int64, n),
-		prevCPI:  make([]int64, n),
-		work:     make([]float64, n),
-		caps:     make([]int, n),
+		cfg:         cfg,
+		stages:      append([]Stage(nil), stages...),
+		budget:      budget,
+		split:       append([]int(nil), initial...),
+		prevBusy:    make([]int64, n),
+		prevCPI:     make([]int64, n),
+		eff:         make([]float64, n),
+		lastService: make([]float64, n),
+		lastEffW:    make([]int, n),
+		work:        make([]float64, n),
+		caps:        make([]int, n),
 	}
 	for i, s := range c.stages {
 		c.caps[i] = s.Max
+		c.eff[i] = 1
 	}
 	return c, nil
 }
@@ -177,6 +269,10 @@ func (c *Controller) Budget() int { return c.budget }
 
 // Split returns a copy of the current per-stage worker split.
 func (c *Controller) Split() []int { return append([]int(nil), c.split...) }
+
+// Efficiency returns a copy of the learned per-stage scaling efficiencies
+// (1 = perfect scaling; serial stages are pinned at 1).
+func (c *Controller) Efficiency() []float64 { return append([]float64(nil), c.eff...) }
 
 // StageNames returns the stage names in split order.
 func (c *Controller) StageNames() []string {
@@ -207,6 +303,7 @@ func (c *Controller) Observe(busyNS, cpis []int64) (split []int, applied bool) {
 			copy(c.prevCPI, cpis)
 			c.lastAt = c.seen
 			c.baselined = true
+			c.recordNoop(ReasonWarmup)
 		}
 		return c.split, false
 	}
@@ -229,48 +326,113 @@ func (c *Controller) effective(i, w int) int {
 	return w
 }
 
+// recordNoop traces a window that measured nothing (warmup baseline or a
+// starved stage), so quiet runs still leave an explainable trail.
+func (c *Controller) recordNoop(why Reason) {
+	c.record(Decision{
+		CPI:        c.seen,
+		Old:        append([]int(nil), c.split...),
+		New:        append([]int(nil), c.split...),
+		Bottleneck: -1,
+		Reason:     why,
+	})
+}
+
+func (c *Controller) record(d Decision) {
+	if len(c.trace) < traceCap {
+		c.trace = append(c.trace, d)
+	} else {
+		c.skipped++
+	}
+}
+
+// updateEfficiency folds one window's (service, effective workers) sample
+// into stage i's learned efficiency. Two windows at different worker
+// counts pin the rate model down: s1/s2 = rate(w2)/rate(w1) solves to
+// e = (s1/s2 - 1) / ((w2-1) - (s1/s2)(w1-1)).
+func (c *Controller) updateEfficiency(i int, serviceNS float64, effW int) {
+	defer func() {
+		c.lastService[i] = serviceNS
+		c.lastEffW[i] = effW
+	}()
+	s1, w1 := c.lastService[i], c.lastEffW[i]
+	if s1 <= 0 || serviceNS <= 0 || w1 < 1 || w1 == effW {
+		return
+	}
+	ratio := s1 / serviceNS
+	den := float64(effW-1) - ratio*float64(w1-1)
+	if den > -1e-9 && den < 1e-9 {
+		return
+	}
+	e := (ratio - 1) / den
+	if e < effMin {
+		e = effMin
+	}
+	if e > 1 {
+		e = 1
+	}
+	c.eff[i] = (1-effBlend)*c.eff[i] + effBlend*e
+}
+
 // decide closes the current measurement window, re-solves the split, and
 // applies it if the predicted gain clears the hysteresis threshold.
 func (c *Controller) decide(busyNS, cpis []int64) bool {
 	n := len(c.stages)
 	service := make([]time.Duration, n)
-	bottleneck := 0
+	bottleneck := -1
 	for i := 0; i < n; i++ {
 		dc := cpis[i] - c.prevCPI[i]
 		if dc <= 0 {
-			// A stage saw no CPIs this window (a skip policy dropped
-			// everything, or the window raced a drain); there is nothing
-			// to measure, so keep the window open.
+			if c.stages[i].Serial {
+				// A serial (I/O) stage that issued nothing this window has
+				// drained its input: it is no longer a constraint, so its
+				// work is zero rather than unmeasurable.
+				service[i] = 0
+				c.work[i] = 0
+				continue
+			}
+			// A compute stage saw no CPIs (a skip policy dropped
+			// everything, or the window raced a drain); the window is
+			// unmeasurable, so hold the split and say why.
+			c.recordNoop(ReasonStarved)
 			return false
 		}
 		db := busyNS[i] - c.prevBusy[i]
 		if db < 0 {
 			db = 0
 		}
-		service[i] = time.Duration(db / dc)
-		// The stage's serial work per CPI: measured wall time at the
-		// current worker count, scaled back up. Workers beyond the cap
-		// partition empty blocks and contribute nothing, so the scale
-		// factor is the *effective* count — an over-cap split's surplus
-		// is then correctly seen as free to move elsewhere. Stages that
-		// do not scale linearly (memory-bound kernels) are over-estimated
-		// here, but the next window re-measures at the new count, so the
-		// estimate self-corrects; hysteresis damps the resulting
-		// oscillation.
-		c.work[i] = float64(db) / float64(dc) * float64(c.effective(i, c.split[i]))
-		if service[i] > service[bottleneck] {
+		meas := float64(db) / float64(dc)
+		if c.stages[i].Serial {
+			// The busy counter records per-fetch serial latency: that IS
+			// the stage's serial work; depth w hides it as work/w. The
+			// pipeline-visible service is work over the current depth.
+			c.work[i] = meas
+			service[i] = time.Duration(meas / float64(c.effective(i, c.split[i])))
+		} else {
+			effW := c.effective(i, c.split[i])
+			c.updateEfficiency(i, meas, effW)
+			// The stage's serial work per CPI: measured wall time at the
+			// current worker count, scaled back up by the modelled rate.
+			// Workers beyond the cap partition empty blocks and contribute
+			// nothing, so the scale factor uses the *effective* count — an
+			// over-cap split's surplus is then correctly seen as free to
+			// move elsewhere.
+			service[i] = time.Duration(meas)
+			c.work[i] = meas * rate(c.eff[i], effW)
+		}
+		if bottleneck < 0 || service[i] > service[bottleneck] {
 			bottleneck = i
 		}
 	}
-	next := Balance(c.work, c.budget, c.caps)
+	next := BalanceEfficiency(c.work, c.budget, c.caps, c.eff)
 
 	oldMax, newMax := 0.0, 0.0
 	changed := false
 	for i := 0; i < n; i++ {
-		if v := c.work[i] / float64(c.effective(i, c.split[i])); v > oldMax {
+		if v := c.work[i] / rate(c.effFor(i), c.effective(i, c.split[i])); v > oldMax {
 			oldMax = v
 		}
-		if v := c.work[i] / float64(c.effective(i, next[i])); v > newMax {
+		if v := c.work[i] / rate(c.effFor(i), c.effective(i, next[i])); v > newMax {
 			newMax = v
 		}
 		if next[i] != c.split[i] {
@@ -279,41 +441,72 @@ func (c *Controller) decide(busyNS, cpis []int64) bool {
 	}
 	applied := changed && newMax <= oldMax*(1-c.cfg.hysteresis())
 
+	reason := ReasonBalanced
+	switch {
+	case applied:
+		reason = ReasonRebalanced
+	case changed:
+		reason = ReasonHysteresis
+	}
 	d := Decision{
 		CPI:        c.seen,
 		Service:    service,
 		Old:        append([]int(nil), c.split...),
 		Bottleneck: bottleneck,
 		Applied:    applied,
+		Reason:     reason,
+		Efficiency: append([]float64(nil), c.eff...),
 	}
 	if applied {
 		copy(c.split, next)
 	}
 	d.New = append([]int(nil), c.split...)
-	if len(c.trace) < traceCap {
-		c.trace = append(c.trace, d)
-	} else {
-		c.skipped++
-	}
+	c.record(d)
 	return applied
+}
+
+// effFor is stage i's efficiency for height computations: serial stages
+// overlap operations with genuine concurrency, so they scale perfectly.
+func (c *Controller) effFor(i int) float64 {
+	if c.stages[i].Serial {
+		return 1
+	}
+	return c.eff[i]
 }
 
 // Balance distributes budget workers over stages with estimated serial
 // work per CPI, minimising the bottleneck service time max_i work_i/w_i —
 // the paper's balance condition (equalise busy/workers across stages) as
-// discrete water-filling. Every stage gets at least one worker; caps, when
-// non-nil and positive, bound per-stage counts (a capped stage stops
-// receiving workers once at its cap). The greedy is optimal because each
-// height work_i/w_i is strictly decreasing in w_i and independent of the
-// other stages. Stages with zero work keep exactly one worker. Unusable
-// budget (everything capped) is left unassigned.
+// discrete water-filling under perfect scaling. See BalanceEfficiency for
+// the generalised height function.
 func Balance(work []float64, budget int, caps []int) []int {
+	return BalanceEfficiency(work, budget, caps, nil)
+}
+
+// BalanceEfficiency is Balance with per-stage scaling efficiencies: stage
+// i's service at w workers is modelled as work_i/rate(e_i, w) with
+// rate(e, w) = 1 + e(w-1), so a stage with e < 1 is credited less speedup
+// per extra worker and the greedy hands its surplus to stages that can
+// use it. eff may be nil (or hold entries <= 0) for perfect scaling.
+// Every stage gets at least one worker; caps, when non-nil and positive,
+// bound per-stage counts. The greedy stays optimal: each height is
+// strictly decreasing in its own worker count (e > 0) and independent of
+// the other stages. Stages with zero work keep exactly one worker.
+// Unusable budget (everything capped) is left unassigned, as is a budget
+// below the stage count (every stage keeps its mandatory single worker).
+func BalanceEfficiency(work []float64, budget int, caps []int, eff []float64) []int {
 	n := len(work)
 	w := make([]int, n)
 	for i := range w {
 		w[i] = 1
 	}
-	height := func(i int) float64 { return work[i] / float64(w[i]) }
+	effOf := func(i int) float64 {
+		if eff == nil {
+			return 1
+		}
+		return eff[i]
+	}
+	height := func(i int) float64 { return work[i] / rate(effOf(i), w[i]) }
 	for used := n; used < budget; used++ {
 		best := -1
 		for i := range w {

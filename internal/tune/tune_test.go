@@ -2,6 +2,7 @@ package tune
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 )
 
@@ -191,6 +192,9 @@ func TestControllerConvergesToBalance(t *testing.T) {
 	}
 	applied := 0
 	for _, d := range trace {
+		if d.Reason == ReasonWarmup {
+			continue // the baseline snapshot measures nothing
+		}
 		if d.Bottleneck != 2 && !d.Applied && applied == 0 {
 			t.Errorf("first decisions should see the hard-weight bottleneck, got stage %d", d.Bottleneck)
 		}
@@ -284,15 +288,20 @@ func TestControllerWarmupAndInterval(t *testing.T) {
 			decisions++
 		}
 	}
-	// Baseline at CPI 3, first decision at CPI 8, second at 13.
-	if got := len(c.Trace()); got != 2 {
-		t.Fatalf("expected 2 decisions (CPI 8 and 13), got %d", got)
+	// Baseline (warmup entry) at CPI 3, first decision at CPI 8, second
+	// at 13.
+	tr := c.Trace()
+	if len(tr) != 3 {
+		t.Fatalf("expected 3 trace entries (warmup + CPI 8 and 13), got %d: %+v", len(tr), tr)
 	}
 	if decisions == 0 {
 		t.Error("skewed load with negative hysteresis must rebalance")
 	}
-	if tr := c.Trace(); tr[0].CPI != 8 || tr[1].CPI != 13 {
-		t.Errorf("decision CPIs %d,%d; want 8,13", tr[0].CPI, tr[1].CPI)
+	if tr[0].CPI != 3 || tr[0].Reason != ReasonWarmup || tr[0].Applied {
+		t.Errorf("first entry should be the warmup baseline at CPI 3, got %+v", tr[0])
+	}
+	if tr[1].CPI != 8 || tr[2].CPI != 13 {
+		t.Errorf("decision CPIs %d,%d; want 8,13", tr[1].CPI, tr[2].CPI)
 	}
 }
 
@@ -306,14 +315,287 @@ func TestControllerSkipsWindowWithoutCPIs(t *testing.T) {
 	count := []int64{1, 1}
 	c.Observe(busy, count) // warmup baseline
 	c.Observe(busy, count)
-	// Stage b's counter never advances: the window must stay open with no
-	// decision rather than divide by zero.
+	// Stage b's counter never advances: the window must not rebalance on a
+	// divide-by-zero — but it must still leave a traced, reasoned no-op.
 	busy[0] += 2e6
 	count[0] += 2
 	if _, applied := c.Observe(busy, count); applied {
 		t.Error("decision applied with a starved stage")
 	}
-	if len(c.Trace()) != 0 {
-		t.Errorf("starved window recorded a decision: %+v", c.Trace())
+	tr := c.Trace()
+	if len(tr) != 2 {
+		t.Fatalf("expected warmup + starved trace entries, got %+v", tr)
+	}
+	if tr[0].Reason != ReasonWarmup {
+		t.Errorf("first entry reason %q, want %q", tr[0].Reason, ReasonWarmup)
+	}
+	if tr[1].Reason != ReasonStarved || tr[1].Applied || tr[1].Bottleneck != -1 {
+		t.Errorf("starved window entry %+v, want reason %q, not applied", tr[1], ReasonStarved)
+	}
+}
+
+// ---- joint-solve edge cases (I/O-aware, efficiency-aware Balance) ----
+
+// bruteForceMaxEff is bruteForceMax under the rate model: stage service at
+// w workers is work/rate(eff, w).
+func bruteForceMaxEff(work []float64, budget int, caps []int, eff []float64) float64 {
+	n := len(work)
+	best := math.Inf(1)
+	var rec func(i, left int, cur []int)
+	rec = func(i, left int, cur []int) {
+		if i == n {
+			if left != 0 {
+				return
+			}
+			h := 0.0
+			for j, w := range cur {
+				if v := work[j] / rate(eff[j], w); v > h {
+					h = v
+				}
+			}
+			if h < best {
+				best = h
+			}
+			return
+		}
+		max := left - (n - i - 1)
+		for w := 1; w <= max; w++ {
+			if caps != nil && caps[i] > 0 && w > caps[i] {
+				break
+			}
+			cur[i] = w
+			rec(i+1, left-w, cur)
+		}
+	}
+	rec(0, budget, make([]int, n))
+	return best
+}
+
+func TestBalanceBudgetOfOne(t *testing.T) {
+	// A budget of 1 over one stage is the degenerate minimum: the single
+	// mandatory worker, nothing to distribute.
+	if got := Balance([]float64{5e6}, 1, nil); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Balance single stage, budget 1 = %v, want [1]", got)
+	}
+	// A budget below the stage count cannot strip the mandatory workers:
+	// every stage keeps exactly one (the controller refuses such budgets
+	// up front; Balance itself must still be safe).
+	got := Balance([]float64{5e6, 1e6, 3e6}, 1, nil)
+	for i, w := range got {
+		if w != 1 {
+			t.Errorf("stage %d got %d workers from an infeasible budget", i, w)
+		}
+	}
+}
+
+func TestBalanceEfficiencyMatchesBruteForce(t *testing.T) {
+	cases := []struct {
+		work   []float64
+		budget int
+		caps   []int
+		eff    []float64
+	}{
+		// Efficiency < 1 on every stage.
+		{[]float64{4, 2, 20, 2}, 10, nil, []float64{0.5, 0.8, 0.6, 0.9}},
+		{[]float64{10, 10}, 8, nil, []float64{0.3, 0.3}},
+		// Mixed: a perfectly-scaling I/O stage against lossy compute.
+		{[]float64{12, 5, 5}, 9, nil, []float64{1, 0.4, 0.4}},
+		// Caps still bind under the rate model.
+		{[]float64{9, 9, 1}, 9, []int{2, 0, 0}, []float64{0.7, 0.7, 0.7}},
+	}
+	for _, c := range cases {
+		got := BalanceEfficiency(c.work, c.budget, c.caps, c.eff)
+		sum := 0
+		for i, w := range got {
+			sum += w
+			if w < 1 {
+				t.Fatalf("BalanceEfficiency(%v,%d): stage %d got %d workers", c.work, c.budget, i, w)
+			}
+			if c.caps != nil && c.caps[i] > 0 && w > c.caps[i] {
+				t.Errorf("BalanceEfficiency(%v,%d): stage %d exceeds cap %d", c.work, c.budget, i, c.caps[i])
+			}
+		}
+		if sum > c.budget {
+			t.Errorf("BalanceEfficiency(%v,%d) used %d workers", c.work, c.budget, sum)
+		}
+		h := 0.0
+		for i, w := range got {
+			if v := c.work[i] / rate(c.eff[i], w); v > h {
+				h = v
+			}
+		}
+		want := bruteForceMaxEff(c.work, c.budget, c.caps, c.eff)
+		if h > want*(1+1e-9) {
+			t.Errorf("BalanceEfficiency(%v,%d,eff=%v): bottleneck %g, optimum %g (split %v)",
+				c.work, c.budget, c.eff, h, want, got)
+		}
+	}
+}
+
+func TestBalanceEfficiencyZeroWorkKeepsOneWorker(t *testing.T) {
+	got := BalanceEfficiency([]float64{0, 10, 0}, 9, nil, []float64{0.5, 0.5, 0.5})
+	if got[0] != 1 || got[2] != 1 {
+		t.Errorf("zero-work stages should keep exactly 1 worker, got %v", got)
+	}
+	if got[1] != 7 {
+		t.Errorf("all spare budget should flow to the loaded stage, got %v", got)
+	}
+}
+
+// TestControllerIOStageDominant drives a controller whose first stage is a
+// serial I/O frontend: its busy counter records a constant per-fetch
+// latency regardless of the assigned depth (fetches overlap), while the
+// compute stage scales perfectly. The tuner must discover that prefetch
+// depth is where the budget belongs.
+func TestControllerIOStageDominant(t *testing.T) {
+	stages := []Stage{{Name: "src read", Max: 32, Serial: true}, {Name: "compute"}}
+	c, err := NewController(Config{Interval: 2, Warmup: 2, Hysteresis: -1}, stages, []int{1, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		readLatency = 3e6 // serial per-fetch latency, depth-independent
+		computeWork = 1e6
+	)
+	busy := make([]int64, 2)
+	count := make([]int64, 2)
+	for k := 0; k < 30; k++ {
+		split := c.Split()
+		busy[0] += readLatency // each fetch records its full serial latency
+		busy[1] += int64(computeWork / float64(split[1]))
+		count[0]++
+		count[1]++
+		c.Observe(busy, count)
+	}
+	got := c.Split()
+	want := Balance([]float64{readLatency, computeWork}, 8, []int{32, 0})
+	if got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("converged split %v, want the joint optimum %v", got, want)
+	}
+	if got[0] <= got[1] {
+		t.Errorf("I/O-dominant load must trade compute workers for prefetch depth, got %v", got)
+	}
+	if eff := c.Efficiency(); eff[0] != 1 {
+		t.Errorf("serial stage efficiency pinned at 1, got %v", eff)
+	}
+}
+
+// TestControllerDrainedSerialStage: a serial stage whose counter stops
+// advancing (source drained) is measured as zero work rather than starving
+// the window — the compute stages can still be rebalanced.
+func TestControllerDrainedSerialStage(t *testing.T) {
+	stages := []Stage{{Name: "src read", Serial: true}, {Name: "a"}, {Name: "b"}}
+	c, err := NewController(Config{Interval: 2, Warmup: 2, Hysteresis: -1}, stages, []int{4, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := make([]int64, 3)
+	count := make([]int64, 3)
+	for k := 0; k < 12; k++ {
+		split := c.Split()
+		// The read counter never advances: drained.
+		busy[1] += int64(30e6 / float64(split[1]))
+		busy[2] += int64(1e6 / float64(split[2]))
+		count[1]++
+		count[2]++
+		c.Observe(busy, count)
+	}
+	got := c.Split()
+	if got[0] != 1 {
+		t.Errorf("drained serial stage should fall to its mandatory worker, got %v", got)
+	}
+	if got[1] <= got[2] {
+		t.Errorf("loaded compute stage should own the reclaimed budget, got %v", got)
+	}
+	for _, d := range c.Trace() {
+		if d.Reason == ReasonStarved {
+			t.Errorf("drained serial stage must not starve the window: %+v", d)
+		}
+	}
+}
+
+// simulateEff drives the controller against stages with true per-worker
+// efficiencies: stage i's per-CPI busy time is work[i]/rate(eff[i], w).
+func simulateEff(t *testing.T, c *Controller, work, eff []float64, cpis int) {
+	t.Helper()
+	n := len(work)
+	busy := make([]int64, n)
+	count := make([]int64, n)
+	for k := 0; k < cpis; k++ {
+		split := c.Split()
+		for i := 0; i < n; i++ {
+			busy[i] += int64(work[i] / rate(eff[i], split[i]))
+			count[i]++
+		}
+		c.Observe(busy, count)
+	}
+}
+
+// TestControllerLearnsEfficiency: a stage that scales at 50% per-worker
+// efficiency must be found out once the tuner has observed it at two
+// worker counts, and the learned value must pull the split toward the
+// true joint optimum instead of the perfect-scaling one.
+func TestControllerLearnsEfficiency(t *testing.T) {
+	stages := []Stage{{Name: "memory-bound"}, {Name: "scalable"}}
+	c, err := NewController(Config{Interval: 2, Warmup: 2, Hysteresis: -1}, stages, []int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := []float64{20e6, 5e6}
+	trueEff := []float64{0.5, 1}
+	simulateEff(t, c, work, trueEff, 40)
+	eff := c.Efficiency()
+	if eff[0] > 0.8 {
+		t.Errorf("memory-bound stage's learned efficiency %v never dropped (true 0.5)", eff)
+	}
+	if eff[1] < 0.9 {
+		t.Errorf("scalable stage's learned efficiency %v should stay near 1", eff)
+	}
+	for _, d := range c.Trace() {
+		if len(d.Efficiency) == 0 && d.Reason != ReasonWarmup {
+			t.Errorf("measured decision at CPI %d carries no efficiency snapshot", d.CPI)
+		}
+	}
+}
+
+// TestControllerJitterWithinHysteresisNoChurn: once converged, random
+// measurement jitter smaller than the hysteresis margin must never flip
+// the split back and forth. Seeded, so the test is deterministic.
+func TestControllerJitterWithinHysteresisNoChurn(t *testing.T) {
+	stages := []Stage{{Name: "dop"}, {Name: "we"}, {Name: "wh"}, {Name: "bfe"}, {Name: "bfh"}, {Name: "pc"}, {Name: "cfar"}}
+	c, err := NewController(Config{Interval: 4, Hysteresis: 0.1}, stages, EvenSplit(14, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := []float64{4e6, 2e6, 20e6, 2e6, 2e6, 4e6, 4e6}
+	n := len(work)
+	busy := make([]int64, n)
+	count := make([]int64, n)
+	rng := rand.New(rand.NewSource(7))
+	observe := func(cpis int, jitter float64) {
+		for k := 0; k < cpis; k++ {
+			split := c.Split()
+			for i := 0; i < n; i++ {
+				scale := 1 + jitter*(2*rng.Float64()-1)
+				busy[i] += int64(work[i] / float64(split[i]) * scale)
+				count[i]++
+			}
+			c.Observe(busy, count)
+		}
+	}
+	observe(60, 0) // converge on clean measurements
+	converged := c.Split()
+	before := len(c.Trace())
+	observe(60, 0.03) // ±3% noise, well inside the 10% hysteresis margin
+	for _, d := range c.Trace()[before:] {
+		if d.Applied {
+			t.Fatalf("jitter within hysteresis bounds caused churn at CPI %d: %v -> %v", d.CPI, d.Old, d.New)
+		}
+	}
+	got := c.Split()
+	for i := range got {
+		if got[i] != converged[i] {
+			t.Fatalf("split drifted under bounded jitter: %v -> %v", converged, got)
+		}
 	}
 }

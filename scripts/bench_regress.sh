@@ -1,23 +1,30 @@
 #!/bin/sh
-# Non-blocking benchmark regression check: rerun the auto-tuner sweep,
-# diff its steady throughput against the committed baselines, and (under
-# GitHub Actions) append the markdown table to the job summary.
+# Benchmark regression check: rerun the auto-tuner sweep (median of three
+# runs), diff its steady throughput against the committed baselines, and
+# (under GitHub Actions) append the markdown table to the job summary.
 #
-# Exit status is always 0 for timing differences — shared runners are too
-# noisy to gate on — and non-zero only if the benchmarks fail to run.
+# The embedded-I/O scenarios (hardweights, pccfar) are gated: their
+# injected sleep-based loads make them host-independent, so a drop of more
+# than 25% steady throughput against the committed baseline is a real
+# regression and fails the check (exit 3). The separate-I/O slowstore
+# scenario stays annotate-only — its numbers ride on the host's disk and
+# timer behaviour.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=$(mktemp -t bench5.XXXXXX.json)
+out=$(mktemp -t bench6.XXXXXX.json)
 trap 'rm -f "$out"' EXIT
 
-go run ./cmd/benchjson -bench 'BenchmarkAutoTune' -benchtime 1x -o "$out"
+go run ./cmd/benchjson -bench 'BenchmarkAutoTune' -benchtime 1x -repeat 3 -o "$out"
 
+status=0
 table=$(go run ./cmd/benchdiff -new "$out" \
-	-base BENCH_5.json -base BENCH_3.json -base BENCH_4.json)
+	-base BENCH_6.json -base BENCH_3.json -base BENCH_4.json \
+	-gate 'BenchmarkAutoTune/(hardweights|pccfar)/' -maxloss 25) || status=$?
 
 printf '%s\n' "$table"
 if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
 	printf '%s\n' "$table" >>"$GITHUB_STEP_SUMMARY"
 fi
+exit "$status"
