@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench benchjson bench5 bench6 benchregress smoke
+.PHONY: all build vet test race check bench benchjson bench5 bench6 bench7 benchregress smoke
 
 all: check
 
@@ -45,6 +45,14 @@ bench5:
 # Median of three runs; BENCH_5.json rides along as the before section.
 bench6:
 	$(GO) run ./cmd/benchjson -bench 'BenchmarkAutoTune' -benchtime 1x -repeat 3 -before BENCH_5.json -o BENCH_6.json
+
+# Refresh the committed streaming-ingest record: framed vs streamed
+# submission over loopback TCP at a fixed CPI count, plus the
+# slow-producer autotune scenario over synchronous in-process pipes
+# (cold-start vs converged arrival rate, warmup-x is the tuner's gain).
+# Median of three runs.
+bench7:
+	$(GO) run ./cmd/benchjson -pkg ./internal/serve -bench 'BenchmarkServeFramedLoopback|BenchmarkServeStreamLoopback|BenchmarkServeStreamAutotune' -benchtime 1x -repeat 3 -o BENCH_7.json
 
 # Rerun the sweep and diff its steady throughput against the committed
 # baselines. The embedded-I/O scenarios are gated (>25% loss fails); the

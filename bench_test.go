@@ -750,7 +750,7 @@ func BenchmarkAutoTune(b *testing.B) {
 					AutoTune:      v.autotune,
 					Buffer:        2,
 				}
-				var src pipexec.AsyncSource = pipexec.ScenarioSource(s)
+				var src pipexec.CubeSource = pipexec.ScenarioSource(s)
 				if sc.slow {
 					root := b.TempDir()
 					fs, err := pfs.CreateReal(root, 4, 4096, true)

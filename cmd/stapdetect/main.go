@@ -54,6 +54,7 @@ func main() {
 		faults   = flag.String("faults", "", `inject faults into the striped reads, e.g. "fail=0.05,corrupt=0.01,seed=42" (requires -data)`)
 		degrade  = flag.String("degrade", "failfast", "degradation policy once retries are exhausted: failfast | skip | lastgood")
 		retries  = flag.Int("retries", 3, "read attempts per CPI before the degradation policy applies")
+		stream   = flag.Bool("stream", false, "feed the pipeline through the streaming CubeSource (pooled slabs, credit-windowed producer) instead of per-CPI generation")
 		rdAhead  = flag.Int("readahead", 1, "readahead depth: striped reads kept in flight beyond the CPI being consumed")
 		decodeW  = flag.Int("decodeworkers", 1, "goroutines sharding each cube's checksum verify and decode")
 		maxRA    = flag.Int("maxreadahead", 0, "cap on autotuned readahead depth (0 = default 32)")
@@ -144,7 +145,7 @@ func main() {
 		fatal(fmt.Errorf("-tunetrace needs -autotune"))
 	}
 
-	var src pipexec.AsyncSource
+	var src pipexec.CubeSource
 	if *data != "" {
 		fs, err := pfs.CreateReal(*data, *dirs, *unit, true)
 		if err != nil {
@@ -169,8 +170,20 @@ func main() {
 		if *faults != "" {
 			fatal(fmt.Errorf("-faults injects into the striped file system and needs -data"))
 		}
-		src = pipexec.ScenarioSource(sc)
-		fmt.Printf("generating %v CPIs in memory\n", sc.Dims)
+		if *stream {
+			// The streaming frontend: a credit-windowed producer publishes
+			// into pooled slabs, the same source the detection service feeds
+			// from the network. The window tracks the (possibly autotuned)
+			// readahead depth so the producer stays ahead of the pipeline.
+			window := cfg.ReadAhead + 1
+			gen := pipexec.NewGeneratorSource(sc.Dims, window, sc.Generate)
+			defer gen.Close()
+			src = gen
+			fmt.Printf("streaming %v CPIs through pooled slabs (producer window %d)\n", sc.Dims, window)
+		} else {
+			src = pipexec.ScenarioSource(sc)
+			fmt.Printf("generating %v CPIs in memory\n", sc.Dims)
+		}
 	}
 
 	res, err := pipexec.Run(context.Background(), cfg, src, *cpis)

@@ -6,6 +6,8 @@
 //	staploadgen -addr 127.0.0.1:7420 -n 500
 //	staploadgen -addr 127.0.0.1:7420 -n 500 -window 4 -json BENCH_4.json
 //	staploadgen -addr 127.0.0.1:7420 -faults corrupt=0.1,seed=7
+//	staploadgen -addr 127.0.0.1:7420 -stream -chunkpace 200us
+//	staploadgen -addr 127.0.0.1:7420 -arrivals poisson -rate 400 -n 2000
 //	staploadgen -addr host1:7420,host2:7420,host3:7420 -n 1000
 //
 // With one -addr the generator drives a single serve.Client directly.
@@ -20,7 +22,17 @@
 // is far slower than the pipeline) and replays them round-robin, restamping
 // each submission's sequence number. With -faults it corrupts payload
 // chunks on the wire, exercising the server's chunk re-request repair; a
-// repaired CPI still counts as delivered, not dropped.
+// repaired CPI still counts as delivered, not dropped. With -stream the
+// cubes cross the wire chunk-by-chunk (no file image server-side);
+// -chunkpace additionally throttles the chunk stream to model a slow
+// front-end producer.
+//
+// The default arrival process is closed-loop: the next submit waits for a
+// free window slot, so offered load tracks service rate. -arrivals poisson
+// switches to an open-loop process: submissions fire on a pre-drawn,
+// seeded exponential schedule at -rate CPIs/s regardless of completions
+// (still bounded by the admission window — when the service falls behind,
+// the generator blocks and the latency percentiles show the queueing).
 //
 // Exit status is non-zero if any CPI was dropped (rejected or unanswered).
 // In fleet mode, -tolerate downgrades typed per-CPI failures (e.g. a CPI
@@ -33,6 +45,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -57,6 +70,11 @@ func main() {
 		templates = flag.Int("templates", 8, "distinct pre-encoded CPIs replayed round-robin")
 		chunk     = flag.Int("chunk", 4096, "cube chunk size in bytes (multiple of 8)")
 		faultSpec = flag.String("faults", "", "wire fault spec, e.g. corrupt=0.1,seed=7 (empty = clean)")
+		stream    = flag.Bool("stream", false, "chunk-streamed submits: cubes cross the wire chunk-by-chunk and decode server-side without a file image")
+		chunkPace = flag.Duration("chunkpace", 0, "minimum delay between streamed chunks, modelling a slow producer (requires -stream)")
+		arrivals  = flag.String("arrivals", "closed", "arrival process: closed (next submit waits for a window slot) | poisson (open-loop exponential inter-arrivals at -rate)")
+		rate      = flag.Float64("rate", 0, "offered arrival rate in CPIs/s for -arrivals poisson")
+		seed      = flag.Int64("seed", 1, "arrival-process RNG seed")
 		jsonOut   = flag.String("json", "", "append the run to this JSON report file")
 		phaseK    = flag.Int("phasek", 0, "per-phase window: also report steady throughput over the first K and last K results (0 = n/4, min 2) — shows tuner convergence, not just the average")
 		pace      = flag.Duration("pace", 0, "minimum delay between submissions (stretches the run so chaos events land mid-load)")
@@ -67,6 +85,25 @@ func main() {
 		httpAddr  = flag.String("http", "", "serve the fleet client's /healthz and /stats on this HTTP address during the run (fleet mode; empty disables)")
 	)
 	flag.Parse()
+
+	switch *arrivals {
+	case "closed":
+		if *rate != 0 {
+			fatal(fmt.Errorf("-rate requires -arrivals poisson"))
+		}
+	case "poisson":
+		if *rate <= 0 {
+			fatal(fmt.Errorf("-arrivals poisson requires -rate > 0"))
+		}
+		if *pace > 0 {
+			fatal(fmt.Errorf("-pace and -arrivals poisson both schedule submissions; pick one"))
+		}
+	default:
+		fatal(fmt.Errorf("unknown -arrivals %q (want closed or poisson)", *arrivals))
+	}
+	if *chunkPace > 0 && !*stream {
+		fatal(fmt.Errorf("-chunkpace requires -stream"))
+	}
 
 	s, err := scenarioByName(*scenario)
 	if err != nil {
@@ -94,11 +131,16 @@ func main() {
 		fatal(fmt.Errorf("-health lists %d addresses for %d servers", len(healths), len(addrs)))
 	}
 
+	opts := genOptions{
+		n: *n, window: *window, phaseK: *phaseK, pace: *pace,
+		arrivals: *arrivals, rate: *rate, seed: *seed,
+		stream: *stream, chunkPace: *chunkPace,
+	}
 	var run *Run
 	if len(addrs) == 1 && len(healths) == 0 {
-		run, err = driveDirect(addrs[0], s, plan, frames, *n, *window, *phaseK, *pace)
+		run, err = driveDirect(addrs[0], s, plan, frames, opts)
 	} else {
-		run, err = driveFleetMode(addrs, healths, s, plan, frames, *n, *window, *phaseK, *pace,
+		run, err = driveFleetMode(addrs, healths, s, plan, frames, opts,
 			*deadline, *retries, *cooldown, *httpAddr)
 	}
 	if err != nil {
@@ -108,11 +150,19 @@ func main() {
 	run.Scenario = *scenario
 	run.ChunkSize = *chunk
 	run.Faults = *faultSpec
+	run.Streaming = *stream
+	if *arrivals == "poisson" {
+		run.Arrivals = *arrivals
+		run.OfferedRate = *rate
+	}
 	run.Timestamp = time.Now().UTC().Format(time.RFC3339)
 
-	fmt.Printf("submitted %d CPIs in %.2fs: %.0f CPIs/s, latency p50 %.3fms p90 %.3fms p99 %.3fms max %.3fms\n",
+	fmt.Printf("submitted %d CPIs in %.2fs: %.0f CPIs/s, latency p50 %.3fms p95 %.3fms p99 %.3fms max %.3fms\n",
 		run.CPIs, run.WallSeconds, run.Throughput,
-		run.LatencyMs["p50"], run.LatencyMs["p90"], run.LatencyMs["p99"], run.LatencyMs["max"])
+		run.LatencyMs["p50"], run.LatencyMs["p95"], run.LatencyMs["p99"], run.LatencyMs["max"])
+	if run.Arrivals != "" {
+		fmt.Printf("arrivals: poisson, offered %.0f CPIs/s, delivered %.0f\n", run.OfferedRate, run.Steady)
+	}
 	if run.PhaseK > 0 {
 		fmt.Printf("phases (K=%d): first-K %.0f CPIs/s, last-K %.0f CPIs/s (steady %.0f)\n",
 			run.PhaseK, run.SteadyFirst, run.SteadyLast, run.Steady)
@@ -169,6 +219,12 @@ type Run struct {
 	Window      int     `json:"window"`
 	ChunkSize   int     `json:"chunk_size"`
 	Faults      string  `json:"faults,omitempty"`
+	Streaming   bool    `json:"streaming,omitempty"`
+	// Arrivals/OfferedRate record an open-loop run: submissions fired on a
+	// seeded exponential schedule at OfferedRate CPIs/s rather than waiting
+	// for completions.
+	Arrivals    string  `json:"arrivals,omitempty"`
+	OfferedRate float64 `json:"offered_rate_cpi_per_s,omitempty"`
 	WallSeconds float64 `json:"wall_seconds"`
 	Throughput  float64 `json:"throughput_cpi_per_s"`
 	// Steady is the BENCH_3-comparable steady-state rate: results-per-second
@@ -209,16 +265,49 @@ type Run struct {
 	PerServerLatencyMs map[string]map[string]float64 `json:"per_server_latency_ms,omitempty"`
 }
 
-// driveDirect replays the frames closed-loop against one server over a
-// plain serve.Client — the original BENCH_4-comparable path.
-func driveDirect(addr string, s *radar.Scenario, plan *pfs.FaultPlan, frames [][]byte, n, window, phaseK int, pace time.Duration) (*Run, error) {
-	cl, err := serve.Dial(addr, serve.Options{Dims: s.Dims, Faults: plan, ResultBuffer: 256})
+// genOptions is the arrival/transport shape of a run, shared by the direct
+// and fleet drivers.
+type genOptions struct {
+	n, window, phaseK int
+	pace              time.Duration
+	arrivals          string  // "closed" | "poisson"
+	rate              float64 // offered CPIs/s for poisson
+	seed              int64
+	stream            bool
+	chunkPace         time.Duration
+}
+
+// schedule pre-draws the open-loop submit offsets, or nil for the closed
+// loop. Drawing the whole schedule up front keeps the arrival process
+// independent of service jitter (and reproducible under -seed).
+func (o genOptions) schedule() []time.Duration {
+	if o.arrivals != "poisson" {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(o.seed))
+	out := make([]time.Duration, o.n)
+	var t float64
+	for i := range out {
+		t += rng.ExpFloat64() / o.rate
+		out[i] = time.Duration(t * float64(time.Second))
+	}
+	return out
+}
+
+// driveDirect replays the frames against one server over a plain
+// serve.Client — the original BENCH_4-comparable path.
+func driveDirect(addr string, s *radar.Scenario, plan *pfs.FaultPlan, frames [][]byte, opts genOptions) (*Run, error) {
+	n := opts.n
+	cl, err := serve.Dial(addr, serve.Options{
+		Dims: s.Dims, Faults: plan, ResultBuffer: 256,
+		Streaming: opts.stream, ChunkPace: opts.chunkPace,
+	})
 	if err != nil {
 		return nil, err
 	}
 	defer cl.Close()
 
-	w := window
+	w := opts.window
 	if w < 1 || w > cl.MaxInFlight() {
 		w = cl.MaxInFlight()
 	}
@@ -247,6 +336,7 @@ func driveDirect(addr string, s *radar.Scenario, plan *pfs.FaultPlan, frames [][
 		}
 	}()
 
+	sched := opts.schedule()
 	start := time.Now()
 	for seq := 0; seq < n; seq++ {
 		// The submitted buffer must stay untouched until its result is in,
@@ -256,12 +346,17 @@ func driveDirect(addr string, s *radar.Scenario, plan *pfs.FaultPlan, frames [][
 		if err := cube.PatchSeq(frame, uint64(seq)); err != nil {
 			return nil, err
 		}
+		if sched != nil {
+			if d := time.Until(start.Add(sched[seq])); d > 0 {
+				time.Sleep(d)
+			}
+		}
 		sem <- struct{}{}
 		if _, err := cl.Submit(frame); err != nil {
 			return nil, fmt.Errorf("submit CPI %d: %w", seq, err)
 		}
-		if pace > 0 {
-			time.Sleep(pace)
+		if opts.pace > 0 {
+			time.Sleep(opts.pace)
 		}
 	}
 	<-collected
@@ -277,7 +372,7 @@ func driveDirect(addr string, s *radar.Scenario, plan *pfs.FaultPlan, frames [][
 		Dropped:     dropped,
 		Answered:    n,
 	}
-	fillArrivalStats(run, arrivals, phaseK)
+	fillArrivalStats(run, arrivals, opts.phaseK)
 	run.RepairReqs, run.ChunkResends, run.Injected = cl.RepairStats()
 	run.Repaired = cl.RepairedFrames()
 	return run, nil
@@ -287,7 +382,8 @@ func driveDirect(addr string, s *radar.Scenario, plan *pfs.FaultPlan, frames [][
 // spanning several servers, gathering per-server latency splits and the
 // fleet's failover/breaker counters.
 func driveFleetMode(addrs, healths []string, s *radar.Scenario, plan *pfs.FaultPlan, frames [][]byte,
-	n, window, phaseK int, pace, deadline time.Duration, retries int, cooldown time.Duration, httpAddr string) (*Run, error) {
+	opts genOptions, deadline time.Duration, retries int, cooldown time.Duration, httpAddr string) (*Run, error) {
+	n := opts.n
 	specs := make([]fleet.ServerSpec, len(addrs))
 	for i, a := range addrs {
 		specs[i] = fleet.ServerSpec{Addr: a}
@@ -296,9 +392,12 @@ func driveFleetMode(addrs, healths []string, s *radar.Scenario, plan *pfs.FaultP
 		}
 	}
 	fc, err := fleet.New(fleet.Options{
-		Dims:        s.Dims,
-		Servers:     specs,
-		Dial:        serve.Options{Faults: plan, ResultBuffer: 256},
+		Dims:    s.Dims,
+		Servers: specs,
+		Dial: serve.Options{
+			Faults: plan, ResultBuffer: 256,
+			Streaming: opts.stream, ChunkPace: opts.chunkPace,
+		},
 		MaxAttempts: retries,
 		CPIDeadline: deadline,
 		Breaker:     fleet.BreakerConfig{Cooldown: cooldown},
@@ -315,7 +414,7 @@ func driveFleetMode(addrs, healths []string, s *radar.Scenario, plan *pfs.FaultP
 		go http.ListenAndServe(httpAddr, fc.StatsHandler())
 	}
 
-	w := window
+	w := opts.window
 	if w < 1 || w > capacity {
 		w = capacity
 	}
@@ -347,6 +446,7 @@ func driveFleetMode(addrs, healths []string, s *radar.Scenario, plan *pfs.FaultP
 		}
 	}()
 
+	sched := opts.schedule()
 	start := time.Now()
 	submitErr := make(chan error, 1)
 	go func() {
@@ -356,13 +456,18 @@ func driveFleetMode(addrs, healths []string, s *radar.Scenario, plan *pfs.FaultP
 				submitErr <- err
 				return
 			}
+			if sched != nil {
+				if d := time.Until(start.Add(sched[seq])); d > 0 {
+					time.Sleep(d)
+				}
+			}
 			sem <- struct{}{}
 			if _, err := fc.Submit(frame); err != nil {
 				submitErr <- fmt.Errorf("submit CPI %d: %w", seq, err)
 				return
 			}
-			if pace > 0 {
-				time.Sleep(pace)
+			if opts.pace > 0 {
+				time.Sleep(opts.pace)
 			}
 		}
 	}()
@@ -371,7 +476,10 @@ func driveFleetMode(addrs, healths []string, s *radar.Scenario, plan *pfs.FaultP
 	// deadline; the watchdog is the backstop that turns a contract
 	// violation (a hang) into a reported unanswered count, not a stuck
 	// process.
-	watchdog := time.Duration(n)*pace + deadline + 30*time.Second
+	watchdog := time.Duration(n)*opts.pace + deadline + 30*time.Second
+	if sched != nil {
+		watchdog += sched[len(sched)-1]
+	}
 	timedOut := false
 	select {
 	case <-collected:
@@ -396,7 +504,7 @@ func driveFleetMode(addrs, healths []string, s *radar.Scenario, plan *pfs.FaultP
 		// The collector goroutine has exited; its slices are safe to read.
 		run.LatencyMs = percentilesMs(latencies)
 		run.ServerMs = percentilesMs(serverLat)
-		fillArrivalStats(run, arrivals, phaseK)
+		fillArrivalStats(run, arrivals, opts.phaseK)
 		run.PerServerLatencyMs = make(map[string]map[string]float64, len(perServer))
 		for a, d := range perServer {
 			run.PerServerLatencyMs[a] = percentilesMs(d)
@@ -464,7 +572,7 @@ func arrivalRate(a []time.Time) float64 {
 
 // percentilesMs summarises latencies in milliseconds.
 func percentilesMs(d []time.Duration) map[string]float64 {
-	out := map[string]float64{"p50": 0, "p90": 0, "p99": 0, "max": 0}
+	out := map[string]float64{"p50": 0, "p90": 0, "p95": 0, "p99": 0, "max": 0}
 	if len(d) == 0 {
 		return out
 	}
@@ -475,6 +583,7 @@ func percentilesMs(d []time.Duration) map[string]float64 {
 	}
 	out["p50"] = at(0.50)
 	out["p90"] = at(0.90)
+	out["p95"] = at(0.95)
 	out["p99"] = at(0.99)
 	out["max"] = float64(d[len(d)-1]) / float64(time.Millisecond)
 	return out

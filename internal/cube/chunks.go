@@ -3,6 +3,8 @@ package cube
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
+	"math"
 )
 
 // Format version 3: chunked checksums.
@@ -186,4 +188,63 @@ func DecodeChunk(cb *Cube, h *Header, payload []byte, i int) {
 	}
 	lo, hi := h.ChunkSpan(i)
 	DecodeSampleRange(cb, payload, int(lo/8), int(hi/8))
+}
+
+// VerifyChunkData checks a standalone chunk — the bytes of payload chunk i
+// on their own, as they arrive from a stream — against the header's chunk
+// table. The data must be exactly the chunk's span (short data is
+// ErrTruncated, long data ErrCorrupt: a framing error either way).
+func VerifyChunkData(h *Header, i int, data []byte) error {
+	if i < 0 || i >= h.Chunks() {
+		return fmt.Errorf("%w: chunk index %d out of range [0,%d)", ErrCorrupt, i, h.Chunks())
+	}
+	lo, hi := h.ChunkSpan(i)
+	if int64(len(data)) < hi-lo {
+		return fmt.Errorf("%w: chunk %d is %d bytes, want %d", ErrTruncated, i, len(data), hi-lo)
+	}
+	if int64(len(data)) > hi-lo {
+		return fmt.Errorf("%w: chunk %d is %d bytes, want %d", ErrCorrupt, i, len(data), hi-lo)
+	}
+	if got := Checksum(data); got != h.ChunkCRCs[i] {
+		return fmt.Errorf("%w: chunk %d CRC %08x, table says %08x (CPI %d)", ErrCorrupt, i, got, h.ChunkCRCs[i], h.Seq)
+	}
+	return nil
+}
+
+// DecodeChunkData parses a standalone chunk — data holding exactly the
+// bytes of payload chunk i — into the chunk's sample range of cb. Unlike
+// DecodeChunk, the data is the chunk alone, not the whole payload, so a
+// streaming consumer can decode straight out of a transport read buffer
+// without ever assembling the full file image. The caller is expected to
+// have verified the chunk (VerifyChunkData) first.
+func DecodeChunkData(cb *Cube, h *Header, i int, data []byte) {
+	lo, _ := h.ChunkSpan(i)
+	base := int(lo / 8)
+	n := len(data) / 8
+	for s := 0; s < n; s++ {
+		cb.Data[base+s] = complex(
+			math.Float32frombits(binary.LittleEndian.Uint32(data[s*8:])),
+			math.Float32frombits(binary.LittleEndian.Uint32(data[s*8+4:])))
+	}
+}
+
+// DecodeChunkFrom reads payload chunk i straight from r, verifies it, and
+// decodes it into cb. scratch is reused when large enough (grown
+// otherwise) and returned so callers can amortise it across chunks. On a
+// CRC mismatch the chunk's bytes have still been consumed from r.
+func DecodeChunkFrom(r io.Reader, cb *Cube, h *Header, i int, scratch []byte) ([]byte, error) {
+	lo, hi := h.ChunkSpan(i)
+	n := int(hi - lo)
+	if cap(scratch) < n {
+		scratch = make([]byte, n)
+	}
+	scratch = scratch[:n]
+	if _, err := io.ReadFull(r, scratch); err != nil {
+		return scratch, fmt.Errorf("%w: chunk %d: %v", ErrTruncated, i, err)
+	}
+	if err := VerifyChunkData(h, i, scratch); err != nil {
+		return scratch, err
+	}
+	DecodeChunkData(cb, h, i, scratch)
+	return scratch, nil
 }

@@ -82,17 +82,10 @@ func (pl *pipePools) putBeam(bc *stap.BeamCube) {
 	pl.beam.Put(bc)
 }
 
-// CubeRecycler is implemented by sources that reuse decoded cube payloads.
-// The pipeline hands each input cube back as soon as Doppler filtering has
-// consumed it; a source that does not implement the interface simply leaves
-// the cubes to the garbage collector.
-type CubeRecycler interface {
-	Recycle(cb *cube.Cube)
-}
-
-// recycleCube returns an input cube to its source, if the source recycles.
+// recycleCube hands an input cube back to its source as soon as Doppler
+// filtering has consumed it. Recycle is part of the CubeSource contract;
+// pool-less sources implement it as a no-op and leave the cube to the
+// garbage collector.
 func (r *runner) recycleCube(cb *cube.Cube) {
-	if rc, ok := r.src.(CubeRecycler); ok {
-		rc.Recycle(cb)
-	}
+	r.src.Recycle(cb)
 }

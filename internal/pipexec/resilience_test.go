@@ -108,7 +108,7 @@ func TestFaultedRunSkipCPIMatchesCleanRun(t *testing.T) {
 
 // stuckSource wraps a source and makes one CPI permanently unreadable.
 type stuckSource struct {
-	inner AsyncSource
+	inner CubeSource
 	seq   uint64
 }
 
@@ -122,6 +122,8 @@ func (s *stuckSource) Begin(seq uint64) PendingCube {
 	}
 	return s.inner.Begin(seq)
 }
+
+func (s *stuckSource) Recycle(cb *cube.Cube) { s.inner.Recycle(cb) }
 
 func TestSkipCPIDropsStuckRead(t *testing.T) {
 	s := radar.SmallTestScenario()

@@ -221,7 +221,7 @@ type beamMsg struct {
 
 // Run pushes n CPIs from src through the pipeline and collects the
 // detection reports.
-func Run(ctx context.Context, cfg Config, src AsyncSource, n int) (*Result, error) {
+func Run(ctx context.Context, cfg Config, src CubeSource, n int) (*Result, error) {
 	cfg, err := withAutoTuneDefaults(cfg, src)
 	if err != nil {
 		return nil, err
@@ -264,7 +264,7 @@ func Run(ctx context.Context, cfg Config, src AsyncSource, n int) (*Result, erro
 
 // newRunner builds the per-run state shared by Run and Stream: resolved
 // bin sets plus the buffer pools that recycle the per-CPI intermediates.
-func newRunner(cfg Config, src AsyncSource, n int) *runner {
+func newRunner(cfg Config, src CubeSource, n int) *runner {
 	r := &runner{cfg: cfg, n: n, src: src}
 	r.p = &r.cfg.Params
 	r.easyBins = r.p.EasyBins()
@@ -457,7 +457,7 @@ type runner struct {
 	cfg      Config
 	p        *stap.Params
 	n        int
-	src      AsyncSource
+	src      CubeSource
 	easyBins []int
 	hardBins []int
 	pools    *pipePools

@@ -31,6 +31,23 @@ type AsyncSource interface {
 	Begin(seq uint64) PendingCube
 }
 
+// CubeSource is the full contract the pipeline consumes cubes through: the
+// asynchronous begin/wait pull protocol plus cube recycling, so any source
+// — striped files, in-memory generators, or a network stream — pools its
+// decoded slabs and steady-state ingest allocates nothing. The pipeline
+// hands each cube back via Recycle once Doppler filtering has consumed it;
+// sources without a pool implement it as a no-op. Optional refinements a
+// source may additionally implement: RetryableSource (fault re-draws per
+// attempt), ReadyPending handles (readahead-occupancy accounting),
+// DecodeParallelSource + clockedSource (the joint I/O+compute autotune
+// solve), and IOStatSource (repair counters in RunStats).
+type CubeSource interface {
+	AsyncSource
+	// Recycle returns a cube obtained from this source once the pipeline
+	// is done with it. Must tolerate nil and foreign-geometry cubes.
+	Recycle(cb *cube.Cube)
+}
+
 // RetryableSource is an AsyncSource whose fetches carry a retry-attempt
 // number, so a deterministic fault plan re-draws on each retry instead of
 // replaying the same injected fault forever.
@@ -186,7 +203,7 @@ func (s *FileSource) getCube() *cube.Cube {
 	return cube.New(s.Dims)
 }
 
-// Recycle implements CubeRecycler: the pipeline returns a decoded cube once
+// Recycle implements CubeSource: the pipeline returns a decoded cube once
 // Doppler filtering has consumed it. Cubes of foreign geometry are refused
 // (decoding fully overwrites a recycled cube's samples, so matching dims
 // are the only requirement).
@@ -457,6 +474,20 @@ func (s *FileSource) decodeChunked(name string, seq uint64, tag int, h *cube.Hea
 type MemSource struct {
 	Generate func(seq uint64) (*cube.Cube, error)
 }
+
+// Recycle implements CubeSource as a no-op: generated cubes are freshly
+// allocated per CPI and have no pool to return to.
+func (s *MemSource) Recycle(cb *cube.Cube) {}
+
+// Compile-time interface checks for the built-in sources.
+var (
+	_ CubeSource           = (*FileSource)(nil)
+	_ RetryableSource      = (*FileSource)(nil)
+	_ IOStatSource         = (*FileSource)(nil)
+	_ DecodeParallelSource = (*FileSource)(nil)
+	_ clockedSource        = (*FileSource)(nil)
+	_ CubeSource           = (*MemSource)(nil)
+)
 
 type memPending struct {
 	cb  *cube.Cube

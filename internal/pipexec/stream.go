@@ -30,7 +30,7 @@ type StreamHandle struct {
 
 // Stream starts the pipeline against src and returns immediately. The
 // caller must drain Results and call Stop exactly once when finished.
-func Stream(ctx context.Context, cfg Config, src AsyncSource) (*StreamHandle, error) {
+func Stream(ctx context.Context, cfg Config, src CubeSource) (*StreamHandle, error) {
 	cfg, err := withAutoTuneDefaults(cfg, src)
 	if err != nil {
 		return nil, err

@@ -74,7 +74,7 @@ const maxDecodeWorkers = 16
 // ioTunable reports whether src supports the joint I/O + compute solve:
 // it must expose frontend stage clocks (so the tuner can measure the read
 // and decode paths) and a live-resizable decode pool.
-func ioTunable(src AsyncSource) bool {
+func ioTunable(src CubeSource) bool {
 	_, clocked := src.(clockedSource)
 	_, decodes := src.(DecodeParallelSource)
 	return clocked && decodes
@@ -103,7 +103,7 @@ func autoTuneWorkers(budget int) (core.STAPNodes, error) {
 // configured ReadAhead and DecodeWorkers (at least 1 each) claim their
 // slots and the compute stages split the rest — the tuner then moves
 // budget freely across all nine.
-func withAutoTuneDefaults(cfg Config, src AsyncSource) (Config, error) {
+func withAutoTuneDefaults(cfg Config, src CubeSource) (Config, error) {
 	if cfg.AutoTune == nil || cfg.AutoTune.Budget == 0 {
 		return cfg, nil
 	}

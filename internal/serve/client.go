@@ -70,6 +70,23 @@ type Options struct {
 	// Re-sent chunks re-draw with the repair round as the attempt, exactly
 	// like file-path retries.
 	Faults *pfs.FaultPlan
+	// Streaming sends chunked (v3) submissions as streamed ingest: the
+	// header + chunk table first, then each chunk as its own frame, then
+	// an end marker. The server CRC-checks and decodes every chunk
+	// straight from its connection read buffer into a replica's pooled
+	// cube slab — no whole-cube file image is buffered on either ingest
+	// hop. Flat (v2) frames fall back to the framed submit.
+	Streaming bool
+	// ChunkPace, with Streaming, spaces consecutive chunk frames by this
+	// duration — a synthetic slow producer for benchmarks and tests. 0
+	// sends the whole submission as one vectored write.
+	ChunkPace time.Duration
+	// SendSndBuf caps the connection's kernel send buffer in bytes (0
+	// keeps the OS default). With paced streaming it keeps the producer's
+	// slowness real on the wire: a server applying ingest backpressure
+	// stalls the producer's writes instead of the pace draining unseen
+	// into a deep socket buffer.
+	SendSndBuf int
 }
 
 func (o *Options) resultBuffer() int {
@@ -152,6 +169,23 @@ func Dial(addr string, opt Options) (*Client, error) {
 	c, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
+	}
+	if opt.SendSndBuf > 0 {
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetWriteBuffer(opt.SendSndBuf)
+		}
+	}
+	return DialConn(c, opt)
+}
+
+// DialConn is Dial over an established connection — any net.Conn that
+// honours deadlines works (an in-process net.Pipe half, a TLS-wrapped
+// conn, a test transport). It performs the handshake and takes ownership
+// of the connection, closing it on failure.
+func DialConn(c net.Conn, opt Options) (*Client, error) {
+	if !opt.Dims.Valid() {
+		c.Close()
+		return nil, fmt.Errorf("serve: client options need valid dims, got %v", opt.Dims)
 	}
 	cl := &Client{
 		c:          c,
@@ -239,6 +273,13 @@ func (cl *Client) Submit(frame []byte) (uint64, error) {
 	cl.pending[h.Seq] = sub
 	cl.mu.Unlock()
 
+	if cl.opt.Streaming && h.Chunks() > 0 {
+		if err := cl.submitStream(frame, &h); err != nil {
+			cl.take(h.Seq)
+			return 0, err
+		}
+		return h.Seq, nil
+	}
 	wire := frame
 	if cl.opt.Faults != nil {
 		wire = cl.corruptCopy(frame, &h, 0)
@@ -248,6 +289,73 @@ func (cl *Client) Submit(frame []byte) (uint64, error) {
 		return 0, err
 	}
 	return h.Seq, nil
+}
+
+// submitStream sends one chunked cube as streamed ingest frames. The whole
+// submission goes out under one write-lock hold, so concurrent submitters
+// never interleave a CPI's frames; with no pacing it is a single vectored
+// write (header, every chunk, end marker — zero payload copies).
+func (cl *Client) submitStream(frame []byte, h *cube.Header) error {
+	hdr := frame[:h.PayloadOffset()]
+	payload := frame[h.PayloadOffset():]
+	n := h.Chunks()
+	prefixes := make([]byte, n*chunkPrefixLen)
+	chunkData := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		lo, hi := h.ChunkSpan(i)
+		data := payload[lo:hi]
+		if cl.opt.Faults != nil {
+			data = cl.corruptChunk(data, h, i, 0)
+		}
+		putChunkPrefix(prefixes[i*chunkPrefixLen:(i+1)*chunkPrefixLen], h.Seq, i)
+		chunkData[i] = data
+	}
+	end := encodeSubmitEnd(h.Seq)
+
+	cl.wmu.Lock()
+	defer cl.wmu.Unlock()
+	if cl.closed.Load() {
+		return ErrClosed
+	}
+	if cl.opt.ChunkPace <= 0 {
+		frames := make([]frameSpans, 0, n+2)
+		frames = append(frames, frameSpans{ftype: fSubmitHdr, spans: [][]byte{hdr}})
+		for i := 0; i < n; i++ {
+			frames = append(frames, frameSpans{ftype: fChunk,
+				spans: [][]byte{prefixes[i*chunkPrefixLen : (i+1)*chunkPrefixLen], chunkData[i]}})
+		}
+		frames = append(frames, frameSpans{ftype: fSubmitEnd, spans: [][]byte{end}})
+		cl.c.SetWriteDeadline(time.Now().Add(cl.opt.writeTimeout()))
+		if err := writeFrames(cl.c, frames); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		return nil
+	}
+	// Paced mode: chunk frames go out individually, ChunkPace apart — a
+	// synthetic slow producer whose transfer time the server's per-replica
+	// ingest window can overlap across connections. A repair request
+	// arriving mid-submit waits for the lock, never deadlocks: this send
+	// finishes regardless of the server.
+	writeOne := func(ftype byte, spans ...[]byte) error {
+		cl.c.SetWriteDeadline(time.Now().Add(cl.opt.writeTimeout()))
+		if err := writeFrames(cl.c, []frameSpans{{ftype: ftype, spans: spans}}); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		return nil
+	}
+	if err := writeOne(fSubmitHdr, hdr); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		time.Sleep(cl.opt.ChunkPace)
+		if cl.closed.Load() {
+			return ErrClosed
+		}
+		if err := writeOne(fChunk, prefixes[i*chunkPrefixLen:(i+1)*chunkPrefixLen], chunkData[i]); err != nil {
+			return err
+		}
+	}
+	return writeOne(fSubmitEnd, end)
 }
 
 // write sends one frame under the write lock and deadline.

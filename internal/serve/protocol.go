@@ -54,6 +54,17 @@ const (
 	fRepair    = 7 // client → server: seq, round, re-sent chunk bytes
 	fResult    = 8 // server → client: server latency + encoded reports
 	fGoodbye   = 9 // server → client: draining; stop submitting
+
+	// Streaming ingest (client → server): a chunked cube travels as one
+	// fSubmitHdr carrying only the encoded header + chunk table, then one
+	// fChunk per chunk (16-byte prefix + raw chunk bytes), then fSubmitEnd.
+	// The server decodes each chunk straight from the connection read
+	// buffer into a pooled cube slab — no file image is ever materialised
+	// server-side. Corrupt chunks are repaired through the same
+	// fRepairReq/fRepair exchange as framed submits.
+	fSubmitHdr = 10 // client → server: cube header + chunk table only
+	fChunk     = 11 // client → server: seq, chunk index, raw chunk bytes
+	fSubmitEnd = 12 // client → server: seq; all chunks sent
 )
 
 // Reject codes — the typed reasons a submitted CPI is refused.
@@ -149,6 +160,78 @@ func writeFrame(w io.Writer, ftype byte, payload []byte) error {
 	}
 	_, err := w.Write(payload)
 	return err
+}
+
+// writeFrames writes a batch of frames — each a prelude plus any number of
+// payload spans — as one vectored write on a net.Conn. A full streaming
+// submit (header frame, every chunk frame, end frame) goes out in a single
+// writev with zero payload copies; preludes are built here, payload spans
+// are referenced in place.
+type frameSpans struct {
+	ftype byte
+	spans [][]byte
+}
+
+func writeFrames(w io.Writer, frames []frameSpans) error {
+	bufs := make(net.Buffers, 0, len(frames)*3)
+	pres := make([]byte, len(frames)*framePrelude)
+	for i, f := range frames {
+		n := 0
+		for _, s := range f.spans {
+			n += len(s)
+		}
+		pre := pres[i*framePrelude : (i+1)*framePrelude]
+		putPrelude(pre, f.ftype, n)
+		bufs = append(bufs, pre)
+		for _, s := range f.spans {
+			if len(s) > 0 {
+				bufs = append(bufs, s)
+			}
+		}
+	}
+	if c, ok := w.(net.Conn); ok {
+		_, err := bufs.WriteTo(c)
+		return err
+	}
+	for _, b := range bufs {
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Chunk frame prefix: seq(8) chunk-index(4) reserved(4), followed by the
+// chunk's raw payload bytes.
+const chunkPrefixLen = 16
+
+func putChunkPrefix(buf []byte, seq uint64, idx int) {
+	binary.LittleEndian.PutUint64(buf[0:8], seq)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(idx))
+	binary.LittleEndian.PutUint32(buf[12:16], 0)
+}
+
+func decodeChunkPrefix(buf []byte) (seq uint64, idx int, err error) {
+	if len(buf) < chunkPrefixLen {
+		return 0, 0, fmt.Errorf("serve: chunk frame of %d bytes is shorter than its %d-byte prefix", len(buf), chunkPrefixLen)
+	}
+	return binary.LittleEndian.Uint64(buf[0:8]), int(binary.LittleEndian.Uint32(buf[8:12])), nil
+}
+
+// Submit-end payload: seq(8).
+const submitEndLen = 8
+
+func encodeSubmitEnd(seq uint64) []byte {
+	buf := make([]byte, submitEndLen)
+	binary.LittleEndian.PutUint64(buf, seq)
+	return buf
+}
+
+func decodeSubmitEnd(buf []byte) (uint64, error) {
+	if len(buf) != submitEndLen {
+		return 0, fmt.Errorf("serve: submit-end payload is %d bytes, want %d", len(buf), submitEndLen)
+	}
+	return binary.LittleEndian.Uint64(buf), nil
 }
 
 // readPrelude reads the next frame's prelude, returning its type and

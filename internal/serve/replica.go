@@ -11,137 +11,139 @@ import (
 	"stapio/internal/tune"
 )
 
-// A replica is one long-running pipexec.Stream pipeline fed over a channel
-// source. The server owns N of them; each accepted CPI is dispatched to
-// one replica, which assigns it the replica's next internal sequence
-// number (the pipeline's weight feedback is a per-replica temporal chain,
-// so internal sequencing is per replica, not global), runs it through the
-// real pipeline, and routes the detection reports back to the submitting
+// A replica is one long-running pipexec.Stream pipeline fed through a
+// pipexec.StreamSource. The server owns N of them; each accepted CPI is
+// opened on one replica as a streaming publication — chunks decode straight
+// from the connection read buffer into the source's pooled slab — and the
+// replica assigns it the replica's next internal sequence number (the
+// pipeline's weight feedback is a per-replica temporal chain, so internal
+// sequencing is per replica, not global), runs it through the real
+// pipeline, and routes the detection reports back to the submitting
 // connection.
 
 // job is one accepted CPI travelling through a replica.
 type job struct {
 	conn *serverConn
-	seq  uint64 // the producer's sequence number (unique per connection)
-	cb   *cube.Cube
+	seq  uint64    // the producer's sequence number (unique per connection)
 	t0   time.Time // server receipt time, for the reported latency
 }
 
-// srcItem is one delivery from the dispatcher to the pipeline's read stage.
-type srcItem struct {
-	cb  *cube.Cube
-	err error
+// ingest is one CPI admitted into a replica: a leased gate slot plus the
+// stream publication feeding the pipeline's slab for that internal
+// sequence number. Exactly one of commit/commitPayload/abort must follow.
+type ingest struct {
+	r   *replica
+	pub *pipexec.CubePublisher
+	seq uint64 // internal pipeline sequence number
 }
 
-// chanSource adapts the dispatcher's push model to pipexec's pull-based
-// AsyncSource: the pipeline's read stage Begins internal sequence numbers
-// in order, and deliver hands each the matching cube. A Begin may race
-// ahead of its delivery (readahead) or trail it (a burst of dispatches);
-// both orders rendezvous through the slots/ready maps. Close releases
-// every waiting Begin with ErrClosed so abandoned read waits cannot leak.
-type chanSource struct {
-	mu     sync.Mutex
-	slots  map[uint64]chan srcItem // Begin arrived first; deliver fills
-	ready  map[uint64]srcItem      // deliver arrived first; Begin drains
-	closed bool
-
-	// recycle returns decoded cubes to the server's pool once the pipeline
-	// has consumed them (pipexec hands them back after Doppler filtering).
-	recycle func(*cube.Cube)
-}
-
-func newChanSource(recycle func(*cube.Cube)) *chanSource {
-	return &chanSource{
-		slots:   make(map[uint64]chan srcItem),
-		ready:   make(map[uint64]srcItem),
-		recycle: recycle,
+// commit finishes a chunk-streamed publication (every chunk landed clean)
+// and hands the decoded cube to the pipeline.
+func (in *ingest) commit() error {
+	err := in.pub.Commit()
+	in.r.gate.release()
+	if err != nil {
+		in.r.take(in.seq)
+		return err
 	}
-}
-
-// slotPending implements pipexec.PendingCube over the rendezvous channel.
-type slotPending struct{ ch chan srcItem }
-
-func (p slotPending) Wait() (*cube.Cube, error) {
-	it := <-p.ch
-	return it.cb, it.err
-}
-
-// Ready implements pipexec.ReadyPending: the rendezvous channel is
-// buffered (size 1), so a delivered item is observable without blocking.
-// This feeds the pipeline's source-stall and window-occupancy counters —
-// for a push-fed replica a "stall" means the dispatcher had nothing for
-// us, i.e. the replica is starved rather than I/O-bound.
-func (p slotPending) Ready() bool { return len(p.ch) > 0 }
-
-// Begin implements pipexec.AsyncSource.
-func (s *chanSource) Begin(seq uint64) pipexec.PendingCube {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ch := make(chan srcItem, 1)
-	if it, ok := s.ready[seq]; ok {
-		delete(s.ready, seq)
-		ch <- it
-		return slotPending{ch}
-	}
-	if s.closed {
-		ch <- srcItem{err: ErrClosed}
-		return slotPending{ch}
-	}
-	s.slots[seq] = ch
-	return slotPending{ch}
-}
-
-// deliver hands the cube for internal sequence number seq to the pipeline.
-func (s *chanSource) deliver(seq uint64, cb *cube.Cube) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
-	}
-	if ch, ok := s.slots[seq]; ok {
-		delete(s.slots, seq)
-		ch <- srcItem{cb: cb}
-		return nil
-	}
-	s.ready[seq] = srcItem{cb: cb}
+	in.r.dispatched.Add(1)
 	return nil
 }
 
-// Close fails every outstanding and future Begin. Safe to call after the
-// pipeline has stopped: the buffered rendezvous channels mean the sends
-// never block even if nobody waits anymore.
-func (s *chanSource) Close() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return
+// commitPayload decodes a fully-assembled (already chunk-verified) frame
+// payload into the slab with the source's decode pool and commits it — the
+// framed-submit path through the same publication machinery.
+func (in *ingest) commitPayload(h cube.Header, payload []byte) error {
+	err := in.pub.CommitPayload(h, payload)
+	in.r.gate.release()
+	if err != nil {
+		in.r.take(in.seq)
+		return err
 	}
-	s.closed = true
-	for seq, ch := range s.slots {
-		delete(s.slots, seq)
-		ch <- srcItem{err: ErrClosed}
-	}
-	for seq, it := range s.ready {
-		delete(s.ready, seq)
-		if it.cb != nil && s.recycle != nil {
-			s.recycle(it.cb)
+	in.r.dispatched.Add(1)
+	return nil
+}
+
+// abort cancels the publication (producer died, repair budget exhausted,
+// duplicate sequence). The pipeline sees an errored read for the internal
+// seq and — replicas run DegradeSkipCPI with a single read attempt — drops
+// exactly that CPI and keeps streaming. Returns the registered job so the
+// caller can settle its admission token.
+func (in *ingest) abort(err error) (job, bool) {
+	in.pub.Abort(err)
+	in.r.gate.release()
+	return in.r.take(in.seq)
+}
+
+// ingestGate bounds how many publications a replica holds open at once by
+// the pipeline's LIVE readahead depth — the I/O knob the per-replica
+// auto-tuner moves. Depth 1 serialises uploads into the replica; a tuner
+// that grows the depth lets that many producer transfers overlap, which is
+// exactly the latency-hiding the readahead window models for file sources.
+type ingestGate struct {
+	mu    sync.Mutex
+	used  int
+	depth func() int
+	wake  chan struct{}
+}
+
+func newIngestGate(depth func() int) *ingestGate {
+	return &ingestGate{depth: depth, wake: make(chan struct{}, 1)}
+}
+
+// acquire claims a slot, waiting for a release — and polling, so a tuner
+// growing the depth mid-wait is noticed — up to the timeout or ctx cancel.
+func (g *ingestGate) acquire(ctx context.Context, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		g.mu.Lock()
+		d := g.depth()
+		if d < 1 {
+			d = 1
+		}
+		if g.used < d {
+			g.used++
+			g.mu.Unlock()
+			return true
+		}
+		g.mu.Unlock()
+		if time.Now().After(deadline) {
+			return false
+		}
+		t := time.NewTimer(2 * time.Millisecond)
+		select {
+		case <-g.wake:
+			t.Stop()
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return false
 		}
 	}
 }
 
-// Recycle implements pipexec.CubeRecycler: decoded cubes flow back to the
-// server's pool as soon as Doppler filtering has consumed them.
-func (s *chanSource) Recycle(cb *cube.Cube) {
-	if s.recycle != nil {
-		s.recycle(cb)
+func (g *ingestGate) release() {
+	g.mu.Lock()
+	g.used--
+	g.mu.Unlock()
+	select {
+	case g.wake <- struct{}{}:
+	default:
 	}
 }
 
+// openTimeout bounds how long an open waits for a gate slot before the
+// server answers CodeOverloaded; parked repairs can hold slots across
+// client round trips, so this is minutes of margin, not milliseconds.
+const openTimeout = 5 * time.Second
+
 // replica wraps one streaming pipeline instance.
 type replica struct {
-	id  int
-	src *chanSource
-	h   *pipexec.StreamHandle
+	id   int
+	ctx  context.Context
+	src  *pipexec.StreamSource
+	h    *pipexec.StreamHandle
+	gate *ingestGate
 
 	mu   sync.Mutex
 	next uint64
@@ -157,13 +159,15 @@ type replica struct {
 	done chan struct{}
 }
 
-// startReplica launches the pipeline and its result router.
-func startReplica(ctx context.Context, id int, cfg pipexec.Config, src *chanSource, route func(job, pipexec.CPIResult)) (*replica, error) {
+// startReplica launches the pipeline over a fresh StreamSource and its
+// result router.
+func startReplica(ctx context.Context, id int, cfg pipexec.Config, src *pipexec.StreamSource, route func(job, pipexec.CPIResult)) (*replica, error) {
 	h, err := pipexec.Stream(ctx, cfg, src)
 	if err != nil {
 		return nil, err
 	}
-	r := &replica{id: id, src: src, h: h, jobs: make(map[uint64]job), done: make(chan struct{})}
+	r := &replica{id: id, ctx: ctx, src: src, h: h, jobs: make(map[uint64]job), done: make(chan struct{})}
+	r.gate = newIngestGate(func() int { return h.IOStats().ReadAhead })
 	go func() {
 		defer close(r.done)
 		for res := range h.Results {
@@ -180,20 +184,32 @@ func startReplica(ctx context.Context, id int, cfg pipexec.Config, src *chanSour
 	return r, nil
 }
 
-// submit assigns the job the replica's next internal sequence number and
-// feeds it to the pipeline.
-func (r *replica) submit(j job) error {
+// open admits one CPI: it claims a gate slot, assigns the next internal
+// sequence number, registers the job, and opens the stream publication the
+// connection will feed chunks into. On success exactly one of
+// ingest.commit/commitPayload/abort must follow.
+func (r *replica) open(j job, h cube.Header) (*ingest, error) {
+	if !r.gate.acquire(r.ctx, openTimeout) {
+		return nil, ErrOverloaded
+	}
 	r.mu.Lock()
 	seq := r.next
 	r.next++
 	r.jobs[seq] = j
 	r.mu.Unlock()
-	if err := r.src.deliver(seq, j.cb); err != nil {
-		r.take(seq)
-		return err
+	pub, err := r.src.Publish(seq)
+	if err == nil {
+		err = pub.Announce(h)
+		if err != nil {
+			pub.Abort(err)
+		}
 	}
-	r.dispatched.Add(1)
-	return nil
+	if err != nil {
+		r.take(seq)
+		r.gate.release()
+		return nil, err
+	}
+	return &ingest{r: r, pub: pub, seq: seq}, nil
 }
 
 func (r *replica) take(seq uint64) (job, bool) {
@@ -206,7 +222,7 @@ func (r *replica) take(seq uint64) (job, bool) {
 	return j, ok
 }
 
-// inFlight reports how many dispatched CPIs have not completed yet.
+// inFlight reports how many opened CPIs have not completed yet.
 func (r *replica) inFlight() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -220,7 +236,8 @@ func (r *replica) inFlight() int {
 func (r *replica) stop() (*pipexec.Result, error) {
 	res, err := r.h.Stop()
 	// The pipeline has fully exited; release any read waits it abandoned
-	// so their goroutines unwind (see pipexec waitCube).
+	// so their goroutines unwind (see pipexec waitCube), and recycle
+	// committed-but-unconsumed slabs back to the source pool.
 	r.src.Close()
 	<-r.done
 	r.mu.Lock()
@@ -244,13 +261,32 @@ func replicaConfig(cfg Config) pipexec.Config {
 		Workers:       cfg.Workers,
 		CombinePCCFAR: cfg.CombinePCCFAR,
 		Buffer:        cfg.Buffer,
+		StageLoad:     cfg.StageLoad,
 		// Each replica gets its own controller instance (tune.Controller
 		// is single-run state), so a replica pool converges per replica
 		// against its own measured load.
 		AutoTune: cloneTuneConfig(cfg.AutoTune),
-		// The source is push-fed; depth-1 readahead just keeps one Begin
-		// slot open ahead of the CPI being consumed.
-		ReadAhead: 1,
+		// An aborted publication (producer died mid-cube, repair budget
+		// exhausted) resolves its internal seq with an error; one attempt
+		// plus skip-CPI degradation drops exactly that CPI and keeps the
+		// replica streaming. Clean CPIs never take this path, so
+		// detections stay byte-identical to a file-fed run.
+		Degrade: pipexec.DegradeSkipCPI,
+		Retry:   pipexec.RetryPolicy{MaxAttempts: 1},
+	}
+	if cfg.AutoTune != nil {
+		// Cold start at depth 1: the joint I/O + compute solve owns the
+		// readahead depth (= concurrently open ingests, see ingestGate)
+		// and grows it against measured transfer and decode times.
+		pc.ReadAhead = 1
+	} else {
+		// Untimed replicas keep the static admission share: this replica's
+		// fraction of the server's in-flight budget may stream in at once.
+		ra := cfg.maxInFlight() / cfg.replicas()
+		if ra < 1 {
+			ra = 1
+		}
+		pc.ReadAhead = ra
 	}
 	w := &pc.Workers
 	for _, n := range []*int{&w.Doppler, &w.EasyWeight, &w.HardWeight, &w.EasyBF, &w.HardBF, &w.PulseComp, &w.CFAR} {

@@ -30,8 +30,16 @@ type Config struct {
 	CombinePCCFAR bool
 	// AutoTune, when non-nil, gives every replica an independent online
 	// worker rebalancer (see pipexec.Config.AutoTune); each replica's
-	// controller converges against that replica's own measured load.
+	// controller converges against that replica's own measured load. The
+	// replica sources expose frontend clocks and a resizable decode pool,
+	// so each replica's controller runs the joint I/O + compute solve:
+	// ingest depth (concurrent uploads) and decode workers rebalance live
+	// against the compute stages.
 	AutoTune *tune.Config
+	// StageLoad injects synthetic per-item service time into each
+	// replica's compute stages (see pipexec.StageLoad) — benchmark and
+	// test ballast, zero value for production.
+	StageLoad pipexec.StageLoad
 	// Replicas is the number of pipeline replicas CPIs are dispatched
 	// across (values < 1 mean 1). Each replica is an independent
 	// pipexec.Stream with its own weight-feedback chain.
@@ -48,6 +56,13 @@ type Config struct {
 	// MaxFrameBytes bounds a single wire frame (values < 1 mean
 	// DefaultMaxFrameBytes).
 	MaxFrameBytes int64
+	// ConnRcvBuf caps each accepted connection's kernel receive buffer in
+	// bytes (0 keeps the OS default). Besides bounding per-connection
+	// server memory, a small buffer makes the ingest gate's backpressure
+	// reach slow streaming producers promptly: when a reader parks waiting
+	// for an ingest slot, the producer's sends stall at the socket instead
+	// of a whole cube silently pre-buffering in the kernel.
+	ConnRcvBuf int
 	// WriteTimeout bounds one frame write to a client; a connection
 	// stuck longer is dropped so it cannot stall a replica's result
 	// routing (values <= 0 mean 10s).
@@ -120,8 +135,7 @@ type Server struct {
 	connMu sync.Mutex
 	conns  map[*serverConn]struct{}
 
-	bufs  sync.Pool // *frameBuf
-	cubes sync.Pool // *cube.Cube
+	bufs sync.Pool // *frameBuf
 
 	stats counters
 	start time.Time
@@ -167,9 +181,10 @@ func (s *Server) Start(addr string) error {
 // accepting (the accept loop runs in the background; Shutdown stops it).
 func (s *Server) Serve(ln net.Listener) error {
 	for i := 0; i < s.cfg.replicas(); i++ {
-		// Built per replica so each gets its own tuner config clone.
+		// Built per replica so each gets its own tuner config clone and its
+		// own slab pool (StreamSource pools decoded cubes internally).
 		pc := replicaConfig(s.cfg)
-		src := newChanSource(s.putCube)
+		src := pipexec.NewStreamSource(s.cfg.Params.Dims)
 		r, err := startReplica(s.ctx, i, pc, src, s.finishJob)
 		if err != nil {
 			for _, prev := range s.replicas {
@@ -197,9 +212,16 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed by Shutdown
 		}
+		if s.cfg.ConnRcvBuf > 0 {
+			if tc, ok := c.(*net.TCPConn); ok {
+				tc.SetReadBuffer(s.cfg.ConnRcvBuf)
+			}
+		}
 		s.stats.connsTotal.Add(1)
 		s.stats.connsActive.Add(1)
-		sc := &serverConn{srv: s, c: c, pending: make(map[uint64]*pendingRepair)}
+		sc := &serverConn{srv: s, c: c,
+			pending: make(map[uint64]*pendingRepair),
+			streams: make(map[uint64]*streamIngest)}
 		s.connMu.Lock()
 		s.conns[sc] = struct{}{}
 		s.connMu.Unlock()
@@ -246,24 +268,12 @@ func (s *Server) getBuf(n int) *frameBuf {
 
 func (s *Server) putBuf(fb *frameBuf) { s.bufs.Put(fb) }
 
-func (s *Server) getCube() *cube.Cube {
-	if v := s.cubes.Get(); v != nil {
-		return v.(*cube.Cube)
-	}
-	return cube.New(s.cfg.Params.Dims)
-}
-
-func (s *Server) putCube(cb *cube.Cube) {
-	if cb == nil || cb.Dims != s.cfg.Params.Dims {
-		return
-	}
-	s.cubes.Put(cb)
-}
-
-// dispatch routes an accepted job to a replica, round-robin.
-func (s *Server) dispatch(j job) error {
+// openIngest admits one CPI onto a replica, round-robin: the replica
+// claims an ingest slot, registers the job, and opens the publication the
+// connection feeds chunks into.
+func (s *Server) openIngest(j job, h cube.Header) (*ingest, error) {
 	r := s.replicas[s.rr.Add(1)%uint64(len(s.replicas))]
-	return r.submit(j)
+	return r.open(j, h)
 }
 
 // finishJob streams one completed CPI's reports back to its producer and
@@ -381,6 +391,20 @@ type serverConn struct {
 	// pending holds CPIs parked mid-repair, keyed by producer seq. Only
 	// the connection's reader goroutine touches it.
 	pending map[uint64]*pendingRepair
+
+	// streams holds chunk-streamed CPIs currently being published into a
+	// replica (header seen, end-of-submit or repair outstanding), keyed by
+	// producer seq. Only the reader goroutine touches it.
+	streams map[uint64]*streamIngest
+}
+
+// streamIngest is one chunk-streamed CPI mid-flight: the replica
+// publication its chunks decode into, plus the repair round state.
+type streamIngest struct {
+	in    *ingest
+	h     cube.Header
+	round int
+	t0    time.Time
 }
 
 // pendingRepair is a submitted CPI whose payload had corrupt chunks; the
@@ -445,11 +469,20 @@ func (sc *serverConn) readLoop() {
 	defer sc.srv.dropConn(sc)
 	defer sc.close()
 	// CPIs parked mid-repair when the producer disappears hold admission
-	// tokens and frame buffers; hand both back.
+	// tokens and frame buffers; hand both back. Chunk-streamed CPIs left
+	// open hold admission tokens, ingest slots, and leased cube slabs:
+	// aborting the publication recycles the slab and makes the replica
+	// skip the internal seq, so a producer dying mid-cube leaks nothing.
 	defer func() {
 		for seq, p := range sc.pending {
 			delete(sc.pending, seq)
 			sc.srv.putBuf(p.buf)
+			sc.srv.release()
+			sc.srv.stats.orphaned.Add(1)
+		}
+		for seq, st := range sc.streams {
+			delete(sc.streams, seq)
+			st.in.abort(ErrClosed)
 			sc.srv.release()
 			sc.srv.stats.orphaned.Add(1)
 		}
@@ -471,6 +504,24 @@ func (sc *serverConn) readLoop() {
 		switch ftype {
 		case fSubmit:
 			if !sc.handleSubmit(fb) { // takes ownership of fb
+				return
+			}
+		case fSubmitHdr:
+			ok := sc.handleSubmitHdr(fb.b)
+			sc.srv.putBuf(fb)
+			if !ok {
+				return
+			}
+		case fChunk:
+			ok := sc.handleChunk(fb.b)
+			sc.srv.putBuf(fb)
+			if !ok {
+				return
+			}
+		case fSubmitEnd:
+			ok := sc.handleSubmitEnd(fb.b)
+			sc.srv.putBuf(fb)
+			if !ok {
 				return
 			}
 		case fRepair:
@@ -590,26 +641,211 @@ func (sc *serverConn) parkForRepair(fb *frameBuf, h cube.Header, bad []int, t0 t
 	sc.send(fRepairReq, encodeRepairReq(h.Seq, 0, bad))
 }
 
-// acceptAndDispatch acknowledges the CPI, decodes it, and hands it to a
-// replica. Consumes fb.
+// acceptAndDispatch opens a replica publication for a fully-assembled,
+// chunk-verified frame, decodes the payload into the replica's pooled slab
+// (sharded across the source's live decode workers), and acknowledges the
+// CPI. Consumes fb.
 func (sc *serverConn) acceptAndDispatch(fb *frameBuf, h cube.Header, t0 time.Time, repaired bool) {
 	srv := sc.srv
 	payload := fb.b[h.PayloadOffset():]
-	cb := srv.getCube()
-	cube.DecodeSampleRange(cb, payload, 0, len(cb.Data))
+	in, err := srv.openIngest(job{conn: sc, seq: h.Seq, t0: t0}, h)
+	if err == nil {
+		err = in.commitPayload(h, payload)
+	}
 	srv.putBuf(fb)
+	if err != nil {
+		// Open/commit fail when a replica is stopping underneath us (a
+		// drain race) or its ingest gate stayed saturated; answer the CPI
+		// and settle its token either way.
+		if errors.Is(err, ErrOverloaded) {
+			sc.reject(h.Seq, CodeOverloaded, "replica ingest saturated")
+		} else {
+			sc.reject(h.Seq, CodeDraining, "server is draining")
+		}
+		srv.release()
+		return
+	}
 	if repaired {
 		srv.stats.repairedFrames.Add(1)
 	}
 	srv.stats.accepted.Add(1)
 	sc.send(fAccept, encodeAccept(h.Seq))
-	if err := srv.dispatch(job{conn: sc, seq: h.Seq, cb: cb, t0: t0}); err != nil {
-		// Dispatch only fails when a replica is stopping underneath us —
-		// treat it like a drain race.
-		srv.putCube(cb)
-		sc.reject(h.Seq, CodeDraining, "server is draining")
-		srv.release()
+}
+
+// handleSubmitHdr opens a chunk-streamed CPI: it validates the header +
+// chunk table, admits the CPI, and opens a replica publication the
+// following fChunk frames decode straight into. Reports false when the
+// connection must be torn down.
+func (sc *serverConn) handleSubmitHdr(buf []byte) bool {
+	srv := sc.srv
+	t0 := time.Now()
+	h, err := cube.ParseHeader(buf)
+	if err != nil {
+		// Same framing-trust failure as an unparseable submit.
+		sc.reject(0, CodeBadFrame, err.Error())
+		return false
 	}
+	seq := h.Seq
+	if int64(len(buf)) != h.PayloadOffset() {
+		sc.reject(seq, CodeBadFrame,
+			fmt.Sprintf("submit header frame is %d bytes, header+chunk table is %d", len(buf), h.PayloadOffset()))
+		return true
+	}
+	if h.Chunks() < 1 {
+		sc.reject(seq, CodeBadFrame, "streaming submit requires a chunked (v3) cube")
+		return true
+	}
+	if h.Dims != srv.cfg.Params.Dims {
+		sc.reject(seq, CodeBadDims,
+			fmt.Sprintf("service processes %v, cube is %v", srv.cfg.Params.Dims, h.Dims))
+		return true
+	}
+	if old, ok := sc.streams[seq]; ok {
+		// A duplicate in-flight seq would make chunk routing ambiguous; the
+		// old publication is dropped (mirrors parkForRepair's rule).
+		delete(sc.streams, seq)
+		old.in.abort(ErrClosed)
+		srv.release()
+		srv.stats.orphaned.Add(1)
+	}
+	if srv.draining.Load() {
+		sc.reject(seq, CodeDraining, "server is draining")
+		return true
+	}
+	if !srv.tryAcquire() {
+		sc.reject(seq, CodeOverloaded,
+			fmt.Sprintf("all %d in-flight slots busy", srv.cfg.maxInFlight()))
+		return true
+	}
+	in, err := srv.openIngest(job{conn: sc, seq: seq, t0: t0}, h)
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			sc.reject(seq, CodeOverloaded, "replica ingest saturated")
+		} else {
+			sc.reject(seq, CodeDraining, "server is draining")
+		}
+		srv.release()
+		return true
+	}
+	srv.stats.noteStreamFrame(len(buf))
+	sc.streams[seq] = &streamIngest{in: in, h: h, t0: t0}
+	return true
+}
+
+// handleChunk feeds one streamed chunk to its publication: the bytes are
+// CRC-checked and decoded into the replica's slab directly from the pooled
+// read buffer — the chunk is never copied into a file image. Chunks for
+// sequence numbers we do not hold (rejected or aborted headers racing the
+// producer's pipelined writes) are discarded.
+func (sc *serverConn) handleChunk(buf []byte) bool {
+	seq, idx, err := decodeChunkPrefix(buf)
+	if err != nil {
+		sc.reject(0, CodeBadFrame, err.Error())
+		return false
+	}
+	st, ok := sc.streams[seq]
+	if !ok {
+		return true
+	}
+	sc.srv.stats.streamedChunks.Add(1)
+	sc.srv.stats.noteStreamFrame(len(buf))
+	// A CRC mismatch (or stray index) just leaves the chunk missing; the
+	// submit-end check requests exactly the missing set for repair.
+	st.in.pub.Chunk(idx, buf[chunkPrefixLen:])
+	return true
+}
+
+// handleSubmitEnd closes a streamed CPI: all chunks landed clean means
+// commit + accept; otherwise the missing set is re-requested through the
+// standard repair exchange.
+func (sc *serverConn) handleSubmitEnd(buf []byte) bool {
+	srv := sc.srv
+	seq, err := decodeSubmitEnd(buf)
+	if err != nil {
+		sc.reject(0, CodeBadFrame, err.Error())
+		return false
+	}
+	st, ok := sc.streams[seq]
+	if !ok {
+		return true
+	}
+	if missing := st.in.pub.Missing(); len(missing) > 0 {
+		srv.stats.repairReqs.Add(1)
+		sc.send(fRepairReq, encodeRepairReq(seq, st.round, missing))
+		return true
+	}
+	sc.finishStream(seq, st)
+	return true
+}
+
+// finishStream commits a fully-landed streamed CPI and answers it.
+func (sc *serverConn) finishStream(seq uint64, st *streamIngest) {
+	srv := sc.srv
+	delete(sc.streams, seq)
+	repaired := st.in.pub.Repaired()
+	if err := st.in.commit(); err != nil {
+		// Commit only fails when the replica is stopping underneath us.
+		sc.reject(seq, CodeDraining, "server is draining")
+		srv.release()
+		return
+	}
+	if repaired {
+		srv.stats.repairedFrames.Add(1)
+	}
+	srv.stats.streamedCPIs.Add(1)
+	srv.stats.accepted.Add(1)
+	sc.send(fAccept, encodeAccept(seq))
+}
+
+// handleStreamRepair patches re-sent chunks into an open streamed
+// publication — the streaming mirror of handleRepair, sharing its round
+// rules.
+func (sc *serverConn) handleStreamRepair(seq uint64, round int, chunks []repairChunk) bool {
+	srv := sc.srv
+	st, ok := sc.streams[seq]
+	if !ok {
+		// Repair for a CPI we no longer hold; ignorable.
+		return true
+	}
+	if round != st.round {
+		// Same anti-pinning rule as framed repairs (see handleRepair).
+		delete(sc.streams, seq)
+		st.in.abort(ErrCorrupt)
+		sc.reject(seq, CodeBadFrame,
+			fmt.Sprintf("repair echoes round %d, server requested round %d", round, st.round))
+		srv.release()
+		return true
+	}
+	h := &st.h
+	for _, c := range chunks {
+		if c.index < 0 || c.index >= h.Chunks() {
+			continue
+		}
+		lo, hi := h.ChunkSpan(c.index)
+		if int64(len(c.data)) != hi-lo {
+			continue
+		}
+		srv.stats.chunkResends.Add(1)
+		srv.stats.chunkResendBytes.Add(hi - lo)
+		st.in.pub.Chunk(c.index, c.data)
+	}
+	missing := st.in.pub.Missing()
+	if len(missing) == 0 {
+		sc.finishStream(seq, st)
+		return true
+	}
+	st.round++
+	if st.round >= srv.cfg.repairRounds() {
+		delete(sc.streams, seq)
+		st.in.abort(ErrCorrupt)
+		sc.reject(seq, CodeCorrupt,
+			fmt.Sprintf("%d chunks still corrupt after %d repair rounds", len(missing), st.round))
+		srv.release()
+		return true
+	}
+	srv.stats.repairReqs.Add(1)
+	sc.send(fRepairReq, encodeRepairReq(seq, st.round, missing))
+	return true
 }
 
 // handleRepair patches re-sent chunk bytes into a parked CPI and either
@@ -626,9 +862,8 @@ func (sc *serverConn) handleRepair(buf []byte) bool {
 	}
 	p, ok := sc.pending[seq]
 	if !ok {
-		// Repair for a CPI we no longer hold (e.g. it exhausted its rounds
-		// and was rejected); ignorable.
-		return true
+		// Not parked as a framed repair — maybe an open streamed CPI.
+		return sc.handleStreamRepair(seq, round, chunks)
 	}
 	if round != p.round {
 		// The round field is an echo of the server's outstanding request,

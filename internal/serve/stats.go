@@ -27,6 +27,23 @@ type counters struct {
 	repairedFrames   atomic.Int64
 	chunkResends     atomic.Int64
 	chunkResendBytes atomic.Int64
+
+	streamedCPIs   atomic.Int64
+	streamedChunks atomic.Int64
+	streamMaxFrame atomic.Int64
+}
+
+// noteStreamFrame records a streaming-ingest frame's payload size; the
+// running maximum is the observable proof that the streamed path never
+// materialises a whole-cube file image (it stays at one chunk + prefix, vs
+// the full encoded cube a framed submit buffers).
+func (c *counters) noteStreamFrame(n int) {
+	for {
+		cur := c.streamMaxFrame.Load()
+		if int64(n) <= cur || c.streamMaxFrame.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
 }
 
 // ReplicaStats is one pipeline replica's slice of a stats snapshot.
@@ -74,6 +91,14 @@ type Stats struct {
 	ChunkResends     int64 `json:"chunk_resends"`
 	ChunkResendBytes int64 `json:"chunk_resend_bytes"`
 
+	// StreamedCPIs counts CPIs accepted through chunk-streamed ingest,
+	// StreamedChunks their chunk frames, and StreamMaxFrameBytes the
+	// largest streaming-ingest frame payload seen — bounded by one chunk
+	// plus its 16-byte prefix, never a whole cube image.
+	StreamedCPIs        int64 `json:"streamed_cpis"`
+	StreamedChunks      int64 `json:"streamed_chunks"`
+	StreamMaxFrameBytes int64 `json:"stream_max_frame_bytes"`
+
 	Replicas []ReplicaStats `json:"replicas"`
 }
 
@@ -96,10 +121,13 @@ func (s *Server) Stats() Stats {
 			"corrupt":    s.stats.rejectedCorrupt.Load(),
 			"other":      s.stats.rejectedOther.Load(),
 		},
-		RepairReqs:       s.stats.repairReqs.Load(),
-		RepairedFrames:   s.stats.repairedFrames.Load(),
-		ChunkResends:     s.stats.chunkResends.Load(),
-		ChunkResendBytes: s.stats.chunkResendBytes.Load(),
+		RepairReqs:          s.stats.repairReqs.Load(),
+		RepairedFrames:      s.stats.repairedFrames.Load(),
+		ChunkResends:        s.stats.chunkResends.Load(),
+		ChunkResendBytes:    s.stats.chunkResendBytes.Load(),
+		StreamedCPIs:        s.stats.streamedCPIs.Load(),
+		StreamedChunks:      s.stats.streamedChunks.Load(),
+		StreamMaxFrameBytes: s.stats.streamMaxFrame.Load(),
 	}
 	for _, r := range s.replicas {
 		rs := ReplicaStats{

@@ -1,8 +1,9 @@
 #!/bin/sh
 # End-to-end smoke test for the network detection service: build the
 # daemon and the load generator, start the daemon on an ephemeral
-# loopback port, push 50 CPIs through it closed-loop, require zero
-# dropped CPIs (staploadgen exits non-zero on any drop), and verify the
+# loopback port, push 50 CPIs through it closed-loop, then 50 more over
+# streaming ingest with Poisson arrivals, require zero dropped CPIs in
+# both legs (staploadgen exits non-zero on any drop), and verify the
 # daemon shuts down cleanly on SIGTERM.
 set -eu
 cd "$(dirname "$0")/.."
@@ -36,6 +37,19 @@ grep -q '"dropped": 0' "$workdir/bench.json" || {
     exit 1
 }
 
+# Streaming-ingest leg: the same 50 CPIs cross the wire as chunk frames
+# (no file image server-side) under open-loop Poisson arrivals.
+"$workdir/staploadgen" -addr "$addr" -scenario small -n 50 -stream \
+    -arrivals poisson -rate 200 -seed 1 -json "$workdir/bench_stream.json"
+grep -q '"dropped": 0' "$workdir/bench_stream.json" || {
+    echo "serve_smoke: streaming BENCH json does not record zero drops" >&2
+    exit 1
+}
+grep -q '"streaming": true' "$workdir/bench_stream.json" || {
+    echo "serve_smoke: streaming leg did not take the streaming path" >&2
+    exit 1
+}
+
 kill -TERM "$server_pid"
 i=0
 while kill -0 "$server_pid" 2>/dev/null; do
@@ -51,4 +65,4 @@ wait "$server_pid" 2>/dev/null || {
     exit 1
 }
 server_pid=
-echo "serve_smoke: ok (50 CPIs, zero dropped, clean shutdown)"
+echo "serve_smoke: ok (50 framed + 50 streamed CPIs, zero dropped, clean shutdown)"
