@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench benchjson bench5 bench6 bench7 benchregress smoke
+.PHONY: all build vet test race check bench benchjson bench5 bench6 bench7 bench8 benchregress smoke
 
 all: check
 
@@ -53,6 +53,13 @@ bench6:
 # Median of three runs.
 bench7:
 	$(GO) run ./cmd/benchjson -pkg ./internal/serve -bench 'BenchmarkServeFramedLoopback|BenchmarkServeStreamLoopback|BenchmarkServeStreamAutotune' -benchtime 1x -repeat 3 -o BENCH_7.json
+
+# Refresh the committed out-of-core record: one chunked striped dataset
+# processed unlimited, under a quarter-of-peak budget with the spill tier
+# armed, and through the banded executor in less memory than one cube's
+# residency. Median of three runs.
+bench8:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkOutOfCore' -benchtime 1x -repeat 3 -o BENCH_8.json
 
 # Rerun the sweep and diff its steady throughput against the committed
 # baselines. The embedded-I/O scenarios are gated (>25% loss fails); the

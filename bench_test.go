@@ -20,6 +20,7 @@ import (
 	"stapio/internal/cube"
 	"stapio/internal/experiments"
 	"stapio/internal/machine"
+	"stapio/internal/membudget"
 	"stapio/internal/pfs"
 	"stapio/internal/pipesim"
 	"stapio/internal/pipexec"
@@ -867,4 +868,94 @@ func BenchmarkRealPipeline(b *testing.B) {
 			b.ReportMetric(last.Throughput, "CPIs/s")
 		})
 	}
+}
+
+// BenchmarkOutOfCore measures the price of the hard memory budget — the
+// sweep behind BENCH_8.json. One chunked striped dataset is processed
+// three ways: unlimited (residency merely tracked), under a budget of one
+// quarter of the unlimited run's peak with the spill tier armed (deep
+// readahead must now earn its bytes, evicting cold prefetches to the
+// store), and through the banded executor in less memory than even one
+// cube's full residency. Detections are byte-identical across all three;
+// only throughput and residency move.
+func BenchmarkOutOfCore(b *testing.B) {
+	s := radar.SmallTestScenario()
+	fs, err := pfs.CreateReal(b.TempDir(), 4, 4096, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const files = 12
+	if _, err := radar.WriteDatasetChunked(fs, s, files, files, false, 4096); err != nil {
+		b.Fatal(err)
+	}
+	src, err := pipexec.NewFileSource(fs, s.Dims, files)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := stap.DefaultParams(s.Dims)
+	p.PulseLen = s.PulseLen
+	p.Bandwidth = s.Bandwidth
+	base := pipexec.Config{
+		Params: p,
+		Workers: core.STAPNodes{
+			Doppler: 2, EasyWeight: 1, HardWeight: 1,
+			EasyBF: 2, HardBF: 1, PulseComp: 2, CFAR: 1,
+		},
+		SeparateIO:    true,
+		ReadAhead:     4,
+		DecodeWorkers: 2,
+	}
+	// One probe run pins the unlimited peak the budgeted legs are scaled
+	// from.
+	probe, err := pipexec.Run(context.Background(), base, src, files)
+	if err != nil {
+		b.Fatal(err)
+	}
+	quarter := probe.Stats.MemHighWater / 4
+	if min := pipexec.MinResidency(&p); quarter < min {
+		quarter = min
+	}
+
+	run := func(b *testing.B, budget int64, spill bool) {
+		var last *pipexec.Result
+		for i := 0; i < b.N; i++ {
+			cfg := base
+			if budget > 0 {
+				// Budgets are per-run: an aborted run may leak charges
+				// into a budget that outlives it.
+				cfg.MemBudget = membudget.New("bench", budget)
+			}
+			if spill {
+				cfg.Spill = &pipexec.SpillConfig{FS: fs}
+			}
+			var err error
+			last, err = pipexec.Run(context.Background(), cfg, src, files)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(last.SteadyThroughput(), "CPIs/s")
+		b.ReportMetric(float64(last.Stats.MemHighWater)/1024, "peak-KiB")
+		b.ReportMetric(float64(last.Stats.Spills), "spills")
+	}
+	b.Run("unlimited", func(b *testing.B) { run(b, 0, false) })
+	b.Run("quarter-budget", func(b *testing.B) { run(b, quarter, true) })
+	b.Run("banded", func(b *testing.B) {
+		const band = 16
+		budget := pipexec.BandedMinResidency(&p, band)
+		var last *pipexec.Result
+		for i := 0; i < b.N; i++ {
+			cfg := base
+			cfg.SeparateIO = false
+			cfg.BandRanges = band
+			cfg.MemBudget = membudget.New("bench", budget)
+			var err error
+			last, err = pipexec.RunBanded(context.Background(), cfg, src, files)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(last.SteadyThroughput(), "CPIs/s")
+		b.ReportMetric(float64(last.Stats.MemHighWater)/1024, "peak-KiB")
+	})
 }

@@ -14,6 +14,9 @@
 //	                                              # online worker rebalancing + histograms
 //	stapdetect -small -workers-per-stage dop=3,wh=4,cfar=1
 //	                                              # hand-picked per-stage split
+//	stapdetect -data ... -membudget 256M -readahead 8
+//	                                              # hard residency budget + spill tier
+//	stapdetect -data ... -membudget 16M -band 64  # out-of-core banded execution
 package main
 
 import (
@@ -26,6 +29,8 @@ import (
 	"runtime/pprof"
 
 	"stapio/internal/core"
+	"stapio/internal/cube"
+	"stapio/internal/membudget"
 	"stapio/internal/pfs"
 	"stapio/internal/pipexec"
 	"stapio/internal/radar"
@@ -58,6 +63,8 @@ func main() {
 		rdAhead  = flag.Int("readahead", 1, "readahead depth: striped reads kept in flight beyond the CPI being consumed")
 		decodeW  = flag.Int("decodeworkers", 1, "goroutines sharding each cube's checksum verify and decode")
 		maxRA    = flag.Int("maxreadahead", 0, "cap on autotuned readahead depth (0 = default 32)")
+		memBud   = flag.String("membudget", "", `hard byte budget for cube + intermediate residency, e.g. "256M" or "1G" (empty = unlimited; residency is still tracked). With -data, cold prefetched cubes spill to the striped store under pressure`)
+		band     = flag.Int("band", 0, "out-of-core banded execution: stream each CPI through range-bin bands of this many bins, peak residency O(band) instead of O(cube) (0 = full-cube pipeline)")
 		traceOut = flag.String("tunetrace", "", "write the auto-tuner's full decision log (no-op windows included) as JSON to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
@@ -144,8 +151,19 @@ func main() {
 	if *traceOut != "" && !*autotune {
 		fatal(fmt.Errorf("-tunetrace needs -autotune"))
 	}
+	if *memBud != "" {
+		n, err := membudget.ParseBytes(*memBud)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.MemBudget = membudget.New("stapdetect", n)
+	}
+	cfg.BandRanges = *band
 
-	var src pipexec.CubeSource
+	var (
+		src     pipexec.CubeSource
+		fileSrc *pipexec.FileSource
+	)
 	if *data != "" {
 		fs, err := pfs.CreateReal(*data, *dirs, *unit, true)
 		if err != nil {
@@ -164,7 +182,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		src = fsrc
+		src, fileSrc = fsrc, fsrc
+		if cfg.MemBudget != nil {
+			// Under a budget the readahead window's cold cubes are better on
+			// disk than squeezing out admissions: arm the spill tier against
+			// the same striped store the dataset lives on.
+			cfg.Spill = &pipexec.SpillConfig{FS: fs}
+		}
 		fmt.Printf("reading %v CPIs from striped dataset %s (stripe factor %d)\n", sc.Dims, *data, *dirs)
 	} else {
 		if *faults != "" {
@@ -186,7 +210,20 @@ func main() {
 		}
 	}
 
-	res, err := pipexec.Run(context.Background(), cfg, src, *cpis)
+	var res *pipexec.Result
+	if *band > 0 {
+		if *stream {
+			fatal(fmt.Errorf("-band is a sequential out-of-core mode and cannot feed from -stream"))
+		}
+		bsrc := pipexec.BandedSource(fileSrc)
+		if fileSrc == nil {
+			bsrc = bandedScenarioSource(sc)
+		}
+		fmt.Printf("banded execution: %d range bins per band\n", *band)
+		res, err = pipexec.RunBanded(context.Background(), cfg, bsrc, *cpis)
+	} else {
+		res, err = pipexec.Run(context.Background(), cfg, src, *cpis)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -199,9 +236,21 @@ func main() {
 			fmt.Printf("  dropped CPIs: %v\n", st.DroppedSeqs)
 		}
 	}
-	if *data != "" {
+	if *data != "" && *band == 0 {
 		fmt.Printf("I/O frontend: readahead=%d decode-workers=%d source-stalls=%d (%v stalled) window-occupancy %.2f\n",
 			st.FinalReadAhead, st.FinalDecodeWorkers, st.SourceStalls, st.SourceStall.Round(1e6), st.ReadaheadReady)
+	}
+	if *memBud != "" {
+		lim := "unlimited"
+		if st.MemLimit > 0 {
+			lim = membudget.FormatBytes(st.MemLimit)
+		}
+		fmt.Printf("memory: budget %s, high water %s, budget stalls %d (%v stalled)\n",
+			lim, membudget.FormatBytes(st.MemHighWater), st.MemStalls, st.MemStall.Round(1e6))
+		if st.Spills+st.Reloads > 0 {
+			fmt.Printf("  spill tier: %d spills (%s written), %d reloads (%s re-read)\n",
+				st.Spills, membudget.FormatBytes(st.SpillBytes), st.Reloads, membudget.FormatBytes(st.ReloadBytes))
+		}
 	}
 	fmt.Println("per-stage busy time (mean per CPI):")
 	for _, st := range res.Stages {
@@ -238,8 +287,9 @@ func main() {
 			trace := struct {
 				Stages     []string        `json:"stages"`
 				FinalSplit []int           `json:"final_split"`
+				MemBudget  int64           `json:"mem_budget"`
 				Decisions  []tune.Decision `json:"decisions"`
-			}{res.Stats.TuneStages, res.Stats.TuneFinalSplit, res.Stats.TuneDecisions}
+			}{res.Stats.TuneStages, res.Stats.TuneFinalSplit, res.Stats.MemLimit, res.Stats.TuneDecisions}
 			b, err := json.MarshalIndent(trace, "", "  ")
 			if err != nil {
 				fatal(err)
@@ -268,6 +318,28 @@ func main() {
 				d.Beam, d.Bin, d.Range, d.Power, d.SNR(&params))
 		}
 	}
+}
+
+// bandedScenarioSource adapts an in-memory generator scenario to the banded
+// executor: the full cube is synthesised once per CPI and bands are copied
+// out of it. Real out-of-core runs come from -data, where ReadBand fetches
+// only the band's chunks; this adapter exists so -band is demonstrable
+// without staging a dataset.
+func bandedScenarioSource(sc *radar.Scenario) pipexec.BandedSource {
+	var (
+		seq  = ^uint64(0)
+		full *cube.Cube
+	)
+	return pipexec.FuncBandSource(func(k uint64, lo, hi int, dst *cube.Cube) error {
+		if k != seq {
+			cb, err := sc.Generate(k)
+			if err != nil {
+				return err
+			}
+			full, seq = cb, k
+		}
+		return stap.CopyBand(dst, full, lo)
+	})
 }
 
 func fatal(err error) {

@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"stapio/internal/membudget"
 	"stapio/internal/radar"
 	"stapio/internal/serve"
 	"stapio/internal/stap"
@@ -44,6 +45,7 @@ func main() {
 		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight CPIs")
 		announce = flag.String("announce", "", "write the bound TCP and HTTP addresses to this file once listening")
 		tuneBud  = flag.Int("autotune-budget", 0, "give each replica an online worker rebalancer with this worker budget (0 disables; -1 tunes from the -workers split)")
+		memBud   = flag.String("membudget", "", `server-wide hard byte budget for cube + intermediate residency, split evenly across replicas, e.g. "512M" (empty = unlimited; residency is still tracked)`)
 	)
 	flag.Parse()
 
@@ -74,6 +76,13 @@ func main() {
 	case *tuneBud < 0:
 		cfg.AutoTune = &tune.Config{} // budget = sum of the -workers split
 	}
+	if *memBud != "" {
+		n, err := membudget.ParseBytes(*memBud)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.MemBudget = n
+	}
 
 	srv, err := serve.New(cfg)
 	if err != nil {
@@ -84,6 +93,10 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "stapserve: ingest on %s (%s cubes %v, %d replica(s))\n",
 		srv.Addr(), *scenario, s.Dims, *replicas)
+	if cfg.MemBudget > 0 {
+		fmt.Fprintf(os.Stderr, "stapserve: memory budget %s (%s per replica)\n",
+			membudget.FormatBytes(cfg.MemBudget), membudget.FormatBytes(cfg.MemBudget/int64(*replicas)))
+	}
 
 	var httpLn net.Listener
 	if *httpAddr != "" {

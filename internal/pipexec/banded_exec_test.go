@@ -1,0 +1,166 @@
+package pipexec
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"stapio/internal/cube"
+	"stapio/internal/membudget"
+	"stapio/internal/pfs"
+	"stapio/internal/radar"
+	"stapio/internal/stap"
+)
+
+// scenarioBandSource adapts a generator scenario to BandedSource: the full
+// cube is built once per CPI and bands are copied out of it.
+func scenarioBandSource(t *testing.T, s *radar.Scenario) BandedSource {
+	t.Helper()
+	var (
+		seq  = ^uint64(0)
+		full *cube.Cube
+	)
+	return FuncBandSource(func(k uint64, lo, hi int, dst *cube.Cube) error {
+		if k != seq {
+			cb, err := s.Generate(k)
+			if err != nil {
+				return err
+			}
+			full, seq = cb, k
+		}
+		return stap.CopyBand(dst, full, lo)
+	})
+}
+
+// TestRunBandedMatchesReference: the banded executor must reproduce the
+// sequential chain's detections bit-exactly at every band size — including
+// bands that do not divide the range extent — and with covariance
+// smoothing on.
+func TestRunBandedMatchesReference(t *testing.T) {
+	s := radar.SmallTestScenario()
+	for _, forgetting := range []float64{0, 0.6} {
+		cfg := testConfig()
+		cfg.Params.Forgetting = forgetting
+		const n = 4
+		want := referenceDetections(t, cfg.Params, s, n)
+		for _, band := range []int{1, 7, 16, s.Dims.Ranges - 1, s.Dims.Ranges, 0} {
+			cfg.BandRanges = band
+			res, err := RunBanded(context.Background(), cfg, scenarioBandSource(t, s), n)
+			if err != nil {
+				t.Fatalf("band %d forgetting %v: %v", band, forgetting, err)
+			}
+			if len(res.CPIs) != n {
+				t.Fatalf("band %d: %d CPIs, want %d", band, len(res.CPIs), n)
+			}
+			for k := range res.CPIs {
+				if !sameDetections(res.CPIs[k].Detections, want[k]) {
+					t.Errorf("band %d forgetting %v CPI %d: banded run diverges from reference",
+						band, forgetting, k)
+				}
+			}
+			if len(res.Stages) == 0 || res.Stages[0].Name != "band read" {
+				t.Errorf("band %d: missing band-read stage accounting", band)
+			}
+		}
+	}
+}
+
+// TestRunBandedFromFiles drives the whole out-of-core path: chunk-granular
+// band reads from a striped v3 store through the banded chain, under a
+// budget a full cube could never fit in, with byte-identical detections.
+func TestRunBandedFromFiles(t *testing.T) {
+	s := radar.SmallTestScenario()
+	const n = 4
+	// 256-byte chunks: each (channel, pulse) row spans two chunks, so band
+	// reads genuinely subset the file.
+	_, src, _ := chunkedKeepStore(t, s, n, 256)
+	cfg := testConfig()
+	cfg.BandRanges = 16
+	want := referenceDetections(t, cfg.Params, s, n)
+
+	budgetBytes := BandedMinResidency(&cfg.Params, cfg.BandRanges)
+	if full := MinResidency(&cfg.Params); budgetBytes >= full {
+		t.Fatalf("banded working set %d is not smaller than full residency %d; the mode is pointless", budgetBytes, full)
+	}
+	cfg.MemBudget = membudget.New("test", budgetBytes)
+	res, err := RunBanded(context.Background(), cfg, src, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range res.CPIs {
+		if !sameDetections(res.CPIs[k].Detections, want[k]) {
+			t.Errorf("CPI %d: file-banded run diverges from reference", k)
+		}
+	}
+	if res.Stats.MemHighWater > budgetBytes {
+		t.Errorf("high water %d exceeds budget %d", res.Stats.MemHighWater, budgetBytes)
+	}
+	if res.Stats.MemLimit != budgetBytes {
+		t.Errorf("reported limit %d, want %d", res.Stats.MemLimit, budgetBytes)
+	}
+}
+
+// TestReadBandMatchesCube pins FileSource.ReadBand sample-for-sample
+// against the staged cubes, across band positions, sizes, and chunk
+// geometries (bands inside one chunk, spanning chunks, and chunk-aligned).
+func TestReadBandMatchesCube(t *testing.T) {
+	s := radar.SmallTestScenario()
+	const files = 3
+	for _, chunkSize := range []int{256, 1024, cube.DefaultChunkSize} {
+		_, src, kept := chunkedKeepStore(t, s, files, chunkSize)
+		d := s.Dims
+		for _, band := range [][2]int{{0, 1}, {0, d.Ranges}, {5, 12}, {31, 33}, {d.Ranges - 1, d.Ranges}} {
+			lo, hi := band[0], band[1]
+			dst := cube.New(cube.Dims{Channels: d.Channels, Pulses: d.Pulses, Ranges: hi - lo})
+			for seq := 0; seq < files; seq++ {
+				if err := src.ReadBand(uint64(seq), lo, hi, dst); err != nil {
+					t.Fatalf("chunk %d band [%d,%d) seq %d: %v", chunkSize, lo, hi, seq, err)
+				}
+				full := kept[seq]
+				for row := 0; row < d.Channels*d.Pulses; row++ {
+					for r := lo; r < hi; r++ {
+						if got, want := dst.Data[row*(hi-lo)+(r-lo)], full.Data[row*d.Ranges+r]; got != want {
+							t.Fatalf("chunk %d band [%d,%d) seq %d row %d range %d: got %v want %v",
+								chunkSize, lo, hi, seq, row, r, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReadBandRejectsFlatFiles: banded reads need per-chunk CRCs; a flat
+// (v2) store must be refused with a re-staging hint, not silently
+// misdecoded.
+func TestReadBandRejectsFlatFiles(t *testing.T) {
+	s := radar.SmallTestScenario()
+	fs, err := pfs.CreateReal(t.TempDir(), 2, 4096, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := radar.WriteDatasetFlat(fs, s, 2, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewFileSource(fs, s.Dims, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := cube.New(cube.Dims{Channels: s.Dims.Channels, Pulses: s.Dims.Pulses, Ranges: 4})
+	if err := src.ReadBand(0, 0, 4, dst); err == nil {
+		t.Fatal("flat-file band read succeeded; it must demand the chunked format")
+	}
+}
+
+// TestRunBandedBudgetTooSmall pins the banded mode's own admissibility
+// check and its error type.
+func TestRunBandedBudgetTooSmall(t *testing.T) {
+	s := radar.SmallTestScenario()
+	cfg := testConfig()
+	cfg.BandRanges = 8
+	cfg.MemBudget = membudget.New("tiny", BandedMinResidency(&cfg.Params, 8)-1)
+	_, err := RunBanded(context.Background(), cfg, scenarioBandSource(t, s), 1)
+	if !errors.Is(err, membudget.ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+}

@@ -1,0 +1,160 @@
+package pipexec
+
+import (
+	"fmt"
+
+	"stapio/internal/membudget"
+	"stapio/internal/stap"
+)
+
+// Memory-budgeted execution: every large per-CPI slab the pipeline holds —
+// the input cube, the pooled Doppler cube, the pooled beam cube — is
+// charged against a membudget.Budget before the slab is filled and
+// released as soon as its last consumer drains it. Charges follow the
+// slabs, not the stages: the read stage charges a cube when it issues the
+// fetch, the Doppler stage releases it when filtering has consumed it and
+// charges the Doppler+beam intermediates in the same breath, the last
+// weight/BF consumer releases the Doppler cube, and CFAR releases the beam
+// cube when the detections are extracted.
+//
+// Deadlock freedom comes from admission ordering, not from luck: only the
+// read stage and the Doppler stage ever block on the budget, and their
+// priorities are keyed to the CPI sequence number so the oldest in-flight
+// CPI — the only one whose intermediates can drain the pipe — always
+// outranks newer reads. Downstream stages (weights, BF, PC, CFAR) only
+// release, so once a CPI's intermediates are admitted it runs to
+// completion and frees its bytes. See DESIGN.md §14.
+
+// MemCosts returns the tracked byte cost of the three per-CPI slabs: the
+// input cube (complex64 samples), the Doppler cube (complex128 snapshots),
+// and the beam cube (complex128 profiles).
+func MemCosts(p *stap.Params) (cubeB, dopB, beamB int64) {
+	cubeB = p.Dims.Bytes()
+	dopB = int64(p.Bins()) * int64(p.Dims.Ranges) * int64(p.StaggerCount()*p.Dims.Channels) * 16
+	beamB = int64(len(p.Beams)) * int64(p.Bins()) * int64(p.Dims.Ranges) * 16
+	return
+}
+
+// MinResidency is the smallest budget the full-cube pipeline can run in:
+// one CPI's cube plus its Doppler and beam intermediates. A tighter budget
+// needs the banded executor (RunBanded), whose floor is the beam cube plus
+// band slabs.
+func MinResidency(p *stap.Params) int64 {
+	cubeB, dopB, beamB := MemCosts(p)
+	return cubeB + dopB + beamB
+}
+
+// Admission priorities (lower is more urgent): CPI seq's compute
+// intermediates outrank its own read, and both outrank everything of every
+// later CPI — the oldest CPI always wins, so the pipe drains front-first.
+func compPri(seq uint64) uint64 { return seq * 2 }
+func readPri(seq uint64) uint64 { return seq*2 + 1 }
+
+// initBudget resolves the runner's budget: the configured one, or a
+// private unlimited budget so the high-water/stall observability works on
+// unbudgeted runs too. Called by Run and Stream after newRunner.
+func (r *runner) initBudget() error {
+	r.cubeB, r.dopB, r.beamB = MemCosts(r.p)
+	r.budget = r.cfg.MemBudget
+	if r.budget == nil {
+		r.budget = membudget.New("pipeline", 0)
+	}
+	if lim := r.budget.PathLimit(); lim > 0 {
+		if min := MinResidency(r.p); lim < min {
+			return fmt.Errorf("pipexec: memory budget %s is below the pipeline's minimum residency %s (one cube + Doppler + beam intermediates): %w — use RunBanded for tighter budgets",
+				membudget.FormatBytes(lim), membudget.FormatBytes(min), membudget.ErrBudgetExceeded)
+		}
+	}
+	if r.cfg.Spill != nil {
+		sp, err := newSpiller(r, r.cfg.Spill)
+		if err != nil {
+			return err
+		}
+		r.spiller = sp
+		r.budget.OnPressure(sp.free)
+	}
+	if r.cubeCharged == nil {
+		r.cubeCharged = make(map[uint64]bool)
+	}
+	return nil
+}
+
+// acquireMem blocks until n bytes are admitted at the given priority.
+// Stall counts and stall time accumulate inside the budget itself
+// (membudget.Stats), which snapshotStats folds into RunStats.
+func (r *runner) acquireMem(n int64, pri uint64) error {
+	return r.budget.AcquirePri(r.ctx, n, pri)
+}
+
+func (r *runner) tryAcquireMem(n int64) bool { return r.budget.TryAcquire(n) }
+func (r *runner) releaseMem(n int64)         { r.budget.Release(n) }
+
+// tryAcquireReadAhead admits one more readahead cube only when doing so
+// still leaves room for one CPI's Doppler+beam intermediates: it reserves
+// cube + headroom together, then hands the headroom straight back. This
+// is the deadlock-freedom invariant of budgeted prefetch — however deep
+// the window grows, the bytes the oldest CPI's compute admission needs
+// were provably free after every opportunistic charge, and only drainable
+// charges (which downstream stages always release) can take them.
+func (r *runner) tryAcquireReadAhead() bool {
+	headroom := r.dopB + r.beamB
+	if !r.budget.TryAcquire(r.cubeB + headroom) {
+		return false
+	}
+	r.budget.Release(headroom)
+	return true
+}
+
+// acquireReadHead blocks until the window-head cube for CPI seq is
+// admitted, under the same invariant as tryAcquireReadAhead: the cube is
+// granted only together with headroom for one CPI's Doppler+beam
+// intermediates, which is handed straight back. The head may not be
+// admitted on cube bytes alone — if the reads of CPIs k and k+1 are both
+// charged before Doppler's compute admission for k is even enqueued, the
+// intermediates no longer fit and no downstream stage holds releasable
+// bytes: a deadlock the spill tier would mask but an unspilled run hits.
+func (r *runner) acquireReadHead(seq uint64) error {
+	headroom := r.dopB + r.beamB
+	if err := r.acquireMem(r.cubeB+headroom, readPri(seq)); err != nil {
+		return err
+	}
+	r.releaseMem(headroom)
+	return nil
+}
+
+// Cube-charge bookkeeping: the read stage charges each CPI's cube when the
+// fetch is issued; whichever path consumes the cube — Doppler filtering,
+// a drop, or a spill eviction — releases exactly once. chargeMu guards the
+// map because the spiller's pressure handler races the Doppler stage.
+
+func (r *runner) setCubeCharged(seq uint64) {
+	r.chargeMu.Lock()
+	r.cubeCharged[seq] = true
+	r.chargeMu.Unlock()
+}
+
+// releaseCubeCharge drops CPI seq's cube charge if it is still held,
+// returning whether this call released it.
+func (r *runner) releaseCubeCharge(seq uint64) bool {
+	r.chargeMu.Lock()
+	held := r.cubeCharged[seq]
+	delete(r.cubeCharged, seq)
+	r.chargeMu.Unlock()
+	if held {
+		r.releaseMem(r.cubeB)
+	}
+	return held
+}
+
+// stealCubeCharge transfers CPI seq's cube charge to the caller (the
+// spiller, which frees the bytes itself after evicting the slab). Returns
+// false when the charge was already released or stolen.
+func (r *runner) stealCubeCharge(seq uint64) bool {
+	r.chargeMu.Lock()
+	held := r.cubeCharged[seq]
+	if held {
+		r.cubeCharged[seq] = false
+	}
+	r.chargeMu.Unlock()
+	return held
+}

@@ -63,12 +63,15 @@ func (pl *pipePools) getDoppler(seq uint64) *dopplerHandle {
 }
 
 // releaseDoppler drops one stage's reference; the last consumer's release
-// recycles the cube. Error and cancellation paths may skip releasing — the
+// recycles the cube and reports true so the caller can retire the cube's
+// budget charge. Error and cancellation paths may skip releasing — the
 // run is dying and the garbage collector reclaims the cube.
-func (pl *pipePools) releaseDoppler(h *dopplerHandle) {
+func (pl *pipePools) releaseDoppler(h *dopplerHandle) bool {
 	if h.refs.Add(-1) == 0 {
 		pl.doppler.Put(h)
+		return true
 	}
+	return false
 }
 
 func (pl *pipePools) getBeam(seq uint64) *stap.BeamCube {

@@ -145,6 +145,24 @@ type RunStats struct {
 	// moved them.
 	FinalReadAhead     int
 	FinalDecodeWorkers int
+	// MemLimit is the effective memory budget (the tightest limit on the
+	// budget's path to its root; 0 = unlimited), MemHighWater the peak
+	// tracked residency in bytes, and MemStalls/MemStall the count and
+	// total wall time of reservations that had to wait for bytes. The
+	// high-water mark is tracked even without a budget, so unlimited runs
+	// get residency observability for free.
+	MemLimit     int64
+	MemHighWater int64
+	MemStalls    int64
+	MemStall     time.Duration
+	// Spills/SpillBytes count cold cubes evicted to the striped store
+	// under budget pressure and the bytes written; Reloads/ReloadBytes
+	// count evicted cubes read back when the pipeline consumed them. Zero
+	// without Config.Spill.
+	Spills      int64
+	SpillBytes  int64
+	Reloads     int64
+	ReloadBytes int64
 	// StageTimes holds each stage's per-CPI service-time distribution
 	// (p50/p90/max from the live log-scale histograms), in pipeline order.
 	StageTimes []StageTimeStats
@@ -179,6 +197,19 @@ type IOSnapshot struct {
 	// ReadaheadReady is the mean landed-fetch count in the readahead
 	// window at consumption time (window occupancy).
 	ReadaheadReady float64 `json:"readahead_ready"`
+	// Memory accounting: the effective budget (0 = unlimited), current
+	// and peak tracked residency, budget-stall count and nanoseconds, and
+	// the spill tier's eviction/reload counters. Residency is tracked
+	// even without a budget configured.
+	MemLimit     int64 `json:"mem_limit"`
+	MemInUse     int64 `json:"mem_in_use"`
+	MemHighWater int64 `json:"mem_high_water"`
+	MemStalls    int64 `json:"mem_stalls"`
+	MemStallNS   int64 `json:"mem_stall_ns"`
+	Spills       int64 `json:"spills"`
+	SpillBytes   int64 `json:"spill_bytes"`
+	Reloads      int64 `json:"reloads"`
+	ReloadBytes  int64 `json:"reload_bytes"`
 }
 
 // ioSnapshot assembles the live view from the runner's atomics.
@@ -192,6 +223,18 @@ func (r *runner) ioSnapshot() IOSnapshot {
 	if n := r.stats.raOccupSamples.Load(); n > 0 {
 		snap.ReadaheadReady = float64(r.stats.raOccupSum.Load()) / float64(n)
 	}
+	if r.budget != nil {
+		ms := r.budget.Stats()
+		snap.MemLimit = r.budget.PathLimit()
+		snap.MemInUse = ms.InUse
+		snap.MemHighWater = ms.HighWater
+		snap.MemStalls = ms.Stalls
+		snap.MemStallNS = int64(ms.StallTime)
+	}
+	snap.Spills = r.stats.spills.Load()
+	snap.SpillBytes = r.stats.spillBytes.Load()
+	snap.Reloads = r.stats.reloads.Load()
+	snap.ReloadBytes = r.stats.reloadBytes.Load()
 	return snap
 }
 
@@ -206,6 +249,10 @@ type runStats struct {
 	sourceStallNS    atomic.Int64
 	raOccupSum       atomic.Int64
 	raOccupSamples   atomic.Int64
+	spills           atomic.Int64
+	spillBytes       atomic.Int64
+	reloads          atomic.Int64
+	reloadBytes      atomic.Int64
 }
 
 // snapshot freezes the counters; droppedSeqs is supplied by the read stage

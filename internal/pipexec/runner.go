@@ -12,6 +12,7 @@ import (
 	"stapio/internal/core"
 	"stapio/internal/cube"
 	"stapio/internal/linalg"
+	"stapio/internal/membudget"
 	"stapio/internal/stap"
 	"stapio/internal/tune"
 )
@@ -81,6 +82,26 @@ type Config struct {
 	// stages (see StageLoad) — a workload-shaping knob for benchmarks and
 	// tuner tests. The zero value injects nothing.
 	StageLoad StageLoad
+	// MemBudget, when non-nil, charges every large per-CPI slab — input
+	// cube, Doppler cube, beam cube — against a hierarchical byte budget:
+	// reads and compute admissions block (deadlock-free, oldest CPI
+	// first) until bytes are available, and the tracked residency never
+	// exceeds the budget's path limit. nil means unlimited; the runner
+	// still accounts against a private unlimited budget so
+	// RunStats.MemHighWater works on unbudgeted runs too. Budgets should
+	// be per-run (or per-replica children of a shared root): an aborted
+	// run may leak charges into a budget that outlives it.
+	MemBudget *membudget.Budget
+	// Spill, when non-nil (and typically paired with MemBudget), enables
+	// the spill tier: cold landed cubes — prefetched by the readahead
+	// window but not yet consumed — are evicted to the striped store in
+	// the chunked v3 format under budget pressure and transparently
+	// reloaded (with per-chunk CRC verify and repair) when consumed.
+	Spill *SpillConfig
+	// BandRanges is the range-band size of the banded executor
+	// (RunBanded); values < 1 mean the full range extent. Ignored by Run
+	// and Stream.
+	BandRanges int
 	// testOnCPI, when set (tests only), runs on the terminal stage's
 	// goroutine after each recorded CPI with a setter that swaps live
 	// per-stage worker counts — the seam rebalance-determinism tests use
@@ -237,6 +258,9 @@ func Run(ctx context.Context, cfg Config, src CubeSource, n int) (*Result, error
 		buf = 1
 	}
 	r := newRunner(cfg, src, n)
+	if err := r.initBudget(); err != nil {
+		return nil, err
+	}
 	if err := r.setup(); err != nil {
 		return nil, err
 	}
@@ -320,6 +344,17 @@ func (r *runner) snapshotStats() RunStats {
 		st.TuneDecisions = r.tuner.Trace()
 		st.TuneFinalSplit = r.tuner.Split()
 	}
+	if r.budget != nil {
+		ms := r.budget.Stats()
+		st.MemLimit = r.budget.PathLimit()
+		st.MemHighWater = ms.HighWater
+		st.MemStalls = ms.Stalls
+		st.MemStall = ms.StallTime
+	}
+	st.Spills = r.stats.spills.Load()
+	st.SpillBytes = r.stats.spillBytes.Load()
+	st.Reloads = r.stats.reloads.Load()
+	st.ReloadBytes = r.stats.reloadBytes.Load()
 	return st
 }
 
@@ -517,6 +552,19 @@ type runner struct {
 	// streamOut, when non-nil, receives each CPI result instead of the
 	// results slice accumulating (unbounded memory would defeat streaming).
 	streamOut chan<- CPIResult
+
+	// Memory budgeting (see membudget.go): the resolved budget (never nil
+	// after initBudget — unbudgeted runs account against a private
+	// unlimited one), the per-slab byte costs, the optional spill tier,
+	// and the cube-charge registry pairing each issued read's charge with
+	// the exactly-one release that retires it.
+	budget      *membudget.Budget
+	cubeB       int64
+	dopB        int64
+	beamB       int64
+	spiller     *spiller
+	chargeMu    sync.Mutex
+	cubeCharged map[uint64]bool
 }
 
 // fail records the first error and cancels the run.
@@ -723,7 +771,29 @@ func (r *runner) readStage(clk *stageClock, out chan<- cubeMsg) error {
 		// rebalance can never reorder CPIs.
 		depth := r.liveReadAhead()
 		for issued < r.n && issued <= k+depth {
-			window = append(window, r.beginRead(uint64(issued), 0))
+			seq := uint64(issued)
+			// Budget admission: the window head (the CPI the pipeline
+			// needs next) blocks for its cube; deeper prefetches are
+			// opportunistic. Both paths take cube bytes only when doing
+			// so still leaves one CPI's compute intermediates admissible,
+			// so reads can never starve the Doppler stage into deadlock.
+			// Priorities make the oldest CPI win every race.
+			if issued == k {
+				if err := r.acquireReadHead(seq); err != nil {
+					if r.ctx.Err() != nil {
+						return nil
+					}
+					return fmt.Errorf("pipexec: read CPI %d: %w", issued, err)
+				}
+			} else if !r.tryAcquireReadAhead() {
+				break
+			}
+			r.setCubeCharged(seq)
+			pend := r.beginRead(seq, 0)
+			if r.spiller != nil {
+				pend = r.spiller.track(seq, pend)
+			}
+			window = append(window, pend)
 			issued++
 		}
 		// Occupancy + stall bookkeeping: how much of the window has landed
@@ -757,7 +827,10 @@ func (r *runner) readStage(clk *stageClock, out chan<- cubeMsg) error {
 			return nil
 		}
 		if cb == nil {
-			continue // dropped under a skip policy
+			// Dropped under a skip policy: the cube never reaches the
+			// Doppler stage, so its charge retires here.
+			r.releaseCubeCharge(uint64(k))
+			continue
 		}
 		msg := cubeMsg{seq: uint64(k), cb: cb}
 		if r.cfg.SeparateIO {
@@ -809,6 +882,18 @@ func (r *runner) dopplerStage(clk *stageClock, in <-chan cubeMsg, weOut, whOut, 
 		if msg.start.IsZero() {
 			msg.start = time.Now() // embedded design: latency starts here
 		}
+		// Budget admission for this CPI's intermediates (Doppler + beam
+		// cubes), at the most urgent priority of any in-flight CPI —
+		// FIFO delivery means this is always the oldest, so the wait is
+		// bounded by downstream drains, never by newer reads. Outside
+		// the stage clock: a budget stall is memory pressure, not
+		// Doppler service time, and must not skew the tuner.
+		if err := r.acquireMem(r.dopB+r.beamB, compPri(msg.seq)); err != nil {
+			if r.ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("pipexec: doppler CPI %d: %w", msg.seq, err)
+		}
 		// The worker count is loaded once per CPI; scratches grow lazily so
 		// a tuner upscale mid-run builds the extra state exactly once.
 		workers := r.workersFor(tsDoppler)
@@ -828,6 +913,7 @@ func (r *runner) dopplerStage(clk *stageClock, in <-chan cubeMsg, weOut, whOut, 
 			return fmt.Errorf("pipexec: doppler CPI %d: %w", msg.seq, err)
 		}
 		r.recycleCube(msg.cb)
+		r.releaseCubeCharge(msg.seq)
 		r.addBusy(clk, time.Since(t0))
 		out := dopplerMsg{seq: msg.seq, h: h, bc: r.pools.getBeam(msg.seq), start: msg.start}
 		for _, ch := range []chan<- dopplerMsg{weOut, whOut, bfeOut, bfhOut} {
@@ -867,7 +953,9 @@ func (r *runner) weightStage(clk *stageClock, in <-chan dopplerMsg, out chan<- *
 		} else {
 			lastGood = ws
 		}
-		r.pools.releaseDoppler(msg.h)
+		if r.pools.releaseDoppler(msg.h) {
+			r.releaseMem(r.dopB)
+		}
 		r.addBusy(clk, time.Since(t0))
 		if !send(r, out, ws) {
 			return nil
@@ -960,7 +1048,9 @@ func (r *runner) bfStage(clk *stageClock, in <-chan dopplerMsg, weights <-chan *
 		if err != nil {
 			return fmt.Errorf("pipexec: beamform CPI %d: %w", msg.seq, err)
 		}
-		r.pools.releaseDoppler(msg.h)
+		if r.pools.releaseDoppler(msg.h) {
+			r.releaseMem(r.dopB)
+		}
 		r.addBusy(clk, time.Since(t0))
 		if !send(r, out, beamMsg{seq: msg.seq, bc: msg.bc, start: msg.start}) {
 			return nil
@@ -1118,6 +1208,7 @@ func (r *runner) runCFAR(msg beamMsg, st *cfarState, workers int) error {
 	// The beam cube's detections are extracted; hand it back for the next
 	// CPI before the (possibly slow) report write.
 	r.pools.putBeam(msg.bc)
+	r.releaseMem(r.beamB)
 	if r.cfg.Reports != nil {
 		if err := r.cfg.Reports.WriteReports(msg.seq, all); err != nil {
 			return err

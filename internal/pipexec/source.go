@@ -168,6 +168,11 @@ type FileSource struct {
 	chunkRereads     atomic.Int64
 	chunkRereadBytes atomic.Int64
 	repairedReads    atomic.Int64
+
+	// bandHdrs caches each staging file's parsed header + chunk table for
+	// the banded read path (ReadBand); bandMu guards it.
+	bandMu   sync.Mutex
+	bandHdrs map[string]*cube.Header
 }
 
 // readBuf wraps a pooled staging-file buffer; pooling the wrapper rather

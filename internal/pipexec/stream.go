@@ -43,6 +43,9 @@ func Stream(ctx context.Context, cfg Config, src CubeSource) (*StreamHandle, err
 		buf = 1
 	}
 	r := newRunner(cfg, src, math.MaxInt32)
+	if err := r.initBudget(); err != nil {
+		return nil, err
+	}
 	if err := r.setup(); err != nil {
 		return nil, err
 	}

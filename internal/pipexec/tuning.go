@@ -161,11 +161,39 @@ func (r *runner) initTuning(clks [numTunable]*stageClock) error {
 	// against compute workers under the one shared budget.
 	if r.srcRead != nil && r.decSrc != nil {
 		r.ioTune = true
+		// A memory budget turns available bytes into a hard cap on the I/O
+		// frontend: beyond (limit − minimum residency)/cube there is no
+		// admissible readahead slot, so offering the tuner deeper windows
+		// (or more decoders than admissible cubes) only wastes its probes
+		// on budget-stalled configurations.
+		maxRA := r.maxReadAhead()
+		if lim := r.budget.PathLimit(); lim > 0 && r.cubeB > 0 {
+			if cap := int((lim-MinResidency(r.p))/r.cubeB) + 1; cap < maxRA {
+				maxRA = cap
+			}
+			if maxRA < 1 {
+				maxRA = 1
+			}
+		}
+		maxDW := maxDecodeWorkers
+		if maxRA < maxDW {
+			maxDW = maxRA
+		}
+		ra, dw := int(r.raDepth.Load()), int(r.decW.Load())
+		if ra > maxRA {
+			ra = maxRA
+			r.raDepth.Store(int32(ra))
+		}
+		if dw > maxDW {
+			dw = maxDW
+			r.decW.Store(int32(dw))
+			r.decSrc.SetDecodeWorkers(dw)
+		}
 		stages = append(stages,
-			tune.Stage{Name: r.srcRead.name, Max: r.maxReadAhead(), Serial: true},
-			tune.Stage{Name: r.srcDecode.name, Max: maxDecodeWorkers},
+			tune.Stage{Name: r.srcRead.name, Max: maxRA, Serial: true},
+			tune.Stage{Name: r.srcDecode.name, Max: maxDW},
 		)
-		counts = append(counts, int(r.raDepth.Load()), int(r.decW.Load()))
+		counts = append(counts, ra, dw)
 		r.tuneClocks = append(r.tuneClocks, r.srcRead, r.srcDecode)
 	}
 	ctl, err := tune.NewController(*r.cfg.AutoTune, stages, counts)

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"testing"
+
+	"stapio/internal/pipexec"
+	"stapio/internal/radar"
+)
+
+// TestServeMemBudgetSplitsAcrossReplicas: a budgeted server must process
+// CPIs identically to an unbudgeted one, report the budget and live
+// residency on the stats surface, and expose per-replica budget state in
+// each replica's io block.
+func TestServeMemBudgetSplitsAcrossReplicas(t *testing.T) {
+	const n = 8
+	s := radar.SmallTestScenario()
+	cfg := testServerConfig()
+	cfg.Replicas = 2
+	// Each replica's share covers exactly two CPIs' residency.
+	perReplica := 2 * pipexec.MinResidency(&cfg.Params)
+	cfg.MemBudget = int64(cfg.Replicas) * perReplica
+	srv := startServer(t, cfg)
+	cl := dialTest(t, srv, Options{})
+
+	frames, err := radar.EncodeCPIs(s, n, testChunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := submitAll(t, cl, frames)
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("CPI %d failed: %v", r.Seq, r.Err)
+		}
+	}
+	st := srv.Stats()
+	if st.MemBudget != cfg.MemBudget {
+		t.Errorf("stats mem_budget %d, want %d", st.MemBudget, cfg.MemBudget)
+	}
+	if st.MemHighWater <= 0 {
+		t.Error("server-wide high-water residency never moved")
+	}
+	if st.MemHighWater > cfg.MemBudget {
+		t.Errorf("high water %d exceeds server budget %d", st.MemHighWater, cfg.MemBudget)
+	}
+	for _, rs := range st.Replicas {
+		if rs.IO.MemLimit != perReplica {
+			t.Errorf("replica %d io.mem_limit %d, want %d", rs.ID, rs.IO.MemLimit, perReplica)
+		}
+		if rs.IO.MemHighWater > perReplica {
+			t.Errorf("replica %d residency %d exceeds its share %d", rs.ID, rs.IO.MemHighWater, perReplica)
+		}
+	}
+}
+
+// TestServeMemBudgetTooSmallFailsStartup: a share below one CPI's
+// residency cannot run a pipeline; Serve must refuse to come up rather
+// than deadlock on first ingest.
+func TestServeMemBudgetTooSmallFailsStartup(t *testing.T) {
+	cfg := testServerConfig()
+	cfg.Replicas = 2
+	cfg.MemBudget = pipexec.MinResidency(&cfg.Params) // halved per replica: too small
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err == nil {
+		srv.Kill()
+		t.Fatal("server started with an inadmissible per-replica budget")
+	}
+}

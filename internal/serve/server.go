@@ -12,6 +12,7 @@ import (
 
 	"stapio/internal/core"
 	"stapio/internal/cube"
+	"stapio/internal/membudget"
 	"stapio/internal/pipexec"
 	"stapio/internal/stap"
 	"stapio/internal/tune"
@@ -44,6 +45,13 @@ type Config struct {
 	// across (values < 1 mean 1). Each replica is an independent
 	// pipexec.Stream with its own weight-feedback chain.
 	Replicas int
+	// MemBudget caps the server's tracked cube/intermediate residency in
+	// bytes: a server-wide membudget root is split evenly into per-replica
+	// children, so one replica's ingest burst cannot starve its
+	// neighbours. 0 means unlimited (accounting still runs, so /stats
+	// reports residency either way). Each replica's share must cover at
+	// least one CPI's residency (pipexec.MinResidency) or Serve fails.
+	MemBudget int64
 	// MaxInFlight bounds the CPIs admitted but not yet answered — the
 	// admission-control depth. A submit that finds no free slot is
 	// rejected with CodeOverloaded. Values < 1 mean 4 per replica.
@@ -124,6 +132,10 @@ type Server struct {
 	replicas []*replica
 	rr       atomic.Uint64
 
+	// budget is the server-wide memory budget root; each replica pipeline
+	// charges a per-replica child (see Config.MemBudget).
+	budget *membudget.Budget
+
 	// tokens is the admission semaphore: one token per in-flight CPI,
 	// acquired at submit acceptance (including CPIs parked awaiting
 	// repair) and released when the CPI is answered.
@@ -180,10 +192,21 @@ func (s *Server) Start(addr string) error {
 // Serve is Start over an existing listener. It returns once the service is
 // accepting (the accept loop runs in the background; Shutdown stops it).
 func (s *Server) Serve(ln net.Listener) error {
-	for i := 0; i < s.cfg.replicas(); i++ {
+	// One budget tree for the whole service: the root carries the
+	// server-wide cap, each replica charges a per-replica child, so the
+	// /stats root view aggregates live residency across replicas while
+	// each child bounds its own pipeline's admission.
+	replicas := s.cfg.replicas()
+	var perReplica int64
+	if s.cfg.MemBudget > 0 {
+		perReplica = s.cfg.MemBudget / int64(replicas)
+	}
+	s.budget = membudget.New("serve", s.cfg.MemBudget)
+	for i := 0; i < replicas; i++ {
 		// Built per replica so each gets its own tuner config clone and its
 		// own slab pool (StreamSource pools decoded cubes internally).
 		pc := replicaConfig(s.cfg)
+		pc.MemBudget = s.budget.Child(fmt.Sprintf("replica%d", i), perReplica)
 		src := pipexec.NewStreamSource(s.cfg.Params.Dims)
 		r, err := startReplica(s.ctx, i, pc, src, s.finishJob)
 		if err != nil {

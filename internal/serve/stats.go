@@ -75,6 +75,16 @@ type Stats struct {
 	InFlight    int64 `json:"in_flight"`
 	MaxInFlight int   `json:"max_in_flight"`
 
+	// MemBudget is the configured server-wide residency cap (0 =
+	// unlimited); MemInUse/MemHighWater aggregate the live and peak
+	// tracked bytes across every replica; MemStalls counts reservations
+	// that had to wait for budget anywhere in the tree. Per-replica
+	// breakdowns ride in each replica's "io" block.
+	MemBudget    int64 `json:"mem_budget"`
+	MemInUse     int64 `json:"mem_in_use"`
+	MemHighWater int64 `json:"mem_high_water"`
+	MemStalls    int64 `json:"mem_stalls"`
+
 	Accepted    int64 `json:"accepted"`
 	Completed   int64 `json:"completed"`
 	ResultsSent int64 `json:"results_sent"`
@@ -128,6 +138,13 @@ func (s *Server) Stats() Stats {
 		StreamedCPIs:        s.stats.streamedCPIs.Load(),
 		StreamedChunks:      s.stats.streamedChunks.Load(),
 		StreamMaxFrameBytes: s.stats.streamMaxFrame.Load(),
+	}
+	if s.budget != nil {
+		ms := s.budget.Stats()
+		st.MemBudget = s.cfg.MemBudget
+		st.MemInUse = ms.InUse
+		st.MemHighWater = ms.HighWater
+		st.MemStalls = ms.Stalls
 	}
 	for _, r := range s.replicas {
 		rs := ReplicaStats{

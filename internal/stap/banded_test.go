@@ -1,0 +1,198 @@
+package stap
+
+import (
+	"testing"
+
+	"stapio/internal/cube"
+)
+
+// bandedTestCube builds a deterministic cube with non-trivial structure
+// across all three axes.
+func bandedTestCube(d cube.Dims) *cube.Cube {
+	cb := cube.New(d)
+	for i := range cb.Data {
+		c, p, r := d.Coords(i)
+		cb.Data[i] = complex64(complex(float32(c+1)*0.25+float32(r)*0.01, float32(p)*0.125-float32(r)*0.005))
+	}
+	return cb
+}
+
+func bandedTestParams(t *testing.T) *Params {
+	t.Helper()
+	p := DefaultParams(cube.Dims{Channels: 4, Pulses: 16, Ranges: 53})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return &p
+}
+
+// bandSizes exercises the edge geometries: single-gate bands, a size that
+// does not divide the range extent, and the degenerate full-extent band.
+func bandSizes(ranges int) []int {
+	return []int{1, 7, 16, ranges - 1, ranges}
+}
+
+// TestDopplerFilterBandMatchesFull pins the banded contract for the
+// Doppler kernel: filtering band slabs reproduces the full-cube filter
+// bit for bit.
+func TestDopplerFilterBandMatchesFull(t *testing.T) {
+	p := bandedTestParams(t)
+	cb := bandedTestCube(p.Dims)
+	want, err := DopplerFilter(p, cb, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, band := range bandSizes(p.Dims.Ranges) {
+		slab := cube.New(cube.Dims{Channels: p.Dims.Channels, Pulses: p.Dims.Pulses, Ranges: band})
+		sc := NewDopplerScratch(p)
+		for lo := 0; lo < p.Dims.Ranges; lo += band {
+			hi := lo + band
+			if hi > p.Dims.Ranges {
+				hi = p.Dims.Ranges
+			}
+			bslab := slab
+			if hi-lo != band {
+				bslab = cube.New(cube.Dims{Channels: p.Dims.Channels, Pulses: p.Dims.Pulses, Ranges: hi - lo})
+			}
+			if err := CopyBand(bslab, cb, lo); err != nil {
+				t.Fatal(err)
+			}
+			out := NewDopplerCubeBand(p, hi-lo)
+			if err := DopplerFilterBand(p, bslab, cube.Block{Lo: 0, Hi: hi - lo}, out, sc); err != nil {
+				t.Fatal(err)
+			}
+			for d := 0; d < want.Bins; d++ {
+				for r := lo; r < hi; r++ {
+					ws, gs := want.Snapshot(d, r), out.Snapshot(d, r-lo)
+					for k := range ws {
+						if ws[k] != gs[k] {
+							t.Fatalf("band %d: snapshot (%d,%d)[%d] = %v, want %v", band, d, r, k, gs[k], ws[k])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCovAccumulatorMatchesEstimate pins the banded covariance contract:
+// accumulating band slabs in ascending range order reproduces
+// EstimateCovariances bit for bit, for both bin sets.
+func TestCovAccumulatorMatchesEstimate(t *testing.T) {
+	p := bandedTestParams(t)
+	cb := bandedTestCube(p.Dims)
+	dc, err := DopplerFilter(p, cb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hard := range []bool{false, true} {
+		bins := p.EasyBins()
+		if hard {
+			bins = p.HardBins()
+		}
+		want, err := EstimateCovariances(p, dc, bins, hard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, band := range bandSizes(p.Dims.Ranges) {
+			acc, err := NewCovAccumulator(p, bins, hard)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for lo := 0; lo < p.Dims.Ranges; lo += band {
+				hi := lo + band
+				if hi > p.Dims.Ranges {
+					hi = p.Dims.Ranges
+				}
+				out := NewDopplerCubeBand(p, hi-lo)
+				slab := cube.New(cube.Dims{Channels: p.Dims.Channels, Pulses: p.Dims.Pulses, Ranges: hi - lo})
+				if err := CopyBand(slab, cb, lo); err != nil {
+					t.Fatal(err)
+				}
+				if err := DopplerFilterBand(p, slab, cube.Block{Lo: 0, Hi: hi - lo}, out, nil); err != nil {
+					t.Fatal(err)
+				}
+				// Split the bin set into two blocks to exercise the
+				// concurrent-bin-block path of the API.
+				mid := len(bins) / 2
+				if err := acc.AddBand(out, lo, cube.Block{Lo: 0, Hi: mid}); err != nil {
+					t.Fatal(err)
+				}
+				if err := acc.AddBand(out, lo, cube.Block{Lo: mid, Hi: len(bins)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := acc.Finish()
+			if err != nil {
+				t.Fatalf("band %d hard=%v: %v", band, hard, err)
+			}
+			for i := range want {
+				for j := range want[i].Data {
+					if want[i].Data[j] != got[i].Data[j] {
+						t.Fatalf("band %d hard=%v: cov[%d].Data[%d] = %v, want %v",
+							band, hard, i, j, got[i].Data[j], want[i].Data[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCovAccumulatorDetectsMissingBand pins Finish's coverage check.
+func TestCovAccumulatorDetectsMissingBand(t *testing.T) {
+	p := bandedTestParams(t)
+	acc, err := NewCovAccumulator(p, p.EasyBins(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc.Finish(); err == nil {
+		t.Fatal("Finish with no bands fed should fail")
+	}
+}
+
+// TestBeamformBandMatchesFull pins the banded beamforming contract.
+func TestBeamformBandMatchesFull(t *testing.T) {
+	p := bandedTestParams(t)
+	cb := bandedTestCube(p.Dims)
+	dc, err := DopplerFilter(p, cb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	easy, hard := p.EasyBins(), p.HardBins()
+	we, wh := InitialWeights(p, easy), InitialWeights(p, hard)
+	want := NewBeamCube(p)
+	if err := Beamform(p, dc, we, easy, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := Beamform(p, dc, wh, hard, want); err != nil {
+		t.Fatal(err)
+	}
+	for _, band := range bandSizes(p.Dims.Ranges) {
+		got := NewBeamCube(p)
+		for lo := 0; lo < p.Dims.Ranges; lo += band {
+			hi := lo + band
+			if hi > p.Dims.Ranges {
+				hi = p.Dims.Ranges
+			}
+			out := NewDopplerCubeBand(p, hi-lo)
+			slab := cube.New(cube.Dims{Channels: p.Dims.Channels, Pulses: p.Dims.Pulses, Ranges: hi - lo})
+			if err := CopyBand(slab, cb, lo); err != nil {
+				t.Fatal(err)
+			}
+			if err := DopplerFilterBand(p, slab, cube.Block{Lo: 0, Hi: hi - lo}, out, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := BeamformBand(p, out, we, easy, lo, got); err != nil {
+				t.Fatal(err)
+			}
+			if err := BeamformBand(p, out, wh, hard, lo, got); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				t.Fatalf("band %d: beam data[%d] = %v, want %v", band, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}

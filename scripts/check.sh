@@ -13,5 +13,10 @@ else
 fi
 go build ./...
 go test -race ./...
+# Small-budget smoke: the pipeline under a budget barely above its minimum
+# residency must complete (serializing, never deadlocking), and the banded
+# executor must finish in less memory than even one cube's residency.
+go run ./cmd/stapdetect -small -cpis 4 -membudget 200K >/dev/null
+go run ./cmd/stapdetect -small -cpis 4 -membudget 100K -band 16 >/dev/null
 sh scripts/serve_smoke.sh
 sh scripts/chaos_smoke.sh
