@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench benchjson bench5 bench6 bench7 bench8 benchregress smoke
+.PHONY: all build vet test race check bench benchjson bench5 bench6 bench7 bench8 bench9 benchregress smoke
 
 all: check
 
@@ -60,6 +60,17 @@ bench7:
 # residency. Median of three runs.
 bench8:
 	$(GO) run ./cmd/benchjson -bench 'BenchmarkOutOfCore' -benchtime 1x -repeat 3 -o BENCH_8.json
+
+# Refresh the committed blocked-kernel record: the compute kernel
+# microbenchmarks (FFT, Doppler, covariance, weights, beamform, pulse
+# compression) plus the real-pipeline I/O designs at the default benchtime,
+# and the autotuner sweep at one-CPI granularity, merged into one artifact.
+# Median of three runs each; the existing before section is preserved.
+bench9:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkKernel|BenchmarkRealPipelineIODesigns' -repeat 3 -o .bench9-kernels.tmp.json
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkAutoTune' -benchtime 1x -repeat 3 -o .bench9-autotune.tmp.json
+	$(GO) run ./cmd/benchjson -merge .bench9-kernels.tmp.json,.bench9-autotune.tmp.json -keep-before -o BENCH_9.json
+	rm -f .bench9-kernels.tmp.json .bench9-autotune.tmp.json
 
 # Rerun the sweep and diff its steady throughput against the committed
 # baselines. The embedded-I/O scenarios are gated (>25% loss fails); the

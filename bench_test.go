@@ -448,6 +448,7 @@ func BenchmarkKernelBeamform(b *testing.B) {
 	easy := stap.InitialWeights(&p, p.EasyBins())
 	hard := stap.InitialWeights(&p, p.HardBins())
 	bc := stap.NewBeamCube(&p)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := stap.Beamform(&p, dc, easy, p.EasyBins(), bc); err != nil {
@@ -456,6 +457,38 @@ func BenchmarkKernelBeamform(b *testing.B) {
 		if err := stap.Beamform(&p, dc, hard, p.HardBins(), bc); err != nil {
 			b.Fatal(err)
 		}
+	}
+	// CPIs/s lets benchdiff gate this kernel alongside the pipeline runs.
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "CPIs/s")
+}
+
+// BenchmarkKernelCovariance measures the covariance estimation half of
+// tasks 1 and 2 in isolation: the panel-packed Hermitian accumulation,
+// without the solve that ComputeWeights adds on top.
+func BenchmarkKernelCovariance(b *testing.B) {
+	p := benchParams()
+	cb := benchCube(b, p)
+	dc, err := stap.DopplerFilter(&p, cb, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []struct {
+		name string
+		bins []int
+		hard bool
+	}{
+		{"easy", p.EasyBins(), false},
+		{"hard", p.HardBins(), true},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := stap.EstimateCovariances(&p, dc, c.bins, c.hard); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "CPIs/s")
+		})
 	}
 }
 

@@ -7,6 +7,7 @@
 //	benchjson -before before.json -o BENCH.json    # embed a before section
 //	benchjson -keep-before -o BENCH.json           # refresh "after", keep "before"
 //	benchjson -repeat 5 -o BENCH.json              # median of 5 runs, with min/max spread
+//	benchjson -merge a.json,b.json -o BENCH.json   # combine saved reports, run nothing
 //
 // The -before file may be either a JSON report produced by this tool or raw
 // `go test -bench` text; the format is sniffed.
@@ -30,7 +31,7 @@ import (
 // defaultBench selects the kernel and real-pipeline benchmarks — the hot
 // path this repository's performance work targets — rather than the full
 // table/figure regeneration suite, which takes far longer.
-const defaultBench = `BenchmarkKernelFFT|BenchmarkKernelDoppler|BenchmarkKernelPulseCompressionCFAR|BenchmarkRealPipeline$|BenchmarkRealPipelineIODesigns|BenchmarkRealPipelineReadahead`
+const defaultBench = `BenchmarkKernelFFT|BenchmarkKernelDoppler|BenchmarkKernelWeights|BenchmarkKernelCovariance|BenchmarkKernelBeamform|BenchmarkKernelPulseCompressionCFAR|BenchmarkRealPipeline$|BenchmarkRealPipelineIODesigns|BenchmarkRealPipelineReadahead`
 
 // Bench is one benchmark result line. With -repeat, Metrics holds the
 // per-metric median across runs and Min/Max the spread — the median is the
@@ -66,6 +67,7 @@ func main() {
 		benchtime  = flag.String("benchtime", "0.5s", "go test -benchtime value")
 		pkg        = flag.String("pkg", ".", "package to benchmark")
 		parse      = flag.String("parse", "", "parse this saved `go test -bench` output instead of running benchmarks")
+		merge      = flag.String("merge", "", "comma-separated saved reports to concatenate into the after section instead of running benchmarks")
 		before     = flag.String("before", "", "baseline file (JSON report or raw bench text) embedded as the before section")
 		keepBefore = flag.Bool("keep-before", false, "preserve the before section of an existing -o file")
 		repeat     = flag.Int("repeat", 1, "run the suite this many times; report the per-metric median with min/max spread")
@@ -77,9 +79,12 @@ func main() {
 		after *Report
 		err   error
 	)
-	if *parse != "" {
+	switch {
+	case *merge != "":
+		after, err = mergeReports(strings.Split(*merge, ","))
+	case *parse != "":
 		after, err = loadReport(*parse)
-	} else {
+	default:
 		runs := make([]*Report, 0, *repeat)
 		for i := 0; i < *repeat || len(runs) == 0; i++ {
 			if *repeat > 1 {
@@ -129,6 +134,38 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(after.Benchmarks), *out)
+}
+
+// mergeReports concatenates saved reports into one, in argument order.
+// Different suites run at different benchtimes (the kernel microbenchmarks
+// versus the one-CPI-granular tuner sweeps) land in separate files; merging
+// them afterwards yields the single committed artifact. Go/CPU/Runs come
+// from the first report; a benchmark name appearing twice is an error, so
+// the same suite cannot be merged in at two different settings unnoticed.
+func mergeReports(paths []string) (*Report, error) {
+	var merged *Report
+	seen := make(map[string]string)
+	for _, path := range paths {
+		path = strings.TrimSpace(path)
+		rep, err := loadReport(path)
+		if err != nil {
+			return nil, fmt.Errorf("merging %s: %w", path, err)
+		}
+		if merged == nil {
+			merged = &Report{Go: rep.Go, CPU: rep.CPU, Runs: rep.Runs}
+		}
+		for _, b := range rep.Benchmarks {
+			if prev, dup := seen[b.Name]; dup {
+				return nil, fmt.Errorf("merging %s: %s already present from %s", path, b.Name, prev)
+			}
+			seen[b.Name] = path
+			merged.Benchmarks = append(merged.Benchmarks, b)
+		}
+	}
+	if merged == nil {
+		return nil, fmt.Errorf("-merge needs at least one report")
+	}
+	return merged, nil
 }
 
 // aggregateReports folds repeated runs of the same suite into one report:

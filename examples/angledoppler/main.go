@@ -47,9 +47,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	m.Centre()
 	hm := &report.Heatmap{
 		Title:    "Angle-Doppler map at range gate 64 (rows: sin angle -1..+1, cols: Doppler bins)",
-		ColLabel: "Doppler bins 0..N (wrapping at N/2 to negative Doppler)",
+		ColLabel: "Doppler bins in centred order (negative Doppler left, zero centre)",
 		FloorDB:  35,
 		Values:   m.Power,
 	}

@@ -1,0 +1,148 @@
+package linalg
+
+import "math"
+
+// Conjugated-dot panel kernels: the beamforming inner loop. For each of n
+// rows, row r of the panel is the snapshot panel[r*stride : r*stride+dof],
+// and each output o_b[r] is the MVDR beam sample conj(w_b) . snap.
+//
+// The reduction order is part of the pipeline's determinism contract and
+// is the same on every platform and code path: each product conj(w[k])*s
+// is folded through four fused lanes per beam,
+//
+//	p0 = fma(wr, sr, p0)   p1 = fma(wi, si, p1)
+//	q0 = fma(wr, si, q0)   q1 = fma(wi, sr, q1)
+//
+// over ascending k, and combined once per output as (p0+p1, q0-q1). The
+// amd64 path keeps the (p, q) lane pairs in xmm registers and runs the
+// same fused multiply-adds with VFMADD231PD; math.FMA is correctly
+// rounded everywhere, and hardware FMA is the same correctly rounded
+// operation, so the two implementations agree bit for bit (the asm/generic
+// equivalence test pins this).
+
+// ConjDotPanel computes o[b][r] = conj(w[b]) . panel[r*stride : +dof] for
+// every beam b and row r in [0, n). Beams are processed in strips of up to
+// three so each loaded snapshot element feeds all strip accumulators.
+// Panics if a weight or output slice is shorter than dof or n.
+func ConjDotPanel(panel []complex128, stride, dof, n int, w, o [][]complex128) {
+	if len(w) != len(o) {
+		panic("linalg: ConjDotPanel weight/output count mismatch")
+	}
+	for b := 0; b < len(w); b += 3 {
+		switch len(w) - b {
+		case 1:
+			ConjDotPanel1(panel, stride, dof, n, w[b], o[b])
+		case 2:
+			ConjDotPanel2(panel, stride, dof, n, w[b], w[b+1], o[b], o[b+1])
+		default:
+			ConjDotPanel3(panel, stride, dof, n, w[b], w[b+1], w[b+2], o[b], o[b+1], o[b+2])
+		}
+	}
+}
+
+// checkConjDot bounds-checks the panel extent once up front, so the
+// kernels can run unchecked.
+func checkConjDot(panel []complex128, stride, dof, n int) {
+	if dof > stride {
+		panic("linalg: conj-dot dof exceeds panel stride")
+	}
+	if n > 0 && dof > 0 {
+		_ = panel[(n-1)*stride+dof-1]
+	}
+}
+
+// ConjDotPanel1 is the one-beam strip: o0[r] = conj(w0) . row r.
+func ConjDotPanel1(panel []complex128, stride, dof, n int, w0, o0 []complex128) {
+	checkConjDot(panel, stride, dof, n)
+	conjDotPanel1(panel, stride, dof, n, w0[:dof], o0[:n])
+}
+
+// ConjDotPanel2 is the two-beam strip sharing each snapshot load.
+func ConjDotPanel2(panel []complex128, stride, dof, n int, w0, w1, o0, o1 []complex128) {
+	checkConjDot(panel, stride, dof, n)
+	conjDotPanel2(panel, stride, dof, n, w0[:dof], w1[:dof], o0[:n], o1[:n])
+}
+
+// ConjDotPanel3 is the three-beam strip sharing each snapshot load.
+func ConjDotPanel3(panel []complex128, stride, dof, n int, w0, w1, w2, o0, o1, o2 []complex128) {
+	checkConjDot(panel, stride, dof, n)
+	conjDotPanel3(panel, stride, dof, n, w0[:dof], w1[:dof], w2[:dof], o0[:n], o1[:n], o2[:n])
+}
+
+func conjDotPanel1Generic(panel []complex128, stride, dof, n int, w0, o0 []complex128) {
+	w0 = w0[:dof]
+	for r := 0; r < n; r++ {
+		snap := panel[r*stride : r*stride+dof : r*stride+dof]
+		var p0, p1, q0, q1 float64
+		for k, s := range snap {
+			sr, si := real(s), imag(s)
+			wv := w0[k]
+			wr, wi := real(wv), imag(wv)
+			p0 = math.FMA(wr, sr, p0)
+			p1 = math.FMA(wi, si, p1)
+			q0 = math.FMA(wr, si, q0)
+			q1 = math.FMA(wi, sr, q1)
+		}
+		o0[r] = complex(p0+p1, q0-q1)
+	}
+}
+
+func conjDotPanel2Generic(panel []complex128, stride, dof, n int, w0, w1, o0, o1 []complex128) {
+	w0, w1 = w0[:dof], w1[:dof]
+	for r := 0; r < n; r++ {
+		snap := panel[r*stride : r*stride+dof : r*stride+dof]
+		var p00, p01, q00, q01 float64
+		var p10, p11, q10, q11 float64
+		for k, s := range snap {
+			sr, si := real(s), imag(s)
+			wv := w0[k]
+			wr, wi := real(wv), imag(wv)
+			p00 = math.FMA(wr, sr, p00)
+			p01 = math.FMA(wi, si, p01)
+			q00 = math.FMA(wr, si, q00)
+			q01 = math.FMA(wi, sr, q01)
+			wv = w1[k]
+			wr, wi = real(wv), imag(wv)
+			p10 = math.FMA(wr, sr, p10)
+			p11 = math.FMA(wi, si, p11)
+			q10 = math.FMA(wr, si, q10)
+			q11 = math.FMA(wi, sr, q11)
+		}
+		o0[r] = complex(p00+p01, q00-q01)
+		o1[r] = complex(p10+p11, q10-q11)
+	}
+}
+
+func conjDotPanel3Generic(panel []complex128, stride, dof, n int, w0, w1, w2, o0, o1, o2 []complex128) {
+	w0, w1, w2 = w0[:dof], w1[:dof], w2[:dof]
+	for r := 0; r < n; r++ {
+		snap := panel[r*stride : r*stride+dof : r*stride+dof]
+		var p00, p01, q00, q01 float64
+		var p10, p11, q10, q11 float64
+		var p20, p21, q20, q21 float64
+		for k, s := range snap {
+			sr, si := real(s), imag(s)
+			wv := w0[k]
+			wr, wi := real(wv), imag(wv)
+			p00 = math.FMA(wr, sr, p00)
+			p01 = math.FMA(wi, si, p01)
+			q00 = math.FMA(wr, si, q00)
+			q01 = math.FMA(wi, sr, q01)
+			wv = w1[k]
+			wr, wi = real(wv), imag(wv)
+			p10 = math.FMA(wr, sr, p10)
+			p11 = math.FMA(wi, si, p11)
+			q10 = math.FMA(wr, si, q10)
+			q11 = math.FMA(wi, sr, q11)
+			wv = w2[k]
+			wr, wi = real(wv), imag(wv)
+			p20 = math.FMA(wr, sr, p20)
+			p21 = math.FMA(wi, si, p21)
+			q20 = math.FMA(wr, si, q20)
+			q21 = math.FMA(wi, sr, q21)
+		}
+		o0[r] = complex(p00+p01, q00-q01)
+		o1[r] = complex(p10+p11, q10-q11)
+		o2[r] = complex(p20+p21, q20-q21)
+	}
+}

@@ -1,0 +1,52 @@
+//go:build amd64
+
+package linalg
+
+// Implemented in cpuid_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// hasFMA reports whether the CPU supports the AVX+FMA kernels and the OS
+// has enabled the extended vector state. The fused lanes the asm kernels
+// run are the same correctly rounded operations as math.FMA, so the choice
+// of path never changes a single output bit — only how fast it is.
+var hasFMA = func() bool {
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	const fma = 1 << 12
+	_, _, c, _ := cpuid(1, 0)
+	if c&(osxsave|avx|fma) != osxsave|avx|fma {
+		return false
+	}
+	lo, _ := xgetbv()
+	return lo&6 == 6 // XMM and YMM state saved/restored by the OS
+}()
+
+// Implemented in conjdot_amd64.s.
+func conjDotPanel1Asm(panel *complex128, stride, dof, n int, w0, o0 *complex128)
+func conjDotPanel2Asm(panel *complex128, stride, dof, n int, w0, w1, o0, o1 *complex128)
+func conjDotPanel3Asm(panel *complex128, stride, dof, n int, w0, w1, w2, o0, o1, o2 *complex128)
+
+func conjDotPanel1(panel []complex128, stride, dof, n int, w0, o0 []complex128) {
+	if !hasFMA || dof == 0 || n == 0 {
+		conjDotPanel1Generic(panel, stride, dof, n, w0, o0)
+		return
+	}
+	conjDotPanel1Asm(&panel[0], stride, dof, n, &w0[0], &o0[0])
+}
+
+func conjDotPanel2(panel []complex128, stride, dof, n int, w0, w1, o0, o1 []complex128) {
+	if !hasFMA || dof == 0 || n == 0 {
+		conjDotPanel2Generic(panel, stride, dof, n, w0, w1, o0, o1)
+		return
+	}
+	conjDotPanel2Asm(&panel[0], stride, dof, n, &w0[0], &w1[0], &o0[0], &o1[0])
+}
+
+func conjDotPanel3(panel []complex128, stride, dof, n int, w0, w1, w2, o0, o1, o2 []complex128) {
+	if !hasFMA || dof == 0 || n == 0 {
+		conjDotPanel3Generic(panel, stride, dof, n, w0, w1, w2, o0, o1, o2)
+		return
+	}
+	conjDotPanel3Asm(&panel[0], stride, dof, n, &w0[0], &w1[0], &w2[0], &o0[0], &o1[0], &o2[0])
+}

@@ -1,0 +1,185 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// Conjugated-dot panel kernels (see conjdot.go for the reduction
+// contract). Each complex128 is one xmm register: lane 0 real, lane 1
+// imag. Per (beam, k) step the kernels run two packed fused
+// multiply-adds,
+//
+//	P += [wr, wi] * [sr, si]   (lanes p0, p1)
+//	Q += [wr, wi] * [si, sr]   (lanes q0, q1)
+//
+// and combine each accumulator pair once per row as (p0+p1, q0-q1) —
+// exactly the math.FMA lanes of the generic path, so asm and generic
+// agree bit for bit. Register plan: SI panel row, DI k byte offset,
+// AX stride bytes, CX dof bytes, DX rows remaining, R8-R10 weights,
+// R11-R13 outputs. Callers guarantee dof > 0 and n > 0.
+
+// func conjDotPanel1Asm(panel *complex128, stride, dof, n int, w0, o0 *complex128)
+TEXT ·conjDotPanel1Asm(SB), NOSPLIT, $0-48
+	MOVQ panel+0(FP), SI
+	MOVQ stride+8(FP), AX
+	SHLQ $4, AX
+	MOVQ dof+16(FP), CX
+	SHLQ $4, CX
+	MOVQ n+24(FP), DX
+	MOVQ w0+32(FP), R8
+	MOVQ o0+40(FP), R11
+
+r1:
+	TESTQ DX, DX
+	JZ   done1
+	VXORPD X0, X0, X0
+	VXORPD X1, X1, X1
+	XORQ DI, DI
+
+k1:
+	VMOVUPD (SI)(DI*1), X6
+	VPERMILPD $1, X6, X7
+	VMOVUPD (R8)(DI*1), X8
+	VFMADD231PD X6, X8, X0
+	VFMADD231PD X7, X8, X1
+	ADDQ $16, DI
+	CMPQ DI, CX
+	JL   k1
+
+	VPERMILPD $1, X0, X6
+	VADDSD X6, X0, X0
+	VPERMILPD $1, X1, X7
+	VSUBSD X7, X1, X1
+	VUNPCKLPD X1, X0, X0
+	VMOVUPD X0, (R11)
+	ADDQ AX, SI
+	ADDQ $16, R11
+	DECQ DX
+	JMP  r1
+
+done1:
+	RET
+
+// func conjDotPanel2Asm(panel *complex128, stride, dof, n int, w0, w1, o0, o1 *complex128)
+TEXT ·conjDotPanel2Asm(SB), NOSPLIT, $0-64
+	MOVQ panel+0(FP), SI
+	MOVQ stride+8(FP), AX
+	SHLQ $4, AX
+	MOVQ dof+16(FP), CX
+	SHLQ $4, CX
+	MOVQ n+24(FP), DX
+	MOVQ w0+32(FP), R8
+	MOVQ w1+40(FP), R9
+	MOVQ o0+48(FP), R11
+	MOVQ o1+56(FP), R12
+
+r2:
+	TESTQ DX, DX
+	JZ   done2
+	VXORPD X0, X0, X0
+	VXORPD X1, X1, X1
+	VXORPD X2, X2, X2
+	VXORPD X3, X3, X3
+	XORQ DI, DI
+
+k2:
+	VMOVUPD (SI)(DI*1), X6
+	VPERMILPD $1, X6, X7
+	VMOVUPD (R8)(DI*1), X8
+	VFMADD231PD X6, X8, X0
+	VFMADD231PD X7, X8, X1
+	VMOVUPD (R9)(DI*1), X9
+	VFMADD231PD X6, X9, X2
+	VFMADD231PD X7, X9, X3
+	ADDQ $16, DI
+	CMPQ DI, CX
+	JL   k2
+
+	VPERMILPD $1, X0, X6
+	VADDSD X6, X0, X0
+	VPERMILPD $1, X1, X7
+	VSUBSD X7, X1, X1
+	VUNPCKLPD X1, X0, X0
+	VMOVUPD X0, (R11)
+	VPERMILPD $1, X2, X6
+	VADDSD X6, X2, X2
+	VPERMILPD $1, X3, X7
+	VSUBSD X7, X3, X3
+	VUNPCKLPD X3, X2, X2
+	VMOVUPD X2, (R12)
+	ADDQ AX, SI
+	ADDQ $16, R11
+	ADDQ $16, R12
+	DECQ DX
+	JMP  r2
+
+done2:
+	RET
+
+// func conjDotPanel3Asm(panel *complex128, stride, dof, n int, w0, w1, w2, o0, o1, o2 *complex128)
+TEXT ·conjDotPanel3Asm(SB), NOSPLIT, $0-80
+	MOVQ panel+0(FP), SI
+	MOVQ stride+8(FP), AX
+	SHLQ $4, AX
+	MOVQ dof+16(FP), CX
+	SHLQ $4, CX
+	MOVQ n+24(FP), DX
+	MOVQ w0+32(FP), R8
+	MOVQ w1+40(FP), R9
+	MOVQ w2+48(FP), R10
+	MOVQ o0+56(FP), R11
+	MOVQ o1+64(FP), R12
+	MOVQ o2+72(FP), R13
+
+r3:
+	TESTQ DX, DX
+	JZ   done3
+	VXORPD X0, X0, X0
+	VXORPD X1, X1, X1
+	VXORPD X2, X2, X2
+	VXORPD X3, X3, X3
+	VXORPD X4, X4, X4
+	VXORPD X5, X5, X5
+	XORQ DI, DI
+
+k3:
+	VMOVUPD (SI)(DI*1), X6
+	VPERMILPD $1, X6, X7
+	VMOVUPD (R8)(DI*1), X8
+	VFMADD231PD X6, X8, X0
+	VFMADD231PD X7, X8, X1
+	VMOVUPD (R9)(DI*1), X9
+	VFMADD231PD X6, X9, X2
+	VFMADD231PD X7, X9, X3
+	VMOVUPD (R10)(DI*1), X10
+	VFMADD231PD X6, X10, X4
+	VFMADD231PD X7, X10, X5
+	ADDQ $16, DI
+	CMPQ DI, CX
+	JL   k3
+
+	VPERMILPD $1, X0, X6
+	VADDSD X6, X0, X0
+	VPERMILPD $1, X1, X7
+	VSUBSD X7, X1, X1
+	VUNPCKLPD X1, X0, X0
+	VMOVUPD X0, (R11)
+	VPERMILPD $1, X2, X6
+	VADDSD X6, X2, X2
+	VPERMILPD $1, X3, X7
+	VSUBSD X7, X3, X3
+	VUNPCKLPD X3, X2, X2
+	VMOVUPD X2, (R12)
+	VPERMILPD $1, X4, X6
+	VADDSD X6, X4, X4
+	VPERMILPD $1, X5, X7
+	VSUBSD X7, X5, X5
+	VUNPCKLPD X5, X4, X4
+	VMOVUPD X4, (R13)
+	ADDQ AX, SI
+	ADDQ $16, R11
+	ADDQ $16, R12
+	ADDQ $16, R13
+	DECQ DX
+	JMP  r3
+
+done3:
+	RET

@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package linalg
+
+func conjDotPanel1(panel []complex128, stride, dof, n int, w0, o0 []complex128) {
+	conjDotPanel1Generic(panel, stride, dof, n, w0, o0)
+}
+
+func conjDotPanel2(panel []complex128, stride, dof, n int, w0, w1, o0, o1 []complex128) {
+	conjDotPanel2Generic(panel, stride, dof, n, w0, w1, o0, o1)
+}
+
+func conjDotPanel3(panel []complex128, stride, dof, n int, w0, w1, w2, o0, o1, o2 []complex128) {
+	conjDotPanel3Generic(panel, stride, dof, n, w0, w1, w2, o0, o1, o2)
+}

@@ -226,6 +226,7 @@ func workersOf(n int) int {
 func (b *bandedRun) processCPI(src BandedSource, seq uint64) (CPIResult, error) {
 	p := b.p
 	start := time.Now()
+	b.bc.Seq = seq // CFAR stamps this into every detection
 	for lo := 0; lo < p.Dims.Ranges; lo += b.band {
 		hi := lo + b.band
 		slab, dop := b.slab, b.dop

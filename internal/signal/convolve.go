@@ -31,6 +31,7 @@ type FastConvolver struct {
 	m      int // padded FFT length
 	hfft   []complex128
 	buf    []complex128
+	bufs   [][]complex128 // batch scratch; bufs[0] == buf
 	outLen int
 }
 
@@ -44,13 +45,24 @@ func NewFastConvolver(n int, h []complex128) *FastConvolver {
 	hf := make([]complex128, m)
 	copy(hf, h)
 	FFT(hf)
-	return &FastConvolver{
+	fc := &FastConvolver{
 		n:      n,
 		hLen:   len(h),
 		m:      m,
 		hfft:   hf,
 		buf:    make([]complex128, m),
 		outLen: outLen,
+	}
+	fc.bufs = [][]complex128{fc.buf}
+	return fc
+}
+
+// EnsureBatch grows the convolver's scratch so MatchedFilterMany can carry
+// up to b signals through one batched transform pass. Shrinking is a
+// no-op. Like all scratch mutation it is not safe concurrently with use.
+func (fc *FastConvolver) EnsureBatch(b int) {
+	for len(fc.bufs) < b {
+		fc.bufs = append(fc.bufs, make([]complex128, fc.m))
 	}
 }
 
@@ -90,11 +102,60 @@ func (fc *FastConvolver) MatchedOutput(full []complex128) []complex128 {
 	return full[fc.hLen-1 : fc.hLen-1+fc.n]
 }
 
+// MatchedFilterMany pulse-compresses every profile in place:
+// prof <- MatchedOutput(Convolve(prof)), each profile of length n. The
+// profiles move through the convolver's batch scratch in chunks (grow the
+// chunk size with EnsureBatch), and within a chunk the forward and inverse
+// transforms run level-major across the batch, walking the shared twiddle
+// tables and the kernel spectrum once per stage instead of once per
+// profile. Each profile's arithmetic is exactly Convolve's, so the
+// compressed values are bit-identical to the one-at-a-time path.
+func (fc *FastConvolver) MatchedFilterMany(profs [][]complex128) {
+	t := tablesFor(fc.m)
+	for len(profs) > 0 {
+		chunk := profs
+		if len(chunk) > len(fc.bufs) {
+			chunk = chunk[:len(fc.bufs)]
+		}
+		profs = profs[len(chunk):]
+		bufs := fc.bufs[:len(chunk)]
+		for i, prof := range chunk {
+			if len(prof) != fc.n {
+				panic(fmt.Sprintf("signal: FastConvolver built for n=%d, got %d", fc.n, len(prof)))
+			}
+			b := bufs[i]
+			copy(b, prof)
+			for j := fc.n; j < fc.m; j++ {
+				b[j] = 0
+			}
+			t.permute(b)
+		}
+		t.stagesMany(bufs, false)
+		for _, b := range bufs {
+			for j := range b {
+				b[j] *= fc.hfft[j]
+			}
+			t.permute(b)
+		}
+		t.stagesMany(bufs, true)
+		inv := float64(fc.m)
+		for i, prof := range chunk {
+			b := bufs[i]
+			for j := range b {
+				b[j] = complex(real(b[j])/inv, imag(b[j])/inv)
+			}
+			copy(prof, b[fc.hLen-1:fc.hLen-1+fc.n])
+		}
+	}
+}
+
 // Clone returns an independent convolver sharing the (immutable)
-// precomputed kernel spectrum but with its own scratch buffer, suitable for
-// use by another goroutine.
+// precomputed kernel spectrum but with its own scratch buffers (including
+// the batch scratch), suitable for use by another goroutine.
 func (fc *FastConvolver) Clone() *FastConvolver {
 	cp := *fc
 	cp.buf = make([]complex128, fc.m)
+	cp.bufs = [][]complex128{cp.buf}
+	cp.EnsureBatch(len(fc.bufs))
 	return &cp
 }

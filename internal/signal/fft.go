@@ -191,11 +191,13 @@ func (p *Plan) Inverse(x []complex128) {
 }
 
 // ForwardMany computes the forward DFT of every buffer in xs in place —
-// the batched form the Doppler task uses to transform the K stagger
-// buffers of one (channel, range) column in a single call. Each buffer
-// must have length Len. It is equivalent to calling Forward on each
-// buffer, but hoists the per-call dispatch and (for power-of-two lengths)
-// walks the shared tables once per batch.
+// the batched form the Doppler task uses to transform the stagger buffers
+// of one (channel, range) column in a single call. Each buffer must have
+// length Len. It is equivalent to calling Forward on each buffer (bit for
+// bit), but for power-of-two lengths the butterfly passes run level-major
+// across the batch: every buffer finishes one stage before the next
+// begins, so each level's twiddle entries are walked while hot instead of
+// once per buffer.
 func (p *Plan) ForwardMany(xs [][]complex128) {
 	if p.pow2 {
 		if p.n <= 1 {
@@ -206,12 +208,56 @@ func (p *Plan) ForwardMany(xs [][]complex128) {
 			if len(x) != p.n {
 				panic(fmt.Sprintf("signal: plan length %d, input length %d", p.n, len(x)))
 			}
-			t.transform(x, false)
+			t.permute(x)
 		}
+		t.stagesMany(xs, false)
 		return
 	}
 	for _, x := range xs {
 		p.Forward(x)
+	}
+}
+
+// ForwardWindowedMany computes, for each i, the forward DFT of the
+// windowed, widened source dsts[i][k] = DFT(complex128(srcs[i][t]) *
+// win[t]) — the Doppler task's batched front end, where srcs are the K
+// staggered views of the channel columns of one range gate. len(win) must
+// be Len and every source at least Len long; each dst must have length
+// Len. For power-of-two lengths the window multiply is fused into the
+// bit-reversal copy (the widened product is scattered directly into
+// bit-reversed order, eliminating the separate permutation pass) and the
+// butterfly stages run level-major across the batch. The output is bit
+// for bit what a widen-and-multiply fill followed by Forward produces.
+func (p *Plan) ForwardWindowedMany(srcs [][]complex64, win []float64, dsts [][]complex128) {
+	if len(srcs) != len(dsts) {
+		panic(fmt.Sprintf("signal: ForwardWindowedMany %d sources for %d outputs", len(srcs), len(dsts)))
+	}
+	if len(win) != p.n {
+		panic(fmt.Sprintf("signal: ForwardWindowedMany window length %d, plan length %d", len(win), p.n))
+	}
+	if p.pow2 {
+		t := tablesFor(p.n)
+		for i, src := range srcs {
+			dst := dsts[i]
+			if len(src) < p.n || len(dst) != p.n {
+				panic(fmt.Sprintf("signal: ForwardWindowedMany buffer %d: len(src)=%d, len(dst)=%d, plan length %d",
+					i, len(src), len(dst), p.n))
+			}
+			t.scatterWindowed(src, win, dst)
+		}
+		t.stagesMany(dsts, false)
+		return
+	}
+	for i, src := range srcs {
+		dst := dsts[i]
+		if len(src) < p.n || len(dst) != p.n {
+			panic(fmt.Sprintf("signal: ForwardWindowedMany buffer %d: len(src)=%d, len(dst)=%d, plan length %d",
+				i, len(src), len(dst), p.n))
+		}
+		for k := 0; k < p.n; k++ {
+			dst[k] = complex128(src[k]) * complex(win[k], 0)
+		}
+		p.Forward(dst)
 	}
 }
 
@@ -267,10 +313,22 @@ func (p *Plan) bluestein(x []complex128) {
 // matching the conventional Doppler spectrum display order. It returns a
 // new slice.
 func FFTShift(x []complex128) []complex128 {
-	n := len(x)
-	out := make([]complex128, n)
-	half := (n + 1) / 2
-	copy(out, x[half:])
-	copy(out[n-half:], x[:half])
+	out := make([]complex128, len(x))
+	FFTShiftInto(x, out)
 	return out
+}
+
+// FFTShiftInto is the allocation-free form of FFTShift: it writes the
+// centre-ordered rotation of src into dst, which must have the same length
+// and must not overlap src. It is generic over the element type because
+// the rotation only moves elements — diagnostics use it both for complex
+// spectra and for real power rows.
+func FFTShiftInto[T any](src, dst []T) {
+	n := len(src)
+	if len(dst) != n {
+		panic(fmt.Sprintf("signal: FFTShiftInto len(dst)=%d, len(src)=%d", len(dst), n))
+	}
+	half := (n + 1) / 2
+	copy(dst, src[half:])
+	copy(dst[n-half:], src[:half])
 }

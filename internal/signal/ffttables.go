@@ -7,13 +7,24 @@ import (
 	"sync"
 )
 
-// fftTables holds the immutable precomputed state for power-of-two radix-2
+// fftTables holds the immutable precomputed state for power-of-two
 // transforms of one length: the bit-reversal permutation and the twiddle
 // factors tw[k] = exp(-2*pi*i*k/n) for k in [0, n/2). Each butterfly reads
 // its twiddle directly from the table (conjugated for inverse transforms)
 // instead of deriving it by the w *= wStep recurrence, which both removes
 // the per-butterfly complex multiply and the O(n) rounding drift the
 // recurrence accumulates across a stage.
+//
+// The butterfly passes run as a radix-2^2 kernel: pairs of radix-2 stages
+// are fused so four elements are loaded, carried through both stages in
+// registers, and stored once — half the loads and stores of the plain
+// radix-2 sweep. The fused pass performs exactly the radix-2 operations in
+// exactly the radix-2 order (the second stage's two twiddles are the table
+// entries tw[2k] would address anyway, the odd one offset by n/4), so its
+// output is bit-identical to two sequential radix-2 stages. That identity
+// is a pinned contract: Doppler spectra, convolution results, and the
+// banded-mode determinism tests all assume the transform of a given input
+// never changes bits.
 //
 // Tables are built once per length, cached process-wide, and never written
 // after publication, so any number of goroutines may transform concurrently
@@ -55,31 +66,127 @@ func tablesFor(n int) *fftTables {
 	return t
 }
 
-// transform runs the in-place radix-2 transform using the tables. The
-// inverse transform is unnormalised (callers divide by n).
-func (t *fftTables) transform(x []complex128, inverse bool) {
-	n := t.n
+// permute applies the bit-reversal permutation in place.
+func (t *fftTables) permute(x []complex128) {
 	for i, jj := range t.rev {
 		if j := int(jj); j > i {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		stride := n / size
-		for start := 0; start < n; start += size {
-			tk := 0
-			for k := 0; k < half; k++ {
-				w := t.tw[tk]
-				if inverse {
-					w = complex(real(w), -imag(w))
-				}
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				tk += stride
+}
+
+// scatterWindowed writes widen(src[i])*win[i] into dst in bit-reversed
+// order — the Doppler window multiply fused into the bit-reversal copy, so
+// the stages can run on dst without a separate permutation pass. The
+// resulting array holds exactly the values a widen+multiply fill followed
+// by permute would, so the transform output is unchanged bit for bit.
+func (t *fftTables) scatterWindowed(src []complex64, win []float64, dst []complex128) {
+	_ = src[len(t.rev)-1]
+	_ = win[len(t.rev)-1]
+	for i, jj := range t.rev {
+		dst[jj] = complex128(src[i]) * complex(win[i], 0)
+	}
+}
+
+// stages runs the butterfly passes over bit-reversal-permuted data. The
+// inverse transform is unnormalised (callers divide by n).
+func (t *fftTables) stages(x []complex128, inverse bool) {
+	n := t.n
+	size := 2
+	for size*2 <= n {
+		t.fusedPass(x, size, inverse)
+		size <<= 2
+	}
+	if size <= n {
+		t.radix2Pass(x, size, inverse)
+	}
+}
+
+// fusedPass performs the radix-2 stages of span s and 2s in one sweep:
+// each group of four elements is carried through both butterflies in
+// registers. Operation-for-operation identical to the two plain stages.
+func (t *fftTables) fusedPass(x []complex128, s int, inverse bool) {
+	n := t.n
+	h := s >> 1
+	stride1 := n / s
+	stride2 := stride1 >> 1
+	quarter := n >> 2
+	for st := 0; st < n; st += s << 1 {
+		t1, t2 := 0, 0
+		for k := 0; k < h; k++ {
+			w1 := t.tw[t1]
+			w2a := t.tw[t2]
+			w2b := t.tw[t2+quarter]
+			if inverse {
+				w1 = complex(real(w1), -imag(w1))
+				w2a = complex(real(w2a), -imag(w2a))
+				w2b = complex(real(w2b), -imag(w2b))
 			}
+			i0, i1 := st+k, st+k+h
+			i2, i3 := st+s+k, st+s+k+h
+			// Stage s on both sub-blocks.
+			b := x[i1] * w1
+			a := x[i0]
+			ta, tb := a+b, a-b
+			d := x[i3] * w1
+			c := x[i2]
+			tc, td := c+d, c-d
+			// Stage 2s across the sub-blocks.
+			u := tc * w2a
+			x[i0], x[i2] = ta+u, ta-u
+			v := td * w2b
+			x[i1], x[i3] = tb+v, tb-v
+			t1 += stride1
+			t2 += stride2
 		}
 	}
+}
+
+// radix2Pass performs one plain radix-2 stage of the given span — the
+// trailing stage when the total stage count is odd.
+func (t *fftTables) radix2Pass(x []complex128, size int, inverse bool) {
+	n := t.n
+	half := size >> 1
+	stride := n / size
+	for start := 0; start < n; start += size {
+		tk := 0
+		for k := 0; k < half; k++ {
+			w := t.tw[tk]
+			if inverse {
+				w = complex(real(w), -imag(w))
+			}
+			a := x[start+k]
+			b := x[start+k+half] * w
+			x[start+k] = a + b
+			x[start+k+half] = a - b
+			tk += stride
+		}
+	}
+}
+
+// stagesMany runs the butterfly passes over a batch of permuted buffers
+// level by level: every buffer finishes one stage pair before the next
+// begins, so the twiddle entries of each level are walked while hot
+// instead of once per buffer.
+func (t *fftTables) stagesMany(xs [][]complex128, inverse bool) {
+	n := t.n
+	size := 2
+	for size*2 <= n {
+		for _, x := range xs {
+			t.fusedPass(x, size, inverse)
+		}
+		size <<= 2
+	}
+	if size <= n {
+		for _, x := range xs {
+			t.radix2Pass(x, size, inverse)
+		}
+	}
+}
+
+// transform runs the in-place transform using the tables. The inverse
+// transform is unnormalised (callers divide by n).
+func (t *fftTables) transform(x []complex128, inverse bool) {
+	t.permute(x)
+	t.stages(x, inverse)
 }

@@ -85,6 +85,34 @@ func TestCompressZeroAlloc(t *testing.T) {
 	}
 }
 
+func TestCovAccumulatorZeroAlloc(t *testing.T) {
+	// The banded covariance accumulator is per-CPI steady state too: after
+	// construction, an AddBand/Finish/Reset cycle must not allocate.
+	p, cb := allocTestSetup(t)
+	dc, err := DopplerFilter(&p, cb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins := p.EasyBins()
+	acc, err := NewCovAccumulator(&p, bins, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb := cube.Block{Lo: 0, Hi: len(bins)}
+	n := testing.AllocsPerRun(10, func() {
+		if err := acc.AddBand(dc, 0, bb); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := acc.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		acc.Reset()
+	})
+	if n != 0 {
+		t.Errorf("CovAccumulator cycle allocated %v times per CPI, want 0", n)
+	}
+}
+
 func TestCFARZeroAllocWithoutDetections(t *testing.T) {
 	// With a caller-owned scratch and no threshold crossings, every CFAR
 	// variant must complete a CPI without allocating; the detection slice

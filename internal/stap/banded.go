@@ -59,35 +59,20 @@ func DopplerFilterBand(p *Params, cb *cube.Cube, rb cube.Block, out *DopplerCube
 	} else if !sc.fits(p) {
 		return fmt.Errorf("stap: doppler scratch geometry does not match params")
 	}
-	w, bufs, col := sc.win, sc.bufs, sc.col
-	for c := 0; c < p.Dims.Channels; c++ {
-		for r := rb.Lo; r < rb.Hi; r++ {
-			cb.PulseColumn(c, r, col)
-			for st := 0; st < k; st++ {
-				buf := bufs[st]
-				for i := 0; i < l; i++ {
-					buf[i] = complex128(col[i+st]) * complex(w[i], 0)
-				}
-			}
-			sc.plan.ForwardMany(bufs)
-			for d := 0; d < l; d++ {
-				snap := out.Snapshot(d, r)
-				for st := 0; st < k; st++ {
-					snap[st*p.Dims.Channels+c] = bufs[st][d]
-				}
-			}
-		}
-	}
+	dopplerBody(p, cb, rb, out, sc)
 	return nil
 }
 
 // CovAccumulator builds the per-bin sample covariances of one CPI from
 // band-sized Doppler slabs. The training gates and their weighting are
 // exactly EstimateCovariances' (the even fencepost subsample over the
-// full range extent, each gate scaled by 1/len(gates)); feeding the bands
-// in ascending range order visits each bin's gates in the same global
-// ascending order, so the accumulated matrices are bit-identical to the
-// full-cube estimate. Distinct bin blocks touch disjoint matrices, so
+// full range extent, each gate scaled by 1/len(gates)), and the snapshots
+// fold in through the same fixed-width panels: each bin buffers incoming
+// gates until a global covPanelGates boundary is reached, then flushes one
+// blocked Hermitian update. Band boundaries never flush a partial panel —
+// the pending snapshots carry across bands — so feeding the bands in
+// ascending range order reproduces the full-cube estimate bit for bit.
+// Distinct bin blocks touch disjoint matrices and panel buffers, so
 // AddBand may run concurrently across bin blocks of the same band.
 type CovAccumulator struct {
 	p     *Params
@@ -96,6 +81,13 @@ type CovAccumulator struct {
 	gates []int // global training gates, ascending
 	inv   float64
 	covs  []*linalg.Matrix
+	// pend[i] buffers the current panel's packed snapshots for bin i;
+	// fill[i] counts how many gates it holds. Because every gate arrives
+	// exactly once in ascending order, fill is the global gate index
+	// modulo covPanelGates — the panel boundaries are the same global
+	// ones EstimateCovariances uses.
+	pend [][]complex128
+	fill []int
 	// added counts (bin, gate) accumulations, so Finish can detect a
 	// band that was never fed.
 	added atomic.Int64
@@ -114,6 +106,8 @@ func NewCovAccumulator(p *Params, bins []int, hard bool) (*CovAccumulator, error
 		hard:  hard,
 		gates: trainingGates(p.Dims.Ranges, train),
 		covs:  make([]*linalg.Matrix, len(bins)),
+		pend:  make([][]complex128, len(bins)),
+		fill:  make([]int, len(bins)),
 	}
 	a.inv = 1 / float64(len(a.gates))
 	for i, d := range bins {
@@ -122,16 +116,21 @@ func NewCovAccumulator(p *Params, bins []int, hard bool) (*CovAccumulator, error
 		}
 		dof := p.DoF(d)
 		a.covs[i] = linalg.NewMatrix(dof, dof)
+		a.pend[i] = make([]complex128, covPanelGates*dof)
 	}
 	return a, nil
 }
 
-// Reset clears the matrices for the next CPI without reallocating.
+// Reset clears the matrices and pending panels for the next CPI without
+// reallocating.
 func (a *CovAccumulator) Reset() {
 	for _, m := range a.covs {
 		for i := range m.Data {
 			m.Data[i] = 0
 		}
+	}
+	for i := range a.fill {
+		a.fill[i] = 0
 	}
 	a.added.Store(0)
 }
@@ -160,10 +159,15 @@ func (a *CovAccumulator) AddBand(dc *DopplerCube, lo int, bb cube.Block) error {
 	for i := bb.Lo; i < bb.Hi; i++ {
 		d := a.bins[i]
 		dof := a.p.DoF(d)
-		r := a.covs[i]
+		pend := a.pend[i]
 		for _, g := range a.gates[g0:g1] {
 			snap := dc.Snapshot(d, g-lo)[:dof]
-			r.AccumulateOuter(snap, a.inv)
+			copy(pend[a.fill[i]*dof:(a.fill[i]+1)*dof], snap)
+			a.fill[i]++
+			if a.fill[i] == covPanelGates {
+				a.covs[i].AccumulatePanel(pend, covPanelGates, a.inv)
+				a.fill[i] = 0
+			}
 		}
 	}
 	a.added.Add(int64((g1 - g0) * (bb.Hi - bb.Lo)))
@@ -181,6 +185,14 @@ func (a *CovAccumulator) Finish() ([]*linalg.Matrix, error) {
 	if got := a.added.Load(); got != want {
 		return nil, fmt.Errorf("stap: covariance accumulation saw %d of %d (bin, gate) pairs — bands missing or double-fed", got, want)
 	}
+	// Flush the tail panels — the same final partial panel the full-cube
+	// estimator folds in after its last full boundary.
+	for i, f := range a.fill {
+		if f > 0 {
+			a.covs[i].AccumulatePanel(a.pend[i], f, a.inv)
+			a.fill[i] = 0
+		}
+	}
 	return a.covs, nil
 }
 
@@ -188,8 +200,10 @@ func (a *CovAccumulator) Finish() ([]*linalg.Matrix, error) {
 // range gates [lo, lo+dc.Ranges) of each (beam, bin) profile. Disjoint
 // bin sets and disjoint bands touch disjoint output ranges, so the easy
 // and hard tasks — and successive bands — can fill the one beam cube
-// concurrently. Bitwise identical to Beamform: each output sample is the
-// same single dot product.
+// concurrently. It runs the same panel kernel as Beamform over the band's
+// snapshot panel, so each output sample is the same single dot product,
+// bit for bit. Weight lengths are validated for every (bin, beam) pair
+// before the first sample is written.
 func BeamformBand(p *Params, dc *DopplerCube, ws *WeightSet, bins []int, lo int, out *BeamCube) error {
 	if out.Bins != p.Bins() || out.Ranges != p.Dims.Ranges || out.Beams != len(p.Beams) {
 		return fmt.Errorf("stap: beam cube geometry mismatch")
@@ -197,23 +211,11 @@ func BeamformBand(p *Params, dc *DopplerCube, ws *WeightSet, bins []int, lo int,
 	if lo < 0 || lo+dc.Ranges > p.Dims.Ranges {
 		return fmt.Errorf("stap: band [%d,%d) outside range extent %d", lo, lo+dc.Ranges, p.Dims.Ranges)
 	}
+	if err := validateWeights(p, ws, bins); err != nil {
+		return err
+	}
 	for _, d := range bins {
-		perBeam := ws.For(d)
-		if perBeam == nil {
-			return fmt.Errorf("stap: weight set does not cover bin %d", d)
-		}
-		dof := p.DoF(d)
-		for b := range p.Beams {
-			w := perBeam[b]
-			if len(w) != dof {
-				return fmt.Errorf("stap: bin %d beam %d weight length %d, want %d", d, b, len(w), dof)
-			}
-			prof := out.Profile(b, d)
-			for r := 0; r < dc.Ranges; r++ {
-				snap := dc.Snapshot(d, r)[:dof]
-				prof[lo+r] = linalg.Dot(w, snap)
-			}
-		}
+		beamformBin(dc, ws.For(d), d, p.DoF(d), lo, out)
 	}
 	return nil
 }

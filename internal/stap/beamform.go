@@ -32,16 +32,22 @@ func (bc *BeamCube) Profile(b, d int) []complex128 {
 	return bc.Data[off : off+bc.Ranges]
 }
 
-// Beamform applies the weight set to the listed Doppler bins of dc,
-// writing the per-beam range profiles into out. Bins not listed are left
-// untouched, so the easy and hard beamforming tasks fill disjoint slices
-// of the same output cube — even concurrently, since Beamform writes only
-// the listed bins' profiles and never touches shared fields (the caller
-// sets out.Seq). The weight set must cover every listed bin.
-func Beamform(p *Params, dc *DopplerCube, ws *WeightSet, bins []int, out *BeamCube) error {
-	if out.Bins != p.Bins() || out.Ranges != p.Dims.Ranges || out.Beams != len(p.Beams) {
-		return fmt.Errorf("stap: beam cube geometry mismatch")
-	}
+// WeightLengthError reports a weight vector whose length does not match
+// its bin's degrees of freedom. Beamforming validates every (bin, beam)
+// pair up front and returns this before writing anything, so a mismatched
+// set can never surface mid-cube.
+type WeightLengthError struct {
+	Bin, Beam int
+	Len, Want int
+}
+
+func (e *WeightLengthError) Error() string {
+	return fmt.Sprintf("stap: bin %d beam %d weight length %d, want %d", e.Bin, e.Beam, e.Len, e.Want)
+}
+
+// validateWeights checks that ws covers every listed bin with one weight
+// vector of the bin's DoF per beam, before any output is written.
+func validateWeights(p *Params, ws *WeightSet, bins []int) error {
 	for _, d := range bins {
 		perBeam := ws.For(d)
 		if perBeam == nil {
@@ -49,16 +55,65 @@ func Beamform(p *Params, dc *DopplerCube, ws *WeightSet, bins []int, out *BeamCu
 		}
 		dof := p.DoF(d)
 		for b := range p.Beams {
-			w := perBeam[b]
-			if len(w) != dof {
-				return fmt.Errorf("stap: bin %d beam %d weight length %d, want %d", d, b, len(w), dof)
-			}
-			prof := out.Profile(b, d)
-			for r := 0; r < dc.Ranges; r++ {
-				snap := dc.Snapshot(d, r)[:dof]
-				prof[r] = linalg.Dot(w, snap)
+			if len(perBeam[b]) != dof {
+				return &WeightLengthError{Bin: d, Beam: b, Len: len(perBeam[b]), Want: dof}
 			}
 		}
 	}
 	return nil
+}
+
+// Beamform applies the weight set to the listed Doppler bins of dc,
+// writing the per-beam range profiles into out. Bins not listed are left
+// untouched, so the easy and hard beamforming tasks fill disjoint slices
+// of the same output cube — even concurrently, since Beamform writes only
+// the listed bins' profiles and never touches shared fields (the caller
+// sets out.Seq). The weight set must cover every listed bin; weight
+// lengths are validated for all (bin, beam) pairs before the first sample
+// is written (see WeightLengthError).
+func Beamform(p *Params, dc *DopplerCube, ws *WeightSet, bins []int, out *BeamCube) error {
+	if out.Bins != p.Bins() || out.Ranges != p.Dims.Ranges || out.Beams != len(p.Beams) {
+		return fmt.Errorf("stap: beam cube geometry mismatch")
+	}
+	if err := validateWeights(p, ws, bins); err != nil {
+		return err
+	}
+	for _, d := range bins {
+		beamformBin(dc, ws.For(d), d, p.DoF(d), 0, out)
+	}
+	return nil
+}
+
+// beamformBin computes one bin's (Beams x DoF) x (DoF x Ranges) panel
+// product: the bin's snapshots form a contiguous row panel of the Doppler
+// cube, streamed once per strip of up to three beams by the
+// linalg.ConjDotPanel kernels — each loaded snapshot feeds every strip
+// accumulator, and each beam's output gates are one contiguous row. The
+// kernels' fused-lane reduction is fixed and platform independent, and is
+// shared by the full-cube and banded paths, so detections are
+// byte-identical across band sizes and worker counts. Output gates start
+// at lo (non-zero for band slabs).
+func beamformBin(dc *DopplerCube, perBeam [][]complex128, d, dof, lo int, out *BeamCube) {
+	sl := dc.SnapLen
+	panel := dc.Data[d*dc.Ranges*sl : (d+1)*dc.Ranges*sl]
+	stride := out.Bins * out.Ranges
+	dOff := d*out.Ranges + lo
+	n := dc.Ranges
+	for b := 0; b < len(perBeam); b += 3 {
+		o := dOff + b*stride
+		switch len(perBeam) - b {
+		case 1:
+			linalg.ConjDotPanel1(panel, sl, dof, n,
+				perBeam[b],
+				out.Data[o:o+n])
+		case 2:
+			linalg.ConjDotPanel2(panel, sl, dof, n,
+				perBeam[b], perBeam[b+1],
+				out.Data[o:o+n], out.Data[o+stride:o+stride+n])
+		default:
+			linalg.ConjDotPanel3(panel, sl, dof, n,
+				perBeam[b], perBeam[b+1], perBeam[b+2],
+				out.Data[o:o+n], out.Data[o+stride:o+stride+n], out.Data[o+2*stride:o+2*stride+n])
+		}
+	}
 }

@@ -110,6 +110,27 @@ func ComputeAngleDopplerMap(p *Params, dc *DopplerCube, r, nAngles int) (*AngleD
 	return m, nil
 }
 
+// Centre reorders the map's columns into centred Doppler order — the
+// zero-Doppler column moves to the middle, negative Doppler to the left —
+// the conventional display order for angle-Doppler maps. It rotates the
+// bin labels and every power row with signal.FFTShiftInto through one
+// reused scratch row; calling it twice keeps rotating, so centre once
+// after computing the map.
+func (m *AngleDopplerMap) Centre() {
+	n := len(m.Bins)
+	if n == 0 {
+		return
+	}
+	bins := make([]int, n)
+	signal.FFTShiftInto(m.Bins, bins)
+	copy(m.Bins, bins)
+	row := make([]float64, n)
+	for _, p := range m.Power {
+		signal.FFTShiftInto(p, row)
+		copy(p, row)
+	}
+}
+
 // Peak returns the (angle, bin) cell with the highest power.
 func (m *AngleDopplerMap) Peak() (angle float64, bin int, power float64) {
 	best := -1.0

@@ -48,40 +48,80 @@ func (dc *DopplerCube) At(bin, stagger, ch, r int) complex128 {
 	return dc.Snapshot(bin, r)[stagger*dc.Channels+ch]
 }
 
+// dopplerTileBudget bounds the per-worker output staging tile (in bytes):
+// the tile buffers the bin-major rows of a few range gates so they land in
+// the Doppler cube as one contiguous copy per bin. The budget only sets
+// the tile depth; results are identical for any value.
+const dopplerTileBudget = 128 << 10
+
+// dopplerTileRanges returns the staging-tile depth for p's geometry: as
+// many range gates as fit the budget, clamped to [1, 8].
+func dopplerTileRanges(p *Params) int {
+	rowBytes := p.Bins() * p.StaggerCount() * p.Dims.Channels * 16
+	rt := dopplerTileBudget / rowBytes
+	return max(1, min(rt, 8))
+}
+
 // DopplerScratch is the reusable per-worker state of Doppler filter
-// processing: the window coefficients, the length-L FFT plan, the K stagger
-// buffers, and the slow-time column buffer. Build one per Doppler worker
-// with NewDopplerScratch (once per stage, not once per CPI) and pass it to
+// processing: the window coefficients, the length-L FFT plan, the
+// per-(stagger, channel) FFT buffers with their column views, and the
+// bin-major staging tile. Build one per Doppler worker with
+// NewDopplerScratch (once per stage, not once per CPI) and pass it to
 // DopplerFilterRanges; steady-state filtering then allocates nothing. A
 // scratch must not be shared by two goroutines at once.
 type DopplerScratch struct {
 	win  []float64
 	plan *signal.Plan
+	// cols[c] is the slow-time column buffer of channel c; srcs are the
+	// K*C staggered views cols[c][st:st+L] in snapshot order (st*C+c),
+	// built once so the batched windowed transform needs no per-call
+	// slicing.
+	cols [][]complex64
+	srcs [][]complex64
+	// bufs[st*C+c] receives the Doppler spectrum of (stagger st, channel
+	// c) for the range gate in flight — snapshot order, so assembling one
+	// (bin, range) snapshot reads the buffers in index order.
 	bufs [][]complex128
-	col  []complex64
+	// tile stages rt range gates of output in bin-major order:
+	// tile[(d*rt+ri)*SnapLen+k]. Flushing copies one contiguous run per
+	// bin into the Doppler cube instead of scattering per range gate.
+	tile []complex128
+	rt   int
 }
 
 // NewDopplerScratch builds the reusable filtering state for p.
 func NewDopplerScratch(p *Params) *DopplerScratch {
 	l := p.Bins()
 	k := p.StaggerCount()
+	c := p.Dims.Channels
 	sc := &DopplerScratch{
 		win:  signal.Window(p.Window, l),
 		plan: signal.PlanFor(l),
-		bufs: make([][]complex128, k),
-		col:  make([]complex64, p.Dims.Pulses),
+		cols: make([][]complex64, c),
+		srcs: make([][]complex64, k*c),
+		bufs: make([][]complex128, k*c),
+		rt:   dopplerTileRanges(p),
 	}
-	for st := range sc.bufs {
-		sc.bufs[st] = make([]complex128, l)
+	for ch := range sc.cols {
+		sc.cols[ch] = make([]complex64, p.Dims.Pulses)
 	}
+	for st := 0; st < k; st++ {
+		for ch := 0; ch < c; ch++ {
+			sc.srcs[st*c+ch] = sc.cols[ch][st : st+l]
+			sc.bufs[st*c+ch] = make([]complex128, l)
+		}
+	}
+	sc.tile = make([]complex128, l*sc.rt*k*c)
 	return sc
 }
 
 // fits reports whether the scratch was built for p's geometry.
 func (sc *DopplerScratch) fits(p *Params) bool {
 	return sc.plan.Len() == p.Bins() &&
-		len(sc.bufs) == p.StaggerCount() &&
-		len(sc.col) == p.Dims.Pulses
+		len(sc.bufs) == p.StaggerCount()*p.Dims.Channels &&
+		len(sc.cols) == p.Dims.Channels &&
+		len(sc.cols[0]) == p.Dims.Pulses &&
+		sc.rt == dopplerTileRanges(p)
 }
 
 // DopplerFilter runs Doppler filter processing over the full cube. It is
@@ -118,24 +158,44 @@ func DopplerFilterRanges(p *Params, cb *cube.Cube, rb cube.Block, out *DopplerCu
 	} else if !sc.fits(p) {
 		return fmt.Errorf("stap: doppler scratch geometry does not match params")
 	}
-	w, bufs, col := sc.win, sc.bufs, sc.col
-	for c := 0; c < p.Dims.Channels; c++ {
-		for r := rb.Lo; r < rb.Hi; r++ {
-			cb.PulseColumn(c, r, col)
-			for st := 0; st < k; st++ {
-				buf := bufs[st]
-				for i := 0; i < l; i++ {
-					buf[i] = complex128(col[i+st]) * complex(w[i], 0)
-				}
+	dopplerBody(p, cb, rb, out, sc)
+	return nil
+}
+
+// dopplerBody is the shared kernel of DopplerFilterRanges and
+// DopplerFilterBand: range gates are processed in staging tiles of sc.rt
+// gates. For each gate, all channels' slow-time columns are read once and
+// the K*C windowed transforms run as one batched call (the window multiply
+// fused into the bit-reversal copy); the resulting snapshots are staged
+// bin-major in the tile and flushed to the output cube as one contiguous
+// copy per bin — blocked tiles instead of scattering one element per
+// (bin, stagger) across the whole cube per column. Only the write order
+// differs from the element-at-a-time form, so the output is bit-identical
+// for any tile depth. Cube and output range indices coincide (both are
+// band-local in the banded case).
+func dopplerBody(p *Params, cb *cube.Cube, rb cube.Block, out *DopplerCube, sc *DopplerScratch) {
+	l := p.Bins()
+	c := p.Dims.Channels
+	sl := out.SnapLen
+	rt := sc.rt
+	for r0 := rb.Lo; r0 < rb.Hi; r0 += rt {
+		n := min(rt, rb.Hi-r0)
+		for ri := 0; ri < n; ri++ {
+			for ch := 0; ch < c; ch++ {
+				cb.PulseColumn(ch, r0+ri, sc.cols[ch])
 			}
-			sc.plan.ForwardMany(bufs)
+			sc.plan.ForwardWindowedMany(sc.srcs, sc.win, sc.bufs)
 			for d := 0; d < l; d++ {
-				snap := out.Snapshot(d, r)
-				for st := 0; st < k; st++ {
-					snap[st*p.Dims.Channels+c] = bufs[st][d]
+				row := sc.tile[(d*rt+ri)*sl : (d*rt+ri+1)*sl]
+				for k, buf := range sc.bufs {
+					row[k] = buf[d]
 				}
 			}
 		}
+		for d := 0; d < l; d++ {
+			src := sc.tile[d*rt*sl : (d*rt+n)*sl]
+			dst := out.Data[(d*out.Ranges+r0)*sl:]
+			copy(dst[:len(src)], src)
+		}
 	}
-	return nil
 }

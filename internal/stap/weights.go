@@ -63,10 +63,22 @@ func trainingGates(ranges, k int) []int {
 	return out
 }
 
+// covPanelGates is the fixed width, in training gates, of the snapshot
+// panels fed to linalg.AccumulatePanel. It is part of the covariance
+// accumulation-order contract: panels cover the global training-gate index
+// ranges [0,16), [16,32), ... regardless of how the gates arrive, so the
+// full-cube estimator and the banded accumulator — which buffers partial
+// panels across band boundaries — produce bit-identical matrices. The
+// value only trades scratch size against update batching; any fixed value
+// is deterministic.
+const covPanelGates = 16
+
 // EstimateCovariances returns the (unloaded) sample covariance estimate
 // for each listed Doppler bin from the training gates of dc. hard selects
 // the snapshot length (full DoF with TrainHard gates vs first-stagger with
-// TrainEasy gates).
+// TrainEasy gates). Snapshots are packed into fixed-width panels and
+// folded in with the blocked Hermitian update (linalg.AccumulatePanel)
+// instead of one rank-1 update per gate.
 func EstimateCovariances(p *Params, dc *DopplerCube, bins []int, hard bool) ([]*linalg.Matrix, error) {
 	if dc.Ranges != p.Dims.Ranges || dc.Channels != p.Dims.Channels {
 		return nil, fmt.Errorf("stap: doppler cube geometry mismatch")
@@ -76,17 +88,24 @@ func EstimateCovariances(p *Params, dc *DopplerCube, bins []int, hard bool) ([]*
 		train = p.TrainHard
 	}
 	gates := trainingGates(dc.Ranges, train)
+	inv := 1 / float64(len(gates))
 	covs := make([]*linalg.Matrix, len(bins))
+	var panel []complex128
 	for i, d := range bins {
 		if p.IsHard(d) != hard {
 			return nil, fmt.Errorf("stap: bin %d is not in the %s set", d, setName(hard))
 		}
 		dof := p.DoF(d)
+		if len(panel) < covPanelGates*dof {
+			panel = make([]complex128, covPanelGates*dof)
+		}
 		r := linalg.NewMatrix(dof, dof)
-		inv := 1 / float64(len(gates))
-		for _, g := range gates {
-			snap := dc.Snapshot(d, g)[:dof]
-			r.AccumulateOuter(snap, inv)
+		for g0 := 0; g0 < len(gates); g0 += covPanelGates {
+			g1 := min(g0+covPanelGates, len(gates))
+			for t, g := range gates[g0:g1] {
+				copy(panel[t*dof:(t+1)*dof], dc.Snapshot(d, g)[:dof])
+			}
+			r.AccumulatePanel(panel, g1-g0, inv)
 		}
 		covs[i] = r
 	}

@@ -9,12 +9,18 @@
 # regression and fails the check (exit 3). The separate-I/O slowstore
 # scenario stays annotate-only — its numbers ride on the host's disk and
 # timer behaviour.
+#
+# A second leg reruns the blocked compute-kernel microbenchmarks
+# (beamform, covariance) and gates them against BENCH_9.json the same way:
+# they are pure CPU work on fixed geometry, so losing more than 25% of
+# their CPIs/s against the committed record means a kernel regressed.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 out=$(mktemp -t bench6.XXXXXX.json)
-trap 'rm -f "$out"' EXIT
+kout=$(mktemp -t bench9.XXXXXX.json)
+trap 'rm -f "$out" "$kout"' EXIT
 
 go run ./cmd/benchjson -bench 'BenchmarkAutoTune' -benchtime 1x -repeat 3 -o "$out"
 
@@ -23,6 +29,17 @@ table=$(go run ./cmd/benchdiff -new "$out" \
 	-base BENCH_6.json -base BENCH_3.json -base BENCH_4.json \
 	-gate 'BenchmarkAutoTune/(hardweights|pccfar)/' -maxloss 25) || status=$?
 
+go run ./cmd/benchjson -bench 'BenchmarkKernelBeamform|BenchmarkKernelCovariance' -repeat 3 -o "$kout"
+
+kstatus=0
+ktable=$(go run ./cmd/benchdiff -new "$kout" \
+	-base BENCH_9.json \
+	-gate 'BenchmarkKernel(Beamform|Covariance)' -maxloss 25) || kstatus=$?
+if [ "$status" -eq 0 ]; then
+	status=$kstatus
+fi
+
+table=$(printf '%s\n\n%s\n' "$table" "$ktable")
 printf '%s\n' "$table"
 if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
 	printf '%s\n' "$table" >>"$GITHUB_STEP_SUMMARY"
